@@ -1,0 +1,39 @@
+"""Shared table-rendering helper for the benchmark harness.
+
+Every benchmark prints its table (run pytest with ``-s`` to see it live)
+and also writes it to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can be cross-checked against regenerated artifacts.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def render_table(title: str, headers: Sequence[str],
+                 rows: Iterable[Sequence[object]]) -> str:
+    str_rows: List[List[str]] = [[str(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title)]
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def emit(name: str, title: str, headers: Sequence[str],
+         rows: Iterable[Sequence[object]]) -> str:
+    """Render, print and persist one experiment table."""
+    text = render_table(title, headers, list(rows))
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    return text

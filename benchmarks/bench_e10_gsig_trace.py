@@ -1,0 +1,119 @@
+"""E10 — GSIG operation costs and GCD.TraceUser (Sections 4, 7).
+
+Reports sign/verify/open latency and signature size for both GSIG
+components (ACJT with the fused accumulator proof; the KTY variant), and
+the cost of GCD.TraceUser in its two modes: positional (one decryption
+per entry) and the paper's stated worst case ("the authority needs to try
+to search the right session key"), which is quadratic in m."""
+
+import time
+
+import pytest
+
+from _tables import emit
+from repro.core import wire
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.gsig import acjt, kty
+
+
+def _time(fn, repeats=5):
+    start = time.perf_counter()
+    for _ in range(repeats):
+        fn()
+    return (time.perf_counter() - start) / repeats * 1000  # ms
+
+
+def test_e10a_gsig_operation_costs(benchmark, bench_scheme1, bench_scheme2):
+    rows = []
+
+    def run():
+        s1, s2 = bench_scheme1, bench_scheme2
+        acjt_manager = s1.framework.authority.gsig_manager
+        acjt_cred = s1.members[0].credential
+        kty_manager = s2.framework.authority.gsig_manager
+        kty_cred = s2.members[0].credential
+
+        acjt_sig = acjt_cred.sign(b"bench", s1.rng)
+        view = acjt.AcjtMemberView(acjt_cred.acc_value, acjt_cred.acc_epoch)
+        rows.append((
+            "ACJT+accumulator",
+            f"{_time(lambda: acjt_cred.sign(b'bench', s1.rng)):.1f}",
+            f"{_time(lambda: acjt.verify(acjt_manager.public_key, b'bench', acjt_sig, view)):.1f}",
+            f"{_time(lambda: acjt_manager.open(b'bench', acjt_sig)):.1f}",
+            len(wire.signature_to_bytes(acjt_sig)),
+        ))
+
+        kty_sig = kty_cred.sign(b"bench", s2.rng)
+        kty_view = kty_cred.member_view()
+        rows.append((
+            "KTY variant",
+            f"{_time(lambda: kty_cred.sign(b'bench', s2.rng)):.1f}",
+            f"{_time(lambda: kty.verify(kty_manager.public_key, b'bench', kty_sig, kty_view)):.1f}",
+            f"{_time(lambda: kty_manager.open(b'bench', kty_sig)):.1f}",
+            len(wire.signature_to_bytes(kty_sig)),
+        ))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e10a_gsig_costs",
+        "E10a: GSIG operation latency (ms, 'tiny' profile) and signature size",
+        ("scheme", "sign", "verify", "open", "signature bytes"),
+        rows,
+    )
+
+
+def test_e10b_trace_cost(benchmark, bench_scheme1, bench_other_group):
+    from repro import metrics
+
+    rows = []
+
+    def _attempts(framework, transcript, exhaustive):
+        metrics.reset()
+        result = framework.trace(transcript, exhaustive=exhaustive)
+        return result, metrics.total().extra.get("trace-decrypt-attempts", 0)
+
+    def run():
+        world, other = bench_scheme1, bench_other_group
+        # Same-group sessions: every participant shares one k', so even
+        # the search variant finds the key on the first try.
+        for m in (2, 4, 6):
+            outcomes = run_handshake(world.members[:m], scheme1_policy(),
+                                     world.rng)
+            transcript = outcomes[0].transcript
+            t_positional = _time(
+                lambda: world.framework.trace(transcript), repeats=2
+            )
+            result, a_pos = _attempts(world.framework, transcript, False)
+            _, a_exh = _attempts(world.framework, transcript, True)
+            rows.append((f"{m} (one group)", f"{t_positional:.0f} ms",
+                         a_pos, a_exh, len(result.identified)))
+            assert len(result.identified) == m
+            assert a_pos == m and a_exh == m
+
+        # Mixed (partial) sessions are the paper's worst case: the GA's
+        # recovered keys fail on every foreign theta, so the search tries
+        # a keys for each of the b foreign entries: a + a*b attempts.
+        for a, b in ((2, 2), (3, 3), (4, 4)):
+            lineup = world.members[:a] + other.members[:b]
+            outcomes = run_handshake(lineup,
+                                     scheme1_policy(partial_success=True),
+                                     world.rng)
+            transcript = outcomes[0].transcript
+            result, a_pos = _attempts(world.framework, transcript, False)
+            _, a_exh = _attempts(world.framework, transcript, True)
+            rows.append((f"{a}+{b} (mixed)", "", a_pos, a_exh,
+                         len(result.identified)))
+            assert len(result.identified) == a
+            assert a_pos == a
+            assert a_exh == a + a * b  # quadratic worst case
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e10b_trace",
+        "E10b: GCD.TraceUser — decryption attempts: positional O(m) vs "
+        "the paper's worst-case key search (quadratic on mixed sessions)",
+        ("session", "latency", "attempts (positional)",
+         "attempts (worst case)", "identified"),
+        rows,
+    )

@@ -1,0 +1,154 @@
+"""E13 — ablations over the GCD assembly (framework flexibility, §7/§9).
+
+GCD is a compiler, so its building blocks are swappable.  Three ablations
+quantify the design choices this reproduction makes:
+
+* **A: CGKD backend** — LKH vs NNL-SD vs star behind the same framework:
+  per-revocation rekey deliveries and bulletin-board bytes.
+* **B: tracing cryptosystem** — Cramer-Shoup (standard-model IND-CCA2, the
+  default) vs hybrid ElGamal (ROM IND-CCA2): per-delta cost.  The paper
+  only demands "an IND-CCA2 secure public key cryptosystem"; this shows
+  what the standard-model choice costs.
+* **C: DGKA inside GCD** — BD vs GDH.2 end-to-end handshake
+  exponentiations (the round structure changes, the O(m) claim must not).
+"""
+
+import random
+import time
+
+import pytest
+
+from _tables import emit
+from repro import metrics
+from repro.cgkd.lkh import LkhController
+from repro.cgkd.nnl import NnlController
+from repro.cgkd.star import StarController
+from repro.core.framework import GcdFramework
+from repro.core.handshake import HandshakePolicy, run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.crypto.cramer_shoup import CramerShoup
+from repro.crypto.elgamal import HybridElGamal
+from repro.crypto.params import dh_group
+from repro.dgka.gdh import GdhParty
+
+
+def test_e13a_cgkd_backend(benchmark):
+    rows = []
+
+    def run():
+        rng = random.Random(131)
+        backends = (
+            ("star", lambda r: StarController(r)),
+            ("lkh", lambda r: LkhController(4, r)),
+            ("nnl-sd", lambda r: NnlController(16, "sd", r)),
+            ("nnl-cs", lambda r: NnlController(16, "cs", r)),
+        )
+        for name, factory in backends:
+            framework = GcdFramework.create(f"abl-{name}", cgkd_factory=factory,
+                                            rng=rng)
+            members = [framework.admit_member(f"u{i}", rng) for i in range(8)]
+            board_before = sum(
+                len(p.payload) for p in framework.authority.board.read_since(0)
+            )
+            framework.remove_user("u3")
+            posts = framework.authority.board.read_since(0)
+            revoke_bytes = sum(len(p.payload) for p in posts) - board_before
+            # Sanity: survivors still handshake.
+            outcomes = run_handshake([members[0], members[1]],
+                                     scheme1_policy(), rng)
+            assert all(o.success for o in outcomes)
+            rows.append((name, 8, revoke_bytes))
+        # Shape: tree-based backends beat the star on revocation bytes.
+        sizes = {name: size for name, _, size in rows}
+        assert sizes["lkh"] < sizes["star"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e13a_cgkd_backend",
+        "E13a: CGKD backend ablation inside GCD — bytes posted per revocation (n=8)",
+        ("backend", "members", "revocation post bytes"),
+        rows,
+    )
+
+
+def test_e13b_tracing_pke(benchmark):
+    rows = []
+
+    def run():
+        rng = random.Random(132)
+        group = dh_group(384)
+        payload = rng.getrandbits(256).to_bytes(32, "big")
+
+        def timeit(fn, repeats=20):
+            start = time.perf_counter()
+            for _ in range(repeats):
+                fn()
+            return (time.perf_counter() - start) / repeats * 1000
+
+        cs_pk, cs_sk = CramerShoup.keygen(group, rng)
+        ct = CramerShoup.encrypt_bytes(cs_pk, payload, rng)
+        metrics.reset()
+        CramerShoup.encrypt_bytes(cs_pk, payload, rng)
+        cs_enc_ops = metrics.total().modexp
+        rows.append((
+            "Cramer-Shoup (default)", "standard model",
+            f"{timeit(lambda: CramerShoup.encrypt_bytes(cs_pk, payload, rng)):.2f}",
+            f"{timeit(lambda: CramerShoup.decrypt_bytes(cs_sk, ct)):.2f}",
+            cs_enc_ops,
+        ))
+
+        eg_pk, eg_sk = HybridElGamal.keygen(group, rng)
+        eg_ct = HybridElGamal.encrypt(eg_pk, payload, rng)
+        metrics.reset()
+        HybridElGamal.encrypt(eg_pk, payload, rng)
+        eg_enc_ops = metrics.total().modexp
+        rows.append((
+            "Hybrid ElGamal", "random oracle",
+            f"{timeit(lambda: HybridElGamal.encrypt(eg_pk, payload, rng)):.2f}",
+            f"{timeit(lambda: HybridElGamal.decrypt(eg_sk, eg_ct)):.2f}",
+            eg_enc_ops,
+        ))
+        # The standard-model scheme costs more exponentiations per delta.
+        assert cs_enc_ops > eg_enc_ops
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e13b_tracing_pke",
+        "E13b: tracing-cryptosystem ablation — per-delta cost (384-bit group)",
+        ("cryptosystem", "IND-CCA2 model", "encrypt ms", "decrypt ms",
+         "encrypt modexp"),
+        rows,
+    )
+
+
+def test_e13c_dgka_inside_gcd(benchmark, bench_scheme1):
+    rows = []
+
+    def run():
+        world = bench_scheme1
+        gdh_policy = HandshakePolicy(
+            dgka_factory=lambda i, m, r: GdhParty(i, m, rng=r)
+        )
+        for m in (2, 4, 6):
+            metrics.reset()
+            outcomes = run_handshake(world.members[:m], scheme1_policy(),
+                                     world.rng)
+            assert all(o.success for o in outcomes)
+            bd_ops = metrics.snapshot()["hs:0"].modexp
+            metrics.reset()
+            outcomes = run_handshake(world.members[:m], gdh_policy, world.rng)
+            assert all(o.success for o in outcomes)
+            gdh_ops = metrics.snapshot()["hs:0"].modexp
+            rows.append((m, bd_ops, gdh_ops))
+        # Both assemblies stay O(m): growth from m=4 to m=6 is bounded by
+        # the m=2 baseline.
+        for column in (1, 2):
+            assert rows[2][column] - rows[1][column] < rows[0][column]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e13c_dgka_in_gcd",
+        "E13c: DGKA ablation inside GCD — party-0 modexp per handshake",
+        ("m", "with BD (default)", "with GDH.2"),
+        rows,
+    )

@@ -1,0 +1,62 @@
+"""E1 — per-party modular exponentiations vs m (Sections 8.1 / 8.2).
+
+Paper claim: "a handshake participant computes only O(m) modular
+exponentiations", for both instantiations.  We count every modular
+exponentiation a single participant performs during a full handshake and
+fit the growth: the per-party count must be affine in m (constant + c*m),
+never quadratic.
+"""
+
+import pytest
+
+from _tables import emit
+from repro import metrics
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.core.scheme2 import scheme2_policy
+
+SWEEP = (2, 3, 4, 6, 8)
+
+
+def _per_party_modexp(world, policy, m: int) -> int:
+    metrics.reset()
+    run_handshake(world.members[:m], policy, world.rng)
+    return metrics.snapshot()["hs:0"].modexp
+
+
+def _sweep(world, policy):
+    return {m: _per_party_modexp(world, policy, m) for m in SWEEP}
+
+
+def test_e1_modexp_linear_in_m(benchmark, bench_scheme1, bench_scheme2):
+    results = {}
+
+    def run():
+        results["scheme1"] = _sweep(bench_scheme1, scheme1_policy())
+        results["scheme2"] = _sweep(bench_scheme2, scheme2_policy())
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    rows = []
+    for name, counts in results.items():
+        slopes = [
+            (counts[b] - counts[a]) / (b - a)
+            for a, b in zip(SWEEP, SWEEP[1:])
+        ]
+        for m in SWEEP:
+            rows.append((name, m, counts[m], f"{counts[m] / m:.1f}"))
+        # O(m) check: the marginal cost per added participant is bounded
+        # and does not itself grow with m (affine, not superlinear).
+        assert max(slopes) <= 2.5 * min(slopes) + 5, (name, slopes)
+        # And it is genuinely linear, not constant-free quadratic:
+        # per-party cost divided by m must be *decreasing* (large constant
+        # term) or flat — never increasing.
+        ratios = [counts[m] / m for m in SWEEP]
+        assert all(b <= a * 1.1 for a, b in zip(ratios, ratios[1:])), ratios
+
+    emit(
+        "e1_complexity",
+        "E1: per-party modular exponentiations per handshake (paper: O(m))",
+        ("scheme", "m", "modexp(party 0)", "modexp/m"),
+        rows,
+    )

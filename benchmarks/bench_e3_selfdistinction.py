@@ -1,0 +1,48 @@
+"""E3 — self-distinction: scheme 2 detects multi-role rogues, scheme 1
+does not (Sections 1.1, 8.2; Theorem 3 vs Theorem 1).
+
+The rogue member plays r in {2, 3} of the m slots.  The table reports the
+honest participants' detection rate under each instantiation: the paper's
+prediction is 0% detection for scheme 1 (no self-distinction) and 100%
+for scheme 2 (duplicate T6 tags under the common T7)."""
+
+import pytest
+
+from _tables import emit
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.core.scheme2 import scheme2_policy
+
+TRIALS = 3
+
+
+def _detection_rate(world, policy, roles: int) -> float:
+    honest = world.members[:2]
+    rogue = world.members[2]
+    detected = 0
+    for _ in range(TRIALS):
+        lineup = honest + [rogue] * roles
+        outcomes = run_handshake(lineup, policy, world.rng)
+        if not any(o.success for o in outcomes[:2]):
+            detected += 1
+    return detected / TRIALS
+
+
+def test_e3_self_distinction(benchmark, bench_scheme1, bench_scheme2):
+    rows = []
+
+    def run():
+        for roles in (2, 3):
+            s1 = _detection_rate(bench_scheme1, scheme1_policy(), roles)
+            s2 = _detection_rate(bench_scheme2, scheme2_policy(), roles)
+            rows.append((roles, 2 + roles, f"{s1:.0%}", f"{s2:.0%}"))
+            assert s1 == 0.0  # scheme 1: attack invisible
+            assert s2 == 1.0  # scheme 2: always caught
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e3_selfdistinction",
+        "E3: multi-role rogue detection rate (paper: scheme1 never, scheme2 always)",
+        ("rogue roles", "m", "scheme1 detection", "scheme2 detection"),
+        rows,
+    )

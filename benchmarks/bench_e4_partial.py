@@ -1,0 +1,48 @@
+"""E4 — partially-successful handshakes (Section 7 extension, footnote 2).
+
+The paper's example: 5 parties, 2 from group A and 3 from group B; the
+desired outcome is that both cliques complete their handshakes and learn
+their subset sizes (2 and 3).  We sweep several mixed configurations and
+check that every participant discovers exactly its same-group subset."""
+
+import pytest
+
+from _tables import emit
+from repro.core.handshake import run_handshake
+from repro.core.partial import subsets, subsets_are_consistent
+from repro.core.scheme1 import scheme1_policy
+
+
+def test_e4_partial_success(benchmark, bench_scheme1, bench_other_group):
+    rows = []
+
+    def run():
+        configurations = [
+            ("2A+3B (paper example)", 2, 3),
+            ("3A+2B", 3, 2),
+            ("2A+2B", 2, 2),
+            ("4A+1B", 4, 1),
+        ]
+        for label, n_a, n_b in configurations:
+            lineup = bench_scheme1.members[:n_a] + bench_other_group.members[:n_b]
+            outcomes = run_handshake(
+                lineup, scheme1_policy(partial_success=True), bench_scheme1.rng
+            )
+            found = subsets(outcomes)
+            expected = set()
+            if n_a > 1:
+                expected.add(frozenset(range(n_a)))
+            if n_b > 1:
+                expected.add(frozenset(range(n_a, n_a + n_b)))
+            assert set(found) == expected, (label, found)
+            assert subsets_are_consistent(outcomes)
+            sizes = sorted(len(s) for s in found)
+            rows.append((label, n_a + n_b, len(found), sizes))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e4_partial",
+        "E4: partially-successful handshakes (paper: every same-group clique completes)",
+        ("configuration", "m", "cliques found", "clique sizes"),
+        rows,
+    )

@@ -1,0 +1,72 @@
+"""E6 — dual revocation (Section 3, final paragraph).
+
+The paper's argument for keeping *both* revocation mechanisms: if only
+CGKD revocation existed, an unrevoked member could leak the current group
+key to a revoked member, who could then "take part in secret handshakes
+and successfully fool legitimate members.  Whereas, if both revocation
+components are in place, the attack fails since the revoked member's
+group signature would not be accepted as valid."
+
+We stage exactly that attack against both instantiations, plus the
+control experiments (revoked member without the leak; honest member with
+the leak), and report who gets in."""
+
+import random
+
+import pytest
+
+from _tables import emit
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import create_scheme1, scheme1_policy
+from repro.core.scheme2 import create_scheme2, scheme2_policy
+from repro.security.adversaries import RevokedInsider, StolenKeyImpostor
+
+
+def _stage(factory, policy, seed: int):
+    rng = random.Random(seed)
+    framework = factory("e6", rng=rng)
+    honest = [framework.admit_member(f"h{i}", rng) for i in range(2)]
+    mallory = framework.admit_member("mallory", rng)
+    framework.remove_user("mallory")
+    leaked = framework.authority.group_key()
+
+    results = {}
+    # (a) Revoked member without any leak: cannot even pass Phase II.
+    outcomes = run_handshake(honest + [StolenKeyImpostor(b"\x00" * 32, rng=rng)],
+                             policy, rng)
+    results["revoked, no leak"] = any(o.success for o in outcomes[:2])
+    # (b) The Section-3 attack: revoked member + leaked CGKD key.
+    adversary = RevokedInsider(mallory, leaked)
+    outcomes = run_handshake(honest + [adversary], policy, rng)
+    results["revoked + leaked key (the attack)"] = any(
+        o.success for o in outcomes[:2]
+    )
+    # (c) Control: the honest members by themselves still succeed.
+    outcomes = run_handshake(honest, policy, rng)
+    results["honest members only"] = all(o.success for o in outcomes)
+    return results
+
+
+def test_e6_dual_revocation(benchmark):
+    rows = []
+
+    def run():
+        for name, factory, policy in (
+            ("scheme1", create_scheme1, scheme1_policy()),
+            ("scheme2", create_scheme2, scheme2_policy()),
+        ):
+            results = _stage(factory, policy, 61)
+            for scenario, accepted in results.items():
+                rows.append((name, scenario,
+                             "ACCEPTED" if accepted else "rejected"))
+            assert not results["revoked, no leak"]
+            assert not results["revoked + leaked key (the attack)"]
+            assert results["honest members only"]
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e6_revocation",
+        "E6: dual-revocation attack matrix (paper: leaked CGKD key must not help)",
+        ("scheme", "scenario", "honest verdict"),
+        rows,
+    )

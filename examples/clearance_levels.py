@@ -1,0 +1,70 @@
+#!/usr/bin/env python3
+"""Clearance-level handshakes — the paper's opening scenario (§1).
+
+"Alice might want to authenticate herself as an agent with a certain
+clearance level only if Bob is also an agent with at least the same
+clearance level."
+
+We stand up an agency with three clearance tiers (one GCD group per tier;
+an agent cleared at level L holds credentials for levels 1..L) and watch
+who can meet whom — and, crucially, what a failed attempt reveals: nothing.
+
+Run:  python examples/clearance_levels.py
+"""
+
+import random
+
+from repro.core.roles import ClearanceAuthority, handshake_at_level
+
+
+def main() -> None:
+    rng = random.Random(13)
+
+    agency = ClearanceAuthority("agency", levels=3, rng=rng)
+    junior = agency.admit("junior-analyst", 1, rng)
+    field = agency.admit("field-agent", 2, rng)
+    chief = agency.admit("station-chief", 3, rng)
+    director = agency.admit("director", 3, rng)
+    print("agents:", ", ".join(f"{a.user_id} (L{a.level})"
+                               for a in (junior, field, chief, director)))
+
+    # Level 1: the whole agency can meet.
+    outcomes = handshake_at_level([junior, field, chief, director], 1, rng=rng)
+    print("level-1 handshake, all four:",
+          "success" if all(o.success for o in outcomes) else "failed")
+    assert all(o.success for o in outcomes)
+
+    # Level 2: the junior cannot keep up — and the others learn only that
+    # *someone* in the session was not level-2, never who is what.
+    outcomes = handshake_at_level([field, chief, junior], 2, rng=rng)
+    print("level-2 handshake including the junior:",
+          "success" if any(o.success for o in outcomes) else
+          "failed for everyone (junior revealed nothing, learned nothing)")
+    assert not any(o.success for o in outcomes)
+    assert outcomes[2].confirmed_peers == set()
+
+    # Level 2 among the cleared: fine.
+    outcomes = handshake_at_level([field, chief, director], 2, rng=rng)
+    assert all(o.success for o in outcomes)
+    print("level-2 handshake among cleared agents: success")
+
+    # Level 3 is chiefs-only.
+    outcomes = handshake_at_level([chief, director], 3, rng=rng)
+    assert all(o.success for o in outcomes)
+    print("level-3 handshake, chiefs only: success")
+
+    # The chief is reassigned: downgrade strips the upper tiers.
+    agency.downgrade(chief, 1)
+    outcomes = handshake_at_level([chief, director], 3, rng=rng)
+    assert not any(o.success for o in outcomes)
+    print("after downgrade to L1, the ex-chief fails level-3 handshakes")
+
+    # Per-level tracing: each tier's GA sees only its own sessions.
+    outcomes = handshake_at_level([field, director], 2, rng=rng)
+    trace = agency.framework(2).trace(outcomes[0].transcript)
+    print("level-2 GA traces:", ", ".join(sorted(trace.identified)))
+    assert sorted(trace.identified) == ["director", "field-agent"]
+
+
+if __name__ == "__main__":
+    main()

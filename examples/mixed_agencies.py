@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Partially-successful handshakes across agencies (paper Section 7,
+footnote 2).
+
+Five undercover officers meet: two are FBI, three are CIA.  Under the
+strict Fig. 6 protocol the handshake fails for everyone (they are not all
+in one group).  With the paper's partially-successful extension, each
+officer discovers exactly its same-agency colleagues — and *only* them:
+the FBI pair learns nothing about the CIA trio's affiliation beyond "not
+mine", and vice versa.
+
+Run:  python examples/mixed_agencies.py
+"""
+
+import random
+
+from repro import create_scheme1, run_handshake, scheme1_policy
+from repro.core.partial import subsets, subsets_are_consistent
+
+
+def main() -> None:
+    rng = random.Random(7)
+
+    fbi = create_scheme1("fbi", rng=rng)
+    cia = create_scheme1("cia", rng=rng)
+
+    lineup = [
+        fbi.admit_member("fbi-1", rng),     # index 0
+        cia.admit_member("cia-1", rng),     # index 1
+        fbi.admit_member("fbi-2", rng),     # index 2
+        cia.admit_member("cia-2", rng),     # index 3
+        cia.admit_member("cia-3", rng),     # index 4
+    ]
+    print("seating order:", [m.user_id for m in lineup])
+
+    # Strict protocol: all-or-nothing.
+    outcomes = run_handshake(lineup, scheme1_policy(), rng)
+    assert not any(o.success for o in outcomes)
+    print("strict policy: every participant rejects (mixed groups)")
+
+    # Partially-successful extension.
+    outcomes = run_handshake(lineup, scheme1_policy(partial_success=True), rng)
+    assert subsets_are_consistent(outcomes)
+    for clique in subsets(outcomes):
+        names = sorted(lineup[i].user_id for i in clique)
+        print(f"discovered clique of {len(clique)}: {', '.join(names)}")
+    # The FBI pair and CIA trio each share a clique-wide channel key.
+    assert outcomes[0].session_key == outcomes[2].session_key is not None
+    assert (outcomes[1].session_key == outcomes[3].session_key
+            == outcomes[4].session_key is not None)
+    assert outcomes[0].session_key != outcomes[1].session_key
+    print("each clique derived its own secure-channel key")
+
+    # Each agency's GA can trace only its own members in the transcript.
+    transcript = outcomes[0].transcript
+    fbi_trace = fbi.trace(transcript)
+    cia_trace = cia.trace(transcript)
+    print(f"FBI authority identifies: {sorted(fbi_trace.identified)}")
+    print(f"CIA authority identifies: {sorted(cia_trace.identified)}")
+    assert sorted(fbi_trace.identified) == ["fbi-1", "fbi-2"]
+    assert sorted(cia_trace.identified) == ["cia-1", "cia-2", "cia-3"]
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""The full membership lifecycle, including the Section 3 dual-revocation
+attack.
+
+A member is revoked; the group authority posts a rekey (CGKD.Leave) and
+an encrypted GSIG revocation to the bulletin board.  The revoked member
+can decrypt neither.  Then an *unrevoked accomplice leaks the fresh group
+key* to her — the attack the paper uses to argue that GSIG revocation
+must be kept alongside CGKD revocation.  The handshake still fails,
+because her group signature no longer verifies.
+
+Run:  python examples/revocation_lifecycle.py
+"""
+
+import random
+
+from repro import create_scheme1, run_handshake, scheme1_policy
+from repro.security.adversaries import RevokedInsider
+
+
+def main() -> None:
+    rng = random.Random(3)
+
+    ring = create_scheme1("resistance-cell", rng=rng)
+    members = {name: ring.admit_member(name, rng)
+               for name in ("ana", "boris", "clara", "dmitri")}
+    print("cell of four established; bulletin board posts:",
+          len(ring.authority.board))
+
+    # All four handshake happily.
+    outcomes = run_handshake(list(members.values()), scheme1_policy(), rng)
+    assert all(o.success for o in outcomes)
+    print("4-way handshake: success")
+
+    # Dmitri is compromised and revoked.
+    ring.remove_user("dmitri")
+    print("dmitri revoked; CRL:", ring.authority.crl)
+    assert members["dmitri"].revoked
+
+    # The survivors re-handshake (their credentials updated via the board
+    # without any interaction — reusable, multi-show credentials).
+    survivors = [members[n] for n in ("ana", "boris", "clara")]
+    outcomes = run_handshake(survivors, scheme1_policy(), rng)
+    assert all(o.success for o in outcomes)
+    print("3-way handshake among survivors: success")
+
+    # Dmitri tries to tag along with his stale state: total failure.
+    outcomes = run_handshake(survivors + [members["dmitri"]],
+                             scheme1_policy(partial_success=True), rng)
+    assert not any(o.success for o in outcomes)
+    assert all(3 not in o.confirmed_peers for o in outcomes[:3])
+    print("dmitri with stale state: excluded (not even partial success)")
+
+    # The Section-3 attack: boris (unrevoked, malicious) leaks the current
+    # group key to dmitri, who ignores his revocation flag.
+    leaked_key = ring.authority.group_key()
+    dmitri_armed = RevokedInsider(members["dmitri"], leaked_key)
+    outcomes = run_handshake([members["ana"], members["clara"], dmitri_armed],
+                             scheme1_policy(), rng)
+    accepted = any(o.success for o in outcomes[:2])
+    print("dmitri with leaked CGKD key:",
+          "ACCEPTED (broken!)" if accepted else
+          "rejected — GSIG revocation caught him (dual revocation works)")
+    assert not accepted
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,91 @@
+"""Generate safe-prime parameter sets and embed them as Python constants.
+
+Run once; output is pasted into ``src/repro/crypto/params.py``.  Safe primes
+are expensive to generate, so the library ships with precomputed sets (the
+same approach as the RFC 3526 MODP groups).
+"""
+
+import json
+import secrets
+import sys
+
+_SMALL_PRIMES = []
+
+
+def _sieve(limit: int) -> list:
+    flags = bytearray([1]) * limit
+    flags[0:2] = b"\x00\x00"
+    for i in range(2, int(limit**0.5) + 1):
+        if flags[i]:
+            flags[i * i :: i] = bytearray(len(flags[i * i :: i]))
+    return [i for i, f in enumerate(flags) if f]
+
+
+_SMALL_PRIMES = _sieve(10000)
+
+
+def is_probable_prime(n: int, rounds: int = 32) -> bool:
+    if n < 2:
+        return False
+    for p in _SMALL_PRIMES:
+        if n == p:
+            return True
+        if n % p == 0:
+            return False
+    d = n - 1
+    r = 0
+    while d % 2 == 0:
+        d //= 2
+        r += 1
+    for _ in range(rounds):
+        a = secrets.randbelow(n - 3) + 2
+        x = pow(a, d, n)
+        if x in (1, n - 1):
+            continue
+        for _ in range(r - 1):
+            x = (x * x) % n
+            if x == n - 1:
+                break
+        else:
+            return False
+    return True
+
+
+def gen_safe_prime(bits: int) -> int:
+    """Return p = 2q + 1 with both p and q prime, p of exactly `bits` bits."""
+    while True:
+        q = secrets.randbits(bits - 1) | (1 << (bits - 2)) | 1
+        p = 2 * q + 1
+        # Cheap sieve on both before Miller-Rabin.
+        ok = True
+        for sp in _SMALL_PRIMES:
+            if q % sp == 0 and q != sp:
+                ok = False
+                break
+            if p % sp == 0 and p != sp:
+                ok = False
+                break
+        if not ok:
+            continue
+        if is_probable_prime(q, rounds=8) and is_probable_prime(p, rounds=8):
+            if is_probable_prime(q, rounds=32) and is_probable_prime(p, rounds=32):
+                return p
+
+
+def main() -> None:
+    sizes = [int(s) for s in sys.argv[1:]] or [256, 512]
+    out = {}
+    for bits in sizes:
+        pairs = []
+        # two safe primes per size (for RSA moduli p*q) plus one extra for
+        # DH groups
+        for i in range(3):
+            p = gen_safe_prime(bits)
+            pairs.append(p)
+            print(f"# {bits}-bit safe prime {i}: done", file=sys.stderr)
+        out[bits] = pairs
+    print(json.dumps({str(k): [hex(x) for x in v] for k, v in out.items()}, indent=1))
+
+
+if __name__ == "__main__":
+    main()

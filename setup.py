@@ -1,0 +1,7 @@
+"""Legacy shim so ``pip install -e .`` works offline without the ``wheel``
+package (the environment has no network; PEP 517 editable installs need
+``bdist_wheel``)."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,58 @@
+"""GCD — a flexible framework for multi-party secret handshakes.
+
+A from-scratch reproduction of Tsudik & Xu's GCD framework (PODC 2005 /
+full version): a compiler turning a Group signature scheme, a Centralized
+group key distribution scheme and a Distributed group key agreement scheme
+into a secure multi-party secret handshake scheme with reusable
+credentials, traceability and (optionally) self-distinction.
+
+Quickstart::
+
+    import random
+    from repro import create_scheme2, run_handshake, scheme2_policy
+
+    rng = random.Random(2005)
+    agency = create_scheme2("agency", rng=rng)
+    alice = agency.admit_member("alice", rng)
+    bob = agency.admit_member("bob", rng)
+    carol = agency.admit_member("carol", rng)
+
+    outcomes = run_handshake([alice, bob, carol], scheme2_policy(), rng)
+    assert all(o.success for o in outcomes)
+
+Package layout:
+
+* :mod:`repro.core`      — the GCD compiler, handshake engine, schemes 1&2
+* :mod:`repro.gsig`      — group signatures (ACJT; Kiayias-Yung variant)
+* :mod:`repro.cgkd`      — broadcast encryption (star, LKH, NNL CS/SD)
+* :mod:`repro.dgka`      — group key agreement (Burmester-Desmedt, GDH.2)
+* :mod:`repro.crypto`    — number theory, AEAD, Cramer-Shoup, sigma
+  protocols, the CL dynamic accumulator
+* :mod:`repro.pairing`   — Tate pairings and SOK key agreement
+* :mod:`repro.baselines` — prior work ([3], [14]) and Section-3 strawmen
+* :mod:`repro.security`  — the Appendix-A games, executable
+* :mod:`repro.net`       — message-passing simulator with adversary taps
+"""
+
+from repro.core.framework import GcdFramework  # noqa: F401
+from repro.core.handshake import (  # noqa: F401
+    HandshakeOutcome,
+    HandshakePolicy,
+    run_handshake,
+)
+from repro.core.scheme1 import create_scheme1, scheme1_policy  # noqa: F401
+from repro.core.scheme2 import create_scheme2, scheme2_policy  # noqa: F401
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GcdFramework",
+    "HandshakeOutcome",
+    "HandshakePolicy",
+    "run_handshake",
+    "create_scheme1",
+    "create_scheme2",
+    "scheme1_policy",
+    "scheme2_policy",
+    "__version__",
+]

@@ -1,0 +1,13 @@
+"""Prior-work baselines (Section 10) and the design-space strawmen
+(Section 3) that motivate GCD.
+
+* :mod:`repro.baselines.balfanz` — the first secret-handshake scheme
+  (Balfanz et al., S&P 2003 [3]): pairing-based, 2-party, one-time
+  pseudonyms for unlinkability.
+* :mod:`repro.baselines.ca_oblivious` — a CA-oblivious-encryption-style
+  2-party handshake in the discrete-log setting (Castelluccia, Jarecki,
+  Tsudik, ASIACRYPT 2004 [14]); also one-time pseudonyms.
+* :mod:`repro.baselines.naive` — the three strawman designs of Section 3
+  (CGKD-only, GSIG-only, CGKD+GSIG) with executable versions of the
+  attacks that break them.
+"""

@@ -1,0 +1,165 @@
+"""The Balfanz et al. secret-handshake scheme (IEEE S&P 2003 [3]).
+
+The first SHS construction, built on SOK pairing-based key agreement:
+
+* The group administrator runs a SOK authority; admitting a member means
+  issuing a batch of **one-time pseudonyms** ``id_1 .. id_t`` with private
+  points ``S_{id_j} = s * H1(id_j)``.
+* Handshake (2-party): A sends ``(pseudonym_A, nonce_A)``; B replies with
+  ``(pseudonym_B, nonce_B, V_B)`` where
+  ``V_B = MAC(K, pseudonym_A || pseudonym_B || nonces || "resp")`` under
+  the SOK key K of the two pseudonyms; A answers with the symmetric
+  ``V_A``.  Each side accepts iff the peer's MAC verifies.
+* Unlinkability holds **only** because pseudonyms are discarded after one
+  use — reusing one makes two sessions trivially linkable (the pseudonym
+  travels in the clear).  :func:`sessions_linkable` makes that concrete;
+  benchmark E7 contrasts it with GCD's reusable credentials.
+
+Limitations relative to GCD that the paper lists: 2-party only, one-time
+credentials, and no no-misattribution.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto import hashing, mac
+from repro.errors import ProtocolError
+from repro.pairing.curve import Curve, Point, curve_params
+from repro.pairing.sok import SokAuthority
+from repro.pairing.tate import tate_pairing
+
+
+@dataclass
+class Pseudonym:
+    """One single-use credential."""
+
+    name: str
+    secret_point: Point
+    used: bool = False
+
+
+@dataclass
+class BalfanzMember:
+    """A member with a pool of one-time pseudonyms."""
+
+    user_id: str
+    curve: Curve
+    pseudonyms: List[Pseudonym] = field(default_factory=list)
+
+    def next_pseudonym(self, reuse_last: bool = False) -> Pseudonym:
+        """Pop a fresh pseudonym (or deliberately reuse — the linkability
+        experiment)."""
+        if reuse_last:
+            for pseudonym in reversed(self.pseudonyms):
+                if pseudonym.used:
+                    return pseudonym
+        for pseudonym in self.pseudonyms:
+            if not pseudonym.used:
+                pseudonym.used = True
+                return pseudonym
+        raise ProtocolError(f"{self.user_id} exhausted its one-time credentials")
+
+    @property
+    def remaining(self) -> int:
+        return sum(1 for p in self.pseudonyms if not p.used)
+
+
+class BalfanzGroup:
+    """The group administrator: a SOK authority issuing pseudonym batches."""
+
+    def __init__(self, group_id: str, curve: Optional[Curve] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.group_id = group_id
+        self.curve = curve or curve_params("pf256")
+        rng = rng or random
+        self._rng = rng
+        self._authority = SokAuthority(self.curve, rng=rng)
+        self._counter = 0
+
+    def admit(self, user_id: str, batch: int = 4) -> BalfanzMember:
+        member = BalfanzMember(user_id=user_id, curve=self.curve)
+        self.replenish(member, batch)
+        return member
+
+    def replenish(self, member: BalfanzMember, batch: int) -> None:
+        """Issue ``batch`` more one-time pseudonyms (the operational cost
+        of one-time credentials that GCD avoids)."""
+        for _ in range(batch):
+            self._counter += 1
+            name = hashing.fingerprint(self.group_id, self._counter,
+                                       self._rng.getrandbits(64))
+            member.pseudonyms.append(
+                Pseudonym(name=name, secret_point=self._authority.extract(name))
+            )
+
+    def identity_point(self, pseudonym_name: str) -> Point:
+        return self._authority.identity_point(pseudonym_name)
+
+
+@dataclass(frozen=True)
+class BalfanzSession:
+    """Everything an eavesdropper sees in one 2-party handshake."""
+
+    pseudonym_a: str
+    pseudonym_b: str
+    nonce_a: int
+    nonce_b: int
+    tag_a: bytes
+    tag_b: bytes
+    accepted_a: bool
+    accepted_b: bool
+
+    @property
+    def success(self) -> bool:
+        return self.accepted_a and self.accepted_b
+
+
+def _session_key(curve: Curve, my_secret: Point, peer_point: Point,
+                 pa: str, pb: str, na: int, nb: int) -> bytes:
+    value = tate_pairing(curve, my_secret, peer_point)
+    return hashing.digest("balfanz-key", value.a, value.b, pa, pb, na, nb)
+
+
+def handshake(group_a: BalfanzGroup, member_a: BalfanzMember,
+              group_b: BalfanzGroup, member_b: BalfanzMember,
+              rng: Optional[random.Random] = None,
+              reuse_a: bool = False, reuse_b: bool = False) -> BalfanzSession:
+    """Run the 2-party Balfanz handshake.  Different groups (different SOK
+    masters) yield mismatched keys and mutual rejection; neither side
+    learns the other's affiliation."""
+    rng = rng or random
+    pa = member_a.next_pseudonym(reuse_a)
+    pb = member_b.next_pseudonym(reuse_b)
+    na, nb = rng.getrandbits(64), rng.getrandbits(64)
+
+    # Each side pairs its own secret point with the *claimed* pseudonym of
+    # the peer, hashed over its own group's H1 — cross-group pairings give
+    # unrelated keys.
+    qa_for_b = group_b.identity_point(pa.name)
+    qb_for_a = group_a.identity_point(pb.name)
+    key_a = _session_key(member_a.curve, pa.secret_point, qb_for_a,
+                         pa.name, pb.name, na, nb)
+    key_b = _session_key(member_b.curve, pb.secret_point, qa_for_b,
+                         pa.name, pb.name, na, nb)
+
+    tag_b = mac.mac(key_b, "resp", pa.name, pb.name, na, nb)
+    accepted_a = mac.verify(key_a, tag_b, "resp", pa.name, pb.name, na, nb)
+    tag_a = mac.mac(key_a, "init", pa.name, pb.name, na, nb)
+    accepted_b = mac.verify(key_b, tag_a, "init", pa.name, pb.name, na, nb)
+    return BalfanzSession(
+        pseudonym_a=pa.name, pseudonym_b=pb.name,
+        nonce_a=na, nonce_b=nb, tag_a=tag_a, tag_b=tag_b,
+        accepted_a=accepted_a, accepted_b=accepted_b,
+    )
+
+
+def sessions_linkable(first: BalfanzSession, second: BalfanzSession) -> bool:
+    """The eavesdropper's linking test: a repeated pseudonym links two
+    sessions — which is why the scheme must burn one credential per
+    handshake."""
+    names_first = {first.pseudonym_a, first.pseudonym_b}
+    names_second = {second.pseudonym_a, second.pseudonym_b}
+    return bool(names_first & names_second)

@@ -1,0 +1,170 @@
+"""A CA-oblivious-encryption secret handshake in the discrete-log setting
+(after Castelluccia, Jarecki, Tsudik — ASIACRYPT 2004 [14]).
+
+The trick that makes the scheme "CA-oblivious": a member's credential is a
+Schnorr-style certificate on a one-time pseudonym,
+
+    omega = g^r,   t = r + s * H(omega, id)   (s = the CA's secret key)
+
+so anyone can derive the *implicit public key*  P_id = omega * y^H(omega,id)
+= g^t  from the pseudonym alone — but without a valid certificate nobody
+knows the discrete log t, and P_id reveals nothing about *which* CA issued
+it (it is just a group element).  The 2-party handshake is then a pair of
+implicit-key Diffie-Hellman challenges:
+
+    B sends z_B = g^b and computes K_B->A = P_A^b; only a holder of t_A can
+    compute K = z_B^{t_A}.  Symmetrically for A.  MAC confirmations under
+    KDF(K_A, K_B) complete the handshake.
+
+Affiliations stay hidden: a non-member observes only group elements and
+MACs it cannot test.  Like Balfanz, unlinkability requires one-time
+pseudonyms (the pseudonym travels in the clear).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.crypto import hashing, mac
+from repro.crypto.modmath import mexp
+from repro.crypto.params import DHParams, dh_group
+from repro.errors import ProtocolError
+
+
+@dataclass
+class CaCredential:
+    """One single-use credential: pseudonym + Schnorr certificate."""
+
+    pseudonym: str
+    omega: int
+    t: int  # discrete log of the implicit public key
+    used: bool = False
+
+
+@dataclass
+class CaMember:
+    user_id: str
+    group: DHParams
+    credentials: List[CaCredential] = field(default_factory=list)
+
+    def next_credential(self, reuse_last: bool = False) -> CaCredential:
+        if reuse_last:
+            for credential in reversed(self.credentials):
+                if credential.used:
+                    return credential
+        for credential in self.credentials:
+            if not credential.used:
+                credential.used = True
+                return credential
+        raise ProtocolError(f"{self.user_id} exhausted its one-time credentials")
+
+
+class CaObliviousGroup:
+    """The certification authority for one group."""
+
+    def __init__(self, group_id: str, group: Optional[DHParams] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.group_id = group_id
+        self.group = group or dh_group(256)
+        rng = rng or random
+        self._rng = rng
+        self._s = self.group.random_exponent(rng)
+        self.y = self.group.power_of_g(self._s)
+
+    def admit(self, user_id: str, batch: int = 4) -> CaMember:
+        member = CaMember(user_id=user_id, group=self.group)
+        self.replenish(member, batch)
+        return member
+
+    def replenish(self, member: CaMember, batch: int) -> None:
+        for _ in range(batch):
+            pseudonym = hashing.fingerprint(
+                self.group_id, member.user_id, self._rng.getrandbits(64)
+            )
+            r = self.group.random_exponent(self._rng)
+            omega = self.group.power_of_g(r)
+            challenge = hashing.hash_mod(
+                "ca-oblivious-cert", self.group.q, omega, pseudonym
+            )
+            t = (r + self._s * challenge) % self.group.q
+            member.credentials.append(CaCredential(pseudonym, omega, t))
+
+
+def implicit_public_key(group: DHParams, y: int, pseudonym: str, omega: int) -> int:
+    """P_id = omega * y^H(omega, id) — computable by anyone who *guesses*
+    the CA key y; equals g^t iff the certificate is genuine for that CA."""
+    challenge = hashing.hash_mod("ca-oblivious-cert", group.q, omega, pseudonym)
+    return (omega * mexp(y, challenge, group.p)) % group.p
+
+
+@dataclass(frozen=True)
+class CaSession:
+    """Eavesdropper view of one handshake."""
+
+    pseudonym_a: str
+    pseudonym_b: str
+    omega_a: int
+    omega_b: int
+    z_a: int
+    z_b: int
+    tag_a: bytes
+    tag_b: bytes
+    accepted_a: bool
+    accepted_b: bool
+
+    @property
+    def success(self) -> bool:
+        return self.accepted_a and self.accepted_b
+
+
+def handshake(group_a: CaObliviousGroup, member_a: CaMember,
+              group_b: CaObliviousGroup, member_b: CaMember,
+              rng: Optional[random.Random] = None,
+              reuse_a: bool = False, reuse_b: bool = False) -> CaSession:
+    """Run the 2-party handshake; succeeds iff both certificates come from
+    the same CA (each side tests the peer against *its own* CA key)."""
+    rng = rng or random
+    grp = group_a.group
+    ca = member_a.next_credential(reuse_a)
+    cb = member_b.next_credential(reuse_b)
+
+    b_eph = grp.random_exponent(rng)
+    a_eph = grp.random_exponent(rng)
+    z_b = grp.power_of_g(b_eph)
+    z_a = grp.power_of_g(a_eph)
+
+    # Each side derives the peer's implicit key under its own CA.
+    p_a_for_b = implicit_public_key(grp, group_b.y, ca.pseudonym, ca.omega)
+    p_b_for_a = implicit_public_key(grp, group_a.y, cb.pseudonym, cb.omega)
+
+    # B's view of the two DH values; A's view.
+    k1_b = mexp(p_a_for_b, b_eph, grp.p)          # should equal z_b^{t_A}
+    k1_a = mexp(z_b, ca.t, grp.p)
+    k2_a = mexp(p_b_for_a, a_eph, grp.p)          # should equal z_a^{t_B}
+    k2_b = mexp(z_a, cb.t, grp.p)
+
+    context = (ca.pseudonym, cb.pseudonym, ca.omega, cb.omega, z_a, z_b)
+    key_a = hashing.digest("ca-oblivious-key", k1_a, k2_a, *context)
+    key_b = hashing.digest("ca-oblivious-key", k1_b, k2_b, *context)
+
+    tag_b = mac.mac(key_b, "resp", *context)
+    accepted_a = mac.verify(key_a, tag_b, "resp", *context)
+    tag_a = mac.mac(key_a, "init", *context)
+    accepted_b = mac.verify(key_b, tag_a, "init", *context)
+    return CaSession(
+        pseudonym_a=ca.pseudonym, pseudonym_b=cb.pseudonym,
+        omega_a=ca.omega, omega_b=cb.omega, z_a=z_a, z_b=z_b,
+        tag_a=tag_a, tag_b=tag_b,
+        accepted_a=accepted_a, accepted_b=accepted_b,
+    )
+
+
+def sessions_linkable(first: CaSession, second: CaSession) -> bool:
+    """Pseudonym (or omega) reuse links sessions — the one-time-credential
+    cost GCD eliminates."""
+    return bool(
+        {first.pseudonym_a, first.pseudonym_b}
+        & {second.pseudonym_a, second.pseudonym_b}
+    ) or bool({first.omega_a, first.omega_b} & {second.omega_a, second.omega_b})

@@ -1,0 +1,257 @@
+"""The design-space strawmen of Section 3, with their attacks.
+
+The paper motivates GCD by walking through three simpler designs and
+showing what each one fails to provide:
+
+1. **CGKD-only** (:class:`CgkdOnlyScheme`): members prove possession of
+   the shared group key with MACs over nonces.  Works — but a *passive
+   group member* eavesdropping on the exchange can verify the MACs and
+   detect the handshake (drawback 1), nobody can be traced (drawback 2),
+   and one member can play many roles (drawback 3).
+2. **GSIG-only** (:class:`GsigOnlyScheme`): members exchange group
+   signatures in the clear.  Traceability appears, but anyone holding the
+   (public!) group key can verify the signatures, so resistance to
+   detection is gone and eavesdroppers distinguish success from failure.
+3. **CGKD+GSIG** (:class:`CgkdPlusGsigScheme`): signatures encrypted under
+   the group key.  Outsiders are blinded and traceability holds, but the
+   passive-member eavesdropper still decrypts-and-detects (no
+   freshly-agreed key is mixed in — that is what DGKA adds), and
+   self-distinction still fails.
+
+Each scheme exposes ``handshake`` producing an eavesdropper-visible
+transcript, plus ``attack_*`` predicates that make the corresponding
+drawback executable — benchmark E5 builds the property matrix from them.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cgkd.lkh import LkhController, LkhMember
+from repro.core import wire
+from repro.crypto import mac, symmetric
+from repro.errors import DecryptionError
+from repro.gsig import acjt
+
+
+@dataclass(frozen=True)
+class NaiveTranscript:
+    """What the wire shows for one strawman handshake."""
+
+    scheme: str
+    nonces: Tuple[int, ...]
+    payloads: Tuple[bytes, ...]
+    success: bool
+
+
+# ---------------------------------------------------------------------------
+# 1. CGKD-only.
+# ---------------------------------------------------------------------------
+
+
+class CgkdOnlyScheme:
+    """Handshake = MAC proof of the shared CGKD group key."""
+
+    name = "cgkd-only"
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+        self.controller = LkhController(4, self._rng)
+        self.members: Dict[str, LkhMember] = {}
+
+    def admit(self, user_id: str) -> LkhMember:
+        welcome, rekey = self.controller.join(user_id)
+        for member in self.members.values():
+            member.rekey(rekey)
+        member = LkhMember(welcome)
+        self.members[user_id] = member
+        return member
+
+    def handshake(self, user_ids: Sequence[str],
+                  rng: Optional[random.Random] = None) -> NaiveTranscript:
+        rng = rng or self._rng
+        nonces = tuple(rng.getrandbits(64) for _ in user_ids)
+        keys = [self.members[u].group_key for u in user_ids]
+        payloads = tuple(
+            mac.mac(key, "cgkd-only", i, nonces) for i, key in enumerate(keys)
+        )
+        reference = keys[0]
+        success = all(
+            mac.verify(reference, tag, "cgkd-only", i, nonces)
+            for i, tag in enumerate(payloads)
+        )
+        return NaiveTranscript("cgkd-only", nonces, payloads, success)
+
+    # Attacks ---------------------------------------------------------------------
+
+    @staticmethod
+    def attack_member_eavesdropper(transcript: NaiveTranscript,
+                                   group_key: bytes) -> bool:
+        """A passive *member* (knows the group key, did not participate)
+        verifies the MACs and learns that a handshake succeeded."""
+        return all(
+            mac.verify(group_key, tag, "cgkd-only", i, transcript.nonces)
+            for i, tag in enumerate(transcript.payloads)
+        )
+
+    @staticmethod
+    def attack_untraceable() -> bool:
+        """There is no Open/trace operation at all: MACs carry no identity."""
+        return True
+
+    @staticmethod
+    def attack_multi_role(scheme: "CgkdOnlyScheme", user_id: str,
+                          roles: int, rng: Optional[random.Random] = None) -> bool:
+        """One member plays ``roles`` participants; the handshake succeeds
+        and nobody can tell (no self-distinction)."""
+        transcript = scheme.handshake([user_id] * roles, rng)
+        return transcript.success
+
+
+# ---------------------------------------------------------------------------
+# 2. GSIG-only.
+# ---------------------------------------------------------------------------
+
+
+class GsigOnlyScheme:
+    """Handshake = exchange of cleartext group signatures on nonces."""
+
+    name = "gsig-only"
+
+    def __init__(self, profile: str = "tiny",
+                 rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+        self.manager = acjt.AcjtManager(profile, self._rng)
+        self.credentials: Dict[str, acjt.AcjtCredential] = {}
+
+    def admit(self, user_id: str) -> acjt.AcjtCredential:
+        credential, update = self.manager.join(user_id, self._rng)
+        for existing in self.credentials.values():
+            existing.apply_update(update)
+        self.credentials[user_id] = credential
+        return credential
+
+    def handshake(self, user_ids: Sequence[str],
+                  rng: Optional[random.Random] = None) -> NaiveTranscript:
+        rng = rng or self._rng
+        nonces = tuple(rng.getrandbits(64) for _ in user_ids)
+        message = wire.dumps(("gsig-only", nonces))
+        payloads = tuple(
+            wire.signature_to_bytes(self.credentials[u].sign(message, rng))
+            for u in user_ids
+        )
+        view = self.manager.member_view()
+        success = all(
+            acjt.verify(self.manager.public_key, message,
+                        wire.signature_from_bytes(blob), view)
+            for blob in payloads
+        )
+        return NaiveTranscript("gsig-only", nonces, payloads, success)
+
+    # Attacks ---------------------------------------------------------------------
+
+    def attack_outsider_detection(self, transcript: NaiveTranscript) -> bool:
+        """Anyone holding the group public key (+ the nominally member-only
+        accumulator view, which GSIG-only deployments must publish for
+        verification to work at all) verifies the cleartext signatures —
+        resistance to detection is gone."""
+        message = wire.dumps(("gsig-only", transcript.nonces))
+        view = self.manager.member_view()
+        return all(
+            acjt.verify(self.manager.public_key, message,
+                        wire.signature_from_bytes(blob), view)
+            for blob in transcript.payloads
+        )
+
+    def trace(self, transcript: NaiveTranscript) -> List[Optional[str]]:
+        """Traceability does hold here (that is the one thing GSIG buys)."""
+        message = wire.dumps(("gsig-only", transcript.nonces))
+        return [
+            self.manager.open(message, wire.signature_from_bytes(blob))
+            for blob in transcript.payloads
+        ]
+
+
+# ---------------------------------------------------------------------------
+# 3. CGKD + GSIG (no DGKA).
+# ---------------------------------------------------------------------------
+
+
+class CgkdPlusGsigScheme:
+    """Signatures encrypted under the static CGKD group key.
+
+    The missing ingredient relative to GCD is the *freshly agreed* DGKA
+    key: because the encryption key is the long-lived group key, any
+    member can passively decrypt and detect."""
+
+    name = "cgkd+gsig"
+
+    def __init__(self, profile: str = "tiny",
+                 rng: Optional[random.Random] = None) -> None:
+        self._rng = rng or random.Random()
+        self.cgkd = CgkdOnlyScheme(self._rng)
+        self.gsig = GsigOnlyScheme(profile, self._rng)
+
+    def admit(self, user_id: str) -> None:
+        self.cgkd.admit(user_id)
+        self.gsig.admit(user_id)
+
+    def handshake(self, user_ids: Sequence[str],
+                  rng: Optional[random.Random] = None) -> NaiveTranscript:
+        rng = rng or self._rng
+        nonces = tuple(rng.getrandbits(64) for _ in user_ids)
+        message = wire.dumps(("cgkd+gsig", nonces))
+        payloads = []
+        for user_id in user_ids:
+            blob = wire.signature_to_bytes(
+                self.gsig.credentials[user_id].sign(message, rng)
+            )
+            key = self.cgkd.members[user_id].group_key
+            payloads.append(symmetric.encrypt(key, blob, rng))
+        view = self.gsig.manager.member_view()
+        reference_key = self.cgkd.members[user_ids[0]].group_key
+        success = True
+        for payload in payloads:
+            try:
+                blob = symmetric.decrypt(reference_key, payload)
+            except DecryptionError:
+                success = False
+                break
+            if not acjt.verify(self.gsig.manager.public_key, message,
+                               wire.signature_from_bytes(blob), view):
+                success = False
+                break
+        return NaiveTranscript("cgkd+gsig", nonces, tuple(payloads), success)
+
+    # Attacks ---------------------------------------------------------------------
+
+    def attack_member_eavesdropper(self, transcript: NaiveTranscript,
+                                   group_key: bytes) -> bool:
+        """The passive member decrypts with the long-lived group key and
+        verifies — drawback (1) survives the GSIG addition."""
+        message = wire.dumps(("cgkd+gsig", transcript.nonces))
+        view = self.gsig.manager.member_view()
+        for payload in transcript.payloads:
+            try:
+                blob = symmetric.decrypt(group_key, payload)
+            except DecryptionError:
+                return False
+            if not acjt.verify(self.gsig.manager.public_key, message,
+                               wire.signature_from_bytes(blob), view):
+                return False
+        return True
+
+    def trace(self, transcript: NaiveTranscript,
+              group_key: bytes) -> List[Optional[str]]:
+        message = wire.dumps(("cgkd+gsig", transcript.nonces))
+        out = []
+        for payload in transcript.payloads:
+            try:
+                blob = symmetric.decrypt(group_key, payload)
+                out.append(self.gsig.manager.open(
+                    message, wire.signature_from_bytes(blob)))
+            except DecryptionError:
+                out.append(None)
+        return out

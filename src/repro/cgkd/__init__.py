@@ -1,0 +1,17 @@
+"""Building block II: centralized group key distribution (paper Section 5,
+Fig. 4).
+
+* :mod:`repro.cgkd.star` — the naive pairwise scheme (O(n) rekey); baseline.
+* :mod:`repro.cgkd.lkh`  — Logical Key Hierarchy / key graphs
+  (Wong-Gouda-Lam [33]); O(log n) rekey, the paper's primary citation.
+* :mod:`repro.cgkd.nnl`  — Naor-Naor-Lotspiech stateless schemes [26]:
+  complete subtree and subset difference.
+
+All schemes follow the strong-security discipline of [34]: every rekey uses
+fresh random keys (never key material derived from compromised epochs) and
+authenticated encryption for key delivery, so corrupting a member at time
+t2 reveals nothing about group keys at t1 < t2 once the member was revoked
+in between.
+"""
+
+from repro.cgkd.base import GroupController, MemberState, RekeyMessage  # noqa: F401

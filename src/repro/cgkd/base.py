@@ -1,0 +1,127 @@
+"""CGKD interface (paper Fig. 4).
+
+The group controller (GC) maintains keys ``K_GC``; each member ``U`` holds
+``K_U`` with a common group key ``k(t)`` at every virtual time ``t``.
+Join/Leave events produce a :class:`RekeyMessage` broadcast over the
+authenticated (anonymous) channel; members process it with ``rekey`` and
+set their ``acc`` flag on success — mirroring the paper's formalism.
+
+Newly admitted members receive their initial key material through a private
+authenticated channel (the paper abstracts this; here it is the
+:class:`WelcomePackage` return value of ``join``).
+"""
+
+from __future__ import annotations
+
+import abc
+import os
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.errors import MembershipError
+
+KEY_LENGTH = 32
+
+
+def fresh_key(rng: Optional[random.Random] = None) -> bytes:
+    """A fresh random symmetric key (never derived from older keys — the
+    strong-security requirement of [34])."""
+    if rng is None:
+        return os.urandom(KEY_LENGTH)
+    return rng.getrandbits(8 * KEY_LENGTH).to_bytes(KEY_LENGTH, "big")
+
+
+@dataclass(frozen=True)
+class RekeyMessage:
+    """Broadcast rekey payload for one Join/Leave event at virtual time
+    ``epoch``.  ``deliveries`` is scheme-specific: typically a list of
+    ``(node_id, encrypting_node_id, ciphertext)`` records."""
+
+    epoch: int
+    kind: str  # "join" | "leave"
+    deliveries: Tuple[Any, ...] = ()
+    header: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def size(self) -> int:
+        """Number of key-delivery ciphertexts (the rekey-cost metric)."""
+        return len(self.deliveries)
+
+
+@dataclass(frozen=True)
+class WelcomePackage:
+    """Private-channel material for a newly admitted member."""
+
+    user_id: str
+    epoch: int
+    keys: Dict[Any, bytes]
+    extra: Dict[str, Any] = field(default_factory=dict)
+
+
+class GroupController(abc.ABC):
+    """GC side of Fig. 4: Setup / Join / Leave."""
+
+    @property
+    @abc.abstractmethod
+    def epoch(self) -> int:
+        """Current virtual time t."""
+
+    @property
+    @abc.abstractmethod
+    def group_key(self) -> bytes:
+        """The current group key k(t)."""
+
+    @abc.abstractmethod
+    def members(self) -> List[str]:
+        """Identities of the current member set Delta(t)."""
+
+    @abc.abstractmethod
+    def join(self, user_id: str) -> Tuple[WelcomePackage, RekeyMessage]:
+        """Admit ``user_id``; returns the newcomer's private material and
+        the broadcast rekey message for existing members."""
+
+    @abc.abstractmethod
+    def leave(self, user_id: str) -> RekeyMessage:
+        """Remove/revoke ``user_id``; returns the broadcast rekey message."""
+
+
+class MemberState(abc.ABC):
+    """Member side of Fig. 4: holds K_U, processes Rekey."""
+
+    user_id: str
+
+    @property
+    @abc.abstractmethod
+    def epoch(self) -> int:
+        """Virtual time of the member's latest accepted rekey."""
+
+    @property
+    @abc.abstractmethod
+    def acc(self) -> bool:
+        """Fig. 4 acceptance flag for the latest rekey event."""
+
+    @property
+    @abc.abstractmethod
+    def group_key(self) -> bytes:
+        """The member's current view of k(t)."""
+
+    @abc.abstractmethod
+    def rekey(self, message: RekeyMessage) -> bool:
+        """Process a broadcast rekey message.  Returns True (and sets
+        ``acc``) on success; False if this member cannot decrypt it (e.g.
+        it was just revoked)."""
+
+    @abc.abstractmethod
+    def key_count(self) -> int:
+        """|K_U| — member storage, a benchmark metric."""
+
+
+def require_member(collection, user_id: str) -> None:
+    if user_id not in collection:
+        raise MembershipError(f"{user_id} is not a current group member")
+
+
+def require_not_member(collection, user_id: str) -> None:
+    if user_id in collection:
+        raise MembershipError(f"{user_id} is already a group member")

@@ -1,0 +1,409 @@
+"""Naor-Naor-Lotspiech stateless broadcast encryption [26]: the Complete
+Subtree (CS) and Subset Difference (SD) methods, plus a CGKD adapter.
+
+Both methods work over a full binary tree of ``capacity`` leaves (heap
+numbering: root = 1, leaves ``capacity .. 2*capacity-1``); a receiver is a
+leaf.  A broadcast carries a *header*: the session key encrypted once per
+subset of a cover of the non-revoked leaves.
+
+* **CS**: subsets are full subtrees; a user stores the log N + 1 node keys
+  on its path; cover size is O(r log(N/r)).
+* **SD**: subsets ``S(i, j)`` = leaves under ``i`` minus leaves under ``j``;
+  keys derive from per-node labels through a GGM-style PRG (``G_L``,
+  ``G_M``, ``G_R``); a user stores O(log^2 N) labels; cover size <= 2r - 1
+  — the headline NNL result our benchmark E8 reproduces.
+
+:class:`NnlController` / :class:`NnlMember` wrap either method behind the
+Fig. 4 CGKD interface so the GCD framework can swap LKH for NNL.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.cgkd.base import (
+    GroupController,
+    MemberState,
+    RekeyMessage,
+    WelcomePackage,
+    fresh_key,
+    require_member,
+    require_not_member,
+)
+from repro.crypto import hashing, symmetric
+from repro.errors import DecryptionError, MembershipError, ParameterError
+
+_LABEL_BYTES = 32
+FULL_COVER = (1, 0)  # Sentinel subset meaning "every leaf" (empty R).
+
+
+def _check_capacity(capacity: int) -> None:
+    if capacity < 2 or capacity & (capacity - 1):
+        raise ParameterError("capacity must be a power of two >= 2")
+
+
+def _is_ancestor_or_self(ancestor: int, node: int) -> bool:
+    diff = node.bit_length() - ancestor.bit_length()
+    return diff >= 0 and (node >> diff) == ancestor
+
+
+def _strict_ancestors(leaf: int) -> Iterable[int]:
+    node = leaf // 2
+    while node >= 1:
+        yield node
+        node //= 2
+
+
+# ---------------------------------------------------------------------------
+# Complete Subtree.
+# ---------------------------------------------------------------------------
+
+
+class CompleteSubtreeScheme:
+    """The CS method: independent random key per tree node."""
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        _check_capacity(capacity)
+        self.capacity = capacity
+        self._rng = rng
+        self._node_keys: Dict[int, bytes] = {
+            node: fresh_key(rng) for node in range(1, 2 * capacity)
+        }
+
+    def leaves(self) -> range:
+        return range(self.capacity, 2 * self.capacity)
+
+    def user_keys(self, leaf: int) -> Dict[int, bytes]:
+        """Device keys for ``leaf``: every node key on its path."""
+        self._check_leaf(leaf)
+        keys = {leaf: self._node_keys[leaf]}
+        for node in _strict_ancestors(leaf):
+            keys[node] = self._node_keys[node]
+        return keys
+
+    def cover(self, revoked: Set[int]) -> List[int]:
+        """Minimal set of subtree roots covering exactly the non-revoked
+        leaves: nodes not on the Steiner tree of R whose parent is."""
+        for leaf in revoked:
+            self._check_leaf(leaf)
+        if not revoked:
+            return [1]
+        if len(revoked) == self.capacity:
+            return []
+        steiner: Set[int] = set()
+        for leaf in revoked:
+            node = leaf
+            while node >= 1 and node not in steiner:
+                steiner.add(node)
+                node //= 2
+        cover = []
+        for node in sorted(steiner):
+            for child in (2 * node, 2 * node + 1):
+                if child < 2 * self.capacity and child not in steiner:
+                    cover.append(child)
+        return cover
+
+    def encrypt(self, revoked: Set[int], payload: bytes) -> List[Tuple[int, bytes]]:
+        return [
+            (node, symmetric.encrypt(self._node_keys[node], payload, self._rng))
+            for node in self.cover(revoked)
+        ]
+
+    @staticmethod
+    def decrypt(user_keys: Dict[int, bytes], leaf: int,
+                header: List[Tuple[int, bytes]]) -> Optional[bytes]:
+        for node, ciphertext in header:
+            key = user_keys.get(node)
+            if key is None or not _is_ancestor_or_self(node, leaf):
+                continue
+            try:
+                return symmetric.decrypt(key, ciphertext)
+            except DecryptionError:
+                return None
+        return None
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not self.capacity <= leaf < 2 * self.capacity:
+            raise ParameterError(f"{leaf} is not a leaf of this tree")
+
+
+# ---------------------------------------------------------------------------
+# Subset Difference.
+# ---------------------------------------------------------------------------
+
+
+def _prg(label: bytes, direction: str) -> bytes:
+    """GGM-style PRG: derive the left/middle/right child value of a label."""
+    return hashing.expand(f"nnl-sd-{direction}", label, _LABEL_BYTES)
+
+
+@dataclass(frozen=True)
+class SDSubset:
+    """The subset S(i, j): leaves under i except those under j."""
+
+    i: int
+    j: int
+
+    def contains(self, leaf: int) -> bool:
+        if (self.i, self.j) == FULL_COVER:
+            return True
+        return _is_ancestor_or_self(self.i, leaf) and not _is_ancestor_or_self(
+            self.j, leaf
+        )
+
+
+class SubsetDifferenceScheme:
+    """The SD method with GGM label derivation."""
+
+    def __init__(self, capacity: int, rng: Optional[random.Random] = None) -> None:
+        _check_capacity(capacity)
+        self.capacity = capacity
+        self._rng = rng
+        self._labels: Dict[int, bytes] = {
+            node: fresh_key(rng) for node in range(1, 2 * capacity)
+        }
+
+    def leaves(self) -> range:
+        return range(self.capacity, 2 * self.capacity)
+
+    # Label plumbing -----------------------------------------------------------
+
+    def _derive(self, i: int, j: int) -> bytes:
+        """label_{i -> j}: walk the path bits of j below i."""
+        if not _is_ancestor_or_self(i, j):
+            raise ParameterError(f"{j} is not a descendant of {i}")
+        label = self._labels[i]
+        return derive_label(label, i, j)
+
+    def subset_key(self, subset: SDSubset) -> bytes:
+        if (subset.i, subset.j) == FULL_COVER:
+            return _prg(self._labels[1], "M")
+        return _prg(self._derive(subset.i, subset.j), "M")
+
+    def user_keys(self, leaf: int) -> Dict[Tuple[int, int], bytes]:
+        """Device labels for ``leaf``: for each strict ancestor ``i``, the
+        labels label_{i -> s} of every sibling ``s`` hanging off the path
+        from ``i`` down to ``leaf`` — plus the full-cover key."""
+        self._check_leaf(leaf)
+        store: Dict[Tuple[int, int], bytes] = {}
+        for i in _strict_ancestors(leaf):
+            node = leaf
+            while node != i:
+                sibling = node ^ 1
+                store[(i, sibling)] = self._derive(i, sibling)
+                node //= 2
+        store[FULL_COVER] = _prg(self._labels[1], "M")
+        return store
+
+    # Cover computation -----------------------------------------------------------
+
+    def cover(self, revoked: Set[int]) -> List[SDSubset]:
+        """The NNL SD cover: at most 2r - 1 subsets."""
+        for leaf in revoked:
+            self._check_leaf(leaf)
+        if not revoked:
+            return [SDSubset(*FULL_COVER)]
+        subsets: List[SDSubset] = []
+
+        def walk(node: int) -> Optional[int]:
+            """Returns the pending node u such that the revoked leaves under
+            ``node`` are exactly the leaves under ``u`` (None if no revoked
+            leaves under ``node``)."""
+            if node >= self.capacity:
+                return node if node in revoked else None
+            left, right = 2 * node, 2 * node + 1
+            ul = walk(left)
+            ur = walk(right)
+            if ul is None and ur is None:
+                return None
+            if ur is None:
+                return ul
+            if ul is None:
+                return ur
+            if ul != left:
+                subsets.append(SDSubset(left, ul))
+            if ur != right:
+                subsets.append(SDSubset(right, ur))
+            return node
+
+        pending = walk(1)
+        if pending is not None and pending != 1:
+            subsets.append(SDSubset(1, pending))
+        return subsets
+
+    def encrypt(self, revoked: Set[int], payload: bytes) -> List[Tuple[int, int, bytes]]:
+        header = []
+        for subset in self.cover(revoked):
+            key = self.subset_key(subset)
+            header.append(
+                (subset.i, subset.j, symmetric.encrypt(key, payload, self._rng))
+            )
+        return header
+
+    @staticmethod
+    def decrypt(user_keys: Dict[Tuple[int, int], bytes], leaf: int,
+                header: List[Tuple[int, int, bytes]]) -> Optional[bytes]:
+        for i, j, ciphertext in header:
+            subset = SDSubset(i, j)
+            if not subset.contains(leaf):
+                continue
+            if (i, j) == FULL_COVER:
+                key = user_keys.get(FULL_COVER)
+            else:
+                key = _subset_key_from_store(user_keys, i, j)
+            if key is None:
+                continue
+            try:
+                return symmetric.decrypt(key, ciphertext)
+            except DecryptionError:
+                return None
+        return None
+
+    def _check_leaf(self, leaf: int) -> None:
+        if not self.capacity <= leaf < 2 * self.capacity:
+            raise ParameterError(f"{leaf} is not a leaf of this tree")
+
+
+def derive_label(label: bytes, from_node: int, to_node: int) -> bytes:
+    """Walk a label down the tree from ``from_node`` to ``to_node``."""
+    depth_diff = to_node.bit_length() - from_node.bit_length()
+    for shift in range(depth_diff - 1, -1, -1):
+        bit = (to_node >> shift) & 1
+        label = _prg(label, "R" if bit else "L")
+    return label
+
+
+def _subset_key_from_store(user_keys: Dict[Tuple[int, int], bytes],
+                           i: int, j: int) -> Optional[bytes]:
+    """Recover the key for S(i, j) from a member's label store: find the
+    stored ancestor label (i, a) with a an ancestor of j, derive down."""
+    node = j
+    while node.bit_length() > i.bit_length():
+        label = user_keys.get((i, node))
+        if label is not None:
+            return _prg(derive_label(label, node, j), "M")
+        node //= 2
+    return None
+
+
+# ---------------------------------------------------------------------------
+# CGKD adapter.
+# ---------------------------------------------------------------------------
+
+
+class NnlController(GroupController):
+    """Fig. 4 GC on top of a stateless NNL scheme.
+
+    Members are assigned leaves at join; the group key is refreshed on every
+    membership event by broadcasting it under a cover that excludes all
+    unoccupied and revoked leaves.
+    """
+
+    def __init__(self, capacity: int, method: str = "sd",
+                 rng: Optional[random.Random] = None) -> None:
+        if method == "sd":
+            self._scheme = SubsetDifferenceScheme(capacity, rng)
+        elif method == "cs":
+            self._scheme = CompleteSubtreeScheme(capacity, rng)
+        else:
+            raise ParameterError("method must be 'sd' or 'cs'")
+        self.method = method
+        self._rng = rng
+        self._epoch = 0
+        self._group_key = fresh_key(rng)
+        self._leaf_of: Dict[str, int] = {}
+        self._free = list(self._scheme.leaves())
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def group_key(self) -> bytes:
+        return self._group_key
+
+    def members(self) -> List[str]:
+        return sorted(self._leaf_of)
+
+    def _excluded(self) -> Set[int]:
+        occupied = set(self._leaf_of.values())
+        return {leaf for leaf in self._scheme.leaves() if leaf not in occupied}
+
+    def _broadcast(self, kind: str) -> RekeyMessage:
+        self._epoch += 1
+        self._group_key = fresh_key(self._rng)
+        header = self._scheme.encrypt(self._excluded(), self._group_key)
+        return RekeyMessage(self._epoch, kind, tuple(header),
+                            header={"method": self.method})
+
+    def join(self, user_id: str) -> Tuple[WelcomePackage, RekeyMessage]:
+        require_not_member(self._leaf_of, user_id)
+        if not self._free:
+            raise MembershipError("NNL tree is full (stateless: fixed capacity)")
+        leaf = self._free.pop(0)
+        self._leaf_of[user_id] = leaf
+        message = self._broadcast("join")
+        welcome = WelcomePackage(
+            user_id=user_id,
+            epoch=self._epoch,
+            keys=self._scheme.user_keys(leaf),
+            extra={"leaf": leaf, "method": self.method,
+                   "group": self._group_key},
+        )
+        return welcome, message
+
+    def leave(self, user_id: str) -> RekeyMessage:
+        require_member(self._leaf_of, user_id)
+        leaf = self._leaf_of.pop(user_id)
+        self._free.append(leaf)
+        return self._broadcast("leave")
+
+
+class NnlMember(MemberState):
+    """Member holding fixed NNL device keys plus the current group key."""
+
+    def __init__(self, welcome: WelcomePackage) -> None:
+        self.user_id = welcome.user_id
+        self._leaf = welcome.extra["leaf"]
+        self._method = welcome.extra["method"]
+        self._device_keys = dict(welcome.keys)
+        self._group_key = welcome.extra["group"]
+        self._epoch = welcome.epoch
+        self._acc = True
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def acc(self) -> bool:
+        return self._acc
+
+    @property
+    def group_key(self) -> bytes:
+        return self._group_key
+
+    def key_count(self) -> int:
+        return len(self._device_keys) + 1
+
+    def rekey(self, message: RekeyMessage) -> bool:
+        if message.epoch <= self._epoch:
+            return self._acc
+        self._acc = False
+        header = list(message.deliveries)
+        if self._method == "sd":
+            payload = SubsetDifferenceScheme.decrypt(
+                self._device_keys, self._leaf, header
+            )
+        else:
+            payload = CompleteSubtreeScheme.decrypt(
+                self._device_keys, self._leaf, header
+            )
+        if payload is None:
+            return False
+        self._group_key = payload
+        self._epoch = message.epoch
+        self._acc = True
+        return True

@@ -1,0 +1,114 @@
+"""The naive "star" CGKD: one individual key per member, flat rekeying.
+
+Baseline for the LKH/NNL benchmarks: both Join and Leave cost O(n)
+ciphertexts (the fresh group key is encrypted individually for every
+member), versus O(log n) for the key tree.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from repro.cgkd.base import (
+    GroupController,
+    MemberState,
+    RekeyMessage,
+    WelcomePackage,
+    fresh_key,
+    require_member,
+    require_not_member,
+)
+from repro.crypto import symmetric
+from repro.errors import DecryptionError
+
+
+class StarController(GroupController):
+    """GC holding one pairwise key per member plus the group key."""
+
+    def __init__(self, rng: Optional[random.Random] = None) -> None:
+        self._rng = rng
+        self._epoch = 0
+        self._group_key = fresh_key(rng)
+        self._individual: Dict[str, bytes] = {}
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def group_key(self) -> bytes:
+        return self._group_key
+
+    def members(self) -> List[str]:
+        return sorted(self._individual)
+
+    def join(self, user_id: str) -> Tuple[WelcomePackage, RekeyMessage]:
+        require_not_member(self._individual, user_id)
+        individual = fresh_key(self._rng)
+        self._individual[user_id] = individual
+        self._epoch += 1
+        self._group_key = fresh_key(self._rng)
+        deliveries = tuple(
+            (uid, uid, symmetric.encrypt(key, self._group_key, self._rng))
+            for uid, key in sorted(self._individual.items())
+        )
+        welcome = WelcomePackage(
+            user_id=user_id,
+            epoch=self._epoch,
+            keys={"individual": individual, "group": self._group_key},
+        )
+        return welcome, RekeyMessage(self._epoch, "join", deliveries)
+
+    def leave(self, user_id: str) -> RekeyMessage:
+        require_member(self._individual, user_id)
+        del self._individual[user_id]
+        self._epoch += 1
+        self._group_key = fresh_key(self._rng)
+        deliveries = tuple(
+            (uid, uid, symmetric.encrypt(key, self._group_key, self._rng))
+            for uid, key in sorted(self._individual.items())
+        )
+        return RekeyMessage(self._epoch, "leave", deliveries)
+
+
+class StarMember(MemberState):
+    """Member state: individual key + current group key."""
+
+    def __init__(self, welcome: WelcomePackage) -> None:
+        self.user_id = welcome.user_id
+        self._individual = welcome.keys["individual"]
+        self._group_key = welcome.keys["group"]
+        self._epoch = welcome.epoch
+        self._acc = True
+
+    @property
+    def epoch(self) -> int:
+        return self._epoch
+
+    @property
+    def acc(self) -> bool:
+        return self._acc
+
+    @property
+    def group_key(self) -> bytes:
+        return self._group_key
+
+    def key_count(self) -> int:
+        return 2
+
+    def rekey(self, message: RekeyMessage) -> bool:
+        if message.epoch <= self._epoch:
+            return self._acc
+        self._acc = False
+        for uid, _enc_under, ciphertext in message.deliveries:
+            if uid != self.user_id:
+                continue
+            try:
+                self._group_key = symmetric.decrypt(self._individual, ciphertext)
+            except DecryptionError:
+                return False
+            self._epoch = message.epoch
+            self._acc = True
+            return True
+        return False

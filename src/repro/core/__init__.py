@@ -1,0 +1,17 @@
+"""The paper's contribution: the GCD secret-handshake framework (Section 7)
+and its two instantiations (Section 8).
+
+Public entry points:
+
+* :func:`repro.core.scheme1.create_scheme1` — instantiation 1
+  (Burmester-Desmedt + LKH + ACJT; Theorem 1 properties).
+* :func:`repro.core.scheme2.create_scheme2` — instantiation 2
+  (self-distinction via the modified Kiayias-Yung scheme; Theorem 3).
+* :class:`repro.core.framework.GcdFramework` — the generic compiler, for
+  custom building-block combinations.
+"""
+
+from repro.core.framework import GcdFramework, HandshakePolicy  # noqa: F401
+from repro.core.handshake import HandshakeOutcome, run_handshake  # noqa: F401
+from repro.core.scheme1 import create_scheme1  # noqa: F401
+from repro.core.scheme2 import create_scheme2  # noqa: F401

@@ -1,0 +1,125 @@
+"""The GCD framework facade: the SHS operations of Fig. 1.
+
+:class:`GcdFramework` binds one group authority with its enrolled members
+and exposes the paper's interface:
+
+* ``SHS.CreateGroup``   -> :meth:`GcdFramework.create` (classmethod)
+* ``SHS.AdmitMember``   -> :meth:`admit_member`
+* ``SHS.RemoveUser``    -> :meth:`remove_user`
+* ``SHS.Update``        -> :meth:`update_all` (or per-member ``update()``)
+* ``SHS.Handshake``     -> :func:`repro.core.handshake.run_handshake`
+  (module-level, because a handshake may span *several* frameworks'
+  members — that is the whole point of a secret handshake)
+* ``SHS.TraceUser``     -> :meth:`trace`
+
+For multi-group scenarios create one framework per group; all frameworks
+share the system-wide DGKA parameters (the paper: "all groups use the same
+group key agreement protocol with the same global parameters").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.group_authority import CgkdFactory, GroupAuthority, _default_cgkd
+from repro.core.handshake import HandshakeOutcome, HandshakePolicy, run_handshake
+from repro.core.member import GcdMember
+from repro.core.transcript import HandshakeTranscript, TraceResult
+from repro.crypto.params import DHParams
+from repro.errors import MembershipError
+
+
+class GcdFramework:
+    """One secret-handshake group: its GA plus member handles."""
+
+    def __init__(self, authority: GroupAuthority) -> None:
+        self.authority = authority
+        self._members: Dict[str, GcdMember] = {}
+
+    # SHS.CreateGroup ------------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls,
+        group_id: str,
+        gsig_kind: str = "acjt",
+        gsig_profile: str = "tiny",
+        cgkd_factory: CgkdFactory = _default_cgkd,
+        tracing_group: Optional[DHParams] = None,
+        rng: Optional[random.Random] = None,
+    ) -> "GcdFramework":
+        """SHS.CreateGroup: establish the group's cryptographic context."""
+        authority = GroupAuthority(
+            group_id,
+            gsig_kind=gsig_kind,
+            gsig_profile=gsig_profile,
+            cgkd_factory=cgkd_factory,
+            tracing_group=tracing_group,
+            rng=rng,
+        )
+        return cls(authority)
+
+    # SHS.AdmitMember -------------------------------------------------------------
+
+    def admit_member(self, user_id: str,
+                     rng: Optional[random.Random] = None) -> GcdMember:
+        """SHS.AdmitMember: enrol a user, then bring *everyone* (including
+        the newcomer) up to date from the bulletin board."""
+        if user_id in self._members:
+            raise MembershipError(f"{user_id} already admitted")
+        package = self.authority.admit_member(user_id, rng)
+        member = GcdMember(package, self.authority.board)
+        self._members[user_id] = member
+        self.update_all()
+        return member
+
+    # SHS.RemoveUser ----------------------------------------------------------------
+
+    def remove_user(self, user_id: str) -> None:
+        """SHS.RemoveUser: revoke and propagate state to remaining members."""
+        if user_id not in self._members:
+            raise MembershipError(f"unknown member {user_id}")
+        self.authority.remove_user(user_id)
+        self.update_all()
+
+    # SHS.Update ---------------------------------------------------------------------
+
+    def update_all(self) -> None:
+        """Run SHS.Update for every enrolled member handle."""
+        for member in self._members.values():
+            member.update()
+
+    # Accessors ----------------------------------------------------------------------
+
+    def member(self, user_id: str) -> GcdMember:
+        try:
+            return self._members[user_id]
+        except KeyError:
+            raise MembershipError(f"unknown member {user_id}") from None
+
+    def members(self) -> List[GcdMember]:
+        return [m for m in self._members.values() if not m.revoked]
+
+    @property
+    def group_id(self) -> str:
+        return self.authority.group_id
+
+    # SHS.Handshake (convenience for single-group sessions) ----------------------------
+
+    def handshake(self, user_ids: Sequence[str],
+                  policy: Optional[HandshakePolicy] = None,
+                  rng: Optional[random.Random] = None) -> List[HandshakeOutcome]:
+        """Run a handshake among this group's own members (tests/demos).
+
+        Cross-group handshakes use :func:`repro.core.handshake.run_handshake`
+        directly with members from several frameworks."""
+        participants = [self.member(uid) for uid in user_ids]
+        return run_handshake(participants, policy, rng)
+
+    # SHS.TraceUser -------------------------------------------------------------------
+
+    def trace(self, transcript: HandshakeTranscript,
+              exhaustive: bool = False) -> TraceResult:
+        """SHS.TraceUser on a handshake transcript."""
+        return self.authority.trace_handshake(transcript, exhaustive=exhaustive)

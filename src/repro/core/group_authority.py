@@ -1,0 +1,260 @@
+"""The group authority (GA) of the GCD framework (Section 7).
+
+The GA plays three roles at once:
+
+* group manager of the GSIG component (admitting members, opening
+  signatures),
+* group controller of the CGKD component (rekeying on membership events),
+* holder of the tracing key pair ``(pk_T, sk_T)`` of an IND-CCA2
+  cryptosystem (Cramer-Shoup here), used by GCD.TraceUser.
+
+State distribution follows GCD.AdmitMember / GCD.RemoveUser exactly: every
+membership event produces a bulletin-board post containing the CGKD rekey
+message in the clear and the GSIG state update *encrypted under the new
+CGKD group key* — so a freshly revoked member, unable to complete
+CGKD.Rekey, also cannot learn the new GSIG state, and the dual-revocation
+property of Section 3 holds.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro import metrics
+from repro.cgkd.base import GroupController, RekeyMessage, WelcomePackage
+from repro.cgkd.lkh import LkhController
+from repro.core import wire
+from repro.core.transcript import HandshakeTranscript, TraceResult
+from repro.crypto import symmetric
+from repro.crypto.cramer_shoup import CramerShoup, CSCiphertext, CSPublicKey
+from repro.crypto.params import DHParams, dh_group
+from repro.errors import (
+    DecryptionError,
+    EncodingError,
+    MembershipError,
+    ParameterError,
+    TracingError,
+)
+from repro.gsig import acjt, kty
+from repro.gsig.base import StateUpdate
+from repro.net.channels import BulletinBoard
+
+
+@dataclass(frozen=True)
+class GroupPublicInfo:
+    """The public cryptographic context of a group (SHS.CreateGroup output).
+
+    Everything here is public; the CRL is *not* here (it is distributed to
+    members only, inside encrypted state updates)."""
+
+    group_id: str
+    gsig_kind: str  # "acjt" | "kty"
+    gsig_public_key: object
+    tracing_public_key: CSPublicKey
+    board_poster_public: int
+
+
+@dataclass(frozen=True)
+class MembershipPackage:
+    """Private material handed to a newly admitted member."""
+
+    user_id: str
+    group_info: GroupPublicInfo
+    gsig_credential: object
+    cgkd_welcome: WelcomePackage
+    board_cursor: int
+
+
+CgkdFactory = Callable[[Optional[random.Random]], GroupController]
+
+
+def _default_cgkd(rng: Optional[random.Random]) -> GroupController:
+    return LkhController(4, rng)
+
+
+class GroupAuthority:
+    """GA for one group: GM + GC + tracer (GCD.CreateGroup)."""
+
+    def __init__(
+        self,
+        group_id: str,
+        gsig_kind: str = "acjt",
+        gsig_profile: str = "tiny",
+        cgkd_factory: CgkdFactory = _default_cgkd,
+        tracing_group: Optional[DHParams] = None,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        rng = rng if rng is not None else random.Random()
+        self._rng = rng
+        self.group_id = group_id
+        self.gsig_kind = gsig_kind
+        if gsig_kind == "acjt":
+            self._gsig = acjt.AcjtManager(gsig_profile, rng)
+        elif gsig_kind == "kty":
+            self._gsig = kty.KtyManager(gsig_profile, rng)
+        else:
+            raise ParameterError(f"unknown gsig kind {gsig_kind!r}")
+        self._cgkd = cgkd_factory(rng)
+        tracing_group = tracing_group or dh_group(384)
+        self._tracing_pk, self._tracing_sk = CramerShoup.keygen(tracing_group, rng)
+        self.board = BulletinBoard()
+        self._poster_public, self._poster_secret = self.board.make_poster_key(rng)
+        self._crl: List[str] = []
+
+    # Public context --------------------------------------------------------------
+
+    def public_info(self) -> GroupPublicInfo:
+        return GroupPublicInfo(
+            group_id=self.group_id,
+            gsig_kind=self.gsig_kind,
+            gsig_public_key=self._gsig.public_key,
+            tracing_public_key=self._tracing_pk,
+            board_poster_public=self._poster_public,
+        )
+
+    @property
+    def gsig_manager(self):
+        return self._gsig
+
+    @property
+    def cgkd_controller(self) -> GroupController:
+        return self._cgkd
+
+    @property
+    def crl(self) -> Tuple[str, ...]:
+        return tuple(self._crl)
+
+    def group_key(self) -> bytes:
+        """The current CGKD group key (GA-side view; used by tests)."""
+        return self._cgkd.group_key
+
+    # Membership ------------------------------------------------------------------
+
+    def admit_member(self, user_id: str,
+                     rng: Optional[random.Random] = None) -> MembershipPackage:
+        """GCD.AdmitMember, one-call form (both Join sides run locally).
+
+        For the protocol-faithful interactive form — where the user keeps
+        its membership secret away from the GA — use
+        :meth:`admit_member_interactive` with a request produced by
+        ``gsig.acjt.begin_join`` / ``gsig.kty.begin_join``.
+        """
+        rng = rng or self._rng
+        if self.gsig_kind == "acjt":
+            request, secret = acjt.begin_join(self._gsig.public_key, user_id, rng)
+        else:
+            request, secret = kty.begin_join(self._gsig.public_key, user_id, rng)
+        response, cursor, welcome = self.admit_member_interactive(request)
+        if self.gsig_kind == "acjt":
+            credential = acjt.finish_join(self._gsig.public_key, user_id, secret, response)
+        else:
+            credential = kty.finish_join(self._gsig.public_key, user_id, secret, response)
+        return MembershipPackage(
+            user_id=user_id,
+            group_info=self.public_info(),
+            gsig_credential=credential,
+            cgkd_welcome=welcome,
+            board_cursor=cursor,
+        )
+
+    def admit_member_interactive(self, gsig_request):
+        """GA side of GCD.AdmitMember: CGKD.Join + GSIG.Join + posted update.
+
+        Returns ``(gsig_response, board_cursor, cgkd_welcome)``; the user
+        finishes with the scheme's ``finish_join``.
+        """
+        user_id = gsig_request.user_id
+        cgkd_welcome, rekey = self._cgkd.join(user_id)
+        gsig_response, gsig_update = self._gsig.admit(gsig_request)
+        self._post_update("join", rekey, gsig_update)
+        return gsig_response, len(self.board), cgkd_welcome
+
+    def remove_user(self, user_id: str) -> None:
+        """GCD.RemoveUser: CGKD.Leave + GSIG.Revoke, update posted encrypted
+        under the *new* group key so the leaver cannot read it."""
+        if user_id in self._crl:
+            raise MembershipError(f"{user_id} already revoked")
+        rekey = self._cgkd.leave(user_id)
+        gsig_update = self._gsig.revoke(user_id)
+        self._crl.append(user_id)
+        self._post_update("revoke", rekey, gsig_update)
+
+    def _post_update(self, kind: str, rekey: RekeyMessage,
+                     gsig_update: StateUpdate) -> None:
+        try:
+            group_key = self._cgkd.group_key
+        except MembershipError:
+            # The group just became empty (last member revoked): nobody is
+            # left to read the update — encrypt under a throwaway key.
+            group_key = bytes(
+                self._rng.getrandbits(8) for _ in range(32)
+            )
+        encrypted = symmetric.encrypt(
+            group_key,
+            wire.state_update_to_bytes(gsig_update),
+            self._rng,
+        )
+        payload = wire.dumps((
+            kind,
+            rekey.epoch,
+            rekey.kind,
+            tuple(rekey.deliveries),
+            tuple(sorted(rekey.header.items())),
+            encrypted,
+        ))
+        self.board.post(f"gcd/{self.group_id}", payload,
+                        self._poster_public, self._poster_secret, self._rng)
+
+    # Tracing (GCD.TraceUser) --------------------------------------------------------
+
+    def trace_handshake(self, transcript: HandshakeTranscript,
+                        exhaustive: bool = False) -> TraceResult:
+        """Decrypt every delta to recover session keys, decrypt the thetas,
+        open the group signatures (GCD.TraceUser).
+
+        ``exhaustive=True`` reproduces the paper's worst case: the authority
+        does not assume delta_i pairs with theta_i and searches all
+        recovered keys for each theta.
+        """
+        keys: Dict[int, bytes] = {}
+        for idx, entry in enumerate(transcript.entries):
+            try:
+                ct = CSCiphertext(*entry.delta)
+                keys[idx] = CramerShoup.decrypt_bytes(self._tracing_sk, ct)
+            except (DecryptionError, EncodingError, ParameterError, TypeError):
+                continue  # Decoy or foreign-group delta.
+        identified: Dict[int, Optional[str]] = {}
+        for idx, entry in enumerate(transcript.entries):
+            candidates = list(keys.values()) if exhaustive else (
+                [keys[idx]] if idx in keys else []
+            )
+            identified[idx] = self._open_theta(entry, candidates, transcript)
+        return TraceResult(
+            group_id=self.group_id,
+            participants={i: u for i, u in identified.items() if u is not None},
+            unresolved=tuple(i for i, u in identified.items() if u is None),
+        )
+
+    def _open_theta(self, entry, candidate_keys: List[bytes],
+                    transcript: HandshakeTranscript) -> Optional[str]:
+        message = transcript.signed_message(entry)
+        for key in candidate_keys:
+            metrics.bump("trace-decrypt-attempts")
+            try:
+                blob = symmetric.decrypt(key, entry.theta)
+                signature = wire.signature_from_bytes(blob)
+            except (DecryptionError, EncodingError):
+                continue
+            user = self._gsig.open(message, signature)
+            if user is not None:
+                return user
+        return None
+
+    def decrypt_tracing(self, delta: Tuple[int, int, int, int]) -> bytes:
+        """Decrypt one delta with sk_T (raises on decoys)."""
+        try:
+            return CramerShoup.decrypt_bytes(self._tracing_sk, CSCiphertext(*delta))
+        except (DecryptionError, ParameterError) as exc:
+            raise TracingError("delta does not decrypt under sk_T") from exc

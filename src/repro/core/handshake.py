@@ -1,0 +1,447 @@
+"""The three-phase GCD handshake protocol (Section 7 / Fig. 6).
+
+Phase I  (Preparation): the m parties run DGKA.GroupKeyAgreement, yielding
+  k*_i; each party computes k'_i = k*_i XOR k_i where k_i is its CGKD group
+  key.  Parties of the same group end with equal k'; anyone else — and any
+  MITM on the raw DGKA — ends with a different k'.
+
+Phase II (Preliminary handshake): party i publishes MAC(k'_i, s_i, i) with
+  s_i the digest of its own DGKA messages.  Each party learns exactly which
+  peers share its k' (i.e. its group) without revealing anything to the
+  others — a wrong-group observer sees MACs under keys it cannot test.
+
+Phase III (Full handshake):
+  CASE 1 (all tags valid): party i publishes (theta_i, delta_i) with
+    delta_i = ENC(pk_T, k'_i)     (Cramer-Shoup, the tracing hook)
+    theta_i = SENC(k'_i, sigma_i) (sigma_i a group signature on the
+                                   session-bound message, optionally in
+                                   self-distinction mode with common T7)
+  CASE 2 (some tag invalid): party i publishes random decoys drawn from
+    the ciphertext spaces, so outsiders cannot distinguish failure from
+    success (indistinguishability to eavesdroppers).
+
+The engine is a synchronous local driver: it owns the broadcast rounds,
+attributes operation counts to per-party metric scopes, and supports a
+``tamper`` hook on the DGKA rounds (the MITM experiments).  The
+partially-successful extension (Section 7) is a policy switch: with
+``partial_success=True``, parties with at least one same-group peer run
+CASE 1 *within their subset* and each outcome reports the confirmed
+subset, exactly as the paper's extension describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro import metrics
+from repro.core import wire
+from repro.core.transcript import HandshakeEntry, HandshakeTranscript, signed_message
+from repro.crypto import hashing, mac, symmetric
+from repro.crypto.cramer_shoup import CramerShoup
+from repro.dgka.base import DgkaParty
+from repro.dgka.burmester_desmedt import BurmesterDesmedtParty
+from repro.errors import DecryptionError, ParameterError, ProtocolError
+from repro.gsig import acjt, kty
+
+DgkaFactory = Callable[[int, int, Optional[random.Random]], DgkaParty]
+
+
+def default_dgka_factory(index: int, m: int,
+                         rng: Optional[random.Random]) -> DgkaParty:
+    return BurmesterDesmedtParty(index, m, rng=rng)
+
+
+@dataclass(frozen=True)
+class HandshakePolicy:
+    """Selectable properties (Section 7 remark: the framework is tailorable
+    to application semantics).
+
+    * ``traceable=False`` runs only Phases I-II (no tracing transcript).
+    * ``partial_success=True`` enables the partially-successful extension.
+    * ``self_distinction=True`` imposes the common T7 (KTY members only).
+    """
+
+    traceable: bool = True
+    partial_success: bool = False
+    self_distinction: bool = False
+    dgka_factory: DgkaFactory = default_dgka_factory
+
+
+@dataclass
+class HandshakeOutcome:
+    """What one participant concludes from the handshake."""
+
+    index: int
+    success: bool
+    confirmed_peers: Set[int] = field(default_factory=set)
+    session_key: Optional[bytes] = None
+    transcript: Optional[HandshakeTranscript] = None
+    distinct: Optional[bool] = None  # self-distinction verdict (scheme 2)
+    duplicate_indices: Set[int] = field(default_factory=set)
+    #: The participant's own k'_i (k* XOR k).  Part of the participant's
+    #: secret session state — what an adversary obtains by corrupting a
+    #: session participant (used by the unlinkability games).
+    k_prime: Optional[bytes] = field(default=None, repr=False)
+
+    @property
+    def subset_size(self) -> int:
+        """|Delta| for this participant (itself plus confirmed peers)."""
+        return 1 + len(self.confirmed_peers)
+
+
+def xor_keys(a: bytes, b: bytes) -> bytes:
+    if len(a) != len(b):
+        raise ParameterError("key length mismatch in XOR")
+    return bytes(x ^ y for x, y in zip(a, b))
+
+
+def _nominal_signature_length(member) -> int:
+    """Length of a plausible signature blob for this member's scheme —
+    the decoy theta must be drawn from (approximately) the right
+    ciphertext space.  Built from a template with representative field
+    magnitudes; real lengths vary by a few bytes (a size channel the
+    paper's abstraction — and ours — ignores)."""
+    cred = member.credential
+    pk = member.info.gsig_public_key
+    lengths = pk.lengths
+    n_max = pk.n - 1
+    c_max = (1 << lengths.k) - 1
+    if isinstance(cred, acjt.AcjtCredential):
+        eps, k, two_lp = lengths.epsilon, lengths.k, 2 * lengths.lp
+        ln = pk.n.bit_length()
+        template = acjt.AcjtSignature(
+            t1=n_max, t2=n_max, t3=n_max, challenge=c_max,
+            s1=-(1 << (eps * (lengths.gamma2 + k))),
+            s2=-(1 << (eps * (lengths.lambda2 + k))),
+            s3=-(1 << (eps * (lengths.gamma1 + two_lp + k + 1))),
+            s4=-(1 << (eps * (two_lp + k))),
+            c_e=n_max, c_u=n_max, c_r=n_max,
+            s_r1=-(1 << (eps * (ln + k))),
+            s_r2=-(1 << (eps * (ln + k))),
+            s_r3=-(1 << (eps * (ln + k))),
+            s_z=-(1 << (eps * (lengths.gamma1 + ln + k + 1))),
+            s_w3=-(1 << (eps * (lengths.gamma1 + ln + k + 1))),
+            acc_epoch=1,
+        )
+    else:
+        eps, k, two_lp = lengths.epsilon, lengths.k, 2 * lengths.lp
+        template = kty.KtySignature(
+            t1=n_max, t2=n_max, t3=n_max, t4=n_max, t5=n_max, t6=n_max,
+            t7=n_max, challenge=c_max,
+            s_e=-(1 << (eps * (lengths.gamma2 + k))),
+            s_x=-(1 << (eps * (lengths.lambda2 + k))),
+            s_xt=-(1 << (eps * (lengths.lambda2 + k))),
+            s_z=-(1 << (eps * (lengths.gamma1 + two_lp + k + 1))),
+            s_w=-(1 << (eps * (two_lp + k))),
+            s_k=-(1 << (eps * (two_lp + k))),
+            shielded=False,
+        )
+    return len(wire.signature_to_bytes(template))
+
+
+class _PartyRuntime:
+    """Per-participant working state for one handshake session."""
+
+    def __init__(self, index: int, member, dgka: DgkaParty,
+                 rng: random.Random) -> None:
+        self.index = index
+        self.member = member
+        self.dgka = dgka
+        self.rng = rng
+        self.k_prime: Optional[bytes] = None
+        self.tag: Optional[bytes] = None
+        self.valid_tags: Set[int] = set()
+        self.published: Optional[Tuple[bytes, Tuple[int, int, int, int]]] = None
+        self.is_decoy = False
+
+    def scope(self) -> str:
+        return f"hs:{self.index}"
+
+
+def run_handshake(
+    members: Sequence[object],
+    policy: Optional[HandshakePolicy] = None,
+    rng: Optional[random.Random] = None,
+    tamper=None,
+) -> List[HandshakeOutcome]:
+    """Execute SHS.Handshake among ``members`` (Fig. 1 / Fig. 6).
+
+    ``members`` are :class:`repro.core.member.GcdMember` objects (or
+    adversarial stand-ins duck-typing the same surface).  Returns one
+    :class:`HandshakeOutcome` per participant, in order.
+    """
+    policy = policy or HandshakePolicy()
+    rng = rng if rng is not None else random.Random()
+    m = len(members)
+    if m < 2:
+        raise ProtocolError("a handshake needs at least two participants")
+
+    parties = [
+        _PartyRuntime(i, member, policy.dgka_factory(i, m, rng), rng)
+        for i, member in enumerate(members)
+    ]
+
+    _phase1_preparation(parties, tamper)
+    tags = _phase2_preliminary(parties)
+    _phase2_validate(parties, tags)
+
+    if not policy.traceable:
+        return _outcomes_without_tracing(parties)
+
+    return _phase3_full(parties, policy)
+
+
+# ---------------------------------------------------------------------------
+# Phase I.
+# ---------------------------------------------------------------------------
+
+
+def _phase1_preparation(parties: List[_PartyRuntime], tamper) -> None:
+    """Run the DGKA rounds synchronously, then derive k'_i."""
+    rounds = parties[0].dgka.rounds
+    m = len(parties)
+    for round_no in range(rounds):
+        payloads: Dict[int, object] = {}
+        for party in parties:
+            with metrics.scope(party.scope()):
+                payload = party.dgka.emit(round_no)
+            if payload is not None:
+                payloads[party.index] = payload
+                metrics.count_message_sent()
+                metrics.bump(f"hs-sent:{party.index}")
+        for party in parties:
+            delivered = {}
+            for sender, payload in payloads.items():
+                if tamper is not None:
+                    payload = tamper(round_no, sender, party.index, payload)
+                if payload is not None:
+                    delivered[sender] = payload
+            with metrics.scope(party.scope()):
+                for sender in delivered:
+                    if sender != party.index:
+                        metrics.count_message_received()
+                party.dgka.absorb(round_no, delivered)
+    for party in parties:
+        with metrics.scope(party.scope()):
+            if not party.dgka.acc:
+                continue
+            k_star = party.dgka.session_key
+            group_key = _member_group_key(party.member, party.rng)
+            party.k_prime = xor_keys(k_star, group_key)
+    del m
+
+
+def _member_group_key(member, rng: random.Random) -> bytes:
+    """The member's CGKD key k_i; an outsider (no key) gets random bytes —
+    it simply cannot produce matching MACs."""
+    try:
+        key = member.group_key
+    except Exception:
+        key = None
+    if key is None:
+        key = rng.getrandbits(256).to_bytes(32, "big")
+    return key
+
+
+# ---------------------------------------------------------------------------
+# Phase II.
+# ---------------------------------------------------------------------------
+
+
+def _phase2_preliminary(parties: List[_PartyRuntime]) -> Dict[int, bytes]:
+    """Each party publishes MAC(k'_i, s_i, i)."""
+    tags: Dict[int, bytes] = {}
+    for party in parties:
+        with metrics.scope(party.scope()):
+            if party.k_prime is None:
+                continue
+            s_i = party.dgka.unique_string(party.index)
+            party.tag = mac.mac(party.k_prime, s_i, party.index)
+        if party.tag is not None:
+            tags[party.index] = party.tag
+            metrics.count_message_sent()
+            metrics.bump(f"hs-sent:{party.index}")
+    return tags
+
+
+def _phase2_validate(parties: List[_PartyRuntime], tags: Dict[int, bytes]) -> None:
+    """Each party checks every tag under its own k'."""
+    for party in parties:
+        with metrics.scope(party.scope()):
+            if party.k_prime is None:
+                continue
+            for j, tag in tags.items():
+                if j != party.index:
+                    metrics.count_message_received()
+                s_j = party.dgka.unique_string(j)
+                if mac.verify(party.k_prime, tag, s_j, j):
+                    party.valid_tags.add(j)
+
+
+# ---------------------------------------------------------------------------
+# Phase III.
+# ---------------------------------------------------------------------------
+
+
+def _phase3_full(parties: List[_PartyRuntime],
+                 policy: HandshakePolicy) -> List[HandshakeOutcome]:
+    m = len(parties)
+    all_indices = set(range(m))
+
+    # Decide, per party, whether to publish real values or decoys (CASE 1
+    # vs CASE 2 of Fig. 6; the partial-success extension keeps CASE 1 for
+    # any party with at least one confirmed same-group peer).
+    publications: Dict[int, Tuple[bytes, Tuple[int, int, int, int]]] = {}
+    for party in parties:
+        with metrics.scope(party.scope()):
+            case1 = party.valid_tags == all_indices or (
+                policy.partial_success and len(party.valid_tags) > 1
+            )
+            if party.k_prime is not None and case1:
+                try:
+                    publications[party.index] = _publish_real(party, policy)
+                except Exception:
+                    # A participant without usable credentials (e.g. an
+                    # impostor who somehow passed Phase II) can only emit
+                    # something decoy-shaped.
+                    publications[party.index] = _publish_decoy(party)
+                    party.is_decoy = True
+            else:
+                publications[party.index] = _publish_decoy(party)
+                party.is_decoy = True
+        metrics.count_message_sent()
+        metrics.bump(f"hs-sent:{party.index}")
+
+    entries = tuple(
+        HandshakeEntry(index=i, theta=publications[i][0], delta=publications[i][1])
+        for i in range(m)
+    )
+
+    outcomes: List[HandshakeOutcome] = []
+    for party in parties:
+        with metrics.scope(party.scope()):
+            outcomes.append(
+                _conclude(party, entries, publications, policy, all_indices)
+            )
+    return outcomes
+
+
+def _session_sid(party: _PartyRuntime) -> bytes:
+    return party.dgka.sid
+
+
+def _publish_real(party: _PartyRuntime,
+                  policy: HandshakePolicy) -> Tuple[bytes, Tuple[int, int, int, int]]:
+    member = party.member
+    sid = _session_sid(party)
+    pk_t = member.info.tracing_public_key
+    delta_ct = CramerShoup.encrypt_bytes(pk_t, party.k_prime, party.rng)
+    delta = delta_ct.as_tuple()
+    message = signed_message(sid, delta)
+    shield = None
+    if policy.self_distinction:
+        shield = member.distinction_shield(sid)
+    blob = member.gsig_sign(message, party.rng, shield=shield)
+    theta = symmetric.encrypt(party.k_prime, blob, party.rng)
+    return theta, delta
+
+
+def _publish_decoy(party: _PartyRuntime) -> Tuple[bytes, Tuple[int, int, int, int]]:
+    """CASE 2: random elements of the two ciphertext spaces."""
+    member = party.member
+    try:
+        sig_len = _nominal_signature_length(member)
+        pk_t = member.info.tracing_public_key
+        delta = CramerShoup.random_ciphertext(pk_t, party.rng).as_tuple()
+    except Exception:
+        # A credential-less impostor fabricates something shaped right.
+        sig_len = 512
+        draw = lambda: party.rng.getrandbits(512)  # noqa: E731
+        delta = (draw(), draw(), draw(), draw())
+    theta = symmetric.random_ciphertext(sig_len, party.rng)
+    return theta, delta
+
+
+def _conclude(party: _PartyRuntime, entries, publications,
+              policy: HandshakePolicy, all_indices: Set[int]) -> HandshakeOutcome:
+    outcome = HandshakeOutcome(index=party.index, success=False,
+                               k_prime=party.k_prime)
+    if party.dgka.acc:
+        # The published pairs are public regardless of success — what an
+        # eavesdropper (or the tracing authority) gets to see.
+        outcome.transcript = HandshakeTranscript(
+            sid=_session_sid(party), entries=entries
+        )
+    if party.k_prime is None or party.is_decoy:
+        return outcome
+    member = party.member
+    sid = _session_sid(party)
+    shield = member.distinction_shield(sid) if policy.self_distinction else None
+
+    confirmed: Set[int] = set()
+    tags_by_peer: Dict[int, int] = {}
+    for entry in entries:
+        if entry.index == party.index:
+            continue
+        metrics.count_message_received()
+        if entry.index not in party.valid_tags:
+            continue
+        try:
+            blob = symmetric.decrypt(party.k_prime, entry.theta)
+        except DecryptionError:
+            continue
+        message = signed_message(sid, entry.delta)
+        if not member.gsig_verify(message, blob, expected_shield=shield):
+            continue
+        if policy.self_distinction:
+            signature = wire.signature_from_bytes(blob)
+            tags_by_peer[entry.index] = signature.t6
+        confirmed.add(entry.index)
+
+    outcome.confirmed_peers = confirmed
+
+    if policy.self_distinction:
+        own_tag = _own_distinction_tag(member, shield)
+        seen: Dict[int, int] = {party.index: own_tag}
+        duplicates: Set[int] = set()
+        for peer, tag in tags_by_peer.items():
+            for other, other_tag in seen.items():
+                if tag == other_tag:
+                    duplicates.update({peer, other})
+            seen[peer] = tag
+        outcome.distinct = not duplicates
+        outcome.duplicate_indices = duplicates
+
+    full = confirmed == (all_indices - {party.index})
+    outcome.success = full and (outcome.distinct is not False)
+    if outcome.success or (policy.partial_success and confirmed):
+        outcome.session_key = hashing.kdf(
+            party.k_prime + sid, "gcd-secure-channel"
+        )
+    return outcome
+
+
+def _own_distinction_tag(member, shield: int) -> int:
+    return member.credential.distinction_tag(shield)
+
+
+def _outcomes_without_tracing(parties: List[_PartyRuntime]) -> List[HandshakeOutcome]:
+    """Phases I-II only (the 'traceability not required' tailoring)."""
+    all_indices = set(range(len(parties)))
+    outcomes = []
+    for party in parties:
+        confirmed = set(party.valid_tags) - {party.index}
+        success = (
+            party.k_prime is not None and party.valid_tags == all_indices
+        )
+        outcome = HandshakeOutcome(
+            index=party.index, success=success, confirmed_peers=confirmed
+        )
+        if success:
+            outcome.session_key = hashing.kdf(
+                party.k_prime + _session_sid(party), "gcd-secure-channel"
+            )
+        outcomes.append(outcome)
+    return outcomes

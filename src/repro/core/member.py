@@ -1,0 +1,150 @@
+"""Member-side state of the GCD framework.
+
+A :class:`GcdMember` bundles the user's GSIG credential and CGKD member
+state, and implements GCD.Update: it polls the group's bulletin board,
+runs CGKD.Rekey on each post, and — only if rekeying succeeded — decrypts
+and applies the GSIG state update with the fresh group key (Section 7).
+
+The member also provides the handshake-facing operations the three-phase
+protocol needs (group key access, group-signing, peer-signature
+verification) behind a scheme-agnostic surface, so the handshake engine in
+:mod:`repro.core.handshake` never branches on the GSIG flavour.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cgkd.base import MemberState, RekeyMessage
+from repro.cgkd.lkh import LkhMember
+from repro.cgkd.nnl import NnlMember
+from repro.cgkd.star import StarMember
+from repro.core import wire
+from repro.core.group_authority import GroupPublicInfo, MembershipPackage
+from repro.crypto import symmetric
+from repro.errors import DecryptionError, ParameterError, RevocationError
+from repro.gsig import acjt, kty
+
+
+def _cgkd_member_for(welcome) -> MemberState:
+    """Pick the member-state class matching the controller that produced
+    the welcome package."""
+    if "leaf" in welcome.extra and "method" in welcome.extra:
+        return NnlMember(welcome)
+    if "leaf" in welcome.extra:
+        return LkhMember(welcome)
+    return StarMember(welcome)
+
+
+class GcdMember:
+    """One enrolled user: credential + key state + update processing."""
+
+    def __init__(self, package: MembershipPackage, board) -> None:
+        self.user_id = package.user_id
+        self.info: GroupPublicInfo = package.group_info
+        self.credential = package.gsig_credential
+        self.cgkd = _cgkd_member_for(package.cgkd_welcome)
+        self._board = board
+        self._cursor = package.board_cursor
+        self.revoked = False
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def group_id(self) -> str:
+        return self.info.group_id
+
+    @property
+    def group_key(self) -> bytes:
+        """The member's current CGKD group key k_i."""
+        if self.revoked:
+            raise RevocationError(f"{self.user_id} has been revoked")
+        return self.cgkd.group_key
+
+    def update(self) -> int:
+        """GCD.Update: process all new bulletin-board posts.
+
+        Returns the number of posts applied.  A post whose CGKD rekey this
+        member cannot decrypt marks the member as revoked (it will also be
+        unable to decrypt everything after)."""
+        posts = self._board.read_since(self._cursor, f"gcd/{self.group_id}")
+        applied = 0
+        for post in posts:
+            self._cursor = post.index + 1
+            kind, epoch, rekey_kind, deliveries, header_items, encrypted = (
+                wire.loads(post.payload)
+            )
+            rekey = RekeyMessage(
+                epoch=epoch, kind=rekey_kind,
+                deliveries=tuple(deliveries), header=dict(header_items),
+            )
+            if not self.cgkd.rekey(rekey):
+                self.revoked = True
+                continue
+            try:
+                blob = symmetric.decrypt(self.cgkd.group_key, encrypted)
+            except DecryptionError:
+                self.revoked = True
+                continue
+            gsig_update = wire.state_update_from_bytes(blob)
+            self.credential.apply_update(gsig_update)
+            applied += 1
+        if getattr(self.credential, "revoked", False):
+            self.revoked = True
+        return applied
+
+    # --------------------------------------------------------------- handshake
+
+    def gsig_sign(self, message: bytes, rng: Optional[random.Random] = None,
+                  shield: Optional[int] = None) -> bytes:
+        """Produce a serialized group signature on ``message``.
+
+        ``shield`` activates the self-distinction mode (KTY only)."""
+        if isinstance(self.credential, acjt.AcjtCredential):
+            if shield is not None:
+                raise ParameterError("ACJT does not support shielded signing")
+            signature = self.credential.sign(message, rng)
+        elif isinstance(self.credential, kty.KtyCredential):
+            signature = self.credential.sign(message, rng, shield=shield)
+        else:
+            raise ParameterError("unknown credential type")
+        return wire.signature_to_bytes(signature)
+
+    def gsig_verify(self, message: bytes, blob: bytes,
+                    expected_shield: Optional[int] = None) -> bool:
+        """Verify a peer's serialized signature with this member's own view
+        of the system state (the CRL / accumulator value travels inside
+        encrypted updates, so only members can do this)."""
+        try:
+            signature = wire.signature_from_bytes(blob)
+        except Exception:
+            return False
+        pk = self.info.gsig_public_key
+        if isinstance(self.credential, acjt.AcjtCredential):
+            if not isinstance(signature, acjt.AcjtSignature):
+                return False
+            if expected_shield is not None:
+                return False
+            view = acjt.AcjtMemberView(
+                acc_value=self.credential.acc_value,
+                acc_epoch=self.credential.acc_epoch,
+            )
+            return acjt.verify(pk, message, signature, view)
+        if isinstance(self.credential, kty.KtyCredential):
+            if not isinstance(signature, kty.KtySignature):
+                return False
+            return kty.verify(pk, message, signature,
+                              self.credential.member_view(),
+                              expected_shield=expected_shield)
+        return False
+
+    def distinction_shield(self, *context) -> int:
+        """The common T7 base for a handshake session (KTY only)."""
+        if not isinstance(self.credential, kty.KtyCredential):
+            raise ParameterError("self-distinction requires the KTY scheme")
+        return kty.common_shield(self.info.gsig_public_key, *context)
+
+    @property
+    def supports_self_distinction(self) -> bool:
+        return isinstance(self.credential, kty.KtyCredential)

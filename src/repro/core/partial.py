@@ -1,0 +1,49 @@
+"""Helpers for analysing partially-successful handshakes (Section 7,
+extension; footnote 2 of the paper).
+
+When a mixed-group handshake runs with ``partial_success=True``, each
+participant's :class:`~repro.core.handshake.HandshakeOutcome` reports its
+confirmed subset.  These helpers turn the per-party views into the global
+picture the paper's example describes (5 parties: 2 of group A and 3 of
+group B should each discover their own subset)."""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, List, Sequence, Set
+
+from repro.core.handshake import HandshakeOutcome
+
+
+def subsets(outcomes: Sequence[HandshakeOutcome]) -> List[FrozenSet[int]]:
+    """The distinct subsets Delta participants discovered (each includes
+    the discovering party itself)."""
+    found: Set[FrozenSet[int]] = set()
+    for outcome in outcomes:
+        if outcome.confirmed_peers:
+            found.add(frozenset(outcome.confirmed_peers | {outcome.index}))
+    return sorted(found, key=lambda s: (min(s), len(s)))
+
+
+def subsets_are_consistent(outcomes: Sequence[HandshakeOutcome]) -> bool:
+    """True iff every member of every discovered subset discovered exactly
+    the same subset (the 'both sides complete their handshakes' guarantee
+    of the extension)."""
+    view: Dict[int, FrozenSet[int]] = {}
+    for outcome in outcomes:
+        if outcome.confirmed_peers:
+            view[outcome.index] = frozenset(
+                outcome.confirmed_peers | {outcome.index}
+            )
+    for subset in subsets(outcomes):
+        for index in subset:
+            if view.get(index) != subset:
+                return False
+    return True
+
+
+def partition_matches(outcomes: Sequence[HandshakeOutcome],
+                      expected: Sequence[Set[int]]) -> bool:
+    """Check the discovered subsets equal an expected partition, ignoring
+    singleton groups (a lone party confirms nobody and discovers nothing)."""
+    expected_sets = {frozenset(s) for s in expected if len(s) > 1}
+    return set(subsets(outcomes)) == expected_sets

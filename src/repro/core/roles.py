@@ -1,0 +1,125 @@
+"""Role- and clearance-aware handshakes (paper Section 1).
+
+The introduction's motivating refinement: "Alice might want to
+authenticate herself as an agent with a certain clearance level only if
+Bob is also an agent with at least the same clearance level."
+
+We realize this with the multi-group generalization the paper endorses:
+a :class:`ClearanceAuthority` maintains one GCD group per clearance level
+(level keys are independent — compromising "level 2" reveals nothing about
+"level 3"), and admitting an agent *at* level L enrolls her in the groups
+of every level <= L (her wallet holds one credential per level).  A
+handshake "at level L" is then an ordinary GCD handshake in the level-L
+group: it succeeds iff every participant holds clearance >= L, and a
+failed attempt reveals nothing — not even that the parties are agents at
+all, let alone their levels.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.core.framework import GcdFramework
+from repro.core.handshake import HandshakeOutcome, HandshakePolicy, run_handshake
+from repro.core.scheme1 import create_scheme1
+from repro.core.wallet import MembershipWallet
+from repro.errors import MembershipError, ParameterError
+
+
+class ClearanceAgent:
+    """An agent with a clearance level: a wallet of per-level credentials."""
+
+    def __init__(self, user_id: str, level: int) -> None:
+        self.user_id = user_id
+        self.level = level
+        self.wallet = MembershipWallet(user_id)
+
+    def credential_at(self, level: int):
+        """The credential asserting 'clearance >= level'."""
+        if level > self.level:
+            raise MembershipError(
+                f"{self.user_id} holds clearance {self.level} < {level}"
+            )
+        return self.wallet.credential_for(_level_group_id(self._org, level))
+
+    # Set by the authority at admission time.
+    _org: str = ""
+
+
+def _level_group_id(org: str, level: int) -> str:
+    return f"{org}/clearance-{level}"
+
+
+class ClearanceAuthority:
+    """One GA per clearance level, under a single organization."""
+
+    def __init__(
+        self,
+        org: str,
+        levels: int,
+        framework_factory: Callable[..., GcdFramework] = create_scheme1,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if levels < 1:
+            raise ParameterError("need at least one clearance level")
+        self.org = org
+        self.levels = levels
+        self._rng = rng if rng is not None else random.Random()
+        self._frameworks: Dict[int, GcdFramework] = {
+            level: framework_factory(_level_group_id(org, level), rng=self._rng)
+            for level in range(1, levels + 1)
+        }
+
+    def framework(self, level: int) -> GcdFramework:
+        try:
+            return self._frameworks[level]
+        except KeyError:
+            raise ParameterError(f"no clearance level {level}") from None
+
+    def admit(self, user_id: str, level: int,
+              rng: Optional[random.Random] = None) -> ClearanceAgent:
+        """Admit an agent at ``level``: enroll in levels 1..level."""
+        if not 1 <= level <= self.levels:
+            raise ParameterError(f"level must be in 1..{self.levels}")
+        agent = ClearanceAgent(user_id, level)
+        agent._org = self.org
+        for l in range(1, level + 1):
+            agent.wallet.enroll(self._frameworks[l], rng or self._rng)
+        return agent
+
+    def revoke(self, agent: ClearanceAgent) -> None:
+        """Full revocation: remove the agent from every level it holds."""
+        for level in range(1, agent.level + 1):
+            self._frameworks[level].remove_user(agent.user_id)
+        agent.wallet.update_all()
+
+    def downgrade(self, agent: ClearanceAgent, new_level: int) -> None:
+        """Strip levels above ``new_level`` (e.g. after reassignment)."""
+        if not 0 <= new_level <= agent.level:
+            raise ParameterError("downgrade must lower the level")
+        for level in range(new_level + 1, agent.level + 1):
+            self._frameworks[level].remove_user(agent.user_id)
+        agent.level = new_level
+        agent.wallet.update_all()
+
+
+def handshake_at_level(
+    agents: Sequence[ClearanceAgent],
+    level: int,
+    policy: Optional[HandshakePolicy] = None,
+    rng: Optional[random.Random] = None,
+) -> List[HandshakeOutcome]:
+    """Run a clearance-L handshake: each agent asserts its level-L
+    credential.  Agents below the level participate with garbage (they
+    hold no credential), modelling an under-cleared party bluffing its
+    way in — and failing, without learning anything."""
+    from repro.security.adversaries import Impostor
+
+    participants: List[object] = []
+    for agent in agents:
+        try:
+            participants.append(agent.credential_at(level))
+        except MembershipError:
+            participants.append(Impostor(agent.user_id, rng=rng))
+    return run_handshake(participants, policy, rng)

@@ -1,0 +1,54 @@
+"""GCD instantiation 1 (Section 8.1).
+
+Building blocks exactly as the paper picks them:
+
+* DGKA: Burmester-Desmedt [11] (unauthenticated, two broadcast rounds),
+* CGKD: LKH key tree [33] (with NNL [26] available as a drop-in),
+* GSIG: ACJT [1] with dynamic-accumulator revocation [12].
+
+Theorem 1 properties: correctness, resistance to impersonation/detection,
+**full-unlinkability**, indistinguishability to eavesdroppers,
+traceability, no-misattribution.  No self-distinction — that is what
+scheme 2 adds.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.cgkd.lkh import LkhController
+from repro.cgkd.nnl import NnlController
+from repro.core.framework import GcdFramework
+from repro.core.handshake import HandshakePolicy
+from repro.errors import ParameterError
+
+
+def create_scheme1(
+    group_id: str,
+    gsig_profile: str = "tiny",
+    cgkd: str = "lkh",
+    nnl_capacity: int = 64,
+    rng: Optional[random.Random] = None,
+) -> GcdFramework:
+    """Create a scheme-1 group (BD + LKH/NNL + ACJT)."""
+    if cgkd == "lkh":
+        factory = lambda r: LkhController(4, r)  # noqa: E731
+    elif cgkd in ("sd", "cs"):
+        factory = lambda r: NnlController(nnl_capacity, cgkd, r)  # noqa: E731
+    else:
+        raise ParameterError(f"unknown CGKD choice {cgkd!r}")
+    return GcdFramework.create(
+        group_id, gsig_kind="acjt", gsig_profile=gsig_profile,
+        cgkd_factory=factory, rng=rng,
+    )
+
+
+def scheme1_policy(partial_success: bool = False,
+                   traceable: bool = True) -> HandshakePolicy:
+    """The handshake policy matching Theorem 1 (no self-distinction)."""
+    return HandshakePolicy(
+        traceable=traceable,
+        partial_success=partial_success,
+        self_distinction=False,
+    )

@@ -1,0 +1,67 @@
+"""Handshake transcripts and tracing results.
+
+A successful GCD handshake leaves each participant with the transcript
+``{(theta_i, delta_i)}_{1<=i<=m}`` plus the session id; GCD.TraceUser
+consumes exactly this object (Section 7).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.crypto import hashing
+
+_SIGN_DOMAIN = "gcd-handshake-sign"
+
+
+@dataclass(frozen=True)
+class HandshakeEntry:
+    """One participant's published pair (theta_i, delta_i)."""
+
+    index: int
+    theta: bytes
+    delta: Tuple[int, int, int, int]
+
+
+@dataclass(frozen=True)
+class HandshakeTranscript:
+    """The tracing transcript of one handshake session."""
+
+    sid: bytes
+    entries: Tuple[HandshakeEntry, ...]
+
+    @property
+    def m(self) -> int:
+        return len(self.entries)
+
+    def signed_message(self, entry: HandshakeEntry) -> bytes:
+        """The exact byte string participant ``entry.index`` group-signed:
+        the session id bound to its own delta (so signatures cannot be
+        replayed across sessions or swapped between participants)."""
+        return signed_message(self.sid, entry.delta)
+
+
+def signed_message(sid: bytes, delta: Tuple[int, int, int, int]) -> bytes:
+    """Message-to-sign for a participant publishing ``delta`` in session
+    ``sid`` (shared by signer, verifiers and the tracing authority)."""
+    return hashing.encode(_SIGN_DOMAIN, sid, tuple(delta))
+
+
+@dataclass(frozen=True)
+class TraceResult:
+    """Output of GCD.TraceUser."""
+
+    group_id: str
+    participants: Dict[int, str]  # entry index -> user id
+    unresolved: Tuple[int, ...]   # entries that did not open (decoys, foreign)
+
+    @property
+    def identified(self) -> Tuple[str, ...]:
+        return tuple(self.participants[i] for i in sorted(self.participants))
+
+    @property
+    def distinct_signers(self) -> int:
+        """Number of distinct identities among the opened entries — the
+        quantity the self-distinction experiment compares with m."""
+        return len(set(self.participants.values()))

@@ -1,0 +1,96 @@
+"""Multi-group membership (paper Section 2: "all results can be easily
+generalized to the case that users are allowed to join multiple groups").
+
+A :class:`MembershipWallet` holds one :class:`~repro.core.member.GcdMember`
+credential per group the user belongs to.  For a handshake the user picks
+which affiliation to assert (``credential_for``); the wallet also offers
+``probe`` — run one partial handshake per held credential against the same
+peers to learn which (if any) affiliation it shares with them, without
+revealing the ones it does not.
+
+Important privacy note, mirrored from the paper's discussion: each probe
+is an ordinary handshake, so a wallet holder learns only what any member
+of that group would learn, and reveals only what the asserted group's
+handshake reveals.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.handshake import HandshakeOutcome, HandshakePolicy, run_handshake
+from repro.core.member import GcdMember
+from repro.errors import MembershipError
+
+
+class MembershipWallet:
+    """One user's credentials across several groups."""
+
+    def __init__(self, user_id: str) -> None:
+        self.user_id = user_id
+        self._memberships: Dict[str, GcdMember] = {}
+
+    def enroll(self, framework, rng: Optional[random.Random] = None,
+               alias: Optional[str] = None) -> GcdMember:
+        """Join ``framework`` (SHS.AdmitMember) and keep the credential.
+
+        ``alias`` — the identity used inside that group; defaults to the
+        wallet's user id.  Distinct aliases per group keep the user's
+        cross-group identity unlinkable even by colluding GAs."""
+        member = framework.admit_member(alias or self.user_id, rng)
+        if framework.group_id in self._memberships:
+            raise MembershipError(
+                f"{self.user_id} already enrolled in {framework.group_id}"
+            )
+        self._memberships[framework.group_id] = member
+        return member
+
+    def groups(self) -> List[str]:
+        return sorted(self._memberships)
+
+    def credential_for(self, group_id: str) -> GcdMember:
+        try:
+            return self._memberships[group_id]
+        except KeyError:
+            raise MembershipError(
+                f"{self.user_id} holds no credential for {group_id}"
+            ) from None
+
+    def drop(self, group_id: str) -> None:
+        """Forget a credential (e.g. after revocation)."""
+        self._memberships.pop(group_id, None)
+
+    def update_all(self) -> None:
+        """Run SHS.Update for every held credential."""
+        for member in self._memberships.values():
+            member.update()
+
+    def active_groups(self) -> List[str]:
+        """Groups where this wallet's credential is still unrevoked."""
+        return sorted(
+            gid for gid, member in self._memberships.items()
+            if not member.revoked
+        )
+
+    def probe(
+        self,
+        peers: Sequence[object],
+        policy: Optional[HandshakePolicy] = None,
+        rng: Optional[random.Random] = None,
+        groups: Optional[Sequence[str]] = None,
+    ) -> Dict[str, Tuple[HandshakeOutcome, List[HandshakeOutcome]]]:
+        """Handshake the same peers once per held credential.
+
+        Returns ``{group_id: (own_outcome, all_outcomes)}``.  With a
+        partial-success policy this discovers, per affiliation, which
+        peers share it."""
+        policy = policy or HandshakePolicy(partial_success=True)
+        results = {}
+        for group_id in groups or self.groups():
+            member = self._memberships[group_id]
+            if member.revoked:
+                continue
+            outcomes = run_handshake([member] + list(peers), policy, rng)
+            results[group_id] = (outcomes[0], outcomes)
+        return results

@@ -1,0 +1,156 @@
+"""Binary wire format for protocol objects.
+
+A small self-describing codec for the value types protocols exchange
+(ints of arbitrary size and sign, bytes, str, bool, None, nested tuples).
+The format mirrors :mod:`repro.crypto.hashing`'s canonical encoding — every
+value is tagged and length-prefixed — and adds a decoder, so group
+signatures and state updates can be symmetrically encrypted as opaque byte
+strings and recovered on the other side.
+
+Signature (de)serialization for both GSIG schemes lives here too, keeping
+the dataclasses in :mod:`repro.gsig` free of format concerns.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.errors import EncodingError
+from repro.gsig.acjt import AcjtSignature
+from repro.gsig.base import StateUpdate
+from repro.gsig.kty import KtySignature
+
+_INT = b"\x01"
+_BYTES = b"\x02"
+_STR = b"\x03"
+_NONE = b"\x04"
+_BOOL = b"\x05"
+_SEQ = b"\x06"
+
+
+def dumps(value) -> bytes:
+    """Serialize one value (possibly a nested tuple/list)."""
+    if value is None:
+        return _NONE + (0).to_bytes(4, "big")
+    if isinstance(value, bool):
+        return _BOOL + (1).to_bytes(4, "big") + (b"\x01" if value else b"\x00")
+    if isinstance(value, int):
+        sign = b"-" if value < 0 else b"+"
+        magnitude = abs(value)
+        payload = sign + magnitude.to_bytes((magnitude.bit_length() + 7) // 8 or 1, "big")
+        return _INT + len(payload).to_bytes(4, "big") + payload
+    if isinstance(value, bytes):
+        return _BYTES + len(value).to_bytes(4, "big") + value
+    if isinstance(value, str):
+        payload = value.encode("utf-8")
+        return _STR + len(payload).to_bytes(4, "big") + payload
+    if isinstance(value, (tuple, list)):
+        inner = b"".join(dumps(v) for v in value)
+        return _SEQ + len(inner).to_bytes(4, "big") + inner
+    raise EncodingError(f"cannot serialize type {type(value).__name__}")
+
+
+def loads(blob: bytes):
+    """Inverse of :func:`dumps`; raises :class:`EncodingError` on junk."""
+    value, offset = _decode(blob, 0)
+    if offset != len(blob):
+        raise EncodingError("trailing bytes after value")
+    return value
+
+
+def _decode(blob: bytes, offset: int) -> Tuple[object, int]:
+    if offset + 5 > len(blob):
+        raise EncodingError("truncated value header")
+    tag = blob[offset:offset + 1]
+    length = int.from_bytes(blob[offset + 1:offset + 5], "big")
+    start = offset + 5
+    end = start + length
+    if end > len(blob):
+        raise EncodingError("truncated value body")
+    body = blob[start:end]
+    if tag == _NONE:
+        return None, end
+    if tag == _BOOL:
+        return body == b"\x01", end
+    if tag == _INT:
+        if len(body) < 2 or body[0:1] not in (b"+", b"-"):
+            raise EncodingError("malformed int")
+        magnitude = int.from_bytes(body[1:], "big")
+        return -magnitude if body[0:1] == b"-" else magnitude, end
+    if tag == _BYTES:
+        return body, end
+    if tag == _STR:
+        return body.decode("utf-8"), end
+    if tag == _SEQ:
+        items = []
+        inner = start
+        while inner < end:
+            item, inner = _decode(blob, inner)
+            items.append(item)
+        return tuple(items), end
+    raise EncodingError(f"unknown tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# Signature codecs.
+# ---------------------------------------------------------------------------
+
+_ACJT_TAG = "gsig/acjt"
+_KTY_TAG = "gsig/kty"
+
+_ACJT_FIELDS = (
+    "t1", "t2", "t3", "challenge", "s1", "s2", "s3", "s4",
+    "c_e", "c_u", "c_r", "s_r1", "s_r2", "s_r3", "s_z", "s_w3", "acc_epoch",
+)
+_KTY_FIELDS = (
+    "t1", "t2", "t3", "t4", "t5", "t6", "t7", "challenge",
+    "s_e", "s_x", "s_xt", "s_z", "s_w", "s_k", "shielded",
+)
+
+
+def signature_to_bytes(signature) -> bytes:
+    """Serialize an ACJT or KTY signature."""
+    if isinstance(signature, AcjtSignature):
+        return dumps((_ACJT_TAG,) + tuple(getattr(signature, f) for f in _ACJT_FIELDS))
+    if isinstance(signature, KtySignature):
+        return dumps((_KTY_TAG,) + tuple(getattr(signature, f) for f in _KTY_FIELDS))
+    raise EncodingError(f"unknown signature type {type(signature).__name__}")
+
+
+def signature_from_bytes(blob: bytes):
+    """Deserialize a signature; raises :class:`EncodingError` on junk."""
+    value = loads(blob)
+    if not isinstance(value, tuple) or not value:
+        raise EncodingError("not a signature blob")
+    tag, *fields = value
+    if tag == _ACJT_TAG:
+        if len(fields) != len(_ACJT_FIELDS):
+            raise EncodingError("ACJT signature arity mismatch")
+        return AcjtSignature(**dict(zip(_ACJT_FIELDS, fields)))
+    if tag == _KTY_TAG:
+        if len(fields) != len(_KTY_FIELDS):
+            raise EncodingError("KTY signature arity mismatch")
+        return KtySignature(**dict(zip(_KTY_FIELDS, fields)))
+    raise EncodingError(f"unknown signature tag {tag!r}")
+
+
+# ---------------------------------------------------------------------------
+# State-update codec (for encryption under the CGKD group key).
+# ---------------------------------------------------------------------------
+
+
+def state_update_to_bytes(update: StateUpdate) -> bytes:
+    items = tuple(sorted(update.payload.items()))
+    return dumps(("gsig/update", update.epoch, update.kind, items))
+
+
+def state_update_from_bytes(blob: bytes) -> StateUpdate:
+    value = loads(blob)
+    if (
+        not isinstance(value, tuple)
+        or len(value) != 4
+        or value[0] != "gsig/update"
+    ):
+        raise EncodingError("not a state-update blob")
+    _, epoch, kind, items = value
+    return StateUpdate(epoch=epoch, kind=kind, payload=dict(items))

@@ -1,0 +1,10 @@
+"""Cryptographic substrate: number theory, groups, hashing, encryption,
+commitments, sigma protocols and the dynamic accumulator.
+
+Everything here is implemented from scratch on top of the Python standard
+library.  The parameter sets in :mod:`repro.crypto.params` include small
+research-grade profiles used by the test-suite; production profiles with
+1024/1536-bit safe primes are also shipped.
+"""
+
+from repro.crypto import modmath, primes  # noqa: F401

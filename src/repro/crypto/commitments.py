@@ -1,0 +1,97 @@
+"""Pedersen commitments over known-order and hidden-order groups.
+
+* :class:`PedersenScheme` — over a safe-prime DH group (order q known):
+  ``commit(m; r) = g^m h^r`` with m, r in Z_q.  Perfectly hiding,
+  computationally binding under discrete log.
+* :class:`IntegerPedersenScheme` — over QR(n) (hidden order): commitments to
+  arbitrary integers, as used inside the accumulator's ZK membership proof
+  and the ACJT-style signature proofs.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto.modmath import mexp
+from repro.crypto.params import DHParams
+from repro.crypto.rsa import RsaGroup
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class PedersenScheme:
+    """Pedersen commitments in an order-q subgroup.
+
+    ``h`` must have unknown discrete log w.r.t. ``g`` for binding; the
+    constructor derives it from a random exponent that is thrown away.
+    """
+
+    group: DHParams
+    h: int
+
+    @classmethod
+    def setup(cls, group: DHParams, rng: Optional[random.Random] = None) -> "PedersenScheme":
+        rng = rng or random
+        h = group.power_of_g(group.random_exponent(rng))
+        while h == 1 or h == group.g:
+            h = group.power_of_g(group.random_exponent(rng))
+        return cls(group=group, h=h)
+
+    def commit(self, message: int,
+               rng: Optional[random.Random] = None) -> Tuple[int, int]:
+        """Return ``(commitment, opening)``."""
+        rng = rng or random
+        r = self.group.random_exponent(rng)
+        return self.commit_with(message, r), r
+
+    def commit_with(self, message: int, r: int) -> int:
+        m = message % self.group.q
+        return (
+            self.group.power_of_g(m) * mexp(self.h, r % self.group.q, self.group.p)
+        ) % self.group.p
+
+    def verify(self, commitment: int, message: int, r: int) -> bool:
+        return commitment == self.commit_with(message, r)
+
+    def combine(self, c1: int, c2: int) -> int:
+        """Homomorphic addition: commit(m1+m2; r1+r2)."""
+        return (c1 * c2) % self.group.p
+
+
+@dataclass(frozen=True)
+class IntegerPedersenScheme:
+    """Pedersen commitments to integers in QR(n) (hidden order).
+
+    ``commit(m; r) = g^m h^r mod n`` with r drawn from [1, n/4).  Hiding is
+    statistical; binding rests on the strong RSA assumption.
+    """
+
+    group: RsaGroup
+    g: int
+    h: int
+
+    @classmethod
+    def setup(cls, group: RsaGroup,
+              rng: Optional[random.Random] = None) -> "IntegerPedersenScheme":
+        g = group.random_generator(rng)
+        h = group.random_generator(rng)
+        while h == g:
+            h = group.random_generator(rng)
+        return cls(group=group, g=g, h=h)
+
+    def commit(self, message: int,
+               rng: Optional[random.Random] = None) -> Tuple[int, int]:
+        if message < 0:
+            raise ParameterError("integer commitments expect non-negative messages")
+        r = self.group.random_qr_exponent(rng)
+        return self.commit_with(message, r), r
+
+    def commit_with(self, message: int, r: int) -> int:
+        return self.group.mul(
+            self.group.exp(self.g, message), self.group.exp(self.h, r)
+        )
+
+    def verify(self, commitment: int, message: int, r: int) -> bool:
+        return commitment == self.commit_with(message, r)

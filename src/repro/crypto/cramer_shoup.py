@@ -1,0 +1,141 @@
+"""Cramer-Shoup encryption (IND-CCA2 in the standard model under DDH).
+
+The GCD framework requires the group authority's tracing key pair
+``(pk_T, sk_T)`` to belong to an IND-CCA2 secure public-key cryptosystem
+(Section 7, GCD.CreateGroup).  Cramer-Shoup is the canonical such scheme, so
+it is the default tracing cryptosystem in this library.
+
+Scheme (Cramer & Shoup, CRYPTO'98) over a safe-prime group of order q with
+independent generators g1, g2:
+
+* secret key  (x1, x2, y1, y2, z)
+* public key  c = g1^x1 g2^x2,  d = g1^y1 g2^y2,  h = g1^z
+* encrypt m:  r random;  u1 = g1^r, u2 = g2^r, e = h^r * m,
+              alpha = H(u1, u2, e),  v = c^r * d^(r*alpha)
+* decrypt:    check u1^(x1 + y1*alpha) * u2^(x2 + y2*alpha) == v,
+              m = e / u1^z
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.crypto import encoding, hashing
+from repro.crypto.modmath import inverse, mexp
+from repro.crypto.params import DHParams
+from repro.errors import DecryptionError, ParameterError
+
+
+@dataclass(frozen=True)
+class CSPublicKey:
+    group: DHParams
+    g1: int
+    g2: int
+    c: int
+    d: int
+    h: int
+
+
+@dataclass(frozen=True)
+class CSSecretKey:
+    public: CSPublicKey
+    x1: int
+    x2: int
+    y1: int
+    y2: int
+    z: int
+
+
+@dataclass(frozen=True)
+class CSCiphertext:
+    u1: int
+    u2: int
+    e: int
+    v: int
+
+    def as_tuple(self) -> Tuple[int, int, int, int]:
+        return (self.u1, self.u2, self.e, self.v)
+
+
+def _challenge(group: DHParams, u1: int, u2: int, e: int) -> int:
+    return hashing.hash_mod("cramer-shoup-alpha", group.q, group.p, u1, u2, e)
+
+
+class CramerShoup:
+    """Static-method namespace for the Cramer-Shoup operations."""
+
+    @staticmethod
+    def keygen(group: DHParams,
+               rng: Optional[random.Random] = None) -> Tuple[CSPublicKey, CSSecretKey]:
+        rng = rng or random
+        g1 = group.g
+        # Independent second generator: random exponent of g (its dlog is
+        # unknown to everyone because the exponent is discarded).
+        g2 = group.power_of_g(group.random_exponent(rng))
+        while g2 == 1 or g2 == g1:
+            g2 = group.power_of_g(group.random_exponent(rng))
+        x1, x2, y1, y2, z = (group.random_exponent(rng) for _ in range(5))
+        c = (mexp(g1, x1, group.p) * mexp(g2, x2, group.p)) % group.p
+        d = (mexp(g1, y1, group.p) * mexp(g2, y2, group.p)) % group.p
+        h = mexp(g1, z, group.p)
+        pk = CSPublicKey(group, g1, g2, c, d, h)
+        return pk, CSSecretKey(pk, x1, x2, y1, y2, z)
+
+    @staticmethod
+    def encrypt_element(pk: CSPublicKey, m: int,
+                        rng: Optional[random.Random] = None) -> CSCiphertext:
+        if not 1 <= m < pk.group.p:
+            raise ParameterError("message element out of range")
+        rng = rng or random
+        r = pk.group.random_exponent(rng)
+        p = pk.group.p
+        u1 = mexp(pk.g1, r, p)
+        u2 = mexp(pk.g2, r, p)
+        e = (mexp(pk.h, r, p) * m) % p
+        alpha = _challenge(pk.group, u1, u2, e)
+        v = (mexp(pk.c, r, p) * mexp(pk.d, (r * alpha) % pk.group.q, p)) % p
+        return CSCiphertext(u1, u2, e, v)
+
+    @staticmethod
+    def decrypt_element(sk: CSSecretKey, ct: CSCiphertext) -> int:
+        pk = sk.public
+        p, q = pk.group.p, pk.group.q
+        for component in ct.as_tuple():
+            if not 1 <= component < p:
+                raise DecryptionError("ciphertext component out of range")
+        alpha = _challenge(pk.group, ct.u1, ct.u2, ct.e)
+        check = (
+            mexp(ct.u1, (sk.x1 + sk.y1 * alpha) % q, p)
+            * mexp(ct.u2, (sk.x2 + sk.y2 * alpha) % q, p)
+        ) % p
+        if check != ct.v:
+            raise DecryptionError("Cramer-Shoup validity check failed")
+        return (ct.e * inverse(mexp(ct.u1, sk.z, p), p)) % p
+
+    @staticmethod
+    def encrypt_bytes(pk: CSPublicKey, message: bytes,
+                      rng: Optional[random.Random] = None) -> CSCiphertext:
+        return CramerShoup.encrypt_element(
+            pk, encoding.bytes_to_element(pk.group, message), rng
+        )
+
+    @staticmethod
+    def decrypt_bytes(sk: CSSecretKey, ct: CSCiphertext) -> bytes:
+        return encoding.element_to_bytes(
+            sk.public.group, CramerShoup.decrypt_element(sk, ct)
+        )
+
+    @staticmethod
+    def random_ciphertext(pk: CSPublicKey,
+                          rng: Optional[random.Random] = None) -> CSCiphertext:
+        """A decoy tuple of four random group elements (CASE 2 of Fig. 6).
+
+        Under DDH the components of an honest ciphertext are pseudorandom
+        subgroup elements, so four random subgroup elements are an
+        indistinguishable decoy.
+        """
+        rng = rng or random
+        draw = lambda: pk.group.power_of_g(pk.group.random_exponent(rng))  # noqa: E731
+        return CSCiphertext(draw(), draw(), draw(), draw())

@@ -1,0 +1,54 @@
+"""Reversible encoding of byte strings into safe-prime group elements.
+
+For a safe prime ``p = 2q + 1`` with ``p = 3 (mod 4)``, -1 is a quadratic
+non-residue, so for every ``m`` in ``[1, q]`` exactly one of ``m`` and
+``p - m`` is a quadratic residue.  Mapping ``m`` to whichever of the pair is
+the residue is a bijection between ``[1, q]`` and QR(p), invertible by
+folding back values above ``q``.  This lets ElGamal/Cramer-Shoup encrypt
+short byte strings (such as the 32-byte handshake keys) as group elements.
+"""
+
+from __future__ import annotations
+
+from repro.crypto.modmath import jacobi
+from repro.crypto.params import DHParams
+from repro.errors import EncodingError, ParameterError
+
+
+def max_message_bytes(group: DHParams) -> int:
+    """Largest byte-string length encodable into one element of ``group``."""
+    return (group.q.bit_length() - 2) // 8
+
+
+def bytes_to_element(group: DHParams, message: bytes) -> int:
+    """Encode ``message`` as an element of the order-q subgroup."""
+    if group.p % 4 != 3:
+        raise ParameterError("encoding requires p = 3 mod 4")
+    limit = max_message_bytes(group)
+    if len(message) > limit:
+        raise EncodingError(f"message too long ({len(message)} > {limit} bytes)")
+    # Length-prefix so decoding is unambiguous, then shift into [1, q].
+    value = int.from_bytes(bytes([len(message)]) + message, "big") + 1
+    if value > group.q:
+        raise EncodingError("encoded value exceeds subgroup order")
+    if jacobi(value, group.p) == 1:
+        return value
+    return group.p - value
+
+
+def element_to_bytes(group: DHParams, element: int) -> bytes:
+    """Invert :func:`bytes_to_element`."""
+    if not 1 <= element < group.p:
+        raise EncodingError("element out of range")
+    value = element if element <= group.q else group.p - element
+    value -= 1
+    raw = value.to_bytes((value.bit_length() + 7) // 8 or 1, "big")
+    if not raw:
+        raise EncodingError("empty encoding")
+    length = raw[0]
+    body = raw[1:]
+    if len(body) < length:
+        body = b"\x00" * (length - len(body)) + body
+    if len(body) != length:
+        raise EncodingError("length prefix does not match body")
+    return body

@@ -1,0 +1,43 @@
+"""Message authentication codes.
+
+The handshake's Phase II (Fig. 6) publishes ``MAC(k'_i, s, i)`` where ``s``
+is a string unique to party ``i``.  We implement HMAC-SHA256 with the
+canonical encoding from :mod:`repro.crypto.hashing` so the MAC'd tuple is
+unambiguous.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+
+from repro import metrics
+from repro.crypto import hashing
+from repro.errors import ParameterError
+
+TAG_LENGTH = 32
+
+
+def mac(key: bytes, *values) -> bytes:
+    """HMAC-SHA256 over the canonical encoding of ``values``."""
+    if not key:
+        raise ParameterError("MAC key must be non-empty")
+    metrics.count_hash()
+    return _hmac.new(key, hashing.encode(*values), hashlib.sha256).digest()
+
+
+def verify(key: bytes, tag: bytes, *values) -> bool:
+    """Constant-time verification of an HMAC tag."""
+    if len(tag) != TAG_LENGTH:
+        return False
+    return _hmac.compare_digest(mac(key, *values), tag)
+
+
+def mac_from_int(key_int: int, *values) -> bytes:
+    """MAC keyed by a group-element-sized integer (used with k'_i)."""
+    return mac(hashing.int_to_key(key_int, "mac-key"), *values)
+
+
+def verify_from_int(key_int: int, tag: bytes, *values) -> bool:
+    """Verify a tag produced by :func:`mac_from_int`."""
+    return verify(hashing.int_to_key(key_int, "mac-key"), tag, *values)

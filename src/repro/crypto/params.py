@@ -1,0 +1,243 @@
+"""Precomputed cryptographic parameters and length profiles.
+
+Safe primes are expensive to generate, so the library ships several
+precomputed sets (the same philosophy as the RFC 3526 MODP groups: fixed,
+published parameters).  They were produced by ``scripts/gen_params.py`` with
+32 rounds of Miller-Rabin on both ``p`` and ``(p-1)/2``.
+
+Two families of parameters live here:
+
+* :class:`DHParams` — safe-prime groups for Diffie-Hellman style protocols
+  (the DGKA component, ElGamal, Cramer-Shoup). ``g`` generates the order-q
+  subgroup of quadratic residues, ``q = (p-1)/2``.
+* :class:`AcjtLengths` — the bit-length profile (``lp``, ``k``, ``epsilon``,
+  ``lambda1/2``, ``gamma1/2``) that parameterizes ACJT-style group
+  signatures and the Kiayias-Yung variant.
+
+Security note: profiles named ``tiny``/``test`` exist so the test-suite runs
+in seconds.  They intentionally relax the ACJT requirement ``lambda2 > 4*lp``
+(documented in DESIGN.md).  Use ``secure`` profiles for anything real.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto import primes
+from repro.crypto.modmath import mexp
+from repro.errors import ParameterError
+
+# --------------------------------------------------------------------------
+# Precomputed safe primes, indexed by bit size.  Three per size: the first
+# two are used as RSA factors (p, q), the third as a DH group modulus.
+# --------------------------------------------------------------------------
+
+SAFE_PRIMES: Dict[int, Tuple[int, ...]] = {
+    256: (
+        0xF59D7C48337E98EF48206DE7708F436093DCD0DA49B35078A1277F868563E48F,
+        0xB2CDB02BAC40AFA6EAE69634482C11213687FAE90FFAE56D317F975363664223,
+        0xF3EEEE93CBA6426D01E2C3C0EF248C824A748DED986E10AB47935530CF572EAB,
+    ),
+    384: (
+        0xF49E4D9B4F84B94792A78A78C83ABE8FA44885ADB22366979EFDC208711790CC0557FA6BB41F753B87EF60E48D3DFC1B,
+        0x991D0BDA8D44A8162359CD3844984BDD6575C01A9762FFD702B9F0F05ADE15FBF9088C4AA5DFFD864EAA95622934A53F,
+        0xFC8EFFC92026B6E9CFF40ECCBFDE566DF5B4E727E06D3C653E8921A5AE2268B1523C518BE31719FD16B5B459019A788F,
+    ),
+    512: (
+        0xA5887BAC3829422D758D93E31CDD103B6D9A4134AC1109F5AA5B4B3FC3100C3BCA1CB5543554A152813F5D0E4E1699954ABFA970EB9655C2D2F888181C602387,
+        0xE58455036CC1B654101917CA0E8A21F37B4CBEBF438A08E6C8B1ABE7591E0082E791E90F74FFDCC5B4170F94AAEB2C7FC6BF0C3647CC22E767157153BC4691EF,
+        0xC63EDE72B6678CDD40EFF3F7A16D30431A8D9C7D444EB9B8B8FF674888224C69C4734DA6B913196FAD4772CD570FF145D1D750E17AFE2AADBBEA9F5D0EB0C4DF,
+    ),
+    768: (
+        0x868D197B7EF7174E72275C52114A743989E31EE65BCD595D60AE833BEE59550A1B71412066466035D51B14623D2434BD5E5B2D35358634CC6CD4078B743A79E287646B8736DD0C968A6A6504C101C89F81506AE1F1AB75DBEE0A3A574D40B393,
+        0xD55A4D33B486D487AC121C4492A5C492F1BF9E97A70A94B32E5EC7B10C99FFBC9D620AAFE4286DC5E92F2D06BC48C2C08545EA0D0937BF27D2AAEAC10F7988F9C93EBDD3C9917E1D2E6632A6DD62D3FC829C3C539C40F48485E4329A53FAA60B,
+        0xECC8A57711FE4A908EB6B579867FF54D45F17333D153FD804AC94F29A1CD72B016E993BC34657FDA831AFDAE98FAB14EC1BE42A032F810C91B0D6FAFF2C3F05AB9AC45829E66F76D1AEDAEACA2F405F7B27DC5E6CAEE6DBFABD221CD23F21507,
+    ),
+    1024: (
+        0xF1DC8BECEA491D4D05F862E58CD4574FA37C8BA66704D7C093C1AA9A2D125359214400EA0F7C517DFFEAE365B04929EE740C03B0220BE77EBD5F2AEE91D98342F334DDA90C3EBDC9D149568178353F5E79C9FEBE6A97B15199819DD1D444C5DDD4423594374308F29FC68B5162A001D6275B04B823302D2EC189955AD38DF10F,
+        0x917C3284F5E92F07AA4F4D52C438E17F71EFFB78A46145656837619F23E3CECA5B78EBCA062A436019B23515534D712F9C26248F08B242C3BBDB8B1C4E16D5DE608889CB998CB09CD4E2DB682C4A8A33CBBF4A2B370B993018255892A4D813843CB7B0A3FB7F5717C6D692B926B1722777604197608CC1AAFD9FB2CE3A6835C7,
+        0x85DE79BDBE16870A9FD82BAFA4584D701BF9F3A80DD5F6AA42F17E505DA80AB649433F0BC7578367DCBDA5AF8362A05239A7F3E0CFF751B8E6503803F8A7C019F90473B56AEC47C76109B91806FB6A6281A49F5F5E7A923BBF2839577DF01D33FFE10B4670561427FCE46BFA3CE1B0272737583858CB5B265FA1ADACD87CB35F,
+    ),
+    1536: (
+        0xBD6E17A8E82080C166528CD384ECDA7ECC0C9A77851713E06BAE79CEC84A6E99E09549722F377FD285D057A650024AC06F126CBAC7814C1432E080AA967F197EAFC8FE57360A1CBE31A0FD49740EE70AA46F5AEABA4E7CC91ABF6C86094AB9A182DFEADBEFC0E1E5B9CD357649CBEC3E118F67938B56941F34ED4EC1708FB41CEA65EAEEF1CC108BC2F3F32A6E088CCA8693E302C3AB0D379F201CF59E832F29459604D2D0A0DCD93A011D2C911C412F593F16CA28AAAA5C56AD583AD2009B97,
+        0xC9E986C0425C0DD8B5D59FB373CEF9A05607702AB465824CD6D16932CA579720F1FD7DD0E375CD3E3C5ED693F637ED482AE164590B487C00377EC064662BA747248E23921C60ED561028DD3AAEC0724BB3DB487476A08639F3D1517D6822BBA8B5069A4514A5D76BD7BCB3D8F749379BAA1955CF0480756250764D01C2761A9986BCD1A4DF738B7C29B520E2BBB1C7E191D26055561B6D9927978DB2CD43F7AEA8105ECC3B9987C65769537EC62E8FC117BDFA39CF0F2A5AAE084C8F39D45DDF,
+        0xB7D4208926F444E5BC80AD8D9B7879D8D7DAE408D55B6F06072D0EDA4F1ED0F26902D54D2EA8199E7547A09A6D6F7409D654588EE384EE55F20FE4E8DC9596BFD9412AFFEE6B6AE54507626B71D9D754F8BE78F0D8E26EB15EFAD3B9AA1B2078B86BB402E3D541F6958A9764F4F425438DDBF5E068E53FE35CDE3AE29C1D2E6554B70F1EB7BEA600AA5FC817395CE5B699C7B9A0C9F5F6113632568A7B00ED6E832E62E71F752E6A3519D8C4CC650F4EE8F645D638657EB654D19AFBE2D25E5B,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class DHParams:
+    """A safe-prime group: ``p = 2q + 1``, ``g`` generates QR(p) of order q."""
+
+    p: int
+    q: int
+    g: int
+    name: str = ""
+
+    def contains(self, element: int) -> bool:
+        """True iff ``element`` is in the order-q subgroup of QR(p)."""
+        if not 1 <= element < self.p:
+            return False
+        return mexp(element, self.q, self.p) == 1
+
+    def random_exponent(self, rng: Optional[random.Random] = None) -> int:
+        rng = rng or random
+        return rng.randrange(1, self.q)
+
+    def exp(self, base: int, exponent: int) -> int:
+        return mexp(base, exponent, self.p)
+
+    def power_of_g(self, exponent: int) -> int:
+        return mexp(self.g, exponent, self.p)
+
+
+def _find_qr_generator(p: int) -> int:
+    """Smallest square that generates QR(p) for safe prime p.
+
+    For a safe prime, QR(p) has prime order q, so any residue other than 1
+    generates it; 4 = 2^2 always works.
+    """
+    return 4 % p
+
+
+_DH_CACHE: Dict[int, DHParams] = {}
+
+
+def dh_group(bits: int) -> DHParams:
+    """A precomputed safe-prime DH group of the requested size."""
+    if bits not in SAFE_PRIMES:
+        raise ParameterError(
+            f"no precomputed {bits}-bit safe prime; available: {sorted(SAFE_PRIMES)}"
+        )
+    if bits not in _DH_CACHE:
+        p = SAFE_PRIMES[bits][2]
+        _DH_CACHE[bits] = DHParams(
+            p=p, q=(p - 1) // 2, g=_find_qr_generator(p), name=f"modp-{bits}"
+        )
+    return _DH_CACHE[bits]
+
+
+def rsa_safe_primes(bits_each: int) -> Tuple[int, int]:
+    """A precomputed pair of distinct safe primes for an RSA modulus."""
+    if bits_each not in SAFE_PRIMES:
+        raise ParameterError(
+            f"no precomputed {bits_each}-bit safe primes; available: {sorted(SAFE_PRIMES)}"
+        )
+    p, q = SAFE_PRIMES[bits_each][0], SAFE_PRIMES[bits_each][1]
+    return p, q
+
+
+# --------------------------------------------------------------------------
+# ACJT bit-length profiles.
+# --------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class AcjtLengths:
+    """Bit lengths for ACJT-style signatures.
+
+    ``lp``     : bit length of each RSA safe-prime factor.
+    ``k``      : challenge length (Fiat-Shamir hash truncation).
+    ``epsilon``: slack factor (> 1); we use integer 2 for simple arithmetic.
+    ``lambda1, lambda2`` : membership-secret interval ``Lambda``.
+    ``gamma1, gamma2``   : certificate-prime interval ``Gamma``.
+
+    Invariants enforced: ``lambda1 > epsilon*(lambda2 + k) + 2`` and
+    ``gamma1 > epsilon*(gamma2 + k) + 2`` and ``gamma2 > lambda1 + 2``.
+    The full ACJT security analysis additionally wants ``lambda2 > 4*lp``;
+    the ``strict`` flag records whether a profile satisfies it.
+    """
+
+    lp: int
+    k: int
+    epsilon: int
+    lambda2: int
+    name: str = ""
+
+    @property
+    def lambda1(self) -> int:
+        return self.epsilon * (self.lambda2 + self.k) + 3
+
+    @property
+    def gamma2(self) -> int:
+        return self.lambda1 + 3
+
+    @property
+    def gamma1(self) -> int:
+        return self.epsilon * (self.gamma2 + self.k) + 3
+
+    @property
+    def strict(self) -> bool:
+        return self.lambda2 > 4 * self.lp
+
+    @property
+    def modulus_bits(self) -> int:
+        return 2 * self.lp
+
+    def validate(self) -> None:
+        if self.epsilon < 2:
+            raise ParameterError("epsilon must be >= 2 (integer slack)")
+        if self.lambda1 <= self.epsilon * (self.lambda2 + self.k) + 2:
+            raise ParameterError("lambda1 too small")
+        if self.gamma1 <= self.epsilon * (self.gamma2 + self.k) + 2:
+            raise ParameterError("gamma1 too small")
+        if self.gamma2 <= self.lambda1 + 2:
+            raise ParameterError("gamma2 too small")
+
+    # Interval bounds -------------------------------------------------------
+
+    @property
+    def x_low(self) -> int:
+        return (1 << self.lambda1) - (1 << self.lambda2)
+
+    @property
+    def x_high(self) -> int:
+        return (1 << self.lambda1) + (1 << self.lambda2)
+
+    @property
+    def e_low(self) -> int:
+        return (1 << self.gamma1) - (1 << self.gamma2)
+
+    @property
+    def e_high(self) -> int:
+        return (1 << self.gamma1) + (1 << self.gamma2)
+
+
+_PROFILES: Dict[str, AcjtLengths] = {
+    # Fast research profile for the test-suite: everything fits in a few
+    # hundred bits, protocol logic identical to production.
+    "tiny": AcjtLengths(lp=256, k=80, epsilon=2, lambda2=96, name="tiny"),
+    # Medium profile used by benchmarks.
+    "test": AcjtLengths(lp=384, k=128, epsilon=2, lambda2=160, name="test"),
+    # Parameter sizes in the spirit of the original ACJT recommendation
+    # (lp = 512) with the strict lambda2 > 4 lp requirement honoured.
+    "secure": AcjtLengths(lp=512, k=160, epsilon=2, lambda2=2080, name="secure"),
+    # Larger modulus, still strict.
+    "secure-1536": AcjtLengths(lp=768, k=160, epsilon=2, lambda2=3120, name="secure-1536"),
+}
+
+
+def acjt_profile(name: str = "tiny") -> AcjtLengths:
+    """Look up a named ACJT length profile."""
+    try:
+        profile = _PROFILES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown ACJT profile {name!r}; available: {sorted(_PROFILES)}"
+        ) from None
+    profile.validate()
+    return profile
+
+
+def verify_embedded_parameters(rounds: int = 8) -> bool:
+    """Re-check primality of every embedded safe prime (used by tests)."""
+    for bits, triple in SAFE_PRIMES.items():
+        for p in triple:
+            if p.bit_length() != bits:
+                return False
+            if not primes.is_prime(p, rounds) or not primes.is_prime((p - 1) // 2, rounds):
+                return False
+    return True

@@ -1,0 +1,148 @@
+"""Safe-prime RSA modulus substrate.
+
+ACJT group signatures, the Kiayias-Yung variant, and the Camenisch-
+Lysyanskaya dynamic accumulator all operate in QR(n) for an RSA modulus
+``n = p*q`` with ``p = 2p' + 1`` and ``q = 2q' + 1`` safe primes.  QR(n) is
+then cyclic of order ``p'q'`` — a hidden-order group, known only to whoever
+holds the factorization.
+
+:class:`RsaGroup` bundles the modulus with the (optional) trapdoor and
+offers the handful of operations the higher layers need: random QR
+generators, exponent inversion mod the group order, and membership-ish
+checks (Jacobi symbol; full QR testing requires the trapdoor).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.crypto import params as _params
+from repro.crypto.modmath import inverse, jacobi, mexp, random_qr
+from repro.crypto.primes import is_safe_prime, random_safe_prime
+from repro.errors import ParameterError
+
+
+@dataclass
+class RsaGroup:
+    """An RSA modulus of two safe primes, optionally with its trapdoor.
+
+    Public view (verifiers, members): only ``n``.
+    Trapdoor view (group manager): ``p``, ``q`` and the QR(n) order
+    ``p'q' = (p-1)(q-1)/4``.
+    """
+
+    n: int
+    p: Optional[int] = field(default=None, repr=False)
+    q: Optional[int] = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.p is not None and self.q is not None and self.p * self.q != self.n:
+            raise ParameterError("p * q != n")
+
+    # Construction ----------------------------------------------------------
+
+    @classmethod
+    def from_precomputed(cls, bits_each: int) -> "RsaGroup":
+        """Build from the precomputed safe primes in :mod:`params`."""
+        p, q = _params.rsa_safe_primes(bits_each)
+        return cls(n=p * q, p=p, q=q)
+
+    @classmethod
+    def generate(cls, bits_each: int, rng: Optional[random.Random] = None) -> "RsaGroup":
+        """Generate a fresh modulus (slow for bits_each >= 512)."""
+        p = random_safe_prime(bits_each, rng)
+        q = random_safe_prime(bits_each, rng)
+        while q == p:
+            q = random_safe_prime(bits_each, rng)
+        return cls(n=p * q, p=p, q=q)
+
+    # Views ------------------------------------------------------------------
+
+    @property
+    def has_trapdoor(self) -> bool:
+        return self.p is not None and self.q is not None
+
+    def public(self) -> "RsaGroup":
+        """Trapdoor-free copy safe to hand to members/verifiers."""
+        return RsaGroup(n=self.n)
+
+    @property
+    def qr_order(self) -> int:
+        """|QR(n)| = p'q'.  Requires the trapdoor."""
+        self._require_trapdoor()
+        return ((self.p - 1) // 2) * ((self.q - 1) // 2)
+
+    def _require_trapdoor(self) -> None:
+        if not self.has_trapdoor:
+            raise ParameterError("operation requires the factorization trapdoor")
+
+    # Operations --------------------------------------------------------------
+
+    def random_generator(self, rng: Optional[random.Random] = None) -> int:
+        """Random element of QR(n).  With overwhelming probability it
+        generates the full cyclic group QR(n) (order p'q')."""
+        return random_qr(self.n, rng)
+
+    def random_qr_exponent(self, rng: Optional[random.Random] = None) -> int:
+        """Random exponent suitable for blinding in QR(n): uniform in
+        [1, n/4) which statistically hides values mod the unknown order."""
+        rng = rng or random
+        return rng.randrange(1, self.n // 4)
+
+    def exp(self, base: int, exponent: int) -> int:
+        return mexp(base, exponent, self.n)
+
+    def mul(self, a: int, b: int) -> int:
+        return (a * b) % self.n
+
+    def inv(self, a: int) -> int:
+        return inverse(a, self.n)
+
+    def invert_exponent(self, e: int) -> int:
+        """1/e mod p'q' (the GM's certificate-issuing operation)."""
+        self._require_trapdoor()
+        order = self.qr_order
+        if math.gcd(e, order) != 1:
+            raise ParameterError("exponent not invertible mod group order")
+        return inverse(e, order)
+
+    def is_plausible_element(self, a: int) -> bool:
+        """Public sanity check: in range, invertible and Jacobi(a, n) = 1.
+
+        True QR-membership cannot be decided without the trapdoor; Jacobi
+        symbol +1 is the standard public filter.
+        """
+        if not 1 <= a < self.n:
+            return False
+        if math.gcd(a, self.n) != 1:
+            return False
+        return jacobi(a, self.n) == 1
+
+    def validate_trapdoor(self, rounds: int = 16) -> bool:
+        """Check the factors really are distinct safe primes."""
+        self._require_trapdoor()
+        if self.p == self.q:
+            return False
+        return is_safe_prime(self.p, rounds) and is_safe_prime(self.q, rounds)
+
+    def coprime_to_order(self, e: int) -> bool:
+        """Check gcd(e, p'q') = 1 (GM-side check when picking ACJT primes)."""
+        self._require_trapdoor()
+        return math.gcd(e, self.qr_order) == 1
+
+
+def generators(group: RsaGroup, count: int,
+               rng: Optional[random.Random] = None) -> Tuple[int, ...]:
+    """``count`` independent random QR(n) generators (a, a0, b, g, h, ...)."""
+    seen = set()
+    out = []
+    while len(out) < count:
+        g = group.random_generator(rng)
+        if g in seen or g == 1:
+            continue
+        seen.add(g)
+        out.append(g)
+    return tuple(out)

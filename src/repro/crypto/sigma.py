@@ -1,0 +1,175 @@
+"""Sigma protocols (Fiat-Shamir, non-interactive) over known-order groups.
+
+Implements the standard toolkit used by the baselines and by framework
+plumbing:
+
+* :class:`SchnorrProof`      — PoK of x with y = g^x.
+* :class:`DleqProof`         — PoK of x with y1 = g1^x and y2 = g2^x
+  (discrete-log equality; used for tracing-tag checks).
+* :class:`RepresentationProof` — PoK of (x_1..x_k) with y = prod g_i^{x_i}.
+* :class:`SchnorrSignature`  — Schnorr signatures (PoK bound to a message),
+  used for the authenticated channels of the simulator substrate.
+
+All challenges are derived via the canonical hashing module, domain
+separated per proof type, and include every public value — so transcripts
+are non-malleable across contexts.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.crypto import hashing
+from repro.crypto.modmath import mexp
+from repro.crypto.params import DHParams
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class SchnorrProof:
+    """Non-interactive proof of knowledge of ``x`` such that ``y = g^x``."""
+
+    challenge: int
+    response: int
+
+    @staticmethod
+    def create(group: DHParams, base: int, public: int, secret: int,
+               context: bytes = b"", rng: Optional[random.Random] = None) -> "SchnorrProof":
+        rng = rng or random
+        r = group.random_exponent(rng)
+        commitment = mexp(base, r, group.p)
+        challenge = hashing.hash_mod(
+            "schnorr-pok", group.q, group.p, base, public, commitment, context
+        )
+        response = (r - challenge * secret) % group.q
+        return SchnorrProof(challenge, response)
+
+    def verify(self, group: DHParams, base: int, public: int,
+               context: bytes = b"") -> bool:
+        if not (0 <= self.challenge < group.q and 0 <= self.response < group.q):
+            return False
+        commitment = (
+            mexp(base, self.response, group.p) * mexp(public, self.challenge, group.p)
+        ) % group.p
+        expected = hashing.hash_mod(
+            "schnorr-pok", group.q, group.p, base, public, commitment, context
+        )
+        return expected == self.challenge
+
+
+@dataclass(frozen=True)
+class DleqProof:
+    """Proof that log_{g1}(y1) == log_{g2}(y2)."""
+
+    challenge: int
+    response: int
+
+    @staticmethod
+    def create(group: DHParams, g1: int, y1: int, g2: int, y2: int, secret: int,
+               context: bytes = b"", rng: Optional[random.Random] = None) -> "DleqProof":
+        rng = rng or random
+        r = group.random_exponent(rng)
+        a1 = mexp(g1, r, group.p)
+        a2 = mexp(g2, r, group.p)
+        challenge = hashing.hash_mod(
+            "dleq", group.q, group.p, g1, y1, g2, y2, a1, a2, context
+        )
+        response = (r - challenge * secret) % group.q
+        return DleqProof(challenge, response)
+
+    def verify(self, group: DHParams, g1: int, y1: int, g2: int, y2: int,
+               context: bytes = b"") -> bool:
+        if not (0 <= self.challenge < group.q and 0 <= self.response < group.q):
+            return False
+        a1 = (mexp(g1, self.response, group.p) * mexp(y1, self.challenge, group.p)) % group.p
+        a2 = (mexp(g2, self.response, group.p) * mexp(y2, self.challenge, group.p)) % group.p
+        expected = hashing.hash_mod(
+            "dleq", group.q, group.p, g1, y1, g2, y2, a1, a2, context
+        )
+        return expected == self.challenge
+
+
+@dataclass(frozen=True)
+class RepresentationProof:
+    """PoK of (x_1, ..., x_k) with ``y = prod_i g_i^{x_i}``."""
+
+    challenge: int
+    responses: Tuple[int, ...]
+
+    @staticmethod
+    def create(group: DHParams, bases: Sequence[int], public: int,
+               secrets: Sequence[int], context: bytes = b"",
+               rng: Optional[random.Random] = None) -> "RepresentationProof":
+        if len(bases) != len(secrets) or not bases:
+            raise ParameterError("bases and secrets must align and be non-empty")
+        rng = rng or random
+        nonces = [group.random_exponent(rng) for _ in bases]
+        commitment = 1
+        for base, nonce in zip(bases, nonces):
+            commitment = (commitment * mexp(base, nonce, group.p)) % group.p
+        challenge = hashing.hash_mod(
+            "representation", group.q, group.p, tuple(bases), public, commitment, context
+        )
+        responses = tuple(
+            (nonce - challenge * secret) % group.q
+            for nonce, secret in zip(nonces, secrets)
+        )
+        return RepresentationProof(challenge, responses)
+
+    def verify(self, group: DHParams, bases: Sequence[int], public: int,
+               context: bytes = b"") -> bool:
+        if len(bases) != len(self.responses) or not bases:
+            return False
+        if not 0 <= self.challenge < group.q:
+            return False
+        commitment = mexp(public, self.challenge, group.p)
+        for base, response in zip(bases, self.responses):
+            if not 0 <= response < group.q:
+                return False
+            commitment = (commitment * mexp(base, response, group.p)) % group.p
+        expected = hashing.hash_mod(
+            "representation", group.q, group.p, tuple(bases), public, commitment, context
+        )
+        return expected == self.challenge
+
+
+@dataclass(frozen=True)
+class SchnorrSignature:
+    """Schnorr signature: a Schnorr PoK bound to a message."""
+
+    challenge: int
+    response: int
+
+    @staticmethod
+    def keygen(group: DHParams,
+               rng: Optional[random.Random] = None) -> Tuple[int, int]:
+        """Return ``(public, secret)`` with public = g^secret."""
+        rng = rng or random
+        secret = group.random_exponent(rng)
+        return group.power_of_g(secret), secret
+
+    @staticmethod
+    def sign(group: DHParams, secret: int, message: bytes,
+             rng: Optional[random.Random] = None) -> "SchnorrSignature":
+        rng = rng or random
+        r = group.random_exponent(rng)
+        commitment = group.power_of_g(r)
+        public = group.power_of_g(secret)
+        challenge = hashing.hash_mod(
+            "schnorr-sig", group.q, group.p, public, commitment, message
+        )
+        response = (r - challenge * secret) % group.q
+        return SchnorrSignature(challenge, response)
+
+    def verify(self, group: DHParams, public: int, message: bytes) -> bool:
+        if not (0 <= self.challenge < group.q and 0 <= self.response < group.q):
+            return False
+        commitment = (
+            group.power_of_g(self.response) * mexp(public, self.challenge, group.p)
+        ) % group.p
+        expected = hashing.hash_mod(
+            "schnorr-sig", group.q, group.p, public, commitment, message
+        )
+        return expected == self.challenge

@@ -1,0 +1,113 @@
+"""Authenticated symmetric encryption (the paper's SENC/SDEC).
+
+Implemented from scratch on the standard library: a SHA-256 counter-mode
+stream cipher for confidentiality plus HMAC-SHA256 in encrypt-then-MAC
+composition for integrity.  This yields an IND-CPA + INT-CTXT (hence
+IND-CCA) symmetric AEAD under the usual PRF assumption on HMAC/SHA-256 —
+exactly what the GCD handshake requires of its symmetric component.
+
+Wire format: ``nonce (16) || ciphertext || tag (32)``.
+
+The module also exposes :func:`random_ciphertext`, which produces a string
+indistinguishable from a real ciphertext — used by CASE 2 of the handshake
+(Fig. 6), where parties must publish decoys drawn from the ciphertext space.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac as _hmac
+import os
+import random
+from typing import Optional
+
+from repro import metrics
+from repro.crypto import hashing
+from repro.errors import DecryptionError, ParameterError
+
+NONCE_LENGTH = 16
+TAG_LENGTH = 32
+_BLOCK = 32  # SHA-256 output size
+
+
+def _keystream(key: bytes, nonce: bytes, nbytes: int) -> bytes:
+    out = bytearray()
+    counter = 0
+    while len(out) < nbytes:
+        metrics.count_hash()
+        h = hashlib.sha256()
+        h.update(b"repro-ctr")
+        h.update(key)
+        h.update(nonce)
+        h.update(counter.to_bytes(8, "big"))
+        out.extend(h.digest())
+        counter += 1
+    return bytes(out[:nbytes])
+
+
+def _split_key(key: bytes) -> tuple:
+    enc_key = hashing.kdf(key, "senc-enc", _BLOCK)
+    mac_key = hashing.kdf(key, "senc-mac", _BLOCK)
+    return enc_key, mac_key
+
+
+def encrypt(key: bytes, plaintext: bytes, rng: Optional[random.Random] = None) -> bytes:
+    """SENC: authenticated encryption of ``plaintext`` under ``key``."""
+    if not key:
+        raise ParameterError("encryption key must be non-empty")
+    if rng is None:
+        nonce = os.urandom(NONCE_LENGTH)
+    else:
+        nonce = rng.getrandbits(8 * NONCE_LENGTH).to_bytes(NONCE_LENGTH, "big")
+    enc_key, mac_key = _split_key(key)
+    stream = _keystream(enc_key, nonce, len(plaintext))
+    body = bytes(p ^ s for p, s in zip(plaintext, stream))
+    metrics.count_hash()
+    tag = _hmac.new(mac_key, nonce + body, hashlib.sha256).digest()
+    return nonce + body + tag
+
+
+def decrypt(key: bytes, ciphertext: bytes) -> bytes:
+    """SDEC: decrypt-and-verify; raises :class:`DecryptionError` on failure."""
+    if not key:
+        raise ParameterError("decryption key must be non-empty")
+    if len(ciphertext) < NONCE_LENGTH + TAG_LENGTH:
+        raise DecryptionError("ciphertext too short")
+    nonce = ciphertext[:NONCE_LENGTH]
+    body = ciphertext[NONCE_LENGTH:-TAG_LENGTH]
+    tag = ciphertext[-TAG_LENGTH:]
+    enc_key, mac_key = _split_key(key)
+    metrics.count_hash()
+    expected = _hmac.new(mac_key, nonce + body, hashlib.sha256).digest()
+    if not _hmac.compare_digest(expected, tag):
+        raise DecryptionError("authentication tag mismatch")
+    stream = _keystream(enc_key, nonce, len(body))
+    return bytes(c ^ s for c, s in zip(body, stream))
+
+
+def encrypt_with_int_key(key_int: int, plaintext: bytes,
+                         rng: Optional[random.Random] = None) -> bytes:
+    """SENC keyed by an integer (the handshake key k'_i)."""
+    return encrypt(hashing.int_to_key(key_int, "senc-key"), plaintext, rng)
+
+
+def decrypt_with_int_key(key_int: int, ciphertext: bytes) -> bytes:
+    """SDEC keyed by an integer."""
+    return decrypt(hashing.int_to_key(key_int, "senc-key"), ciphertext)
+
+
+def random_ciphertext(length: int, rng: Optional[random.Random] = None) -> bytes:
+    """A uniformly random string shaped like a ciphertext of ``length``
+    plaintext bytes.  Real ciphertexts are (nonce, pad, tag) — all of which
+    are indistinguishable from random without the key, so a random string is
+    a perfect decoy for CASE 2 of the handshake.
+    """
+    total = NONCE_LENGTH + length + TAG_LENGTH
+    if rng is None:
+        return os.urandom(total)
+    return rng.getrandbits(8 * total).to_bytes(total, "big")
+
+
+def ciphertext_overhead() -> int:
+    """Bytes added to a plaintext by :func:`encrypt`."""
+    return NONCE_LENGTH + TAG_LENGTH

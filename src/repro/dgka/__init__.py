@@ -1,0 +1,16 @@
+"""Building block III: distributed group key agreement (paper Section 6,
+Fig. 5).
+
+* :mod:`repro.dgka.burmester_desmedt` — the Burmester-Desmedt conference
+  key protocol [11]: two broadcast rounds, a constant number of modular
+  exponentiations per party.  The default DGKA of both GCD instantiations.
+* :mod:`repro.dgka.gdh` — GDH.2 (Steiner-Tsudik-Waidner [30]): an
+  upflow/broadcast chain with O(m) exponentiations for the last party;
+  implemented as the comparison point for benchmark E9.
+
+Both are deliberately *unauthenticated* ("raw") as Fig. 5 requires; the
+man-in-the-middle exposure this creates is exactly what the GCD Phase-II
+MAC (keyed with the CGKD group key) repairs — see benchmark E11.
+"""
+
+from repro.dgka.base import DgkaParty, DgkaSession, run_locally  # noqa: F401

@@ -1,0 +1,135 @@
+"""Katz-Yung-style authenticated group key agreement (CRYPTO 2003, [21]).
+
+The paper's DGKA definition is deliberately *unauthenticated* (Fig. 5
+remark) because GCD's Phase II supplies authentication through the CGKD
+key.  Katz-Yung showed the complementary route: a generic compiler that
+turns any secure unauthenticated protocol into an authenticated one by
+(1) prefixing a round of fresh nonces and (2) signing every message
+together with the nonce vector, under long-lived signature keys.
+
+We implement that compiler over Burmester-Desmedt.  It is *not* used by
+GCD (it would destroy anonymity: signatures identify the signers!) — it
+exists as the comparison point the paper's design implicitly argues
+against, and the test-suite demonstrates both facts:
+
+* the MITM splitter that silently defeats raw BD is detected here, and
+* the transcript openly reveals the participants' identities,
+  which is exactly why GCD authenticates with MACs under the secret
+  group key instead.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Optional, Tuple
+
+from repro.crypto import hashing
+from repro.crypto.params import DHParams, dh_group
+from repro.crypto.sigma import SchnorrSignature
+from repro.dgka.base import DgkaParty
+from repro.dgka.burmester_desmedt import BurmesterDesmedtParty
+from repro.errors import ProtocolError
+
+
+def keygen(group: Optional[DHParams] = None,
+           rng: Optional[random.Random] = None) -> Tuple[int, int]:
+    """Long-lived signature keypair for one principal: (public, secret)."""
+    return SchnorrSignature.keygen(group or dh_group(256), rng)
+
+
+class KatzYungParty(DgkaParty):
+    """Authenticated BD: nonce round + signed protocol messages.
+
+    ``directory`` maps party index -> long-lived public key; each party
+    holds its own ``secret``.  Round 0 broadcasts nonces; rounds 1..2 are
+    the BD rounds, each signed over (index, round, payload, nonce-vector).
+    """
+
+    def __init__(self, index: int, m: int, secret: int,
+                 directory: Dict[int, int],
+                 group: Optional[DHParams] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(index, m)
+        if set(directory) != set(range(m)):
+            raise ProtocolError("directory must cover every party index")
+        self.group = group or dh_group(256)
+        self._rng = rng if rng is not None else random.Random()
+        self._secret = secret
+        self._directory = dict(directory)
+        self._inner = BurmesterDesmedtParty(index, m, self.group, self._rng)
+        self._nonces: Dict[int, int] = {}
+
+    @property
+    def rounds(self) -> int:
+        return 1 + self._inner.rounds
+
+    def _nonce_vector(self) -> Tuple[int, ...]:
+        return tuple(self._nonces[i] for i in sorted(self._nonces))
+
+    def emit(self, round_no: int):
+        if round_no == 0:
+            return ("nonce", self._rng.getrandbits(128))
+        inner_payload = self._inner.emit(round_no - 1)
+        body = hashing.encode(
+            "ky-auth", self.index, round_no, inner_payload, self._nonce_vector()
+        )
+        signature = SchnorrSignature.sign(self.group, self._secret, body,
+                                          self._rng)
+        return ("signed", inner_payload, signature.challenge,
+                signature.response)
+
+    def absorb(self, round_no: int, payloads: Dict[int, object]) -> None:
+        if set(payloads) != set(range(self.m)):
+            raise ProtocolError("KY needs a payload from every party")
+        if round_no == 0:
+            for sender, payload in sorted(payloads.items()):
+                kind, nonce = payload
+                if kind != "nonce" or not isinstance(nonce, int):
+                    raise ProtocolError(f"bad nonce payload from {sender}")
+                self._nonces[sender] = nonce
+                self._record(round_no, sender, payload)
+            return
+        inner_payloads = {}
+        for sender, payload in sorted(payloads.items()):
+            kind, inner, challenge, response = payload
+            if kind != "signed":
+                raise ProtocolError(f"unsigned KY payload from {sender}")
+            body = hashing.encode(
+                "ky-auth", sender, round_no, inner, self._nonce_vector()
+            )
+            signature = SchnorrSignature(challenge, response)
+            if not signature.verify(self.group, self._directory[sender], body):
+                raise ProtocolError(
+                    f"authentication failure: bad signature from {sender}"
+                )
+            inner_payloads[sender] = inner
+            self._record(round_no, sender, payload)
+        self._inner.absorb(round_no - 1, inner_payloads)
+        if self._inner.acc:
+            self._finish_from_inner()
+
+    def _finish_from_inner(self) -> None:
+        # Re-derive from the inner session key, bound to the authenticated
+        # transcript (including nonces and signatures).
+        seed = self._inner.session_key + self.sid
+        self._session_key = hashing.kdf(seed, "ky-session-key")
+        self.acc = True
+
+    @property
+    def session_key(self) -> bytes:
+        if not self.acc or self._session_key is None:
+            raise ProtocolError("session key unavailable")
+        return self._session_key
+
+
+def make_parties(m: int, group: Optional[DHParams] = None,
+                 rng: Optional[random.Random] = None):
+    """A ready-made KY session: generates the PKI directory too."""
+    group = group or dh_group(256)
+    rng = rng if rng is not None else random.Random()
+    keys = [keygen(group, rng) for _ in range(m)]
+    directory = {i: keys[i][0] for i in range(m)}
+    return [
+        KatzYungParty(i, m, keys[i][1], directory, group, rng)
+        for i in range(m)
+    ]

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the ``repro`` library.
+
+All library errors derive from :class:`ReproError` so applications can catch
+one base class.  Protocol-level failures (a handshake that legitimately fails
+because the peers are in different groups) are *not* errors — they are normal
+outcomes reported through return values.  Exceptions signal misuse, corrupted
+input, or cryptographic verification failures.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error raised by the library."""
+
+
+class ParameterError(ReproError):
+    """Invalid or inconsistent cryptographic parameters."""
+
+
+class EncodingError(ReproError):
+    """Malformed serialized value (wire format, transcripts, keys)."""
+
+
+class VerificationError(ReproError):
+    """A cryptographic check failed (signature, proof, MAC, ciphertext tag)."""
+
+
+class DecryptionError(VerificationError):
+    """Ciphertext rejected (bad tag, malformed, or wrong key)."""
+
+
+class MembershipError(ReproError):
+    """Operation on a user who is not (or already is) a group member."""
+
+
+class RevocationError(MembershipError):
+    """Operation conflicts with revocation state (e.g. revoking twice)."""
+
+
+class ProtocolError(ReproError):
+    """A protocol message arrived out of order, malformed, or from a
+    participant that is not part of the session."""
+
+
+class SessionError(ProtocolError):
+    """An operation was attempted on a session in the wrong state."""
+
+
+class TracingError(ReproError):
+    """TraceUser / Open failed on a transcript that should be traceable."""

@@ -1,0 +1,12 @@
+"""Building block I: group signature schemes (paper Section 4, Fig. 3).
+
+* :mod:`repro.gsig.acjt` — the ACJT (Ateniese-Camenisch-Joye-Tsudik,
+  CRYPTO 2000) scheme with dynamic-accumulator revocation; full-anonymity.
+  Used by GCD instantiation 1 (Theorem 1 / 8.1).
+* :mod:`repro.gsig.kty` — the Kiayias-(Tsiounis-)Yung traceable-signature
+  variant of Appendix H with the T1..T7 structure, supporting the paper's
+  self-distinction modification (common hash-derived T7); anonymity (not
+  full-anonymity).  Used by GCD instantiation 2 (Theorem 3 / 8.2).
+"""
+
+from repro.gsig.base import GroupSignatureScheme, StateUpdate  # noqa: F401

@@ -1,0 +1,84 @@
+"""Group signature scheme interface (paper Fig. 3).
+
+A scheme exposes the manager side (:class:`GroupSignatureManager`:
+Setup/Join/Revoke/Open) and the member side (:class:`GroupMemberCredential`:
+Sign plus Update processing).  Verification needs only the public key and
+the member's view of the current system state.
+
+State propagation follows the paper: every Join/Revoke produces a
+:class:`StateUpdate` record that the group authority distributes to members
+(in GCD, encrypted under the fresh CGKD key); each member feeds the record
+to ``apply_update`` to refresh its local state (Fig. 3 ``Update``).
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class StateUpdate:
+    """One system-state update record.
+
+    ``kind`` is ``"join"`` or ``"revoke"``; ``payload`` is scheme-specific
+    (for accumulator revocation: the accumulated/deleted prime and the new
+    accumulator value; for VLR: the new revocation token).
+    """
+
+    epoch: int
+    kind: str
+    payload: Dict[str, Any] = field(default_factory=dict)
+
+
+class GroupSignatureManager(abc.ABC):
+    """Manager-side interface (GM in the paper)."""
+
+    @property
+    @abc.abstractmethod
+    def public_key(self):
+        """The group public key ``pk_GM`` (scheme-specific dataclass)."""
+
+    @abc.abstractmethod
+    def join(self, user_id: str, rng=None) -> Tuple[object, StateUpdate]:
+        """Admit ``user_id``; return ``(credential, state_update)``."""
+
+    @abc.abstractmethod
+    def revoke(self, user_id: str) -> StateUpdate:
+        """Revoke ``user_id``'s membership; return the state update."""
+
+    @abc.abstractmethod
+    def open(self, message: bytes, signature) -> Optional[str]:
+        """Identify the signer of a valid signature (Fig. 3 ``Open``);
+        returns the user id, or ``None`` if the signature is invalid or the
+        signer is unknown."""
+
+
+class GroupMemberCredential(abc.ABC):
+    """Member-side interface: holds secrets, signs, applies updates."""
+
+    @abc.abstractmethod
+    def sign(self, message: bytes, rng=None):
+        """Produce a group signature on ``message``."""
+
+    @abc.abstractmethod
+    def apply_update(self, update: StateUpdate) -> None:
+        """Process a state update (Fig. 3 ``Update``)."""
+
+
+class GroupSignatureScheme(abc.ABC):
+    """Factory bundling the pieces of one concrete scheme."""
+
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def setup(self, rng=None) -> GroupSignatureManager:
+        """Run ``Setup`` and return a fresh manager."""
+
+    @abc.abstractmethod
+    def verify(self, public_key, message: bytes, signature,
+               member_state=None) -> bool:
+        """``Verify`` per Fig. 3.  ``member_state`` carries any member-only
+        verification inputs (e.g. the CRL, which the paper makes known only
+        to current group members)."""

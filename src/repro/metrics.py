@@ -1,0 +1,134 @@
+"""Operation counters used by the benchmark harness.
+
+The paper's efficiency claims are stated in *number of modular
+exponentiations* and *number of messages* per participant (Sections 8.1 and
+8.2).  To reproduce those claims we instrument the two primitives everything
+else is built from:
+
+* :func:`count_modexp` is called by :func:`repro.crypto.modmath.mexp` on every
+  modular exponentiation;
+* :class:`repro.net.simulator.Network` calls :func:`count_message` whenever a
+  protocol message is delivered.
+
+Counters are grouped into named scopes so a benchmark can attribute cost to a
+particular party or protocol phase::
+
+    with metrics.scope("party-3"):
+        run_protocol()
+    print(metrics.snapshot()["party-3"].modexp)
+
+Scopes nest; an operation is charged to every active scope plus the implicit
+``"total"`` scope.  Counting is thread-local-free and deterministic because
+the whole library runs single-threaded simulations.
+"""
+
+from __future__ import annotations
+
+import contextlib
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List
+
+
+@dataclass
+class Counters:
+    """Tallies for one scope."""
+
+    modexp: int = 0
+    modmul: int = 0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    hashes: int = 0
+    pairings: int = 0
+    extra: Dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment an ad-hoc named counter."""
+        self.extra[name] = self.extra.get(name, 0) + amount
+
+    def copy(self) -> "Counters":
+        clone = Counters(
+            modexp=self.modexp,
+            modmul=self.modmul,
+            messages_sent=self.messages_sent,
+            messages_received=self.messages_received,
+            bytes_sent=self.bytes_sent,
+            hashes=self.hashes,
+            pairings=self.pairings,
+        )
+        clone.extra = dict(self.extra)
+        return clone
+
+
+_TOTAL = "total"
+_counters: Dict[str, Counters] = {_TOTAL: Counters()}
+_active: List[str] = [_TOTAL]
+
+
+def reset() -> None:
+    """Drop all counters and scopes (benchmarks call this between runs)."""
+    _counters.clear()
+    _counters[_TOTAL] = Counters()
+    del _active[:]
+    _active.append(_TOTAL)
+
+
+@contextlib.contextmanager
+def scope(name: str) -> Iterator[Counters]:
+    """Attribute operations performed inside the block to ``name``."""
+    counters = _counters.setdefault(name, Counters())
+    _active.append(name)
+    try:
+        yield counters
+    finally:
+        _active.remove(name)
+
+
+def _each_active() -> List[Counters]:
+    return [_counters[name] for name in _active]
+
+
+def count_modexp(amount: int = 1) -> None:
+    for c in _each_active():
+        c.modexp += amount
+
+
+def count_modmul(amount: int = 1) -> None:
+    for c in _each_active():
+        c.modmul += amount
+
+
+def count_hash(amount: int = 1) -> None:
+    for c in _each_active():
+        c.hashes += amount
+
+
+def count_pairing(amount: int = 1) -> None:
+    for c in _each_active():
+        c.pairings += amount
+
+
+def count_message_sent(nbytes: int = 0) -> None:
+    for c in _each_active():
+        c.messages_sent += 1
+        c.bytes_sent += nbytes
+
+
+def count_message_received() -> None:
+    for c in _each_active():
+        c.messages_received += 1
+
+
+def bump(name: str, amount: int = 1) -> None:
+    for c in _each_active():
+        c.bump(name, amount)
+
+
+def snapshot() -> Dict[str, Counters]:
+    """Return a copy of every scope's counters."""
+    return {name: c.copy() for name, c in _counters.items()}
+
+
+def total() -> Counters:
+    """Counters accumulated since the last :func:`reset`."""
+    return _counters[_TOTAL].copy()

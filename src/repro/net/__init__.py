@@ -1,0 +1,9 @@
+"""Network substrate: a deterministic message-passing simulator with the
+channel abstractions the paper assumes (Section 2): broadcast with receiver
+anonymity, anonymous sender channels, an authenticated bulletin board for
+GA state updates — plus adversary taps (eavesdropping, MITM, corruption)
+used by the security games.
+"""
+
+from repro.net.simulator import Message, Network, Party, BROADCAST  # noqa: F401
+from repro.net.channels import BulletinBoard  # noqa: F401

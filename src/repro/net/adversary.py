@@ -1,0 +1,99 @@
+"""Adversaries for the network simulator.
+
+These implement the capabilities the Appendix-A experiments grant the
+adversary: passive global eavesdropping (:class:`Eavesdropper`), active
+message rewriting / dropping / injection (:class:`ManInTheMiddle`), and a
+corruption registry that records which parties' internal state the
+adversary has obtained (:class:`CorruptionLog`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.net.simulator import Message, Network
+
+
+class Eavesdropper:
+    """Passive global observer: records every message put on the wire."""
+
+    def __init__(self, network: Network) -> None:
+        self.log: List[Message] = []
+        network.add_tap(self.log.append)
+
+    def messages_on(self, channel: str) -> List[Message]:
+        return [m for m in self.log if m.channel == channel]
+
+    def traffic_volume(self) -> int:
+        """Total observed bytes — the traffic-analysis metric."""
+        return sum(m.size for m in self.log)
+
+    def senders(self) -> Set[str]:
+        return {m.sender for m in self.log if m.sender is not None}
+
+
+RewriteRule = Callable[[Message], Optional[Message]]
+
+
+class ManInTheMiddle:
+    """Active adversary: per-message rewrite rules, applied in order.
+
+    A rule returns a replacement message, ``None`` to drop, or the input
+    unchanged.  :attr:`intercepted` records everything seen.
+    """
+
+    def __init__(self, network: Network) -> None:
+        self._rules: List[RewriteRule] = []
+        self.intercepted: List[Message] = []
+        self._network = network
+        network.add_interceptor(self._apply)
+
+    def add_rule(self, rule: RewriteRule) -> None:
+        self._rules.append(rule)
+
+    def inject(self, message: Message) -> None:
+        self._network.inject(message)
+
+    def _apply(self, message: Message) -> Optional[Message]:
+        self.intercepted.append(message)
+        current: Optional[Message] = message
+        for rule in self._rules:
+            if current is None:
+                return None
+            current = rule(current)
+        return current
+
+
+@dataclass
+class CorruptionLog:
+    """Bookkeeping for O_Corrupt queries: who was corrupted, and when.
+
+    The security games consult this log to evaluate their freshness
+    conditions (e.g. "there is no O_Corrupt(GA) query")."""
+
+    corrupted_users: Dict[str, int] = field(default_factory=dict)
+    corrupted_ga_admit: bool = False
+    corrupted_ga_trace: bool = False
+    clock: int = 0
+
+    def tick(self) -> int:
+        self.clock += 1
+        return self.clock
+
+    def corrupt_user(self, user_id: str) -> int:
+        when = self.tick()
+        self.corrupted_users.setdefault(user_id, when)
+        return when
+
+    def corrupt_ga(self, capability: str) -> None:
+        if capability == "admit":
+            self.corrupted_ga_admit = True
+        elif capability == "trace":
+            self.corrupted_ga_trace = True
+        else:
+            raise ValueError(f"unknown GA capability {capability!r}")
+        self.tick()
+
+    def is_corrupt(self, user_id: str) -> bool:
+        return user_id in self.corrupted_users

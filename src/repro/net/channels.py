@@ -1,0 +1,89 @@
+"""Channel abstractions layered on the simulator.
+
+* :class:`BulletinBoard` — the authenticated anonymous channel the paper
+  uses for GA state updates ("e.g., posted on a public bulletin board",
+  GCD.AdmitMember).  Posts are append-only and signed by the poster with a
+  Schnorr signature; readers poll anonymously, so an observer learns
+  neither the reader set nor (for encrypted posts) the content.
+* :class:`AuthenticatedChannel` — a thin helper wrapping sign-then-send /
+  verify-on-receive for point-to-point messages (used in Join protocols,
+  which the paper runs over private authenticated channels).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.crypto import hashing
+from repro.crypto.params import DHParams, dh_group
+from repro.crypto.sigma import SchnorrSignature
+from repro.errors import VerificationError
+
+
+@dataclass(frozen=True)
+class Post:
+    """One bulletin-board entry."""
+
+    index: int
+    topic: str
+    payload: bytes
+    signature: SchnorrSignature
+    poster_public: int
+
+
+class BulletinBoard:
+    """Append-only authenticated board with anonymous read access."""
+
+    def __init__(self, group: Optional[DHParams] = None) -> None:
+        self.group = group or dh_group(256)
+        self._posts: List[Post] = []
+
+    def make_poster_key(self, rng: Optional[random.Random] = None) -> Tuple[int, int]:
+        """(public, secret) Schnorr key for an authorized poster."""
+        return SchnorrSignature.keygen(self.group, rng)
+
+    def post(self, topic: str, payload: bytes, poster_public: int,
+             poster_secret: int, rng: Optional[random.Random] = None) -> Post:
+        index = len(self._posts)
+        body = hashing.encode(index, topic, payload)
+        signature = SchnorrSignature.sign(self.group, poster_secret, body, rng)
+        entry = Post(index, topic, payload, signature, poster_public)
+        self._posts.append(entry)
+        return entry
+
+    def read_since(self, index: int, topic: Optional[str] = None) -> List[Post]:
+        """Anonymous read: all verified posts with index >= ``index``."""
+        out = []
+        for post in self._posts[index:]:
+            body = hashing.encode(post.index, post.topic, post.payload)
+            if not post.signature.verify(self.group, post.poster_public, body):
+                raise VerificationError(f"bulletin post {post.index} forged")
+            if topic is None or post.topic == topic:
+                out.append(post)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._posts)
+
+
+class AuthenticatedChannel:
+    """Sign-then-send helper for point-to-point authenticated messages."""
+
+    def __init__(self, group: Optional[DHParams] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.group = group or dh_group(256)
+        self._rng = rng
+
+    def keygen(self) -> Tuple[int, int]:
+        return SchnorrSignature.keygen(self.group, self._rng)
+
+    def seal(self, secret: int, payload: bytes) -> Tuple[bytes, SchnorrSignature]:
+        return payload, SchnorrSignature.sign(self.group, secret, payload, self._rng)
+
+    def open(self, public: int, sealed: Tuple[bytes, SchnorrSignature]) -> bytes:
+        payload, signature = sealed
+        if not signature.verify(self.group, public, payload):
+            raise VerificationError("authenticated channel: bad signature")
+        return payload

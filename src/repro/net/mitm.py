@@ -1,0 +1,60 @@
+"""Network-level man-in-the-middle for the handshake runner.
+
+:class:`NetworkBdSplitter` mounts the textbook Burmester-Desmedt split
+attack (see :class:`repro.security.adversaries.BdMitmSplitter`) on the
+message-passing fabric: it intercepts every DGKA broadcast, suppresses it,
+and re-injects *per-receiver unicasts* whose payloads are tampered
+according to the receiver's side of the cut — exactly what a radio
+adversary who can jam and replay would do.  Phase II/III traffic passes
+through untouched (the attack's failure there is the point of E11)."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import replace
+from typing import Optional
+
+from repro.crypto.params import DHParams, dh_group
+from repro.net.simulator import Message, Network
+from repro.security.adversaries import BdMitmSplitter
+
+
+class NetworkBdSplitter:
+    """Install with ``NetworkBdSplitter(network, m, cut)`` before devices
+    start; it rewrites round-0/1 DGKA broadcasts on the given session."""
+
+    def __init__(self, network: Network, m: int, cut: int,
+                 session_id: str = "session",
+                 group: Optional[DHParams] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        self.network = network
+        self.session_id = session_id
+        self.m = m
+        self.cut = cut
+        self.splitter = BdMitmSplitter(group or dh_group(256), m, cut, rng)
+        self.intercepted = 0
+        network.add_interceptor(self._intercept)
+
+    def _intercept(self, message: Message) -> Optional[Message]:
+        payload = message.payload
+        if (
+            not isinstance(payload, tuple)
+            or len(payload) != 5
+            or payload[0] != "dgka"
+            or payload[1] != self.session_id
+        ):
+            return message
+        _, _, round_no, sender, body = payload
+        self.intercepted += 1
+        # Suppress the broadcast; deliver a per-receiver (possibly
+        # tampered) unicast to every other device instead.
+        for receiver in range(self.m):
+            if receiver == sender:
+                continue
+            tampered = self.splitter(round_no, sender, receiver, body)
+            self.network.inject(replace(
+                message,
+                recipient=f"device-{receiver}",
+                payload=("dgka", self.session_id, round_no, sender, tampered),
+            ))
+        return None

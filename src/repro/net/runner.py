@@ -1,0 +1,304 @@
+"""Network-driven handshake execution.
+
+:func:`repro.core.handshake.run_handshake` drives the three-phase protocol
+with a synchronous local loop — convenient for tests and counting.  This
+module runs the *same* protocol as genuinely asynchronous message-passing
+over the :class:`repro.net.simulator.Network`: each participant is a
+:class:`HandshakeDevice` that buffers broadcasts, advances through the DGKA
+rounds as messages arrive (in any interleaving the FIFO network produces),
+and publishes its Phase II tag and Phase III pair when — and only when —
+its local state permits.  An eavesdropper tap or MITM interceptor on the
+network sees exactly the paper's wire format.
+
+The device driver supports all-speak DGKA protocols (Burmester-Desmedt,
+the default for both instantiations); chain protocols like GDH.2 have
+per-round single speakers and use the synchronous engine instead.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core import wire
+from repro.core.handshake import (
+    HandshakeOutcome,
+    HandshakePolicy,
+    _nominal_signature_length,
+    xor_keys,
+)
+from repro.core.transcript import HandshakeEntry, HandshakeTranscript, signed_message
+from repro.crypto import hashing, mac, symmetric
+from repro.crypto.cramer_shoup import CramerShoup
+from repro.dgka.burmester_desmedt import BurmesterDesmedtParty
+from repro.errors import DecryptionError, ProtocolError
+from repro.net.simulator import Message, Network, Party
+
+
+@dataclass(frozen=True)
+class SessionPlan:
+    """Public session parameters every device agrees on up front: the
+    ordered roster of device names (index = position) and a session tag
+    used as the broadcast channel."""
+
+    session_id: str
+    roster: Sequence[str]
+
+    @property
+    def m(self) -> int:
+        return len(self.roster)
+
+    def index_of(self, name: str) -> int:
+        return self.roster.index(name)
+
+    @property
+    def channel(self) -> str:
+        return f"handshake/{self.session_id}"
+
+
+class HandshakeDevice(Party):
+    """One participant's device: state machine over network broadcasts."""
+
+    def __init__(self, name: str, member, plan: SessionPlan,
+                 policy: Optional[HandshakePolicy] = None,
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(name)
+        self.member = member
+        self.plan = plan
+        self.policy = policy or HandshakePolicy()
+        self.rng = rng if rng is not None else random.Random()
+        self.index = plan.index_of(name)
+        self.dgka = BurmesterDesmedtParty(self.index, plan.m, rng=self.rng)
+        self._round_buffers: Dict[int, Dict[int, object]] = {}
+        self._current_round = 0
+        self._k_prime: Optional[bytes] = None
+        self._tags: Dict[int, bytes] = {}
+        self._valid_tags: set = set()
+        self._entries: Dict[int, HandshakeEntry] = {}
+        self._published_phase3 = False
+        self.outcome: Optional[HandshakeOutcome] = None
+
+    # Protocol driving ---------------------------------------------------------
+
+    def start(self) -> None:
+        """Kick off Phase I by broadcasting the first DGKA round."""
+        self._emit_round(0)
+
+    def _emit_round(self, round_no: int) -> None:
+        payload = self.dgka.emit(round_no)
+        if payload is None:
+            raise ProtocolError("network driver requires all-speak rounds")
+        self._buffer(round_no, self.index, payload)
+        self.broadcast(("dgka", self.plan.session_id, round_no,
+                        self.index, payload), channel=self.plan.channel)
+        self._maybe_advance()
+
+    def on_message(self, message: Message) -> None:
+        payload = message.payload
+        if not isinstance(payload, tuple) or len(payload) < 2:
+            return
+        kind, session_id = payload[0], payload[1]
+        if session_id != self.plan.session_id:
+            return
+        if kind == "dgka":
+            _, _, round_no, sender, body = payload
+            self._buffer(round_no, sender, body)
+            self._maybe_advance()
+        elif kind == "tag":
+            _, _, sender, tag = payload
+            self._tags.setdefault(sender, tag)
+            self._maybe_finish_phase2()
+        elif kind == "phase3":
+            _, _, sender, theta, delta = payload
+            self._entries.setdefault(
+                sender, HandshakeEntry(index=sender, theta=theta,
+                                       delta=tuple(delta))
+            )
+            self._maybe_conclude()
+
+    # Phase I ---------------------------------------------------------------------
+
+    def _buffer(self, round_no: int, sender: int, body: object) -> None:
+        self._round_buffers.setdefault(round_no, {})[sender] = body
+
+    def _maybe_advance(self) -> None:
+        while not self.dgka.acc:
+            ready = self._round_buffers.get(self._current_round, {})
+            if len(ready) < self.plan.m:
+                return
+            self.dgka.absorb(self._current_round, dict(ready))
+            self._current_round += 1
+            if self.dgka.acc:
+                self._finish_phase1()
+                return
+            if self._current_round < self.dgka.rounds:
+                # Emit our contribution to the next round (if we have not
+                # already, e.g. triggered by buffered future messages).
+                if self.index not in self._round_buffers.get(
+                    self._current_round, {}
+                ):
+                    self._emit_round(self._current_round)
+
+    def _finish_phase1(self) -> None:
+        try:
+            group_key = self.member.group_key
+        except Exception:
+            group_key = self.rng.getrandbits(256).to_bytes(32, "big")
+        self._k_prime = xor_keys(self.dgka.session_key, group_key)
+        tag = mac.mac(self._k_prime, self.dgka.unique_string(self.index),
+                      self.index)
+        self._tags[self.index] = tag
+        self.broadcast(("tag", self.plan.session_id, self.index, tag),
+                       channel=self.plan.channel)
+        self._maybe_finish_phase2()
+
+    # Phase II ----------------------------------------------------------------------
+
+    def _maybe_finish_phase2(self) -> None:
+        if self._published_phase3 or self._k_prime is None:
+            return
+        if len(self._tags) < self.plan.m:
+            return
+        for sender, tag in self._tags.items():
+            if mac.verify(self._k_prime, tag,
+                          self.dgka.unique_string(sender), sender):
+                self._valid_tags.add(sender)
+        self._publish_phase3()
+
+    # Phase III --------------------------------------------------------------------
+
+    def _publish_phase3(self) -> None:
+        self._published_phase3 = True
+        if not self.policy.traceable:
+            self._conclude_without_phase3()
+            return
+        all_indices = set(range(self.plan.m))
+        case1 = self._valid_tags == all_indices or (
+            self.policy.partial_success and len(self._valid_tags) > 1
+        )
+        if case1:
+            try:
+                theta, delta = self._make_real_pair()
+            except Exception:
+                theta, delta = self._make_decoy_pair()
+        else:
+            theta, delta = self._make_decoy_pair()
+        entry = HandshakeEntry(index=self.index, theta=theta, delta=delta)
+        self._entries[self.index] = entry
+        self.broadcast(("phase3", self.plan.session_id, self.index,
+                        theta, delta), channel=self.plan.channel)
+        self._maybe_conclude()
+
+    def _make_real_pair(self):
+        sid = self.dgka.sid
+        pk_t = self.member.info.tracing_public_key
+        delta = CramerShoup.encrypt_bytes(pk_t, self._k_prime, self.rng).as_tuple()
+        shield = (self.member.distinction_shield(sid)
+                  if self.policy.self_distinction else None)
+        blob = self.member.gsig_sign(signed_message(sid, delta), self.rng,
+                                     shield=shield)
+        theta = symmetric.encrypt(self._k_prime, blob, self.rng)
+        return theta, delta
+
+    def _make_decoy_pair(self):
+        try:
+            length = _nominal_signature_length(self.member)
+            pk_t = self.member.info.tracing_public_key
+            delta = CramerShoup.random_ciphertext(pk_t, self.rng).as_tuple()
+        except Exception:
+            length = 512
+            delta = tuple(self.rng.getrandbits(512) for _ in range(4))
+        return symmetric.random_ciphertext(length, self.rng), delta
+
+    def _maybe_conclude(self) -> None:
+        if self.outcome is not None or not self._published_phase3:
+            return
+        if len(self._entries) < self.plan.m:
+            return
+        sid = self.dgka.sid
+        entries = tuple(self._entries[i] for i in range(self.plan.m))
+        outcome = HandshakeOutcome(index=self.index, success=False,
+                                   k_prime=self._k_prime)
+        outcome.transcript = HandshakeTranscript(sid=sid, entries=entries)
+        shield = (self.member.distinction_shield(sid)
+                  if self.policy.self_distinction else None)
+        confirmed = set()
+        tags_by_peer: Dict[int, int] = {}
+        for entry in entries:
+            if entry.index == self.index or entry.index not in self._valid_tags:
+                continue
+            try:
+                blob = symmetric.decrypt(self._k_prime, entry.theta)
+            except DecryptionError:
+                continue
+            if not self.member.gsig_verify(
+                signed_message(sid, entry.delta), blob, expected_shield=shield
+            ):
+                continue
+            if self.policy.self_distinction:
+                tags_by_peer[entry.index] = wire.signature_from_bytes(blob).t6
+            confirmed.add(entry.index)
+        outcome.confirmed_peers = confirmed
+        if self.policy.self_distinction:
+            own = self.member.credential.distinction_tag(shield)
+            seen = {self.index: own}
+            duplicates: set = set()
+            for peer, tag in tags_by_peer.items():
+                for other, other_tag in seen.items():
+                    if tag == other_tag:
+                        duplicates.update({peer, other})
+                seen[peer] = tag
+            outcome.distinct = not duplicates
+            outcome.duplicate_indices = duplicates
+        full = confirmed == set(range(self.plan.m)) - {self.index}
+        outcome.success = full and (outcome.distinct is not False)
+        if outcome.success or (self.policy.partial_success and confirmed):
+            outcome.session_key = hashing.kdf(
+                self._k_prime + sid, "gcd-secure-channel"
+            )
+        self.outcome = outcome
+
+    def _conclude_without_phase3(self) -> None:
+        all_peers = set(range(self.plan.m)) - {self.index}
+        confirmed = set(self._valid_tags) - {self.index}
+        outcome = HandshakeOutcome(
+            index=self.index,
+            success=confirmed == all_peers,
+            confirmed_peers=confirmed,
+        )
+        if outcome.success:
+            outcome.session_key = hashing.kdf(
+                self._k_prime + self.dgka.sid, "gcd-secure-channel"
+            )
+        self.outcome = outcome
+
+
+def run_handshake_over_network(
+    members: Sequence[object],
+    policy: Optional[HandshakePolicy] = None,
+    rng: Optional[random.Random] = None,
+    network: Optional[Network] = None,
+    session_id: str = "session",
+) -> List[HandshakeOutcome]:
+    """Execute SHS.Handshake as message-passing over a (possibly
+    adversary-instrumented) network.  Returns per-participant outcomes in
+    roster order; a participant that could not conclude (e.g. messages
+    dropped by a MITM) yields a failed outcome."""
+    rng = rng if rng is not None else random.Random()
+    network = network or Network()
+    plan = SessionPlan(session_id=session_id,
+                       roster=[f"device-{i}" for i in range(len(members))])
+    devices = [
+        network.register(HandshakeDevice(plan.roster[i], member, plan,
+                                         policy, rng))
+        for i, member in enumerate(members)
+    ]
+    for device in devices:
+        device.start()
+    network.run()
+    return [
+        device.outcome
+        or HandshakeOutcome(index=device.index, success=False)
+        for device in devices
+    ]

@@ -1,0 +1,15 @@
+"""Bilinear pairings from scratch: F_p and F_p^2 arithmetic, the
+supersingular curve y^2 = x^3 + x (p = 3 mod 4, embedding degree 2), the
+Tate pairing via Miller's algorithm with a distortion map, and the
+Sakai-Ohgishi-Kasahara identity-based key agreement [29] — the foundation
+of the Balfanz et al. baseline handshake [3] that Section 10 compares GCD
+against.
+
+Parameters are research-grade (small pairing-friendly primes, precomputed
+like everything else in :mod:`repro.crypto.params`); the baseline's role is
+comparative, not deployable.
+"""
+
+from repro.pairing.curve import Curve, Point, curve_params  # noqa: F401
+from repro.pairing.tate import tate_pairing  # noqa: F401
+from repro.pairing.sok import SokAuthority  # noqa: F401

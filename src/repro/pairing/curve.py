@@ -1,0 +1,180 @@
+"""The supersingular curve E: y^2 = x^3 + x over F_p (p = 3 mod 4).
+
+``#E(F_p) = p + 1`` for this family, so choosing ``p = c*q - 1`` with ``q``
+prime gives an order-q subgroup (cofactor ``c``) with embedding degree 2 —
+the classic pairing-friendly setting of the early secret-handshake and IBE
+literature.  Points live over F_p^2 (affine coordinates, ``None`` = point
+at infinity) so the same arithmetic serves both pairing arguments; the
+distortion map ``phi(x, y) = (-x, i*y)`` moves an F_p point off the base
+field, making the modified Tate pairing non-degenerate on a single cyclic
+subgroup.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.crypto import hashing
+from repro.crypto.modmath import jacobi, sqrt_mod_prime
+from repro.errors import ParameterError
+from repro.pairing.fields import Fp2
+
+# name -> (p, q, c) with p = c*q - 1, p = 3 mod 4, both prime.
+_CURVES: Dict[str, Tuple[int, int, int]] = {
+    "pf256": (
+        0xA7080B715F255A695BB87D175317FB24B8B2C2DD69D91A068B645B7F6B381417,
+        0xACF5E8063E18C08873C05765EC144F18DD9A7E7D,
+        0xF73967586EF24FB40552A7F8,
+    ),
+    "pf512": (
+        0xA46CC482DA3EC067930BE2C2E1CAE908ABB445ADF1B30862EADF673AC3B8532B759057CE6B96F265008BCE4E288315FB90DD9FF45FDD379B6099FA92C374B663,
+        0xEC0643B173F29C6A4242C22583E2665AF6540601,
+        0xB25737A83E8B7985017A3AD8F9F73EFB66A27C006A797F9DFD6CB580CE21626C1B0C6BB0CD3E91D51C6E5E64,
+    ),
+    "pf1024": (
+        0x809BB0C590BB1167EA2ED9EB5569188494C378CCE051E812CDC81CFC6ACD3DDCD5E1B36A109BD2FD72BA9DFD415A9E22F566E711F5A7AE68B7C450B57ADD5A552F80CA9825BFFFD0F8F133CD80818639293BD7DA1C418D8FA26F5B43BF436B463FBF3AE782D6C669DE7083825B9FA312B4C266577EAD4DB9860DACFF7388BFFF,
+        0x8DF73189893529AAE8F74FE6766A65631ED7B74C50145F2E1F44A465,
+        0xE7E9C4B656B1E6E32CC736785A2150D214970F5676E9718D1EC5AB708AFCED94DDC9AE3F3B0204EED8851D2D44F3579F8EC357D8002E8A61A5BB3180B983DFADB883F8D4CAEA1F6338758075C383D2243B0062B3D75C011A2E9F77FEE40879D9AAF9C000,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Point:
+    """Affine point with coordinates in F_p^2 (None-handling lives in
+    :class:`Curve`; a Point instance is always finite)."""
+
+    x: Fp2
+    y: Fp2
+
+    def is_on_fp(self) -> bool:
+        """True iff both coordinates lie in the base field."""
+        return self.x.b == 0 and self.y.b == 0
+
+
+INFINITY: Optional[Point] = None
+
+
+class Curve:
+    """E: y^2 = x^3 + x over F_p^2 with pairing bookkeeping."""
+
+    def __init__(self, p: int, q: int, cofactor: int) -> None:
+        if p % 4 != 3:
+            raise ParameterError("supersingular family needs p = 3 mod 4")
+        if (p + 1) != q * cofactor:
+            raise ParameterError("group order mismatch: p + 1 != q * c")
+        self.p = p
+        self.q = q
+        self.cofactor = cofactor
+
+    # Point predicates --------------------------------------------------------------
+
+    def contains(self, point: Optional[Point]) -> bool:
+        if point is None:
+            return True
+        lhs = point.y * point.y
+        rhs = point.x * point.x * point.x + point.x
+        return lhs == rhs
+
+    # Group law ------------------------------------------------------------------------
+
+    def negate(self, point: Optional[Point]) -> Optional[Point]:
+        if point is None:
+            return None
+        return Point(point.x, -point.y)
+
+    def add(self, a: Optional[Point], b: Optional[Point]) -> Optional[Point]:
+        if a is None:
+            return b
+        if b is None:
+            return a
+        if a.x == b.x:
+            if (a.y + b.y).is_zero:
+                return None
+            return self.double(a)
+        slope = (b.y - a.y) / (b.x - a.x)
+        x3 = slope * slope - a.x - b.x
+        y3 = slope * (a.x - x3) - a.y
+        return Point(x3, y3)
+
+    def double(self, a: Optional[Point]) -> Optional[Point]:
+        if a is None or a.y.is_zero:
+            return None
+        three_x2 = (a.x * a.x).scale(3)
+        slope = (three_x2 + Fp2.one(self.p)) / a.y.scale(2)
+        x3 = slope * slope - a.x.scale(2)
+        y3 = slope * (a.x - x3) - a.y
+        return Point(x3, y3)
+
+    def multiply(self, point: Optional[Point], scalar: int) -> Optional[Point]:
+        if scalar < 0:
+            return self.multiply(self.negate(point), -scalar)
+        result: Optional[Point] = None
+        addend = point
+        while scalar:
+            if scalar & 1:
+                result = self.add(result, addend)
+            addend = self.double(addend)
+            scalar >>= 1
+        return result
+
+    # Distortion map ----------------------------------------------------------------------
+
+    def distort(self, point: Optional[Point]) -> Optional[Point]:
+        """phi(x, y) = (-x, i*y): maps E(F_p) into the trace-zero subgroup."""
+        if point is None:
+            return None
+        return Point(-point.x, point.y * Fp2.i(self.p))
+
+    # Base-field points -----------------------------------------------------------------------
+
+    def lift_x(self, x: int) -> Optional[Point]:
+        """A point with the given base-field x, if x^3 + x is a square."""
+        rhs = (x * x * x + x) % self.p
+        if rhs == 0:
+            return Point(Fp2.of(x, self.p), Fp2.zero(self.p))
+        if jacobi(rhs, self.p) != 1:
+            return None
+        y = sqrt_mod_prime(rhs, self.p)
+        return Point(Fp2.of(x, self.p), Fp2.of(y, self.p))
+
+    def hash_to_point(self, *values) -> Point:
+        """Hash into the order-q subgroup of E(F_p) (try-and-increment plus
+        cofactor clearing) — the H1 of the SOK/Balfanz constructions."""
+        counter = 0
+        while True:
+            x = hashing.hash_mod("pairing-h2p", self.p, counter, *values)
+            candidate = self.lift_x(x)
+            if candidate is not None:
+                point = self.multiply(candidate, self.cofactor)
+                if point is not None:
+                    return point
+            counter += 1
+
+    def random_point(self, rng: Optional[random.Random] = None) -> Point:
+        """A random point of order q on E(F_p)."""
+        rng = rng or random
+        while True:
+            candidate = self.lift_x(rng.randrange(self.p))
+            if candidate is None:
+                continue
+            point = self.multiply(candidate, self.cofactor)
+            if point is not None:
+                return point
+
+    def generator(self) -> Point:
+        """A fixed order-q generator (deterministically hashed)."""
+        return self.hash_to_point("generator")
+
+
+def curve_params(name: str = "pf256") -> Curve:
+    """Look up a precomputed pairing-friendly curve."""
+    try:
+        p, q, c = _CURVES[name]
+    except KeyError:
+        raise ParameterError(
+            f"unknown curve {name!r}; available: {sorted(_CURVES)}"
+        ) from None
+    return Curve(p, q, c)

@@ -1,0 +1,109 @@
+"""The quadratic extension field F_p^2 = F_p[i] / (i^2 + 1).
+
+Valid whenever p = 3 (mod 4), so -1 is a non-residue.  Elements are
+immutable pairs ``a + b*i``; the class supports the arithmetic Miller's
+algorithm needs (add, sub, mul, inverse, exponentiation, conjugation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.crypto.modmath import inverse
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class Fp2:
+    """a + b*i in F_p^2."""
+
+    a: int
+    b: int
+    p: int
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "a", self.a % self.p)
+        object.__setattr__(self, "b", self.b % self.p)
+
+    # Constructors -------------------------------------------------------------
+
+    @staticmethod
+    def of(value: int, p: int) -> "Fp2":
+        return Fp2(value, 0, p)
+
+    @staticmethod
+    def one(p: int) -> "Fp2":
+        return Fp2(1, 0, p)
+
+    @staticmethod
+    def zero(p: int) -> "Fp2":
+        return Fp2(0, 0, p)
+
+    @staticmethod
+    def i(p: int) -> "Fp2":
+        return Fp2(0, 1, p)
+
+    # Predicates ----------------------------------------------------------------
+
+    @property
+    def is_zero(self) -> bool:
+        return self.a == 0 and self.b == 0
+
+    @property
+    def is_one(self) -> bool:
+        return self.a == 1 and self.b == 0
+
+    # Arithmetic -----------------------------------------------------------------
+
+    def _check(self, other: "Fp2") -> None:
+        if self.p != other.p:
+            raise ParameterError("mixed-field arithmetic")
+
+    def __add__(self, other: "Fp2") -> "Fp2":
+        self._check(other)
+        return Fp2(self.a + other.a, self.b + other.b, self.p)
+
+    def __sub__(self, other: "Fp2") -> "Fp2":
+        self._check(other)
+        return Fp2(self.a - other.a, self.b - other.b, self.p)
+
+    def __neg__(self) -> "Fp2":
+        return Fp2(-self.a, -self.b, self.p)
+
+    def __mul__(self, other: "Fp2") -> "Fp2":
+        self._check(other)
+        # (a + bi)(c + di) = (ac - bd) + (ad + bc)i
+        a, b, c, d, p = self.a, self.b, other.a, other.b, self.p
+        return Fp2(a * c - b * d, a * d + b * c, p)
+
+    def scale(self, k: int) -> "Fp2":
+        return Fp2(self.a * k, self.b * k, self.p)
+
+    def conjugate(self) -> "Fp2":
+        return Fp2(self.a, -self.b, self.p)
+
+    def norm(self) -> int:
+        """a^2 + b^2 in F_p (the field norm)."""
+        return (self.a * self.a + self.b * self.b) % self.p
+
+    def inv(self) -> "Fp2":
+        if self.is_zero:
+            raise ParameterError("division by zero in F_p^2")
+        n_inv = inverse(self.norm(), self.p)
+        return Fp2(self.a * n_inv, -self.b * n_inv, self.p)
+
+    def __truediv__(self, other: "Fp2") -> "Fp2":
+        return self * other.inv()
+
+    def __pow__(self, exponent: int) -> "Fp2":
+        if exponent < 0:
+            return self.inv() ** (-exponent)
+        result = Fp2.one(self.p)
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base * base
+            e >>= 1
+        return result

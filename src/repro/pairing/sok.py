@@ -1,0 +1,60 @@
+"""Sakai-Ohgishi-Kasahara (SOK) identity-based non-interactive key
+agreement [29] — the primitive underlying the first secret-handshake
+scheme (Balfanz et al. [3]).
+
+A trusted authority with master secret ``s`` issues to each identity
+``id`` the private point ``S_id = s * H1(id)``.  Any two identities then
+share, *without interaction*,
+
+    K(id_A, id_B) = e(S_A, H1(id_B)) = e(H1(id_A), H1(id_B))^s
+                  = e(H1(id_A), S_B),
+
+which only the two of them (and the authority) can compute.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.crypto import hashing
+from repro.errors import ParameterError
+from repro.pairing.curve import Curve, Point, curve_params
+from repro.pairing.tate import tate_pairing
+
+
+class SokAuthority:
+    """The trusted authority (in Balfanz et al.: the group administrator)."""
+
+    def __init__(self, curve: Optional[Curve] = None,
+                 master_secret: Optional[int] = None, rng=None) -> None:
+        self.curve = curve or curve_params("pf256")
+        if master_secret is None:
+            import random as _random
+            rng = rng or _random
+            master_secret = rng.randrange(1, self.curve.q)
+        self._s = master_secret % self.curve.q
+        if self._s == 0:
+            raise ParameterError("master secret must be non-zero mod q")
+
+    def identity_point(self, identity: str) -> Point:
+        """Public: Q_id = H1(id)."""
+        return self.curve.hash_to_point("sok-identity", identity)
+
+    def extract(self, identity: str) -> Point:
+        """Private key for ``identity``: S_id = s * H1(id)."""
+        point = self.curve.multiply(self.identity_point(identity), self._s)
+        assert point is not None
+        return point
+
+
+def shared_key(curve: Curve, my_secret: Point, peer_identity_point: Point,
+               my_first: bool, my_id: str, peer_id: str) -> bytes:
+    """The SOK pairwise key, symmetrized over the identity order.
+
+    ``my_first`` orients the pairing so both sides hash the same value:
+    e(S_A, Q_B) = e(Q_A, S_B) already holds by bilinearity, but the
+    transcript binding (id_A, id_B) must be ordered consistently.
+    """
+    value = tate_pairing(curve, my_secret, peer_identity_point)
+    first, second = (my_id, peer_id) if my_first else (peer_id, my_id)
+    return hashing.digest("sok-shared-key", value.a, value.b, first, second)

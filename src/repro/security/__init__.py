@@ -1,0 +1,15 @@
+"""Executable security experiments (paper Appendix A).
+
+:mod:`repro.security.oracles` gives an adversary the Appendix-A oracle
+interface (O_CG, O_AM, O_RU, O_HS, O_TU, O_Corrupt) over live frameworks;
+:mod:`repro.security.adversaries` implements concrete attack strategies
+(credential-less impostors, multi-role rogues, revoked members with leaked
+keys, transcript distinguishers); :mod:`repro.security.games` runs each
+experiment empirically and reports the adversary's measured advantage.
+
+These are *empirical* instantiations of the games — they demonstrate that
+the implementation resists each concrete attack (and that the strawman
+baselines do not), complementing the paper's reduction proofs.
+"""
+
+from repro.security.games import GameResult  # noqa: F401

@@ -1,0 +1,224 @@
+"""Concrete adversary strategies for the security games.
+
+Each class duck-types the slice of :class:`repro.core.member.GcdMember`
+that the handshake engine touches, so adversaries drop straight into
+:func:`repro.core.handshake.run_handshake` as participants.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core import wire
+from repro.core.member import GcdMember
+from repro.core.transcript import HandshakeTranscript
+from repro.crypto import symmetric
+from repro.errors import RevocationError
+
+
+class Impostor:
+    """A credential-less outsider pretending to be a group member.
+
+    It has no CGKD key (the engine falls back to random bytes, so its
+    Phase-II MACs never verify for honest members) and no GSIG credential
+    (its Phase-III contribution is garbage)."""
+
+    def __init__(self, name: str = "impostor",
+                 rng: Optional[random.Random] = None) -> None:
+        self.user_id = name
+        self._rng = rng or random.Random()
+
+    @property
+    def group_key(self) -> bytes:
+        raise RevocationError("impostor holds no group key")
+
+    def gsig_sign(self, message: bytes, rng=None, shield=None) -> bytes:
+        return self._rng.getrandbits(4096).to_bytes(512, "big")
+
+    def gsig_verify(self, message: bytes, blob: bytes,
+                    expected_shield=None) -> bool:
+        return False
+
+    def distinction_shield(self, *context) -> int:
+        return 2
+
+    @property
+    def supports_self_distinction(self) -> bool:
+        return False
+
+
+class StolenKeyImpostor(Impostor):
+    """An outsider who somehow learned the CGKD group key but holds no
+    GSIG credential — it can pass Phase II but not Phase III.  Used to show
+    the layers are *independently* necessary."""
+
+    def __init__(self, leaked_key: bytes, name: str = "stolen-key",
+                 rng: Optional[random.Random] = None) -> None:
+        super().__init__(name, rng)
+        self._leaked = leaked_key
+
+    @property
+    def group_key(self) -> bytes:
+        return self._leaked
+
+
+class RevokedInsider:
+    """A revoked member handed the *current* CGKD group key by an unrevoked
+    accomplice (the Section 3 attack on the single-revocation
+    'optimization').  It reuses its stale GSIG credential, ignoring the
+    local revoked flag — the dual-revocation design must still reject it."""
+
+    def __init__(self, member: GcdMember, leaked_key: bytes) -> None:
+        self.user_id = f"{member.user_id} (revoked, leaked key)"
+        self._member = member
+        self._leaked = leaked_key
+        # The adversary obviously does not honour its own revocation flag.
+        member.credential.revoked = False
+
+    @property
+    def group_key(self) -> bytes:
+        return self._leaked
+
+    def gsig_sign(self, message: bytes, rng=None, shield=None) -> bytes:
+        return self._member.gsig_sign(message, rng, shield=shield)
+
+    def gsig_verify(self, message: bytes, blob: bytes,
+                    expected_shield=None) -> bool:
+        return self._member.gsig_verify(message, blob, expected_shield)
+
+    def distinction_shield(self, *context) -> int:
+        return self._member.distinction_shield(*context)
+
+    @property
+    def supports_self_distinction(self) -> bool:
+        return self._member.supports_self_distinction
+
+    @property
+    def credential(self):
+        return self._member.credential
+
+    @property
+    def info(self):
+        return self._member.info
+
+
+class TranscriptDistinguisher:
+    """A concrete distinguisher used by the detection / eavesdropper /
+    unlinkability experiments: it compares every visible (and, when the
+    adversary is an inside participant, every decryptable) value across
+    two transcripts and bets "linked/real" whenever anything nontrivial
+    coincides.
+
+    This will not break DDH — but it *will* catch implementation bugs
+    (reused randomness, deterministic blinding, leaked identifiers), which
+    is what an empirical game can honestly test.
+    """
+
+    def __init__(self, k_primes: Optional[Sequence[bytes]] = None) -> None:
+        self.k_primes = list(k_primes or [])
+
+    # Feature extraction --------------------------------------------------------
+
+    def features(self, transcript: HandshakeTranscript) -> Set[Tuple]:
+        out: Set[Tuple] = set()
+        for entry in transcript.entries:
+            out.add(("theta", entry.theta))
+            out.add(("delta", entry.delta))
+            for key in self.k_primes:
+                try:
+                    blob = symmetric.decrypt(key, entry.theta)
+                except Exception:
+                    continue
+                try:
+                    signature = wire.signature_from_bytes(blob)
+                except Exception:
+                    out.add(("blob", blob))
+                    continue
+                for field_name, value in vars(signature).items():
+                    if field_name.startswith("t") and isinstance(value, int):
+                        out.add((field_name, value))
+        return out
+
+    def linked(self, first: HandshakeTranscript,
+               second: HandshakeTranscript) -> bool:
+        """Bet 'same member in both' iff any identifying feature repeats."""
+        shared = {
+            f for f in (self.features(first) & self.features(second))
+            # The common shield T7 repeats by construction within a session
+            # but differs across sessions; anything else repeating is a
+            # genuine linkability leak.
+            if f[0] != "t7"
+        }
+        return bool(shared)
+
+
+def multi_role_participants(member: GcdMember, roles: int,
+                            honest: Sequence[GcdMember]) -> List[object]:
+    """The rogue-insider line-up for the self-distinction experiment: one
+    credential playing ``roles`` participants among honest members."""
+    return list(honest) + [member] * roles
+
+
+class BdMitmSplitter:
+    """The textbook man-in-the-middle against *raw* Burmester-Desmedt.
+
+    The adversary partitions the m participants at ``cut`` (left = indices
+    below it) and plays, towards each half, self-consistent virtual
+    stand-ins for the other half: in round 0 it substitutes its own
+    ``z = g^a`` values, and in round 1 it substitutes ``X`` values computed
+    from each half's (tampered) view with its known exponents.  Every
+    member of a half then completes the protocol with a *consistent* key —
+    shared with the adversary — while the two halves hold different keys
+    and nobody notices.  This is the attack the Fig. 5 remark concedes
+    and GCD's Phase II defeats (benchmark E11).
+
+    Use as the ``tamper`` callback of :func:`repro.dgka.base.run_locally`
+    or :func:`repro.core.handshake.run_handshake`.
+    """
+
+    def __init__(self, group, m: int, cut: int,
+                 rng: Optional[random.Random] = None) -> None:
+        rng = rng or random.Random()
+        self.group = group
+        self.m = m
+        self.cut = cut
+        # Virtual exponents: a[side][slot] — the stand-in for `slot`
+        # presented to `side` ("left"/"right").
+        self._exponents: Dict[Tuple[str, int], int] = {}
+        for slot in range(m):
+            for side in ("left", "right"):
+                if self._side_of(slot) != side:
+                    self._exponents[(side, slot)] = rng.randrange(1, group.q)
+        self._observed_z: Dict[int, int] = {}
+
+    def _side_of(self, index: int) -> str:
+        return "left" if index < self.cut else "right"
+
+    def _view_z(self, side: str, slot: int) -> int:
+        """Slot's z as seen by `side`: real if same side, virtual else."""
+        if self._side_of(slot) == side:
+            return self._observed_z[slot]
+        return self.group.power_of_g(self._exponents[(side, slot)])
+
+    def __call__(self, round_no: int, sender: int, receiver: int, payload):
+        from repro.crypto.modmath import inverse, mexp
+        sender_side = self._side_of(sender)
+        receiver_side = self._side_of(receiver)
+        if round_no == 0:
+            if sender_side == receiver_side:
+                self._observed_z[sender] = payload
+                return payload
+            # Cross-cut: substitute the virtual z for `sender` as
+            # presented to the receiver's side.
+            return self.group.power_of_g(
+                self._exponents[(receiver_side, sender)]
+            )
+        if round_no == 1 and sender_side != receiver_side:
+            # Substitute X_sender computed from the receiver side's view.
+            p, m = self.group.p, self.m
+            z_next = self._view_z(receiver_side, (sender + 1) % m)
+            z_prev = self._view_z(receiver_side, (sender - 1) % m)
+            ratio = (z_next * inverse(z_prev, p)) % p
+            return mexp(ratio, self._exponents[(receiver_side, sender)], p)
+        return payload

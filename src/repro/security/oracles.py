@@ -1,0 +1,113 @@
+"""The Appendix-A oracle interface.
+
+:class:`OracleWorld` is the challenger's state: it creates groups on
+demand (O_CG), admits honest or adversarial users (O_AM), revokes (O_RU),
+runs handshakes (O_HS), traces (O_TU) and hands internal state to the
+adversary (O_Corrupt) — while logging every corruption so the games can
+evaluate their freshness conditions exactly as the experiments in the
+paper specify.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.framework import GcdFramework
+from repro.core.handshake import HandshakeOutcome, HandshakePolicy, run_handshake
+from repro.core.member import GcdMember
+from repro.core.transcript import HandshakeTranscript, TraceResult
+from repro.errors import MembershipError, ParameterError
+from repro.net.adversary import CorruptionLog
+
+
+class OracleWorld:
+    """Challenger state shared by all oracles."""
+
+    def __init__(self, rng: Optional[random.Random] = None,
+                 gsig_kind: str = "acjt", gsig_profile: str = "tiny") -> None:
+        self.rng = rng or random.Random()
+        self.gsig_kind = gsig_kind
+        self.gsig_profile = gsig_profile
+        self.frameworks: Dict[str, GcdFramework] = {}
+        self.corruptions = CorruptionLog()
+        self.handshakes: List[List[HandshakeOutcome]] = []
+
+    # O_CG ------------------------------------------------------------------------
+
+    def o_create_group(self, group_id: str) -> GcdFramework:
+        if group_id in self.frameworks:
+            raise ParameterError(f"group {group_id} already exists")
+        framework = GcdFramework.create(
+            group_id, gsig_kind=self.gsig_kind,
+            gsig_profile=self.gsig_profile, rng=self.rng,
+        )
+        self.frameworks[group_id] = framework
+        return framework
+
+    # O_AM ------------------------------------------------------------------------
+
+    def o_admit_member(self, group_id: str, user_id: str,
+                       adversarial: bool = False) -> GcdMember:
+        """Admit a user.  ``adversarial=True`` models O_AM(GA, U) for a
+        user under the adversary's control: its secrets count as corrupt
+        from the start."""
+        member = self.frameworks[group_id].admit_member(user_id, self.rng)
+        if adversarial:
+            self.corruptions.corrupt_user(user_id)
+        return member
+
+    # O_RU ------------------------------------------------------------------------
+
+    def o_remove_user(self, group_id: str, user_id: str) -> None:
+        self.frameworks[group_id].remove_user(user_id)
+
+    # O_HS ------------------------------------------------------------------------
+
+    def o_handshake(self, participants: Sequence[object],
+                    policy: Optional[HandshakePolicy] = None,
+                    tamper=None) -> List[HandshakeOutcome]:
+        outcomes = run_handshake(participants, policy, self.rng, tamper=tamper)
+        self.handshakes.append(outcomes)
+        return outcomes
+
+    # O_TU ------------------------------------------------------------------------
+
+    def o_trace(self, group_id: str,
+                transcript: HandshakeTranscript) -> TraceResult:
+        return self.frameworks[group_id].trace(transcript)
+
+    # O_Corrupt ----------------------------------------------------------------------
+
+    def o_corrupt_user(self, group_id: str, user_id: str) -> GcdMember:
+        """Hand the member's full internal state to the adversary."""
+        member = self.frameworks[group_id].member(user_id)
+        self.corruptions.corrupt_user(user_id)
+        return member
+
+    def o_corrupt_ga(self, group_id: str, capability: str):
+        """O_Corrupt(GA, _|_ ) / O_Corrupt(GA, T): expose the GA's admitting
+        or tracing internals."""
+        if capability not in ("admit", "trace"):
+            raise ParameterError(f"unknown capability {capability!r}")
+        authority = self.frameworks[group_id].authority
+        self.corruptions.corrupt_ga(capability)
+        if capability == "admit":
+            return authority.gsig_manager
+        return authority
+
+    # Freshness bookkeeping ---------------------------------------------------------
+
+    def user_is_fresh(self, user_id: str) -> bool:
+        """True iff the adversary never obtained this user's secrets."""
+        return not self.corruptions.is_corrupt(user_id)
+
+    def revoke_corrupted(self, group_id: str) -> None:
+        """Condition hygiene used by several experiments: every corrupted
+        user must be revoked before the challenge phase."""
+        framework = self.frameworks[group_id]
+        for user_id in list(self.corruptions.corrupted_users):
+            try:
+                framework.remove_user(user_id)
+            except MembershipError:
+                pass

@@ -1,0 +1,79 @@
+"""Tests for the Balfanz et al. pairing-based baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import balfanz
+from repro.errors import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def groups():
+    rng = random.Random(31)
+    fbi = balfanz.BalfanzGroup("fbi", rng=rng)
+    cia = balfanz.BalfanzGroup("cia", rng=rng)
+    return fbi, cia, rng
+
+
+class TestHandshake:
+    def test_same_group_succeeds(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a1"), fbi.admit("b1")
+        session = balfanz.handshake(fbi, a, fbi, b, rng)
+        assert session.success
+
+    def test_cross_group_fails_mutually(self, groups):
+        fbi, cia, rng = groups
+        a, c = fbi.admit("a2"), cia.admit("c2")
+        session = balfanz.handshake(fbi, a, cia, c, rng)
+        assert not session.accepted_a and not session.accepted_b
+
+    def test_affiliation_hidden_on_failure(self, groups):
+        """The wire view of a failed handshake carries only pseudonyms,
+        nonces and MACs — no group identifiers."""
+        fbi, cia, rng = groups
+        a, c = fbi.admit("a3"), cia.admit("c3")
+        session = balfanz.handshake(fbi, a, cia, c, rng)
+        visible = (session.pseudonym_a, session.pseudonym_b,
+                   session.nonce_a, session.nonce_b)
+        assert "fbi" not in str(visible) and "cia" not in str(visible)
+
+
+class TestOneTimeCredentials:
+    def test_pseudonyms_burned(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a4", batch=2), fbi.admit("b4", batch=8)
+        assert a.remaining == 2
+        balfanz.handshake(fbi, a, fbi, b, rng)
+        assert a.remaining == 1
+
+    def test_exhaustion(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a5", batch=1), fbi.admit("b5", batch=8)
+        balfanz.handshake(fbi, a, fbi, b, rng)
+        with pytest.raises(ProtocolError):
+            balfanz.handshake(fbi, a, fbi, b, rng)
+
+    def test_replenish(self, groups):
+        fbi, _, rng = groups
+        a = fbi.admit("a6", batch=1)
+        fbi.replenish(a, 3)
+        assert a.remaining == 4
+
+    def test_fresh_pseudonyms_unlinkable(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a7", batch=4), fbi.admit("b7", batch=4)
+        s1 = balfanz.handshake(fbi, a, fbi, b, rng)
+        s2 = balfanz.handshake(fbi, a, fbi, b, rng)
+        assert not balfanz.sessions_linkable(s1, s2)
+
+    def test_reuse_links(self, groups):
+        """The crux of E7: reusing a pseudonym links the two sessions —
+        exactly the drawback GCD's reusable credentials remove."""
+        fbi, _, rng = groups
+        a, b = fbi.admit("a8", batch=4), fbi.admit("b8", batch=4)
+        s1 = balfanz.handshake(fbi, a, fbi, b, rng)
+        s2 = balfanz.handshake(fbi, a, fbi, b, rng, reuse_a=True)
+        assert balfanz.sessions_linkable(s1, s2)
+        assert s2.success  # reuse still *works*, it just links

@@ -1,0 +1,70 @@
+"""Tests for the CA-oblivious-encryption baseline."""
+
+import random
+
+import pytest
+
+from repro.baselines import ca_oblivious
+from repro.errors import ProtocolError
+
+
+@pytest.fixture(scope="module")
+def groups():
+    rng = random.Random(41)
+    fbi = ca_oblivious.CaObliviousGroup("fbi", rng=rng)
+    cia = ca_oblivious.CaObliviousGroup("cia", rng=rng)
+    return fbi, cia, rng
+
+
+class TestCertificates:
+    def test_implicit_public_key_matches(self, groups):
+        fbi, _, rng = groups
+        member = fbi.admit("u1")
+        credential = member.credentials[0]
+        derived = ca_oblivious.implicit_public_key(
+            fbi.group, fbi.y, credential.pseudonym, credential.omega
+        )
+        assert derived == fbi.group.power_of_g(credential.t)
+
+    def test_wrong_ca_gives_unrelated_key(self, groups):
+        fbi, cia, _ = groups
+        member = fbi.admit("u2")
+        credential = member.credentials[0]
+        wrong = ca_oblivious.implicit_public_key(
+            fbi.group, cia.y, credential.pseudonym, credential.omega
+        )
+        assert wrong != fbi.group.power_of_g(credential.t)
+
+
+class TestHandshake:
+    def test_same_group(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a1"), fbi.admit("b1")
+        assert ca_oblivious.handshake(fbi, a, fbi, b, rng).success
+
+    def test_cross_group_fails(self, groups):
+        fbi, cia, rng = groups
+        a, c = fbi.admit("a2"), cia.admit("c2")
+        session = ca_oblivious.handshake(fbi, a, cia, c, rng)
+        assert not session.accepted_a and not session.accepted_b
+
+    def test_exhaustion(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a3", batch=1), fbi.admit("b3", batch=4)
+        ca_oblivious.handshake(fbi, a, fbi, b, rng)
+        with pytest.raises(ProtocolError):
+            ca_oblivious.handshake(fbi, a, fbi, b, rng)
+
+    def test_fresh_credentials_unlinkable(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a4"), fbi.admit("b4")
+        s1 = ca_oblivious.handshake(fbi, a, fbi, b, rng)
+        s2 = ca_oblivious.handshake(fbi, a, fbi, b, rng)
+        assert not ca_oblivious.sessions_linkable(s1, s2)
+
+    def test_reuse_links(self, groups):
+        fbi, _, rng = groups
+        a, b = fbi.admit("a5"), fbi.admit("b5")
+        s1 = ca_oblivious.handshake(fbi, a, fbi, b, rng)
+        s2 = ca_oblivious.handshake(fbi, a, fbi, b, rng, reuse_a=True)
+        assert ca_oblivious.sessions_linkable(s1, s2)

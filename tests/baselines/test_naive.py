@@ -1,0 +1,90 @@
+"""Tests for the Section-3 strawmen: they work as handshakes, and the
+documented attacks against each succeed — the negative space that
+motivates the full GCD design."""
+
+import random
+
+import pytest
+
+from repro.baselines import naive
+
+
+@pytest.fixture(scope="module")
+def worlds():
+    rng = random.Random(51)
+    cgkd_only = naive.CgkdOnlyScheme(rng)
+    gsig_only = naive.GsigOnlyScheme("tiny", rng)
+    combined = naive.CgkdPlusGsigScheme("tiny", rng)
+    for scheme in (cgkd_only, gsig_only, combined):
+        for name in ("u1", "u2", "u3"):
+            scheme.admit(name)
+    return cgkd_only, gsig_only, combined, rng
+
+
+class TestCgkdOnly:
+    def test_handshake_works(self, worlds):
+        scheme, _, _, rng = worlds
+        assert scheme.handshake(["u1", "u2"], rng).success
+
+    def test_member_eavesdropper_detects(self, worlds):
+        """Drawback (1): a passive member verifies the MACs."""
+        scheme, _, _, rng = worlds
+        transcript = scheme.handshake(["u1", "u2"], rng)
+        spy_key = scheme.members["u3"].group_key
+        assert naive.CgkdOnlyScheme.attack_member_eavesdropper(transcript, spy_key)
+
+    def test_outsider_does_not_detect(self, worlds):
+        scheme, _, _, rng = worlds
+        transcript = scheme.handshake(["u1", "u2"], rng)
+        assert not naive.CgkdOnlyScheme.attack_member_eavesdropper(
+            transcript, b"\x00" * 32
+        )
+
+    def test_no_self_distinction(self, worlds):
+        """Drawback (3): one member plays three parties unnoticed."""
+        scheme, _, _, rng = worlds
+        assert naive.CgkdOnlyScheme.attack_multi_role(scheme, "u1", 3, rng)
+
+    def test_untraceable(self):
+        assert naive.CgkdOnlyScheme.attack_untraceable()
+
+
+class TestGsigOnly:
+    def test_handshake_works(self, worlds):
+        _, scheme, _, rng = worlds
+        assert scheme.handshake(["u1", "u2"], rng).success
+
+    def test_outsider_detects(self, worlds):
+        """The fatal flaw: signatures verify under the *public* key."""
+        _, scheme, _, rng = worlds
+        transcript = scheme.handshake(["u1", "u2"], rng)
+        assert scheme.attack_outsider_detection(transcript)
+
+    def test_traceability_works(self, worlds):
+        _, scheme, _, rng = worlds
+        transcript = scheme.handshake(["u1", "u3"], rng)
+        assert scheme.trace(transcript) == ["u1", "u3"]
+
+
+class TestCgkdPlusGsig:
+    def test_handshake_works(self, worlds):
+        _, _, scheme, rng = worlds
+        assert scheme.handshake(["u1", "u2"], rng).success
+
+    def test_member_eavesdropper_still_detects(self, worlds):
+        """Drawback (1) survives: the long-lived group key decrypts all."""
+        _, _, scheme, rng = worlds
+        transcript = scheme.handshake(["u1", "u2"], rng)
+        spy_key = scheme.cgkd.members["u3"].group_key
+        assert scheme.attack_member_eavesdropper(transcript, spy_key)
+
+    def test_outsider_blinded(self, worlds):
+        _, _, scheme, rng = worlds
+        transcript = scheme.handshake(["u1", "u2"], rng)
+        assert not scheme.attack_member_eavesdropper(transcript, b"\x01" * 32)
+
+    def test_traceability_regained(self, worlds):
+        _, _, scheme, rng = worlds
+        transcript = scheme.handshake(["u2", "u3"], rng)
+        spy_key = scheme.cgkd.members["u1"].group_key
+        assert scheme.trace(transcript, spy_key) == ["u2", "u3"]

@@ -1,0 +1,145 @@
+"""Tests for the LKH key tree, including property-based lifecycle checks."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgkd.lkh import LkhController, LkhMember, renumber_after_grow
+from repro.errors import MembershipError
+
+
+def _join(gc, members, user_id):
+    welcome, message = gc.join(user_id)
+    for member in members.values():
+        assert member.rekey(message), f"{member.user_id} failed join rekey"
+    members[user_id] = LkhMember(welcome)
+
+
+def _leave(gc, members, user_id):
+    message = gc.leave(user_id)
+    gone = members.pop(user_id)
+    assert not gone.rekey(message), "revoked member decrypted its own eviction"
+    for member in members.values():
+        assert member.rekey(message), f"{member.user_id} failed leave rekey"
+    return gone
+
+
+class TestRenumbering:
+    def test_root(self):
+        assert renumber_after_grow(1) == 2
+
+    def test_preserves_structure(self):
+        # Children map to children.
+        for node in range(1, 64):
+            for child in (2 * node, 2 * node + 1):
+                assert renumber_after_grow(child) in (
+                    2 * renumber_after_grow(node),
+                    2 * renumber_after_grow(node) + 1,
+                )
+
+
+class TestLifecycle:
+    def test_all_members_share_group_key(self, rng):
+        gc = LkhController(4, rng)
+        members = {}
+        for i in range(6):
+            _join(gc, members, f"u{i}")
+            assert all(m.group_key == gc.group_key for m in members.values())
+
+    def test_growth_beyond_capacity(self, rng):
+        gc = LkhController(2, rng)
+        members = {}
+        for i in range(9):
+            _join(gc, members, f"u{i}")
+        assert gc.capacity >= 9
+        assert all(m.group_key == gc.group_key for m in members.values())
+
+    def test_leave_forward_secrecy(self, rng):
+        gc = LkhController(4, rng)
+        members = {}
+        for i in range(5):
+            _join(gc, members, f"u{i}")
+        old_key = gc.group_key
+        gone = _leave(gc, members, "u2")
+        assert gc.group_key != old_key
+        assert gone.group_key == old_key  # leaver stuck at the old epoch
+        assert all(m.group_key == gc.group_key for m in members.values())
+
+    def test_join_backward_secrecy(self, rng):
+        gc = LkhController(4, rng)
+        members = {}
+        _join(gc, members, "u0")
+        old_key = gc.group_key
+        _join(gc, members, "u1")
+        assert gc.group_key != old_key
+
+    def test_rekey_cost_logarithmic(self, rng):
+        gc = LkhController(2, rng)
+        members = {}
+        for i in range(64):
+            _join(gc, members, f"u{i}")
+        message = gc.leave("u10")
+        # 64 leaves -> depth 6; at most 2 ciphertexts per level.
+        assert message.size <= 12
+        for name in list(members):
+            if name != "u10":
+                members[name].rekey(message)
+
+    def test_member_storage_logarithmic(self, rng):
+        gc = LkhController(2, rng)
+        members = {}
+        for i in range(32):
+            _join(gc, members, f"u{i}")
+        assert all(m.key_count() <= 7 for m in members.values())
+
+    def test_duplicate_join_rejected(self, rng):
+        gc = LkhController(4, rng)
+        gc.join("u")
+        with pytest.raises(MembershipError):
+            gc.join("u")
+
+    def test_unknown_leave_rejected(self, rng):
+        gc = LkhController(4, rng)
+        with pytest.raises(MembershipError):
+            gc.leave("ghost")
+
+    def test_empty_group_has_no_key(self, rng):
+        gc = LkhController(4, rng)
+        with pytest.raises(MembershipError):
+            _ = gc.group_key
+
+    def test_bad_capacity(self, rng):
+        with pytest.raises(MembershipError):
+            LkhController(3, rng)
+
+    def test_stale_rekey_ignored(self, rng):
+        gc = LkhController(4, rng)
+        members = {}
+        _join(gc, members, "u0")
+        welcome, msg1 = gc.join("u1")
+        members["u0"].rekey(msg1)
+        key = members["u0"].group_key
+        assert members["u0"].rekey(msg1)  # replay: no-op, still accepted state
+        assert members["u0"].group_key == key
+
+
+@given(st.lists(st.sampled_from(["join", "leave"]), min_size=4, max_size=24),
+       st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=20, deadline=None)
+def test_random_churn_invariant(operations, seed):
+    """Whatever the join/leave sequence, all current members end with the
+    controller's group key and evicted members are locked out."""
+    rng = random.Random(seed)
+    gc = LkhController(2, rng)
+    members = {}
+    counter = 0
+    for op in operations:
+        if op == "join" or not members:
+            _join(gc, members, f"u{counter}")
+            counter += 1
+        else:
+            victim = rng.choice(sorted(members))
+            _leave(gc, members, victim)
+    assert all(m.group_key == gc.group_key for m in members.values())

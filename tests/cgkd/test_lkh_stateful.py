@@ -1,0 +1,95 @@
+"""Stateful property testing of the LKH key tree with hypothesis.
+
+The machine drives an arbitrary interleaving of joins, leaves, rekey
+deliveries and *withheld* deliveries (members that temporarily miss
+messages), checking the core CGKD invariants after every step:
+
+* every up-to-date member holds exactly the controller's group key;
+* a member that missed messages catches up by replaying them in order;
+* an evicted member can never process the eviction rekey or anything
+  after it;
+* member storage stays logarithmic in the tree capacity.
+"""
+
+import math
+import random
+
+from hypothesis import settings
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+from hypothesis import strategies as st
+
+from repro.cgkd.lkh import LkhController, LkhMember
+
+
+class LkhMachine(RuleBasedStateMachine):
+    def __init__(self):
+        super().__init__()
+        self.rng = random.Random(1234)
+        self.gc = LkhController(2, self.rng)
+        self.members = {}        # user -> LkhMember
+        self.backlog = {}        # user -> list of undelivered RekeyMessages
+        self.evicted = {}        # user -> (member, eviction message)
+        self.counter = 0
+
+    # --- rules ------------------------------------------------------------
+
+    @rule()
+    def join(self):
+        user = f"u{self.counter}"
+        self.counter += 1
+        welcome, message = self.gc.join(user)
+        for other in self.members:
+            self.backlog[other].append(message)
+        self.members[user] = LkhMember(welcome)
+        self.backlog[user] = []
+
+    @precondition(lambda self: len(self.members) >= 2)
+    @rule(data=st.data())
+    def leave(self, data):
+        user = data.draw(st.sampled_from(sorted(self.members)), label="leaver")
+        message = self.gc.leave(user)
+        gone = self.members.pop(user)
+        self.backlog.pop(user)
+        self.evicted[user] = (gone, message)
+        for other in self.members:
+            self.backlog[other].append(message)
+
+    @precondition(lambda self: any(self.backlog.values()))
+    @rule(data=st.data())
+    def deliver_one(self, data):
+        lagging = sorted(u for u, msgs in self.backlog.items() if msgs)
+        user = data.draw(st.sampled_from(lagging), label="receiver")
+        message = self.backlog[user].pop(0)
+        assert self.members[user].rekey(message)
+
+    @rule()
+    def deliver_all(self):
+        for user in sorted(self.backlog):
+            for message in self.backlog[user]:
+                assert self.members[user].rekey(message)
+            self.backlog[user] = []
+
+    # --- invariants ----------------------------------------------------------
+
+    @invariant()
+    def up_to_date_members_share_group_key(self):
+        for user, member in self.members.items():
+            if not self.backlog[user]:
+                assert member.group_key == self.gc.group_key, user
+
+    @invariant()
+    def evicted_members_locked_out(self):
+        for user, (member, message) in self.evicted.items():
+            assert not member.rekey(message), user
+
+    @invariant()
+    def storage_logarithmic(self):
+        bound = int(math.log2(self.gc.capacity)) + 1
+        for user, member in self.members.items():
+            assert member.key_count() <= bound, (user, member.key_count())
+
+
+TestLkhStateful = LkhMachine.TestCase
+TestLkhStateful.settings = settings(
+    max_examples=15, stateful_step_count=25, deadline=None
+)

@@ -1,0 +1,178 @@
+"""Tests for the NNL complete-subtree and subset-difference schemes."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cgkd.nnl import (
+    FULL_COVER,
+    CompleteSubtreeScheme,
+    NnlController,
+    NnlMember,
+    SDSubset,
+    SubsetDifferenceScheme,
+)
+from repro.errors import MembershipError, ParameterError
+
+
+class TestCompleteSubtree:
+    def test_cover_disjoint_and_exact(self, rng):
+        cs = CompleteSubtreeScheme(16, rng)
+        revoked = {17, 21, 30}
+        cover = cs.cover(revoked)
+        covered = set()
+        for node in cover:
+            depth = 5 - node.bit_length()
+            leaves = range(node << depth, (node + 1) << depth)
+            assert covered.isdisjoint(leaves), "cover overlaps"
+            covered.update(leaves)
+        assert covered == set(cs.leaves()) - revoked
+
+    def test_no_revoked_single_subset(self, rng):
+        cs = CompleteSubtreeScheme(8, rng)
+        assert cs.cover(set()) == [1]
+
+    def test_all_revoked_empty_cover(self, rng):
+        cs = CompleteSubtreeScheme(8, rng)
+        assert cs.cover(set(cs.leaves())) == []
+
+    def test_decrypt_semantics(self, rng):
+        cs = CompleteSubtreeScheme(8, rng)
+        keys = {leaf: cs.user_keys(leaf) for leaf in cs.leaves()}
+        revoked = {8, 13}
+        header = cs.encrypt(revoked, b"payload")
+        for leaf in cs.leaves():
+            got = cs.decrypt(keys[leaf], leaf, header)
+            assert (got == b"payload") == (leaf not in revoked)
+
+    def test_user_storage(self, rng):
+        cs = CompleteSubtreeScheme(16, rng)
+        assert len(cs.user_keys(16)) == 5  # log2(16) + 1
+
+    def test_bad_leaf_rejected(self, rng):
+        cs = CompleteSubtreeScheme(8, rng)
+        with pytest.raises(ParameterError):
+            cs.user_keys(3)
+        with pytest.raises(ParameterError):
+            cs.cover({99})
+
+    def test_bad_capacity(self, rng):
+        with pytest.raises(ParameterError):
+            CompleteSubtreeScheme(12, rng)
+
+
+class TestSubsetDifference:
+    def test_subset_contains(self):
+        s = SDSubset(2, 9)
+        assert s.contains(8)
+        assert not s.contains(9)
+        assert not s.contains(12)  # not under 2 (capacity-8 tree leaves 8..15)
+        assert SDSubset(*FULL_COVER).contains(12)
+
+    def test_cover_bound(self, rng):
+        sd = SubsetDifferenceScheme(32, rng)
+        leaves = list(sd.leaves())
+        for r in (1, 2, 5, 10, 31):
+            revoked = set(random.Random(r).sample(leaves, r))
+            cover = sd.cover(revoked)
+            assert len(cover) <= max(1, 2 * r - 1), (r, len(cover))
+
+    def test_cover_partition(self, rng):
+        sd = SubsetDifferenceScheme(16, rng)
+        revoked = {16, 19, 28}
+        cover = sd.cover(revoked)
+        counts = {leaf: 0 for leaf in sd.leaves()}
+        for subset in cover:
+            for leaf in sd.leaves():
+                if subset.contains(leaf):
+                    counts[leaf] += 1
+        for leaf, count in counts.items():
+            assert count == (0 if leaf in revoked else 1), leaf
+
+    def test_decrypt_semantics(self, rng):
+        sd = SubsetDifferenceScheme(16, rng)
+        keys = {leaf: sd.user_keys(leaf) for leaf in sd.leaves()}
+        for revoked in [set(), {16}, {18, 25}, {16, 17, 30, 31}]:
+            header = sd.encrypt(revoked, b"sd")
+            for leaf in sd.leaves():
+                got = sd.decrypt(keys[leaf], leaf, header)
+                assert (got == b"sd") == (leaf not in revoked), (revoked, leaf)
+
+    def test_storage_quadratic_log(self, rng):
+        sd = SubsetDifferenceScheme(16, rng)
+        # log N = 4 -> 4+3+2+1 = 10 labels + 1 full-cover key.
+        assert len(sd.user_keys(16)) == 11
+
+    def test_subset_key_matches_user_derivation(self, rng):
+        sd = SubsetDifferenceScheme(16, rng)
+        revoked = {17}
+        header = sd.encrypt(revoked, b"m")
+        keys_16 = sd.user_keys(16)
+        # Leaf 16 shares every ancestor with 17 yet must still decrypt.
+        assert sd.decrypt(keys_16, 16, header) == b"m"
+
+
+@given(st.integers(min_value=0, max_value=2**32 - 1),
+       st.integers(min_value=0, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_sd_cover_correct_for_random_revocations(seed, r):
+    """Property: the SD cover covers exactly the non-revoked leaves and
+    respects the 2r-1 bound, for random revocation sets."""
+    rng = random.Random(seed)
+    sd = SubsetDifferenceScheme(16, rng)
+    leaves = list(sd.leaves())
+    revoked = set(rng.sample(leaves, min(r, len(leaves))))
+    cover = sd.cover(revoked)
+    assert len(cover) <= max(1, 2 * len(revoked) - 1) or not revoked
+    for leaf in leaves:
+        hit = sum(1 for s in cover if s.contains(leaf))
+        assert hit == (0 if leaf in revoked else 1)
+
+
+class TestNnlController:
+    def test_lifecycle(self, rng):
+        gc = NnlController(8, "sd", rng)
+        members = {}
+        for i in range(5):
+            welcome, message = gc.join(f"u{i}")
+            for member in members.values():
+                assert member.rekey(message)
+            members[f"u{i}"] = NnlMember(welcome)
+        assert all(m.group_key == gc.group_key for m in members.values())
+        message = gc.leave("u2")
+        gone = members.pop("u2")
+        assert not gone.rekey(message)
+        for member in members.values():
+            assert member.rekey(message)
+            assert member.group_key == gc.group_key
+
+    def test_cs_method(self, rng):
+        gc = NnlController(8, "cs", rng)
+        w1, _ = gc.join("a")
+        w2, m2 = gc.join("b")
+        a = NnlMember(w1)
+        assert a.rekey(m2)
+        b = NnlMember(w2)
+        assert a.group_key == b.group_key == gc.group_key
+
+    def test_capacity_exhausted(self, rng):
+        gc = NnlController(2, "sd", rng)
+        gc.join("a")
+        gc.join("b")
+        with pytest.raises(MembershipError):
+            gc.join("c")
+
+    def test_rejoining_after_leave_reuses_slot(self, rng):
+        gc = NnlController(2, "sd", rng)
+        gc.join("a")
+        gc.join("b")
+        gc.leave("a")
+        welcome, _ = gc.join("c")  # reuses a's slot
+        member = NnlMember(welcome)
+        assert member.group_key == gc.group_key
+
+    def test_bad_method(self, rng):
+        with pytest.raises(ParameterError):
+            NnlController(8, "xyz", rng)

@@ -1,0 +1,62 @@
+"""Tests for the naive star CGKD baseline."""
+
+import pytest
+
+from repro.cgkd.star import StarController, StarMember
+from repro.errors import MembershipError
+
+
+class TestStar:
+    def test_lifecycle(self, rng):
+        gc = StarController(rng)
+        members = {}
+        for i in range(4):
+            welcome, message = gc.join(f"u{i}")
+            for member in members.values():
+                assert member.rekey(message)
+            members[f"u{i}"] = StarMember(welcome)
+        assert all(m.group_key == gc.group_key for m in members.values())
+
+    def test_leave_excludes(self, rng):
+        gc = StarController(rng)
+        members = {}
+        for i in range(3):
+            welcome, message = gc.join(f"u{i}")
+            for member in members.values():
+                member.rekey(message)
+            members[f"u{i}"] = StarMember(welcome)
+        message = gc.leave("u1")
+        gone = members.pop("u1")
+        assert not gone.rekey(message)
+        for member in members.values():
+            assert member.rekey(message)
+            assert member.group_key == gc.group_key
+
+    def test_rekey_cost_linear(self, rng):
+        gc = StarController(rng)
+        for i in range(10):
+            _, message = gc.join(f"u{i}")
+        assert message.size == 10  # one ciphertext per member
+
+    def test_constant_member_storage(self, rng):
+        gc = StarController(rng)
+        welcome, _ = gc.join("u")
+        assert StarMember(welcome).key_count() == 2
+
+    def test_duplicate_join(self, rng):
+        gc = StarController(rng)
+        gc.join("u")
+        with pytest.raises(MembershipError):
+            gc.join("u")
+
+    def test_unknown_leave(self, rng):
+        gc = StarController(rng)
+        with pytest.raises(MembershipError):
+            gc.leave("ghost")
+
+    def test_fresh_keys_per_event(self, rng):
+        gc = StarController(rng)
+        gc.join("a")
+        k1 = gc.group_key
+        gc.join("b")
+        assert gc.group_key != k1

@@ -1,0 +1,155 @@
+"""Framework lifecycle tests: SHS.CreateGroup / AdmitMember / RemoveUser /
+Update over the bulletin board, plus the dual-revocation mechanics."""
+
+import random
+
+import pytest
+
+from repro.core.framework import GcdFramework
+from repro.core.scheme1 import create_scheme1, scheme1_policy
+from repro.core.scheme2 import create_scheme2, scheme2_policy
+from repro.core.handshake import run_handshake
+from repro.errors import MembershipError, RevocationError
+
+
+@pytest.fixture
+def fresh_world(rng):
+    framework = create_scheme1("lifecycle", rng=rng)
+    members = {n: framework.admit_member(n, rng) for n in ("a", "b", "c")}
+    return framework, members
+
+
+class TestLifecycle:
+    def test_members_synchronized_after_joins(self, fresh_world):
+        framework, members = fresh_world
+        authority_key = framework.authority.group_key()
+        assert all(m.group_key == authority_key for m in members.values())
+
+    def test_board_carries_encrypted_updates(self, fresh_world):
+        framework, _ = fresh_world
+        posts = framework.authority.board.read_since(0)
+        assert len(posts) == 3  # one per admit
+        assert all(p.topic == "gcd/lifecycle" for p in posts)
+
+    def test_remove_user(self, fresh_world, rng):
+        framework, members = fresh_world
+        framework.remove_user("b")
+        assert members["b"].revoked
+        assert not members["a"].revoked
+        assert members["a"].group_key == framework.authority.group_key()
+        with pytest.raises(RevocationError):
+            _ = members["b"].group_key
+        assert framework.authority.crl == ("b",)
+
+    def test_double_remove_rejected(self, fresh_world):
+        framework, _ = fresh_world
+        framework.remove_user("b")
+        with pytest.raises(MembershipError):
+            framework.remove_user("b")
+
+    def test_remove_unknown(self, fresh_world):
+        framework, _ = fresh_world
+        with pytest.raises(MembershipError):
+            framework.remove_user("ghost")
+
+    def test_duplicate_admit_rejected(self, fresh_world, rng):
+        framework, _ = fresh_world
+        with pytest.raises(MembershipError):
+            framework.admit_member("a", rng)
+
+    def test_member_accessors(self, fresh_world):
+        framework, members = fresh_world
+        assert framework.member("a") is members["a"]
+        with pytest.raises(MembershipError):
+            framework.member("ghost")
+        framework.remove_user("c")
+        assert {m.user_id for m in framework.members()} == {"a", "b"}
+
+    def test_late_update_catches_up(self, rng):
+        """A member that missed several posts catches up in one update()."""
+        framework = create_scheme1("late", rng=rng)
+        a = framework.authority.admit_member("a", rng)
+        from repro.core.member import GcdMember
+        member_a = GcdMember(a, framework.authority.board)
+        # Two more members join while a never updates.
+        framework.authority.admit_member("b", rng)
+        framework.authority.admit_member("c", rng)
+        applied = member_a.update()
+        assert applied == 2
+        assert member_a.group_key == framework.authority.group_key()
+
+    def test_handshake_via_framework_helper(self, fresh_world):
+        framework, _ = fresh_world
+        outcomes = framework.handshake(["a", "c"], scheme1_policy(),
+                                       random.Random(5))
+        assert all(o.success for o in outcomes)
+
+
+class TestRevocationInteraction:
+    def test_revoked_member_fails_handshake(self, fresh_world, rng):
+        framework, members = fresh_world
+        framework.remove_user("b")
+        lineup = [members["a"], members["b"], members["c"]]
+        outcomes = run_handshake(lineup, scheme1_policy(), rng)
+        assert not any(o.success for o in outcomes)
+
+    def test_survivors_handshake_after_revocation(self, fresh_world, rng):
+        framework, members = fresh_world
+        framework.remove_user("b")
+        outcomes = run_handshake([members["a"], members["c"]],
+                                 scheme1_policy(), rng)
+        assert all(o.success for o in outcomes)
+
+    def test_readmission_cycle(self, rng):
+        framework = create_scheme1("cycle", rng=rng)
+        a = framework.admit_member("a", rng)
+        framework.admit_member("b", rng)
+        framework.remove_user("a")
+        # A new identity for the same human re-enrols cleanly.
+        a2 = framework.admit_member("a-again", rng)
+        outcomes = run_handshake([a2, framework.member("b")],
+                                 scheme1_policy(), rng)
+        assert all(o.success for o in outcomes)
+        del a
+
+    def test_scheme2_lifecycle(self, rng):
+        framework = create_scheme2("s2-lifecycle", rng=rng)
+        members = {n: framework.admit_member(n, rng) for n in ("x", "y", "z")}
+        framework.remove_user("y")
+        outcomes = run_handshake([members["x"], members["z"]],
+                                 scheme2_policy(), rng)
+        assert all(o.success for o in outcomes)
+        lineup = [members["x"], members["y"], members["z"]]
+        outcomes = run_handshake(lineup, scheme2_policy(), rng)
+        assert not any(o.success for o in outcomes)
+
+
+class TestCustomAssembly:
+    def test_nnl_backed_framework(self, rng):
+        framework = create_scheme1("nnl-backed", cgkd="sd", nnl_capacity=8,
+                                   rng=rng)
+        a = framework.admit_member("a", rng)
+        b = framework.admit_member("b", rng)
+        outcomes = run_handshake([a, b], scheme1_policy(), rng)
+        assert all(o.success for o in outcomes)
+        framework.remove_user("b")
+        assert b.revoked
+
+    def test_cs_backed_framework(self, rng):
+        framework = create_scheme1("cs-backed", cgkd="cs", nnl_capacity=8,
+                                   rng=rng)
+        a = framework.admit_member("a", rng)
+        b = framework.admit_member("b", rng)
+        outcomes = run_handshake([a, b], scheme1_policy(), rng)
+        assert all(o.success for o in outcomes)
+
+    def test_bad_cgkd_choice(self, rng):
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            create_scheme1("bad", cgkd="wrong", rng=rng)
+
+    def test_create_generic(self, rng):
+        framework = GcdFramework.create("generic", gsig_kind="kty", rng=rng)
+        assert framework.group_id == "generic"
+        a = framework.admit_member("a", rng)
+        assert a.supports_self_distinction

@@ -1,0 +1,96 @@
+"""Coverage for the remaining helpers: decoy sizing, adversary utilities,
+wallet probe options and trace-result accessors."""
+
+import random
+
+import pytest
+
+from repro.core import wire
+from repro.core.handshake import _nominal_signature_length, run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.core.transcript import TraceResult
+from repro.security.adversaries import Impostor, multi_role_participants
+
+
+class TestDecoySizing:
+    def test_nominal_length_close_to_real(self, scheme1_world):
+        """Decoy thetas must be drawn from (approximately) the real
+        ciphertext space: the nominal serialized-signature length may
+        differ from a real one only by a few bytes (variable-length
+        integer encodings)."""
+        member = scheme1_world.members["alice"]
+        nominal = _nominal_signature_length(member)
+        real = len(member.gsig_sign(b"sizing", scheme1_world.rng))
+        assert abs(nominal - real) <= 16
+
+    def test_nominal_length_kty(self, scheme2_world):
+        member = scheme2_world.members["xavier"]
+        nominal = _nominal_signature_length(member)
+        real = len(member.gsig_sign(b"sizing", scheme2_world.rng))
+        assert abs(nominal - real) <= 16
+
+    def test_decoy_theta_length_matches_real(self, scheme1_world,
+                                             other_scheme1_world):
+        """In a mixed session the decoy and real theta lengths must be in
+        the same ballpark (byte-level length equality is not required by
+        the paper's abstraction, but gross differences would be a tell)."""
+        lineup = (scheme1_world.lineup("alice", "bob")
+                  + other_scheme1_world.lineup("dan"))
+        outcomes = run_handshake(lineup, scheme1_policy(partial_success=True),
+                                 scheme1_world.rng)
+        lengths = [len(e.theta) for e in outcomes[0].transcript.entries]
+        assert max(lengths) - min(lengths) <= 32
+
+
+class TestAdversaryHelpers:
+    def test_multi_role_lineup(self, scheme1_world):
+        rogue = scheme1_world.members["carol"]
+        honest = scheme1_world.lineup("alice", "bob")
+        lineup = multi_role_participants(rogue, 3, honest)
+        assert len(lineup) == 5
+        assert lineup.count(rogue) == 3
+
+    def test_impostor_interface(self, rng):
+        impostor = Impostor("eve", rng)
+        with pytest.raises(Exception):
+            _ = impostor.group_key
+        blob = impostor.gsig_sign(b"m")
+        assert isinstance(blob, bytes) and len(blob) == 512
+        assert not impostor.gsig_verify(b"m", blob)
+        assert not impostor.supports_self_distinction
+
+
+class TestTraceResult:
+    def test_accessors(self):
+        result = TraceResult(group_id="g",
+                             participants={0: "a", 2: "b", 1: "a"},
+                             unresolved=(3,))
+        assert result.identified == ("a", "a", "b")
+        assert result.distinct_signers == 2
+
+
+class TestWalletProbeOptions:
+    def test_probe_specific_groups_only(self, rng):
+        from repro.core.scheme1 import create_scheme1
+        from repro.core.wallet import MembershipWallet
+        g1 = create_scheme1("wp1", rng=rng)
+        g2 = create_scheme1("wp2", rng=rng)
+        peer = g1.admit_member("peer", rng)
+        wallet = MembershipWallet("w")
+        wallet.enroll(g1, rng, alias="w1")
+        wallet.enroll(g2, rng, alias="w2")
+        results = wallet.probe([peer], rng=rng, groups=["wp1"])
+        assert set(results) == {"wp1"}
+        own, _ = results["wp1"]
+        assert own.confirmed_peers == {1}
+
+    def test_probe_skips_revoked_credentials(self, rng):
+        from repro.core.scheme1 import create_scheme1
+        from repro.core.wallet import MembershipWallet
+        g1 = create_scheme1("wp3", rng=rng)
+        peer = g1.admit_member("peer", rng)
+        wallet = MembershipWallet("w")
+        wallet.enroll(g1, rng)
+        g1.remove_user("w")
+        wallet.update_all()
+        assert wallet.probe([peer], rng=rng) == {}

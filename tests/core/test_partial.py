@@ -1,0 +1,44 @@
+"""Tests for the partially-successful-handshake analysis helpers."""
+
+from repro.core.handshake import HandshakeOutcome, run_handshake
+from repro.core.partial import partition_matches, subsets, subsets_are_consistent
+from repro.core.scheme1 import scheme1_policy
+
+
+def _outcome(index, peers):
+    return HandshakeOutcome(index=index, success=False,
+                            confirmed_peers=set(peers))
+
+
+class TestHelpers:
+    def test_subsets_extraction(self):
+        outcomes = [_outcome(0, {1}), _outcome(1, {0}), _outcome(2, set())]
+        assert subsets(outcomes) == [frozenset({0, 1})]
+
+    def test_consistency_holds(self):
+        outcomes = [_outcome(0, {1}), _outcome(1, {0})]
+        assert subsets_are_consistent(outcomes)
+
+    def test_consistency_violated(self):
+        outcomes = [_outcome(0, {1, 2}), _outcome(1, {0}), _outcome(2, set())]
+        assert not subsets_are_consistent(outcomes)
+
+    def test_partition_matches_ignores_singletons(self):
+        outcomes = [_outcome(0, {1}), _outcome(1, {0}), _outcome(2, set())]
+        assert partition_matches(outcomes, [{0, 1}, {2}])
+        assert not partition_matches(outcomes, [{0, 2}, {1}])
+
+
+class TestPaperExample:
+    def test_five_party_two_three_split(self, scheme1_world, other_scheme1_world):
+        """The paper's footnote-2 example: 5 parties, 2 of group A and 3 of
+        group B; both subsets complete their handshakes and see the right
+        sizes."""
+        lineup = (other_scheme1_world.lineup("dan", "eve")
+                  + scheme1_world.lineup("alice", "bob", "carol"))
+        outcomes = run_handshake(lineup, scheme1_policy(partial_success=True),
+                                 scheme1_world.rng)
+        assert subsets_are_consistent(outcomes)
+        assert partition_matches(outcomes, [{0, 1}, {2, 3, 4}])
+        assert outcomes[0].subset_size == 2
+        assert outcomes[2].subset_size == 3

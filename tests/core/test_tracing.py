@@ -1,0 +1,103 @@
+"""Tests for GCD.TraceUser and the transcript machinery."""
+
+import pytest
+
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.core.scheme2 import scheme2_policy
+from repro.core.transcript import HandshakeTranscript, signed_message
+from repro.errors import TracingError
+
+
+class TestTraceScheme1:
+    def test_full_trace(self, scheme1_world):
+        outcomes = run_handshake(scheme1_world.lineup("alice", "bob", "carol"),
+                                 scheme1_policy(), scheme1_world.rng)
+        result = scheme1_world.framework.trace(outcomes[0].transcript)
+        assert sorted(result.identified) == ["alice", "bob", "carol"]
+        assert result.unresolved == ()
+        assert result.distinct_signers == 3
+
+    def test_exhaustive_search_variant(self, scheme1_world):
+        """The paper's worst case: the GA searches all recovered session
+        keys for each theta instead of assuming pairing by position."""
+        outcomes = run_handshake(scheme1_world.lineup("alice", "bob"),
+                                 scheme1_policy(), scheme1_world.rng)
+        result = scheme1_world.framework.trace(outcomes[0].transcript,
+                                               exhaustive=True)
+        assert sorted(result.identified) == ["alice", "bob"]
+
+    def test_foreign_authority_cannot_trace(self, scheme1_world,
+                                            other_scheme1_world):
+        outcomes = run_handshake(scheme1_world.lineup("alice", "bob"),
+                                 scheme1_policy(), scheme1_world.rng)
+        result = other_scheme1_world.framework.trace(outcomes[0].transcript)
+        assert result.identified == ()
+        assert len(result.unresolved) == 2
+
+    def test_decoy_entries_unresolved(self, scheme1_world, other_scheme1_world):
+        lineup = (scheme1_world.lineup("alice", "bob")
+                  + other_scheme1_world.lineup("dan"))
+        outcomes = run_handshake(lineup, scheme1_policy(partial_success=True),
+                                 scheme1_world.rng)
+        result = scheme1_world.framework.trace(outcomes[0].transcript)
+        assert sorted(result.identified) == ["alice", "bob"]
+        assert 2 in result.unresolved
+
+    def test_trace_after_membership_churn(self, rng):
+        """Transcripts remain traceable after later joins/revocations."""
+        from repro.core.scheme1 import create_scheme1
+        framework = create_scheme1("churn", rng=rng)
+        a = framework.admit_member("a", rng)
+        b = framework.admit_member("b", rng)
+        outcomes = run_handshake([a, b], scheme1_policy(), rng)
+        transcript = outcomes[0].transcript
+        framework.admit_member("late", rng)
+        framework.remove_user("b")
+        result = framework.trace(transcript)
+        assert sorted(result.identified) == ["a", "b"]
+
+
+class TestTraceScheme2:
+    def test_full_trace(self, scheme2_world):
+        outcomes = run_handshake(scheme2_world.lineup("xavier", "yvonne"),
+                                 scheme2_policy(), scheme2_world.rng)
+        result = scheme2_world.framework.trace(outcomes[0].transcript)
+        assert sorted(result.identified) == ["xavier", "yvonne"]
+
+    def test_trace_reveals_multi_role(self, scheme2_world):
+        """Even when verification catches the rogue, tracing shows the
+        duplicate identity (distinct_signers < m)."""
+        lineup = scheme2_world.lineup("xavier", "yvonne", "xavier")
+        outcomes = run_handshake(lineup, scheme2_policy(), scheme2_world.rng)
+        transcript = outcomes[1].transcript
+        result = scheme2_world.framework.trace(transcript)
+        assert result.distinct_signers == 2
+        assert len(result.participants) == 3
+
+
+class TestTranscriptMechanics:
+    def test_signed_message_binds_sid_and_delta(self):
+        m1 = signed_message(b"sid1", (1, 2, 3, 4))
+        m2 = signed_message(b"sid2", (1, 2, 3, 4))
+        m3 = signed_message(b"sid1", (1, 2, 3, 5))
+        assert len({m1, m2, m3}) == 3
+
+    def test_splice_resistant(self, scheme1_world):
+        """An entry moved into another session's transcript never opens."""
+        first = run_handshake(scheme1_world.lineup("alice", "bob"),
+                              scheme1_policy(), scheme1_world.rng)[0].transcript
+        second = run_handshake(scheme1_world.lineup("carol", "dave"),
+                               scheme1_policy(), scheme1_world.rng)[0].transcript
+        frankenstein = HandshakeTranscript(
+            sid=second.sid, entries=(first.entries[0], second.entries[1])
+        )
+        result = scheme1_world.framework.trace(frankenstein, exhaustive=True)
+        assert "alice" not in result.identified
+
+    def test_decrypt_tracing_rejects_decoys(self, scheme1_world, rng):
+        from repro.crypto.cramer_shoup import CramerShoup
+        pk = scheme1_world.framework.authority.public_info().tracing_public_key
+        decoy = CramerShoup.random_ciphertext(pk, rng)
+        with pytest.raises(TracingError):
+            scheme1_world.framework.authority.decrypt_tracing(decoy.as_tuple())

@@ -1,0 +1,186 @@
+"""Tests for multi-group wallets and clearance-level handshakes (the
+generalizations the paper sketches in Sections 1-2)."""
+
+import random
+
+import pytest
+
+from repro.core.handshake import run_handshake
+from repro.core.roles import ClearanceAuthority, handshake_at_level
+from repro.core.scheme1 import create_scheme1, scheme1_policy
+from repro.core.wallet import MembershipWallet
+from repro.errors import MembershipError, ParameterError
+
+
+@pytest.fixture(scope="module")
+def two_groups():
+    rng = random.Random(61)
+    fbi = create_scheme1("fbi-w", rng=rng)
+    cia = create_scheme1("cia-w", rng=rng)
+    fbi_only = fbi.admit_member("fbi-only", rng)
+    cia_only = cia.admit_member("cia-only", rng)
+    double = MembershipWallet("double-agent")
+    double.enroll(fbi, rng, alias="da-fbi")
+    double.enroll(cia, rng, alias="da-cia")
+    return fbi, cia, fbi_only, cia_only, double, rng
+
+
+class TestWallet:
+    def test_groups_listing(self, two_groups):
+        *_, double, _ = two_groups
+        assert double.groups() == ["cia-w", "fbi-w"]
+
+    def test_duplicate_enroll_rejected(self, two_groups):
+        fbi, _, _, _, double, rng = two_groups
+        with pytest.raises(MembershipError):
+            double.enroll(fbi, rng, alias="da-fbi-2")
+
+    def test_missing_credential(self, two_groups):
+        *_, double, _ = two_groups
+        with pytest.raises(MembershipError):
+            double.credential_for("mi6")
+
+    def test_handshake_with_either_side(self, two_groups):
+        fbi, cia, fbi_only, cia_only, double, rng = two_groups
+        outcomes = run_handshake(
+            [double.credential_for("fbi-w"), fbi_only], scheme1_policy(), rng
+        )
+        assert all(o.success for o in outcomes)
+        outcomes = run_handshake(
+            [double.credential_for("cia-w"), cia_only], scheme1_policy(), rng
+        )
+        assert all(o.success for o in outcomes)
+
+    def test_wrong_credential_fails(self, two_groups):
+        _, _, fbi_only, _, double, rng = two_groups
+        outcomes = run_handshake(
+            [double.credential_for("cia-w"), fbi_only], scheme1_policy(), rng
+        )
+        assert not any(o.success for o in outcomes)
+
+    def test_probe_discovers_shared_affiliations(self, two_groups):
+        _, _, fbi_only, cia_only, double, rng = two_groups
+        results = double.probe([fbi_only, cia_only], rng=rng)
+        fbi_own, _ = results["fbi-w"]
+        cia_own, _ = results["cia-w"]
+        assert fbi_own.confirmed_peers == {1}  # fbi_only at index 1
+        assert cia_own.confirmed_peers == {2}  # cia_only at index 2
+
+    def test_cross_group_aliases_unlinkable_by_authorities(self, two_groups):
+        """Colluding GAs tracing the double agent's sessions see two
+        unrelated aliases — wallet-level pseudonymity."""
+        fbi, cia, fbi_only, _, double, rng = two_groups
+        outcomes = run_handshake(
+            [double.credential_for("fbi-w"), fbi_only], scheme1_policy(), rng
+        )
+        traced = fbi.trace(outcomes[0].transcript)
+        assert "da-fbi" in traced.identified
+        assert "double-agent" not in traced.identified
+        assert "da-cia" not in traced.identified
+
+    def test_revocation_reflected(self, rng):
+        group = create_scheme1("wr", rng=rng)
+        wallet = MembershipWallet("w")
+        wallet.enroll(group, rng)
+        assert wallet.active_groups() == ["wr"]
+        group.remove_user("w")
+        wallet.update_all()
+        assert wallet.active_groups() == []
+        wallet.drop("wr")
+        assert wallet.groups() == []
+
+
+@pytest.fixture(scope="module")
+def agency():
+    rng = random.Random(62)
+    authority = ClearanceAuthority("agency", levels=3, rng=rng)
+    agents = {
+        "junior": authority.admit("junior", 1, rng),
+        "field": authority.admit("field", 2, rng),
+        "chief": authority.admit("chief", 3, rng),
+        "chief2": authority.admit("chief2", 3, rng),
+    }
+    return authority, agents, rng
+
+
+class TestClearanceLevels:
+    def test_admission_enrolls_all_lower_levels(self, agency):
+        _, agents, _ = agency
+        assert agents["chief"].wallet.groups() == [
+            "agency/clearance-1", "agency/clearance-2", "agency/clearance-3",
+        ]
+        assert agents["junior"].wallet.groups() == ["agency/clearance-1"]
+
+    def test_everyone_meets_at_level_one(self, agency):
+        _, agents, rng = agency
+        outcomes = handshake_at_level(
+            [agents["junior"], agents["field"], agents["chief"]], 1, rng=rng
+        )
+        assert all(o.success for o in outcomes)
+
+    def test_level_two_excludes_junior(self, agency):
+        """The paper's scenario: clearance-2 agents reveal themselves only
+        to peers with at least clearance 2."""
+        _, agents, rng = agency
+        outcomes = handshake_at_level(
+            [agents["field"], agents["chief"], agents["junior"]], 2, rng=rng
+        )
+        assert not any(o.success for o in outcomes)
+        # Without the junior, the level-2 handshake succeeds.
+        outcomes = handshake_at_level(
+            [agents["field"], agents["chief"]], 2, rng=rng
+        )
+        assert all(o.success for o in outcomes)
+
+    def test_level_three_chiefs_only(self, agency):
+        _, agents, rng = agency
+        outcomes = handshake_at_level(
+            [agents["chief"], agents["chief2"]], 3, rng=rng
+        )
+        assert all(o.success for o in outcomes)
+
+    def test_under_cleared_agent_learns_nothing(self, agency):
+        """The junior bluffing into a level-2 handshake gets a failed
+        outcome with zero confirmed peers."""
+        _, agents, rng = agency
+        outcomes = handshake_at_level(
+            [agents["field"], agents["junior"]], 2, rng=rng
+        )
+        assert not outcomes[1].success
+        assert outcomes[1].confirmed_peers == set()
+
+    def test_credential_at_checks_level(self, agency):
+        _, agents, _ = agency
+        with pytest.raises(MembershipError):
+            agents["junior"].credential_at(2)
+
+    def test_downgrade(self, rng):
+        authority = ClearanceAuthority("dg", levels=3, rng=rng)
+        boss = authority.admit("boss", 3, rng)
+        peer = authority.admit("peer", 3, rng)
+        authority.downgrade(boss, 1)
+        assert boss.level == 1
+        outcomes = handshake_at_level([boss, peer], 3, rng=rng)
+        assert not any(o.success for o in outcomes)
+        outcomes = handshake_at_level([boss, peer], 1, rng=rng)
+        assert all(o.success for o in outcomes)
+
+    def test_full_revocation(self, rng):
+        authority = ClearanceAuthority("rv", levels=2, rng=rng)
+        spy = authority.admit("spy", 2, rng)
+        peer = authority.admit("peer", 2, rng)
+        authority.revoke(spy)
+        assert spy.wallet.active_groups() == []
+        outcomes = handshake_at_level([peer, spy], 1, rng=rng)
+        assert not any(o.success for o in outcomes)
+
+    def test_bad_parameters(self, agency):
+        authority, agents, rng = agency
+        with pytest.raises(ParameterError):
+            authority.admit("x", 9, rng)
+        with pytest.raises(ParameterError):
+            ClearanceAuthority("bad", 0)
+        with pytest.raises(ParameterError):
+            authority.framework(99)
+        with pytest.raises(ParameterError):
+            authority.downgrade(agents["junior"], 5)

@@ -1,0 +1,89 @@
+"""Tests for the wire codec and signature serialization."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import wire
+from repro.errors import EncodingError
+from repro.gsig.base import StateUpdate
+
+_scalars = st.one_of(
+    st.integers(min_value=-(1 << 300), max_value=1 << 300),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+    st.booleans(),
+    st.none(),
+)
+_values = st.recursive(_scalars, lambda inner: st.lists(inner, max_size=4).map(tuple),
+                       max_leaves=12)
+
+
+class TestCodec:
+    @given(_values)
+    @settings(max_examples=150)
+    def test_roundtrip(self, value):
+        assert wire.loads(wire.dumps(value)) == value
+
+    def test_lists_become_tuples(self):
+        assert wire.loads(wire.dumps([1, [2, 3]])) == (1, (2, 3))
+
+    def test_trailing_bytes_rejected(self):
+        with pytest.raises(EncodingError):
+            wire.loads(wire.dumps(1) + b"\x00")
+
+    def test_truncated_rejected(self):
+        blob = wire.dumps((1, 2, 3))
+        with pytest.raises(EncodingError):
+            wire.loads(blob[:-2])
+
+    def test_junk_rejected(self):
+        with pytest.raises(EncodingError):
+            wire.loads(b"\xff\x00\x00\x00\x01x")
+
+    def test_unserializable(self):
+        with pytest.raises(EncodingError):
+            wire.dumps(3.14)
+
+    def test_empty_input(self):
+        with pytest.raises(EncodingError):
+            wire.loads(b"")
+
+
+class TestSignatureCodec:
+    def test_acjt_roundtrip(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"m", acjt_world.rng)
+        blob = wire.signature_to_bytes(sig)
+        assert wire.signature_from_bytes(blob) == sig
+
+    def test_kty_roundtrip(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        sig = cred.sign(b"m", kty_world.rng)
+        blob = wire.signature_to_bytes(sig)
+        assert wire.signature_from_bytes(blob) == sig
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(EncodingError):
+            wire.signature_to_bytes("not a signature")
+
+    def test_junk_blob_rejected(self):
+        with pytest.raises(EncodingError):
+            wire.signature_from_bytes(wire.dumps(("mystery", 1, 2)))
+
+    def test_arity_mismatch_rejected(self):
+        with pytest.raises(EncodingError):
+            wire.signature_from_bytes(wire.dumps(("gsig/acjt", 1, 2)))
+
+
+class TestStateUpdateCodec:
+    def test_roundtrip(self):
+        update = StateUpdate(epoch=7, kind="revoke",
+                             payload={"deleted_e": 12345, "acc_value": 678})
+        blob = wire.state_update_to_bytes(update)
+        restored = wire.state_update_from_bytes(blob)
+        assert restored == update
+
+    def test_junk_rejected(self):
+        with pytest.raises(EncodingError):
+            wire.state_update_from_bytes(wire.dumps(("other", 1)))

@@ -1,0 +1,198 @@
+"""Tests for the Camenisch-Lysyanskaya dynamic accumulator."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.accumulator import (
+    Accumulator,
+    AccumulatorMembershipProof,
+    update_witness_after_add,
+    update_witness_after_delete,
+    verify_witness,
+)
+from repro.crypto.commitments import IntegerPedersenScheme
+from repro.crypto.params import acjt_profile
+from repro.crypto.primes import random_prime_in_interval
+from repro.crypto.rsa import RsaGroup
+from repro.errors import ParameterError, RevocationError
+
+LENGTHS = acjt_profile("tiny")
+
+
+@pytest.fixture(scope="module")
+def group():
+    return RsaGroup.from_precomputed(256)
+
+
+@pytest.fixture(scope="module")
+def pedersen(group):
+    return IntegerPedersenScheme.setup(group, random.Random(21))
+
+
+def _prime(rng):
+    return random_prime_in_interval(LENGTHS.e_low, LENGTHS.e_high, rng)
+
+
+class TestAccumulatorBasics:
+    def test_add_returns_valid_witness(self, group, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        assert acc.verify_witness(witness, e)
+        assert acc.contains(e)
+        assert len(acc) == 1
+
+    def test_duplicate_add_rejected(self, group, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        acc.add(e)
+        with pytest.raises(RevocationError):
+            acc.add(e)
+
+    def test_even_value_rejected(self, group, rng):
+        acc = Accumulator(group, rng)
+        with pytest.raises(ParameterError):
+            acc.add(4)
+
+    def test_delete_requires_membership(self, group, rng):
+        acc = Accumulator(group, rng)
+        with pytest.raises(RevocationError):
+            acc.delete(_prime(rng))
+
+    def test_delete_inverts_add(self, group, rng):
+        acc = Accumulator(group, rng)
+        before = acc.value
+        e = _prime(rng)
+        acc.add(e)
+        acc.delete(e)
+        assert acc.value == before
+
+    def test_manager_needs_trapdoor(self, group, rng):
+        with pytest.raises(ParameterError):
+            Accumulator(group.public(), rng)
+
+
+class TestWitnessUpdates:
+    def test_add_updates(self, group, rng):
+        acc = Accumulator(group, rng)
+        e1, e2, e3 = (_prime(rng) for _ in range(3))
+        w1 = acc.add(e1)
+        acc.add(e2)
+        w1 = update_witness_after_add(w1, e2, group.n)
+        acc.add(e3)
+        w1 = update_witness_after_add(w1, e3, group.n)
+        assert acc.verify_witness(w1, e1)
+
+    def test_delete_updates(self, group, rng):
+        acc = Accumulator(group, rng)
+        e1, e2 = _prime(rng), _prime(rng)
+        w1 = acc.add(e1)
+        acc.add(e2)
+        w1 = update_witness_after_add(w1, e2, group.n)
+        acc.delete(e2)
+        w1 = update_witness_after_delete(w1, e1, e2, acc.value, group.n)
+        assert acc.verify_witness(w1, e1)
+
+    def test_revoked_witness_becomes_stale(self, group, rng):
+        acc = Accumulator(group, rng)
+        e1, e2 = _prime(rng), _prime(rng)
+        acc.add(e1)
+        w2 = acc.add(e2)
+        assert acc.verify_witness(w2, e2)
+        acc.delete(e2)
+        assert not acc.verify_witness(w2, e2)
+
+    @given(st.integers(min_value=2, max_value=6))
+    @settings(max_examples=5, deadline=None)
+    def test_churn_invariant(self, count):
+        """After arbitrary add/delete churn, every surviving member's
+        updated witness verifies and no removed member's does."""
+        rng = random.Random(count)
+        group = RsaGroup.from_precomputed(256)
+        acc = Accumulator(group, rng)
+        members = {}
+        for _ in range(count):
+            e = _prime(rng)
+            w = acc.add(e)
+            for other in members:
+                members[other] = update_witness_after_add(members[other], e, group.n)
+            members[e] = w
+        removed, *_ = list(members)
+        acc.delete(removed)
+        stale = members.pop(removed)
+        for e in members:
+            members[e] = update_witness_after_delete(
+                members[e], e, removed, acc.value, group.n
+            )
+        for e, w in members.items():
+            assert verify_witness(acc.public(), w, e)
+        assert not verify_witness(acc.public(), stale, removed)
+
+
+class TestMembershipProof:
+    def test_complete(self, group, pedersen, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        proof = AccumulatorMembershipProof.create(
+            acc.public(), pedersen, LENGTHS, e, witness, b"ctx", rng
+        )
+        assert proof.verify(acc.public(), pedersen, LENGTHS, b"ctx")
+
+    def test_context_bound(self, group, pedersen, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        proof = AccumulatorMembershipProof.create(
+            acc.public(), pedersen, LENGTHS, e, witness, b"ctx1", rng
+        )
+        assert not proof.verify(acc.public(), pedersen, LENGTHS, b"ctx2")
+
+    def test_stale_witness_rejected_at_create(self, group, pedersen, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        acc.add(_prime(rng))  # witness now stale
+        with pytest.raises(ParameterError):
+            AccumulatorMembershipProof.create(
+                acc.public(), pedersen, LENGTHS, e, witness, rng=rng
+            )
+
+    def test_proof_against_wrong_value_rejected(self, group, pedersen, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        proof = AccumulatorMembershipProof.create(
+            acc.public(), pedersen, LENGTHS, e, witness, rng=rng
+        )
+        acc.add(_prime(rng))  # accumulator moved on
+        assert not proof.verify(acc.public(), pedersen, LENGTHS)
+
+    def test_tampered_response_rejected(self, group, pedersen, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        proof = AccumulatorMembershipProof.create(
+            acc.public(), pedersen, LENGTHS, e, witness, rng=rng
+        )
+        from dataclasses import replace
+        assert not replace(proof, s_e=proof.s_e + 1).verify(
+            acc.public(), pedersen, LENGTHS
+        )
+        assert not replace(proof, s_z=proof.s_z + 1).verify(
+            acc.public(), pedersen, LENGTHS
+        )
+
+    def test_out_of_interval_response_rejected(self, group, pedersen, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        witness = acc.add(e)
+        proof = AccumulatorMembershipProof.create(
+            acc.public(), pedersen, LENGTHS, e, witness, rng=rng
+        )
+        from dataclasses import replace
+        huge = 1 << (LENGTHS.epsilon * (LENGTHS.gamma2 + LENGTHS.k) + 5)
+        assert not replace(proof, s_e=huge).verify(acc.public(), pedersen, LENGTHS)

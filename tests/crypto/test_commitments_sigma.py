@@ -1,0 +1,160 @@
+"""Tests for Pedersen commitments and the sigma-protocol toolkit."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto.commitments import IntegerPedersenScheme, PedersenScheme
+from repro.crypto.params import dh_group
+from repro.crypto.rsa import RsaGroup
+from repro.crypto.sigma import (
+    DleqProof,
+    RepresentationProof,
+    SchnorrProof,
+    SchnorrSignature,
+)
+from repro.errors import ParameterError
+
+GROUP = dh_group(256)
+
+
+@pytest.fixture(scope="module")
+def pedersen():
+    return PedersenScheme.setup(GROUP, random.Random(11))
+
+
+@pytest.fixture(scope="module")
+def int_pedersen():
+    return IntegerPedersenScheme.setup(RsaGroup.from_precomputed(256),
+                                       random.Random(12))
+
+
+class TestPedersen:
+    @given(st.integers(min_value=0, max_value=10**30))
+    @settings(max_examples=40)
+    def test_commit_verify(self, message):
+        scheme = PedersenScheme.setup(GROUP, random.Random(message % 97))
+        commitment, opening = scheme.commit(message, random.Random(message % 89))
+        assert scheme.verify(commitment, message, opening)
+
+    def test_wrong_opening_rejected(self, pedersen, rng):
+        commitment, opening = pedersen.commit(42, rng)
+        assert not pedersen.verify(commitment, 43, opening)
+        assert not pedersen.verify(commitment, 42, opening + 1)
+
+    def test_hiding_randomization(self, pedersen, rng):
+        c1, _ = pedersen.commit(7, rng)
+        c2, _ = pedersen.commit(7, rng)
+        assert c1 != c2
+
+    def test_homomorphic(self, pedersen, rng):
+        c1, r1 = pedersen.commit(3, rng)
+        c2, r2 = pedersen.commit(4, rng)
+        combined = pedersen.combine(c1, c2)
+        assert pedersen.verify(combined, 7, r1 + r2)
+
+
+class TestIntegerPedersen:
+    def test_commit_verify(self, int_pedersen, rng):
+        commitment, opening = int_pedersen.commit(123456789, rng)
+        assert int_pedersen.verify(commitment, 123456789, opening)
+        assert not int_pedersen.verify(commitment, 123456788, opening)
+
+    def test_negative_rejected(self, int_pedersen, rng):
+        with pytest.raises(ParameterError):
+            int_pedersen.commit(-1, rng)
+
+    def test_large_integer(self, int_pedersen, rng):
+        big = 1 << 600  # bigger than the modulus: exponents, not residues
+        commitment, opening = int_pedersen.commit(big, rng)
+        assert int_pedersen.verify(commitment, big, opening)
+
+
+class TestSchnorrProof:
+    def test_complete(self, rng):
+        x = GROUP.random_exponent(rng)
+        y = GROUP.power_of_g(x)
+        proof = SchnorrProof.create(GROUP, GROUP.g, y, x, b"ctx", rng)
+        assert proof.verify(GROUP, GROUP.g, y, b"ctx")
+
+    def test_context_bound(self, rng):
+        x = GROUP.random_exponent(rng)
+        y = GROUP.power_of_g(x)
+        proof = SchnorrProof.create(GROUP, GROUP.g, y, x, b"ctx1", rng)
+        assert not proof.verify(GROUP, GROUP.g, y, b"ctx2")
+
+    def test_wrong_statement_rejected(self, rng):
+        x = GROUP.random_exponent(rng)
+        y = GROUP.power_of_g(x)
+        proof = SchnorrProof.create(GROUP, GROUP.g, y, x, rng=rng)
+        assert not proof.verify(GROUP, GROUP.g, (y * GROUP.g) % GROUP.p)
+
+    def test_out_of_range_rejected(self, rng):
+        x = GROUP.random_exponent(rng)
+        y = GROUP.power_of_g(x)
+        proof = SchnorrProof.create(GROUP, GROUP.g, y, x, rng=rng)
+        bad = SchnorrProof(proof.challenge, proof.response + GROUP.q)
+        assert not bad.verify(GROUP, GROUP.g, y)
+
+
+class TestDleq:
+    def test_complete(self, rng):
+        x = GROUP.random_exponent(rng)
+        g2 = GROUP.power_of_g(777)
+        proof = DleqProof.create(GROUP, GROUP.g, GROUP.power_of_g(x),
+                                 g2, pow(g2, x, GROUP.p), x, rng=rng)
+        assert proof.verify(GROUP, GROUP.g, GROUP.power_of_g(x),
+                            g2, pow(g2, x, GROUP.p))
+
+    def test_unequal_logs_rejected(self, rng):
+        x = GROUP.random_exponent(rng)
+        g2 = GROUP.power_of_g(777)
+        y2_wrong = pow(g2, x + 1, GROUP.p)
+        proof = DleqProof.create(GROUP, GROUP.g, GROUP.power_of_g(x),
+                                 g2, y2_wrong, x, rng=rng)
+        assert not proof.verify(GROUP, GROUP.g, GROUP.power_of_g(x), g2, y2_wrong)
+
+
+class TestRepresentation:
+    @given(st.integers(min_value=2, max_value=5))
+    @settings(max_examples=10)
+    def test_complete(self, k):
+        rng = random.Random(k)
+        bases = [GROUP.power_of_g(rng.randrange(1, GROUP.q)) for _ in range(k)]
+        secrets = [GROUP.random_exponent(rng) for _ in range(k)]
+        public = 1
+        for base, secret in zip(bases, secrets):
+            public = (public * pow(base, secret, GROUP.p)) % GROUP.p
+        proof = RepresentationProof.create(GROUP, bases, public, secrets, rng=rng)
+        assert proof.verify(GROUP, bases, public)
+
+    def test_wrong_public_rejected(self, rng):
+        bases = [GROUP.g, GROUP.power_of_g(3)]
+        secrets = [5, 7]
+        public = (pow(bases[0], 5, GROUP.p) * pow(bases[1], 7, GROUP.p)) % GROUP.p
+        proof = RepresentationProof.create(GROUP, bases, public, secrets, rng=rng)
+        assert not proof.verify(GROUP, bases, (public * GROUP.g) % GROUP.p)
+
+    def test_arity_mismatch(self, rng):
+        with pytest.raises(ParameterError):
+            RepresentationProof.create(GROUP, [GROUP.g], 1, [1, 2], rng=rng)
+
+
+class TestSchnorrSignature:
+    def test_sign_verify(self, rng):
+        public, secret = SchnorrSignature.keygen(GROUP, rng)
+        signature = SchnorrSignature.sign(GROUP, secret, b"message", rng)
+        assert signature.verify(GROUP, public, b"message")
+
+    def test_wrong_message(self, rng):
+        public, secret = SchnorrSignature.keygen(GROUP, rng)
+        signature = SchnorrSignature.sign(GROUP, secret, b"message", rng)
+        assert not signature.verify(GROUP, public, b"messagf")
+
+    def test_wrong_key(self, rng):
+        public, secret = SchnorrSignature.keygen(GROUP, rng)
+        other_public, _ = SchnorrSignature.keygen(GROUP, rng)
+        signature = SchnorrSignature.sign(GROUP, secret, b"m", rng)
+        assert not signature.verify(GROUP, other_public, b"m")

@@ -1,0 +1,128 @@
+"""Tests for canonical encoding, random-oracle hashes and the KDF."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import hashing
+from repro.crypto.modmath import jacobi
+from repro.errors import EncodingError
+
+_scalars = st.one_of(
+    st.integers(min_value=-(10**30), max_value=10**30),
+    st.binary(max_size=64),
+    st.text(max_size=32),
+    st.booleans(),
+    st.none(),
+)
+_values = st.one_of(_scalars, st.tuples(_scalars, _scalars))
+
+
+class TestEncoding:
+    @given(_values, _values)
+    @settings(max_examples=100)
+    def test_injective_on_pairs(self, a, b):
+        if a != b:
+            assert hashing.encode_element(a) != hashing.encode_element(b)
+
+    def test_type_confusion_prevented(self):
+        # int 5 vs str "5" vs bytes b"5" all encode differently.
+        encodings = {
+            hashing.encode_element(5),
+            hashing.encode_element("5"),
+            hashing.encode_element(b"5"),
+            hashing.encode_element(True),
+        }
+        assert len(encodings) == 4
+
+    def test_concatenation_ambiguity_prevented(self):
+        # ("ab", "c") must differ from ("a", "bc").
+        assert hashing.encode("ab", "c") != hashing.encode("a", "bc")
+
+    def test_nested_sequences(self):
+        assert hashing.encode_element((1, (2, 3))) != hashing.encode_element((1, 2, 3))
+
+    def test_negative_ints(self):
+        assert hashing.encode_element(-5) != hashing.encode_element(5)
+
+    def test_unencodable(self):
+        with pytest.raises(EncodingError):
+            hashing.encode_element(3.14)
+
+
+class TestDigest:
+    def test_deterministic(self):
+        assert hashing.digest("d", 1, "x") == hashing.digest("d", 1, "x")
+
+    def test_domain_separation(self):
+        assert hashing.digest("d1", 1) != hashing.digest("d2", 1)
+
+    def test_length(self):
+        assert len(hashing.digest("d", b"payload")) == 32
+
+
+class TestExpand:
+    @given(st.integers(min_value=1, max_value=200))
+    @settings(max_examples=30)
+    def test_length(self, n):
+        assert len(hashing.expand("d", b"seed", n)) == n
+
+    def test_prefix_property(self):
+        long = hashing.expand("d", b"seed", 100)
+        short = hashing.expand("d", b"seed", 40)
+        assert long[:40] == short
+
+
+class TestHashToInt:
+    @given(st.integers(min_value=1, max_value=512))
+    @settings(max_examples=30)
+    def test_range(self, bits):
+        value = hashing.hash_to_int("d", bits, b"x", bits)
+        assert 0 <= value < (1 << bits)
+
+    def test_mod_range(self):
+        for modulus in (97, 1 << 61, (1 << 127) - 1):
+            v = hashing.hash_mod("d", modulus, b"payload")
+            assert 0 <= v < modulus
+
+
+class TestHashToQr:
+    def test_is_quadratic_residue(self):
+        # For a prime modulus we can check the Jacobi symbol directly.
+        p = (1 << 127) - 1
+        for i in range(5):
+            v = hashing.hash_to_qr("d", p, i)
+            assert jacobi(v, p) == 1
+
+    def test_session_dependence(self):
+        n = 91 * 100003
+        assert hashing.hash_to_qr("d", n, "s1") != hashing.hash_to_qr("d", n, "s2")
+
+
+class TestKdf:
+    def test_label_separation(self):
+        assert hashing.kdf(b"k", "a") != hashing.kdf(b"k", "b")
+
+    def test_key_separation(self):
+        assert hashing.kdf(b"k1", "a") != hashing.kdf(b"k2", "a")
+
+    @given(st.integers(min_value=1, max_value=128))
+    @settings(max_examples=20)
+    def test_length(self, n):
+        assert len(hashing.kdf(b"key", "label", n)) == n
+
+    def test_int_to_key(self):
+        assert hashing.int_to_key(12345) != hashing.int_to_key(12346)
+        assert len(hashing.int_to_key(1)) == 32
+
+
+def test_iter_digest_matches_streaming():
+    a = hashing.iter_digest("d", [1, "two", b"three"])
+    b = hashing.iter_digest("d", iter([1, "two", b"three"]))
+    assert a == b
+
+
+def test_fingerprint_short_hex():
+    fp = hashing.fingerprint("x", 1)
+    assert len(fp) == 16
+    int(fp, 16)  # valid hex

@@ -1,0 +1,98 @@
+"""Tests for the parameter registry and ACJT length profiles."""
+
+import pytest
+
+from repro.crypto import params
+from repro.crypto.modmath import mexp
+from repro.errors import ParameterError
+
+
+class TestEmbeddedPrimes:
+    def test_all_sizes_present(self):
+        assert set(params.SAFE_PRIMES) == {256, 384, 512, 768, 1024, 1536}
+
+    def test_embedded_parameters_verify(self):
+        # Re-checks primality of p and (p-1)/2 for every embedded prime.
+        assert params.verify_embedded_parameters(rounds=4)
+
+    def test_distinct_within_size(self):
+        for triple in params.SAFE_PRIMES.values():
+            assert len(set(triple)) == 3
+
+
+class TestDhGroup:
+    def test_group_structure(self):
+        group = params.dh_group(256)
+        assert group.p == 2 * group.q + 1
+        assert mexp(group.g, group.q, group.p) == 1
+        assert group.g != 1
+
+    def test_contains(self):
+        group = params.dh_group(256)
+        element = group.power_of_g(12345)
+        assert group.contains(element)
+        assert not group.contains(0)
+        assert not group.contains(group.p)
+        # A non-residue is not in the order-q subgroup.
+        assert not group.contains(group.p - 1)  # -1 is a non-residue (p=3 mod 4)
+
+    def test_random_exponent_in_range(self, rng):
+        group = params.dh_group(256)
+        for _ in range(10):
+            e = group.random_exponent(rng)
+            assert 1 <= e < group.q
+
+    def test_unknown_size_rejected(self):
+        with pytest.raises(ParameterError):
+            params.dh_group(333)
+
+    def test_cached(self):
+        assert params.dh_group(256) is params.dh_group(256)
+
+
+class TestRsaSafePrimes:
+    def test_pair_distinct(self):
+        p, q = params.rsa_safe_primes(256)
+        assert p != q
+        assert p.bit_length() == q.bit_length() == 256
+
+    def test_unknown_size(self):
+        with pytest.raises(ParameterError):
+            params.rsa_safe_primes(100)
+
+
+class TestAcjtProfiles:
+    @pytest.mark.parametrize("name", ["tiny", "test", "secure", "secure-1536"])
+    def test_profiles_validate(self, name):
+        profile = params.acjt_profile(name)
+        profile.validate()
+        assert profile.lambda1 > profile.epsilon * (profile.lambda2 + profile.k) + 2
+        assert profile.gamma1 > profile.epsilon * (profile.gamma2 + profile.k) + 2
+        assert profile.gamma2 > profile.lambda1 + 2
+
+    def test_secure_profiles_are_strict(self):
+        assert params.acjt_profile("secure").strict
+        assert params.acjt_profile("secure-1536").strict
+
+    def test_tiny_profile_relaxed(self):
+        assert not params.acjt_profile("tiny").strict
+
+    def test_interval_bounds_ordered(self):
+        profile = params.acjt_profile("tiny")
+        assert profile.x_low < profile.x_high
+        assert profile.e_low < profile.e_high
+        # Certificate primes dominate membership secrets (required by the
+        # reduction): e interval lies entirely above the x interval.
+        assert profile.e_low > profile.x_high
+
+    def test_unknown_profile(self):
+        with pytest.raises(ParameterError):
+            params.acjt_profile("nope")
+
+    def test_bad_epsilon_rejected(self):
+        bad = params.AcjtLengths(lp=64, k=32, epsilon=1, lambda2=16)
+        with pytest.raises(ParameterError):
+            bad.validate()
+
+    def test_modulus_bits(self):
+        assert params.acjt_profile("tiny").modulus_bits == 512

@@ -1,0 +1,147 @@
+"""Tests for the public-key layer: message encoding, ElGamal (textbook and
+hybrid) and Cramer-Shoup."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import encoding
+from repro.crypto.cramer_shoup import CramerShoup, CSCiphertext
+from repro.crypto.elgamal import ElGamal, HybridElGamal
+from repro.crypto.params import dh_group
+from repro.errors import DecryptionError, EncodingError
+
+GROUP = dh_group(384)
+
+
+@pytest.fixture(scope="module")
+def elgamal_keys():
+    return ElGamal.keygen(GROUP, random.Random(1))
+
+
+@pytest.fixture(scope="module")
+def cs_keys():
+    return CramerShoup.keygen(GROUP, random.Random(2))
+
+
+class TestMessageEncoding:
+    @given(st.binary(max_size=40))
+    @settings(max_examples=80)
+    def test_roundtrip(self, message):
+        element = encoding.bytes_to_element(GROUP, message)
+        assert GROUP.contains(element)
+        assert encoding.element_to_bytes(GROUP, element) == message
+
+    def test_max_length_enforced(self):
+        limit = encoding.max_message_bytes(GROUP)
+        encoding.bytes_to_element(GROUP, b"x" * limit)
+        with pytest.raises(EncodingError):
+            encoding.bytes_to_element(GROUP, b"x" * (limit + 1))
+
+    def test_bad_element_rejected(self):
+        with pytest.raises(EncodingError):
+            encoding.element_to_bytes(GROUP, 0)
+
+    def test_leading_zero_bytes_preserved(self):
+        message = b"\x00\x00\x01"
+        element = encoding.bytes_to_element(GROUP, message)
+        assert encoding.element_to_bytes(GROUP, element) == message
+
+
+class TestElGamal:
+    @given(st.binary(max_size=40))
+    @settings(max_examples=30)
+    def test_bytes_roundtrip(self, message):
+        pk, sk = ElGamal.keygen(GROUP, random.Random(5))
+        ct = ElGamal.encrypt_bytes(pk, message, random.Random(6))
+        assert ElGamal.decrypt_bytes(sk, ct) == message
+
+    def test_element_roundtrip(self, elgamal_keys, rng):
+        pk, sk = elgamal_keys
+        m = GROUP.power_of_g(777)
+        ct = ElGamal.encrypt_element(pk, m, rng)
+        assert ElGamal.decrypt_element(sk, ct) == m
+
+    def test_ciphertexts_randomized(self, elgamal_keys, rng):
+        pk, _ = elgamal_keys
+        m = GROUP.power_of_g(5)
+        assert ElGamal.encrypt_element(pk, m, rng) != ElGamal.encrypt_element(pk, m, rng)
+
+    def test_rerandomize_preserves_plaintext(self, elgamal_keys, rng):
+        pk, sk = elgamal_keys
+        m = GROUP.power_of_g(99)
+        ct = ElGamal.encrypt_element(pk, m, rng)
+        ct2 = ElGamal.rerandomize(pk, ct, rng)
+        assert ct2 != ct
+        assert ElGamal.decrypt_element(sk, ct2) == m
+
+
+class TestHybridElGamal:
+    @given(st.binary(max_size=300))
+    @settings(max_examples=30)
+    def test_roundtrip(self, message):
+        pk, sk = HybridElGamal.keygen(GROUP, random.Random(7))
+        ct = HybridElGamal.encrypt(pk, message, random.Random(8))
+        assert HybridElGamal.decrypt(sk, ct) == message
+
+    def test_tamper_rejected(self, rng):
+        pk, sk = HybridElGamal.keygen(GROUP, rng)
+        c1, blob = HybridElGamal.encrypt(pk, b"secret", rng)
+        bad = bytearray(blob)
+        bad[-1] ^= 1
+        with pytest.raises(DecryptionError):
+            HybridElGamal.decrypt(sk, (c1, bytes(bad)))
+
+    def test_bad_kem_element(self, rng):
+        pk, sk = HybridElGamal.keygen(GROUP, rng)
+        _, blob = HybridElGamal.encrypt(pk, b"secret", rng)
+        with pytest.raises(DecryptionError):
+            HybridElGamal.decrypt(sk, (0, blob))
+
+
+class TestCramerShoup:
+    @given(st.binary(max_size=40))
+    @settings(max_examples=30)
+    def test_roundtrip(self, message):
+        pk, sk = CramerShoup.keygen(GROUP, random.Random(9))
+        ct = CramerShoup.encrypt_bytes(pk, message, random.Random(10))
+        assert CramerShoup.decrypt_bytes(sk, ct) == message
+
+    def test_tampered_component_rejected(self, cs_keys, rng):
+        pk, sk = cs_keys
+        ct = CramerShoup.encrypt_bytes(pk, b"trace-key", rng)
+        for attr in ("u1", "u2", "e", "v"):
+            broken = CSCiphertext(**{
+                **{k: getattr(ct, k) for k in ("u1", "u2", "e", "v")},
+                attr: (getattr(ct, attr) * pk.g1) % pk.group.p,
+            })
+            with pytest.raises(DecryptionError):
+                CramerShoup.decrypt_element(sk, broken)
+
+    def test_out_of_range_rejected(self, cs_keys):
+        _, sk = cs_keys
+        with pytest.raises(DecryptionError):
+            CramerShoup.decrypt_element(sk, CSCiphertext(0, 1, 1, 1))
+
+    def test_decoy_rejected_but_well_formed(self, cs_keys, rng):
+        pk, sk = cs_keys
+        decoy = CramerShoup.random_ciphertext(pk, rng)
+        for value in decoy.as_tuple():
+            assert 1 <= value < pk.group.p
+        with pytest.raises(DecryptionError):
+            CramerShoup.decrypt_element(sk, decoy)
+
+    def test_randomized(self, cs_keys, rng):
+        pk, _ = cs_keys
+        a = CramerShoup.encrypt_bytes(pk, b"m", rng)
+        b = CramerShoup.encrypt_bytes(pk, b"m", rng)
+        assert a != b
+
+    def test_cross_key_rejected(self, cs_keys, rng):
+        pk, _ = cs_keys
+        _, other_sk = CramerShoup.keygen(GROUP, rng)
+        ct = CramerShoup.encrypt_bytes(pk, b"m", rng)
+        with pytest.raises(DecryptionError):
+            CramerShoup.decrypt_bytes(other_sk, ct)

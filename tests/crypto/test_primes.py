@@ -1,0 +1,113 @@
+"""Unit and property tests for primality and prime generation."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import primes
+from repro.errors import ParameterError
+
+
+class TestIsPrime:
+    def test_small_primes(self):
+        for p in (2, 3, 5, 7, 11, 13, 97, 101, 4093):
+            assert primes.is_prime(p)
+
+    def test_small_composites(self):
+        for n in (0, 1, 4, 6, 9, 15, 100, 4095):
+            assert not primes.is_prime(n)
+
+    def test_negative(self):
+        assert not primes.is_prime(-7)
+
+    def test_carmichael_numbers(self):
+        # Classic Fermat-test foolers; Miller-Rabin must reject them.
+        for n in (561, 1105, 1729, 2465, 2821, 6601, 8911, 41041, 825265):
+            assert not primes.is_prime(n)
+
+    def test_large_known_prime(self):
+        # 2^127 - 1 is a Mersenne prime.
+        assert primes.is_prime((1 << 127) - 1)
+
+    def test_large_known_composite(self):
+        # 2^128 + 1 has factor 59649589127497217.
+        assert not primes.is_prime((1 << 128) + 1)
+
+    @given(st.integers(min_value=2, max_value=3000))
+    def test_matches_trial_division(self, n):
+        by_trial = all(n % d for d in range(2, int(n**0.5) + 1)) and n >= 2
+        assert primes.is_prime(n) == by_trial
+
+
+class TestRandomPrime:
+    def test_exact_bit_length(self, rng):
+        for bits in (8, 16, 64, 128):
+            p = primes.random_prime(bits, rng)
+            assert p.bit_length() == bits
+            assert primes.is_prime(p)
+
+    def test_too_small_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            primes.random_prime(1, rng)
+
+
+class TestPrimeInInterval:
+    def test_within_bounds(self, rng):
+        low, high = 10_000, 20_000
+        for _ in range(20):
+            p = primes.random_prime_in_interval(low, high, rng)
+            assert low < p < high
+            assert primes.is_prime(p)
+
+    def test_narrow_interval_rejected(self, rng):
+        with pytest.raises(ParameterError):
+            primes.random_prime_in_interval(10, 13, rng)
+
+    def test_primeless_interval_raises(self, rng):
+        # ]114, 126[ contains no primes... 115..125: none are prime except
+        # none (113 and 127 bracket it).
+        with pytest.raises(ParameterError):
+            primes.random_prime_in_interval(114, 126, rng)
+
+    def test_acjt_sized_interval(self, rng):
+        low = (1 << 300) - (1 << 200)
+        high = (1 << 300) + (1 << 200)
+        p = primes.random_prime_in_interval(low, high, rng)
+        assert low < p < high
+
+
+class TestSafePrimes:
+    def test_generation(self, rng):
+        p = primes.random_safe_prime(48, rng)
+        assert p.bit_length() == 48
+        assert primes.is_safe_prime(p)
+
+    def test_is_safe_prime_rejects(self):
+        assert not primes.is_safe_prime(13)  # 13 prime but 6 composite
+        assert not primes.is_safe_prime(15)
+        assert primes.is_safe_prime(23)  # 23 = 2*11 + 1
+        assert primes.is_safe_prime(47)  # 47 = 2*23 + 1
+
+
+class TestNextPrime:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=50)
+    def test_is_next(self, n):
+        p = primes.next_prime(n)
+        assert p > n
+        assert primes.is_prime(p)
+        assert all(not primes.is_prime(k) for k in range(n + 1, p))
+
+
+def test_product():
+    assert primes.product([]) == 1
+    assert primes.product([2, 3, 5]) == 30
+
+
+def test_small_primes_table_sound():
+    assert primes.SMALL_PRIMES[0] == 2
+    assert all(
+        primes.is_prime(p) for p in random.Random(1).sample(primes.SMALL_PRIMES, 30)
+    )

@@ -1,0 +1,72 @@
+"""Profile-independence tests: the protocol logic must be invariant under
+the parameter profile — only speed and concrete hardness change.
+
+The test-suite runs on "tiny" (512-bit modulus, relaxed lengths); here we
+exercise the larger "test" profile end-to-end for both GSIG schemes, and
+statically validate the strict "secure" profiles (generating 1024-bit
+safe-prime moduli is precomputed, so setup itself stays fast)."""
+
+import random
+
+import pytest
+
+from repro.crypto.params import acjt_profile
+from repro.gsig import acjt, kty
+
+
+class TestTestProfile:
+    @pytest.fixture(scope="class")
+    def acjt_test_world(self):
+        rng = random.Random(71)
+        manager = acjt.AcjtManager("test", rng)
+        credential, _ = manager.join("user", rng)
+        return manager, credential, rng
+
+    def test_acjt_roundtrip(self, acjt_test_world):
+        manager, credential, rng = acjt_test_world
+        signature = credential.sign(b"profile-test", rng)
+        assert acjt.verify(manager.public_key, b"profile-test", signature,
+                           manager.member_view())
+        assert manager.open(b"profile-test", signature) == "user"
+
+    def test_acjt_rejects_cross_profile_forgery(self, acjt_test_world,
+                                                acjt_world):
+        """A signature from a tiny-profile deployment never verifies in a
+        test-profile one (different moduli and interval checks)."""
+        manager, _, _ = acjt_test_world
+        tiny_cred = acjt_world.credentials["alice"]
+        signature = tiny_cred.sign(b"x", acjt_world.rng)
+        assert not acjt.verify(manager.public_key, b"x", signature,
+                               manager.member_view())
+
+    def test_kty_roundtrip(self):
+        rng = random.Random(72)
+        manager = kty.KtyManager("test", rng)
+        credential, _ = manager.join("user", rng)
+        shield = kty.common_shield(manager.public_key, b"s")
+        signature = credential.sign(b"m", rng, shield=shield)
+        assert kty.verify(manager.public_key, b"m", signature,
+                          manager.member_view(), expected_shield=shield)
+        assert manager.open(b"m", signature) == "user"
+
+
+class TestSecureProfiles:
+    def test_strictness(self):
+        for name in ("secure", "secure-1536"):
+            profile = acjt_profile(name)
+            assert profile.strict, name
+            assert profile.lambda2 > 4 * profile.lp
+
+    def test_interval_ordering_scales(self):
+        for name in ("tiny", "test", "secure", "secure-1536"):
+            profile = acjt_profile(name)
+            assert profile.x_high < profile.e_low  # Lambda below Gamma
+            assert profile.e_high < (1 << (profile.gamma1 + 1))
+
+    def test_secure_modulus_available(self):
+        """The precomputed safe primes cover the secure profiles."""
+        from repro.crypto.rsa import RsaGroup
+        for name in ("secure", "secure-1536"):
+            profile = acjt_profile(name)
+            group = RsaGroup.from_precomputed(profile.lp)
+            assert group.n.bit_length() in (2 * profile.lp, 2 * profile.lp - 1)

@@ -1,0 +1,81 @@
+"""Tests for the RSA hidden-order group substrate."""
+
+import math
+
+import pytest
+
+from repro.crypto.modmath import jacobi
+from repro.crypto.rsa import RsaGroup, generators
+from repro.errors import ParameterError
+
+
+@pytest.fixture(scope="module")
+def group():
+    return RsaGroup.from_precomputed(256)
+
+
+class TestConstruction:
+    def test_from_precomputed(self, group):
+        assert group.has_trapdoor
+        assert group.n == group.p * group.q
+        assert group.validate_trapdoor(rounds=4)
+
+    def test_public_view(self, group):
+        public = group.public()
+        assert not public.has_trapdoor
+        assert public.n == group.n
+        with pytest.raises(ParameterError):
+            _ = public.qr_order
+
+    def test_inconsistent_factors_rejected(self):
+        with pytest.raises(ParameterError):
+            RsaGroup(n=15, p=3, q=7)
+
+    def test_generate_small(self, rng):
+        g = RsaGroup.generate(32, rng)
+        assert g.validate_trapdoor(rounds=8)
+        assert g.p != g.q
+
+
+class TestArithmetic:
+    def test_qr_order(self, group):
+        assert group.qr_order == ((group.p - 1) // 2) * ((group.q - 1) // 2)
+
+    def test_random_generator_is_qr(self, group, rng):
+        g = group.random_generator(rng)
+        # Squares have Jacobi symbol +1 (necessary condition).
+        assert jacobi(g, group.n) == 1
+        # And indeed are QRs mod both factors.
+        assert jacobi(g % group.p, group.p) == 1
+        assert jacobi(g % group.q, group.q) == 1
+
+    def test_exponent_inversion(self, group, rng):
+        e = 65537
+        inv = group.invert_exponent(e)
+        base = group.random_generator(rng)
+        assert group.exp(group.exp(base, e), inv) == base
+
+    def test_invert_non_coprime_rejected(self, group):
+        p_prime = (group.p - 1) // 2
+        with pytest.raises(ParameterError):
+            group.invert_exponent(p_prime)
+
+    def test_mul_inv(self, group, rng):
+        a = group.random_generator(rng)
+        assert group.mul(a, group.inv(a)) == 1
+
+    def test_plausible_element_checks(self, group):
+        assert not group.is_plausible_element(0)
+        assert not group.is_plausible_element(group.n)
+        assert not group.is_plausible_element(group.p)  # shares a factor
+        assert group.is_plausible_element(4)
+
+    def test_coprime_to_order(self, group):
+        assert group.coprime_to_order(65537)
+        assert not group.coprime_to_order((group.p - 1) // 2)
+
+
+def test_generators_distinct(group, rng):
+    gens = generators(group, 6, rng)
+    assert len(set(gens)) == 6
+    assert all(math.gcd(g, group.n) == 1 for g in gens)

@@ -1,0 +1,120 @@
+"""Property and unit tests for the AEAD (SENC/SDEC) and HMAC wrappers."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crypto import mac, symmetric
+from repro.errors import DecryptionError, ParameterError
+
+
+class TestAeadRoundtrip:
+    @given(st.binary(min_size=16, max_size=32), st.binary(max_size=256))
+    @settings(max_examples=60)
+    def test_roundtrip(self, key, plaintext):
+        ct = symmetric.encrypt(key, plaintext)
+        assert symmetric.decrypt(key, ct) == plaintext
+
+    def test_empty_plaintext(self):
+        key = b"k" * 32
+        assert symmetric.decrypt(key, symmetric.encrypt(key, b"")) == b""
+
+    def test_deterministic_with_seeded_rng(self):
+        key = b"k" * 32
+        c1 = symmetric.encrypt(key, b"msg", random.Random(7))
+        c2 = symmetric.encrypt(key, b"msg", random.Random(7))
+        assert c1 == c2
+
+    def test_fresh_nonces_differ(self):
+        key = b"k" * 32
+        assert symmetric.encrypt(key, b"msg") != symmetric.encrypt(key, b"msg")
+
+
+class TestAeadRejection:
+    @given(st.binary(max_size=128), st.integers(min_value=0, max_value=127))
+    @settings(max_examples=60)
+    def test_bitflip_detected(self, plaintext, position):
+        key = b"k" * 32
+        ct = bytearray(symmetric.encrypt(key, plaintext))
+        ct[position % len(ct)] ^= 0x01
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(key, bytes(ct))
+
+    def test_wrong_key(self):
+        ct = symmetric.encrypt(b"a" * 32, b"secret")
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(b"b" * 32, ct)
+
+    def test_truncated(self):
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(b"k" * 32, b"short")
+
+    def test_random_ciphertext_rejected(self):
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt(b"k" * 32, symmetric.random_ciphertext(64))
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParameterError):
+            symmetric.encrypt(b"", b"x")
+        with pytest.raises(ParameterError):
+            symmetric.decrypt(b"", b"x" * 64)
+
+
+class TestDecoys:
+    def test_shape_matches_real(self):
+        key = b"k" * 32
+        real = symmetric.encrypt(key, b"x" * 100)
+        decoy = symmetric.random_ciphertext(100)
+        assert len(real) == len(decoy)
+
+    def test_overhead(self):
+        key = b"k" * 32
+        ct = symmetric.encrypt(key, b"x" * 10)
+        assert len(ct) == 10 + symmetric.ciphertext_overhead()
+
+
+class TestIntKeyed:
+    @given(st.integers(min_value=0, max_value=1 << 256), st.binary(max_size=64))
+    @settings(max_examples=30)
+    def test_roundtrip(self, key_int, plaintext):
+        ct = symmetric.encrypt_with_int_key(key_int, plaintext)
+        assert symmetric.decrypt_with_int_key(key_int, ct) == plaintext
+
+    def test_wrong_int_key(self):
+        ct = symmetric.encrypt_with_int_key(1, b"secret")
+        with pytest.raises(DecryptionError):
+            symmetric.decrypt_with_int_key(2, ct)
+
+
+class TestMac:
+    @given(st.binary(min_size=1, max_size=32), st.binary(max_size=64),
+           st.integers(min_value=0, max_value=100))
+    @settings(max_examples=60)
+    def test_verify_roundtrip(self, key, data, index):
+        tag = mac.mac(key, data, index)
+        assert mac.verify(key, tag, data, index)
+
+    def test_wrong_key_rejected(self):
+        tag = mac.mac(b"key1", b"data")
+        assert not mac.verify(b"key2", tag, b"data")
+
+    def test_wrong_message_rejected(self):
+        tag = mac.mac(b"key", b"data")
+        assert not mac.verify(b"key", tag, b"datb")
+
+    def test_argument_order_matters(self):
+        assert mac.mac(b"key", b"a", b"b") != mac.mac(b"key", b"b", b"a")
+
+    def test_bad_tag_length(self):
+        assert not mac.verify(b"key", b"short", b"data")
+
+    def test_empty_key_rejected(self):
+        with pytest.raises(ParameterError):
+            mac.mac(b"", b"data")
+
+    def test_int_keyed(self):
+        tag = mac.mac_from_int(12345, b"s", 0)
+        assert mac.verify_from_int(12345, tag, b"s", 0)
+        assert not mac.verify_from_int(12346, tag, b"s", 0)

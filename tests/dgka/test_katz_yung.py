@@ -1,0 +1,126 @@
+"""Tests for the Katz-Yung authenticated DGKA (the road GCD deliberately
+does not take — authentication at the cost of anonymity)."""
+
+import random
+
+import pytest
+
+from repro.crypto.params import dh_group
+from repro.dgka import katz_yung as ky
+from repro.dgka.base import run_locally
+from repro.errors import ProtocolError
+from repro.security.adversaries import BdMitmSplitter
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("m", [2, 3, 5])
+    def test_key_agreement(self, m, rng):
+        parties = ky.make_parties(m, rng=rng)
+        run_locally(parties)
+        assert all(p.acc for p in parties)
+        assert len({p.session_key for p in parties}) == 1
+
+    def test_fresh_keys_per_session(self, rng):
+        group = dh_group(256)
+        keys = [ky.keygen(group, rng) for _ in range(3)]
+        directory = {i: keys[i][0] for i in range(3)}
+
+        def session():
+            parties = [
+                ky.KatzYungParty(i, 3, keys[i][1], directory, group, rng)
+                for i in range(3)
+            ]
+            run_locally(parties)
+            return parties[0].session_key
+
+        assert session() != session()
+
+    def test_directory_must_cover_everyone(self, rng):
+        group = dh_group(256)
+        _, secret = ky.keygen(group, rng)
+        with pytest.raises(ProtocolError):
+            ky.KatzYungParty(0, 3, secret, {0: 1}, group, rng)
+
+
+class TestAuthentication:
+    def test_mitm_splitter_detected(self, rng):
+        """The attack that silently defeats raw BD is caught: the
+        adversary cannot sign its substituted contributions."""
+        group = dh_group(256)
+        parties = ky.make_parties(4, group, rng)
+        splitter = BdMitmSplitter(group, 4, 2, rng)
+
+        def tamper(round_no, sender, receiver, payload):
+            if round_no == 0:
+                return payload  # nonce round untouched
+            kind, inner, challenge, response = payload
+            new_inner = splitter(round_no - 1, sender, receiver, inner)
+            if new_inner == inner:
+                return payload
+            # The adversary must forge a signature on its substitution.
+            return (kind, new_inner, challenge, response)
+
+        with pytest.raises(ProtocolError, match="authentication failure"):
+            run_locally(parties, tamper=tamper)
+
+    def test_replayed_signature_rejected_across_sessions(self, rng):
+        """Nonces bind signatures to the session: replaying a recorded
+        signed message in a new session fails verification."""
+        group = dh_group(256)
+        keys = [ky.keygen(group, rng) for _ in range(2)]
+        directory = {i: keys[i][0] for i in range(2)}
+        recorded = {}
+
+        def recorder(round_no, sender, receiver, payload):
+            recorded[(round_no, sender)] = payload
+            return payload
+
+        first = [ky.KatzYungParty(i, 2, keys[i][1], directory, group, rng)
+                 for i in range(2)]
+        run_locally(first, tamper=recorder)
+
+        def replayer(round_no, sender, receiver, payload):
+            if round_no >= 1 and sender == 0:
+                return recorded[(round_no, sender)]
+            return payload
+
+        second = [ky.KatzYungParty(i, 2, keys[i][1], directory, group, rng)
+                  for i in range(2)]
+        with pytest.raises(ProtocolError, match="authentication failure"):
+            run_locally(second, tamper=replayer)
+
+    def test_identities_exposed_on_the_wire(self, rng):
+        """Why GCD does not use KY: verifying the signatures requires (and
+        the wire reveals) *which* long-lived public keys participated —
+        the antithesis of a secret handshake."""
+        parties = ky.make_parties(2, rng=rng)
+        observed = []
+
+        def observer(round_no, sender, receiver, payload):
+            observed.append((round_no, sender, payload))
+            return payload
+
+        run_locally(parties, tamper=observer)
+        # Every protocol message past round 0 carries a signature that
+        # anyone with the public directory can attribute to its sender.
+        group = parties[0].group
+        directory = parties[0]._directory
+        from repro.crypto import hashing
+        from repro.crypto.sigma import SchnorrSignature
+        nonces = tuple(sorted(
+            payload[1] for r, s, payload in observed if r == 0
+        ))
+        attributed = 0
+        for round_no, sender, payload in observed:
+            if round_no == 0:
+                continue
+            kind, inner, challenge, response = payload
+            body = hashing.encode("ky-auth", sender, round_no, inner,
+                                  tuple(parties[0]._nonces[i]
+                                        for i in sorted(parties[0]._nonces)))
+            if SchnorrSignature(challenge, response).verify(
+                group, directory[sender], body
+            ):
+                attributed += 1
+        assert attributed == len([o for o in observed if o[0] >= 1]) / 2 * 2
+        assert attributed > 0

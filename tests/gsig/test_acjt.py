@@ -1,0 +1,198 @@
+"""Tests for ACJT group signatures with accumulator revocation."""
+
+import random
+from dataclasses import replace
+
+import pytest
+
+from repro.gsig import acjt
+from repro.errors import (
+    MembershipError,
+    RevocationError,
+    VerificationError,
+)
+
+
+class TestJoinProtocol:
+    def test_interactive_join(self, acjt_world, rng):
+        manager = acjt.AcjtManager("tiny", rng)
+        request, x = acjt.begin_join(manager.public_key, "user", rng)
+        response, update = manager.admit(request)
+        credential = acjt.finish_join(manager.public_key, "user", x, response)
+        assert credential.witness_is_current()
+        # Certificate relation: A^e = a0 * a^x.
+        pk = manager.public_key
+        assert pow(credential.big_a, credential.e, pk.n) == (
+            pk.a0 * pow(pk.a, credential.x, pk.n)
+        ) % pk.n
+
+    def test_duplicate_join_rejected(self, rng):
+        manager = acjt.AcjtManager("tiny", rng)
+        manager.join("user", rng)
+        with pytest.raises(MembershipError):
+            manager.join("user", rng)
+
+    def test_forged_join_request_rejected(self, rng):
+        manager = acjt.AcjtManager("tiny", rng)
+        request, _ = acjt.begin_join(manager.public_key, "user", rng)
+        forged = replace(request, commitment=(request.commitment * 2) % manager.public_key.n)
+        with pytest.raises(VerificationError):
+            manager.admit(forged)
+
+    def test_bad_certificate_detected_by_user(self, rng):
+        manager = acjt.AcjtManager("tiny", rng)
+        request, x = acjt.begin_join(manager.public_key, "user", rng)
+        response, _ = manager.admit(request)
+        bad = replace(response, big_a=(response.big_a * 2) % manager.public_key.n)
+        with pytest.raises(VerificationError):
+            acjt.finish_join(manager.public_key, "user", x, bad)
+
+    def test_certificate_prime_in_gamma(self, acjt_world):
+        lengths = acjt_world.manager.lengths
+        for cred in acjt_world.credentials.values():
+            assert lengths.e_low < cred.e < lengths.e_high
+
+
+class TestSignVerify:
+    def test_valid_signature(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"message", acjt_world.rng)
+        assert acjt.verify(acjt_world.manager.public_key, b"message", sig,
+                           acjt_world.manager.member_view())
+
+    def test_wrong_message_rejected(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"message", acjt_world.rng)
+        assert not acjt.verify(acjt_world.manager.public_key, b"other", sig,
+                               acjt_world.manager.member_view())
+
+    def test_signatures_unlinkable_values(self, acjt_world):
+        """Two signatures by the same member share no T values (fresh
+        blinding each time) — the implementation-level unlinkability check."""
+        cred = acjt_world.credentials["alice"]
+        s1 = cred.sign(b"m", acjt_world.rng)
+        s2 = cred.sign(b"m", acjt_world.rng)
+        assert {s1.t1, s1.t2, s1.t3} & {s2.t1, s2.t2, s2.t3} == set()
+
+    def test_tampered_fields_rejected(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        view = acjt_world.manager.member_view()
+        pk = acjt_world.manager.public_key
+        sig = cred.sign(b"m", acjt_world.rng)
+        for fld in ("t1", "t2", "t3", "challenge", "s1", "s2", "s3", "s4",
+                    "c_e", "c_u", "c_r", "s_z"):
+            broken = replace(sig, **{fld: getattr(sig, fld) + 1})
+            assert not acjt.verify(pk, b"m", broken, view), fld
+
+    def test_wrong_epoch_rejected(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"m", acjt_world.rng)
+        bad = replace(sig, acc_epoch=sig.acc_epoch + 1)
+        assert not acjt.verify(acjt_world.manager.public_key, b"m", bad,
+                               acjt_world.manager.member_view())
+
+    def test_response_interval_enforced(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        lengths = acjt_world.manager.lengths
+        sig = cred.sign(b"m", acjt_world.rng)
+        huge = 1 << (lengths.epsilon * (lengths.lambda2 + lengths.k) + 5)
+        assert not acjt.verify(acjt_world.manager.public_key, b"m",
+                               replace(sig, s2=huge),
+                               acjt_world.manager.member_view())
+
+    def test_element_range_checks(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"m", acjt_world.rng)
+        pk = acjt_world.manager.public_key
+        view = acjt_world.manager.member_view()
+        assert not acjt.verify(pk, b"m", replace(sig, t1=0), view)
+        assert not acjt.verify(pk, b"m", replace(sig, c_u=pk.n), view)
+
+
+class TestOpen:
+    def test_open_identifies_signer(self, acjt_world):
+        for name, cred in acjt_world.credentials.items():
+            sig = cred.sign(b"msg", acjt_world.rng)
+            assert acjt_world.manager.open(b"msg", sig) == name
+
+    def test_open_rejects_invalid(self, acjt_world):
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"msg", acjt_world.rng)
+        assert acjt_world.manager.open(b"other-msg", sig) is None
+
+
+class TestRevocation:
+    def _world(self, rng):
+        manager = acjt.AcjtManager("tiny", rng)
+        creds = {}
+        for name in ("u1", "u2", "u3"):
+            cred, update = manager.join(name, rng)
+            for other in creds.values():
+                other.apply_update(update)
+            creds[name] = cred
+        return manager, creds
+
+    def test_revoked_member_cannot_sign_validly(self, rng):
+        manager, creds = self._world(rng)
+        pre_sig = creds["u2"].sign(b"old", rng)
+        update = manager.revoke("u2")
+        for cred in creds.values():
+            cred.apply_update(update)
+        assert creds["u2"].revoked
+        with pytest.raises(RevocationError):
+            creds["u2"].sign(b"new", rng)
+        # Even ignoring the local flag, the stale witness fails verification
+        # against the new accumulator state.
+        creds["u2"].revoked = False
+        sneaky = creds["u2"].sign(b"new", rng)
+        assert not acjt.verify(manager.public_key, b"new", sneaky,
+                               manager.member_view())
+        # And the old signature no longer verifies under the new view.
+        assert not acjt.verify(manager.public_key, b"old", pre_sig,
+                               manager.member_view())
+
+    def test_survivors_still_sign(self, rng):
+        manager, creds = self._world(rng)
+        update = manager.revoke("u2")
+        for cred in creds.values():
+            cred.apply_update(update)
+        sig = creds["u1"].sign(b"still-here", rng)
+        assert acjt.verify(manager.public_key, b"still-here", sig,
+                           manager.member_view())
+
+    def test_old_signature_still_opens(self, rng):
+        """Tracing survives later rekeys (accumulator history)."""
+        manager, creds = self._world(rng)
+        sig = creds["u2"].sign(b"before", rng)
+        update = manager.revoke("u3")
+        for cred in creds.values():
+            cred.apply_update(update)
+        assert manager.open(b"before", sig) == "u2"
+
+    def test_double_revoke_rejected(self, rng):
+        manager, creds = self._world(rng)
+        manager.revoke("u2")
+        with pytest.raises(RevocationError):
+            manager.revoke("u2")
+
+    def test_unknown_member_revoke(self, rng):
+        manager, _ = self._world(rng)
+        with pytest.raises(MembershipError):
+            manager.revoke("stranger")
+
+
+class TestSchemeFactory:
+    def test_factory(self, rng):
+        scheme = acjt.AcjtScheme("tiny")
+        manager = scheme.setup(rng)
+        cred, _ = manager.join("u", rng)
+        sig = cred.sign(b"m", rng)
+        assert scheme.verify(manager.public_key, b"m", sig, manager.member_view())
+
+    def test_factory_requires_view(self, acjt_world):
+        scheme = acjt.AcjtScheme("tiny")
+        cred = acjt_world.credentials["alice"]
+        sig = cred.sign(b"m", acjt_world.rng)
+        from repro.errors import ParameterError
+        with pytest.raises(ParameterError):
+            scheme.verify(acjt_world.manager.public_key, b"m", sig)

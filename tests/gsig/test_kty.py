@@ -1,0 +1,252 @@
+"""Tests for the Kiayias-Yung variant and its self-distinction mode."""
+
+from dataclasses import replace
+
+import pytest
+
+from repro.errors import MembershipError, RevocationError, VerificationError
+from repro.gsig import kty
+
+
+class TestJoin:
+    def test_certificate_relation(self, kty_world):
+        pk = kty_world.manager.public_key
+        for cred in kty_world.credentials.values():
+            lhs = pow(cred.big_a, cred.e, pk.n)
+            rhs = (pk.a0 * pow(pk.a, cred.x, pk.n) * pow(pk.b, cred.xt, pk.n)) % pk.n
+            assert lhs == rhs
+
+    def test_interactive_join(self, rng):
+        manager = kty.KtyManager("tiny", rng)
+        request, xt = kty.begin_join(manager.public_key, "user", rng)
+        response, _ = manager.admit(request)
+        credential = kty.finish_join(manager.public_key, "user", xt, response)
+        assert credential.xt == xt
+        assert credential.x == response.x
+
+    def test_forged_request_rejected(self, rng):
+        manager = kty.KtyManager("tiny", rng)
+        request, _ = kty.begin_join(manager.public_key, "user", rng)
+        forged = replace(request, response=request.response + 1)
+        with pytest.raises(VerificationError):
+            manager.admit(forged)
+
+    def test_duplicate_join(self, rng):
+        manager = kty.KtyManager("tiny", rng)
+        manager.join("user", rng)
+        with pytest.raises(MembershipError):
+            manager.join("user", rng)
+
+    def test_manager_does_not_learn_xt(self, rng):
+        """No-misattribution hinges on the GM never seeing xt: the join
+        request carries only b^xt plus a zero-knowledge PoK."""
+        manager = kty.KtyManager("tiny", rng)
+        request, xt = kty.begin_join(manager.public_key, "user", rng)
+        assert xt not in vars(request).values()
+
+
+class TestSignVerify:
+    def test_valid(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        sig = cred.sign(b"m", kty_world.rng)
+        assert kty.verify(kty_world.manager.public_key, b"m", sig,
+                          kty_world.manager.member_view())
+
+    def test_wrong_message(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        sig = cred.sign(b"m", kty_world.rng)
+        assert not kty.verify(kty_world.manager.public_key, b"x", sig,
+                              kty_world.manager.member_view())
+
+    def test_tampered_fields_rejected(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        pk = kty_world.manager.public_key
+        view = kty_world.manager.member_view()
+        sig = cred.sign(b"m", kty_world.rng)
+        for fld in ("t1", "t2", "t3", "t4", "t5", "t6", "t7",
+                    "challenge", "s_e", "s_x", "s_xt", "s_z", "s_w", "s_k"):
+            broken = replace(sig, **{fld: getattr(sig, fld) + 1})
+            assert not kty.verify(pk, b"m", broken, view), fld
+
+    def test_unshielded_signatures_unlinkable_values(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        s1 = cred.sign(b"m", kty_world.rng)
+        s2 = cred.sign(b"m", kty_world.rng)
+        shared = {s1.t1, s1.t2, s1.t4, s1.t5, s1.t6, s1.t7} & {
+            s2.t1, s2.t2, s2.t4, s2.t5, s2.t6, s2.t7}
+        assert shared == set()
+
+
+class TestTracing:
+    def test_open(self, kty_world):
+        for name, cred in kty_world.credentials.items():
+            sig = cred.sign(b"m", kty_world.rng)
+            assert kty_world.manager.open(b"m", sig) == name
+
+    def test_implicit_tracing_by_tag(self, kty_world):
+        alice = kty_world.credentials["alice"]
+        sig = alice.sign(b"m", kty_world.rng)
+        assert kty_world.manager.signature_is_by(sig, "alice")
+        assert not kty_world.manager.signature_is_by(sig, "bob")
+
+    def test_trace_tag_unknown_user(self, kty_world):
+        with pytest.raises(MembershipError):
+            kty_world.manager.trace_tag("stranger")
+
+
+class TestSelfDistinction:
+    def test_common_shield_determinism(self, kty_world):
+        pk = kty_world.manager.public_key
+        assert kty.common_shield(pk, b"s1") == kty.common_shield(pk, b"s1")
+        assert kty.common_shield(pk, b"s1") != kty.common_shield(pk, b"s2")
+
+    def test_same_signer_same_tag(self, kty_world):
+        pk = kty_world.manager.public_key
+        shield = kty.common_shield(pk, b"session")
+        cred = kty_world.credentials["alice"]
+        s1 = cred.sign(b"m1", kty_world.rng, shield=shield)
+        s2 = cred.sign(b"m2", kty_world.rng, shield=shield)
+        assert s1.t6 == s2.t6 == cred.distinction_tag(shield)
+
+    def test_distinct_signers_distinct_tags(self, kty_world):
+        pk = kty_world.manager.public_key
+        shield = kty.common_shield(pk, b"session")
+        tags = {
+            cred.sign(b"m", kty_world.rng, shield=shield).t6
+            for cred in kty_world.credentials.values()
+        }
+        assert len(tags) == len(kty_world.credentials)
+
+    def test_cross_session_tags_differ(self, kty_world):
+        """Unlinkability across sessions survives shielding: different
+        sessions impose different T7, so the same member's T6 changes."""
+        pk = kty_world.manager.public_key
+        cred = kty_world.credentials["alice"]
+        t6_a = cred.sign(b"m", kty_world.rng, shield=kty.common_shield(pk, b"s1")).t6
+        t6_b = cred.sign(b"m", kty_world.rng, shield=kty.common_shield(pk, b"s2")).t6
+        assert t6_a != t6_b
+
+    def test_expected_shield_enforced(self, kty_world):
+        pk = kty_world.manager.public_key
+        shield = kty.common_shield(pk, b"session")
+        other = kty.common_shield(pk, b"other")
+        cred = kty_world.credentials["alice"]
+        view = kty_world.manager.member_view()
+        sig = cred.sign(b"m", kty_world.rng, shield=shield)
+        assert kty.verify(pk, b"m", sig, view, expected_shield=shield)
+        assert not kty.verify(pk, b"m", sig, view, expected_shield=other)
+
+    def test_check_self_distinction(self, kty_world):
+        pk = kty_world.manager.public_key
+        shield = kty.common_shield(pk, b"session")
+        a = kty_world.credentials["alice"].sign(b"m", kty_world.rng, shield=shield)
+        b = kty_world.credentials["bob"].sign(b"m", kty_world.rng, shield=shield)
+        a2 = kty_world.credentials["alice"].sign(b"m", kty_world.rng, shield=shield)
+        assert kty.check_self_distinction([a, b], shield)
+        assert not kty.check_self_distinction([a, a2], shield)
+        unshielded = kty_world.credentials["alice"].sign(b"m", kty_world.rng)
+        assert not kty.check_self_distinction([a, unshielded], shield)
+
+
+class TestClaiming:
+    """The KTY claiming operation: prove authorship via (T6, T7)."""
+
+    def test_claim_verifies(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        sig = cred.sign(b"m", kty_world.rng)
+        claim = cred.claim(sig, kty_world.rng)
+        assert claim.verify(kty_world.manager.public_key, sig)
+
+    def test_cannot_claim_others_signature(self, kty_world):
+        alice = kty_world.credentials["alice"]
+        bob = kty_world.credentials["bob"]
+        sig = alice.sign(b"m", kty_world.rng)
+        with pytest.raises(VerificationError):
+            bob.claim(sig, kty_world.rng)
+
+    def test_claim_bound_to_signature(self, kty_world):
+        """A valid claim on one signature does not transfer to another."""
+        cred = kty_world.credentials["alice"]
+        sig1 = cred.sign(b"m1", kty_world.rng)
+        sig2 = cred.sign(b"m2", kty_world.rng)
+        claim = cred.claim(sig1, kty_world.rng)
+        assert not claim.verify(kty_world.manager.public_key, sig2)
+
+    def test_tampered_claim_rejected(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        sig = cred.sign(b"m", kty_world.rng)
+        claim = cred.claim(sig, kty_world.rng)
+        bad = replace(claim, response=claim.response + 1)
+        assert not bad.verify(kty_world.manager.public_key, sig)
+
+    def test_out_of_range_claim_rejected(self, kty_world):
+        cred = kty_world.credentials["alice"]
+        lengths = kty_world.manager.lengths
+        sig = cred.sign(b"m", kty_world.rng)
+        claim = cred.claim(sig, kty_world.rng)
+        huge = 1 << (lengths.epsilon * (lengths.lambda2 + lengths.k) + 5)
+        assert not replace(claim, response=huge).verify(
+            kty_world.manager.public_key, sig
+        )
+
+    def test_claim_works_on_shielded_signatures(self, kty_world):
+        """A participant can later prove 'that was me' for a handshake
+        signature (useful for voluntary de-anonymization)."""
+        pk = kty_world.manager.public_key
+        shield = kty.common_shield(pk, b"session")
+        cred = kty_world.credentials["alice"]
+        sig = cred.sign(b"m", kty_world.rng, shield=shield)
+        claim = cred.claim(sig, kty_world.rng)
+        assert claim.verify(pk, sig)
+
+
+class TestRevocation:
+    def _world(self, rng):
+        manager = kty.KtyManager("tiny", rng)
+        creds = {}
+        for name in ("u1", "u2", "u3"):
+            cred, update = manager.join(name, rng)
+            for other in creds.values():
+                other.apply_update(update)
+            creds[name] = cred
+        return manager, creds
+
+    def test_crl_rejects_revoked(self, rng):
+        manager, creds = self._world(rng)
+        sig_before = creds["u2"].sign(b"m", rng)
+        assert kty.verify(manager.public_key, b"m", sig_before,
+                          manager.member_view())
+        update = manager.revoke("u2")
+        for cred in creds.values():
+            cred.apply_update(update)
+        # Old and new signatures by u2 now fail the CRL check.
+        assert not kty.verify(manager.public_key, b"m", sig_before,
+                              manager.member_view())
+        with pytest.raises(RevocationError):
+            creds["u2"].sign(b"m2", rng)
+        creds["u2"].revoked = False  # adversarially ignore the flag
+        sneaky = creds["u2"].sign(b"m2", rng)
+        assert not kty.verify(manager.public_key, b"m2", sneaky,
+                              manager.member_view())
+
+    def test_member_side_crl_view(self, rng):
+        manager, creds = self._world(rng)
+        update = manager.revoke("u3")
+        for cred in creds.values():
+            cred.apply_update(update)
+        # u1 verifies u2's signature with its *local* CRL view.
+        sig = creds["u2"].sign(b"m", rng)
+        assert kty.verify(manager.public_key, b"m", sig, creds["u1"].member_view())
+        sneaky = creds["u3"]
+        sneaky.revoked = False
+        bad = sneaky.sign(b"m", rng)
+        assert not kty.verify(manager.public_key, b"m", bad,
+                              creds["u1"].member_view())
+
+    def test_survivors_unaffected(self, rng):
+        manager, creds = self._world(rng)
+        update = manager.revoke("u2")
+        for cred in creds.values():
+            cred.apply_update(update)
+        sig = creds["u1"].sign(b"m", rng)
+        assert kty.verify(manager.public_key, b"m", sig, manager.member_view())

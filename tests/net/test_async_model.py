@@ -1,0 +1,78 @@
+"""The model-agnostic flexibility claim (Section 1.1): the handshake must
+work unchanged in an asynchronous network with guaranteed delivery but
+*arbitrary reordering*."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scheme1 import scheme1_policy
+from repro.core.scheme2 import scheme2_policy
+from repro.net.runner import run_handshake_over_network
+from repro.net.simulator import Network, Party
+
+
+class Recorder(Party):
+    def __init__(self, name):
+        super().__init__(name)
+        self.inbox = []
+
+    def on_message(self, message):
+        self.inbox.append(message.payload)
+
+
+class TestReorderingNetwork:
+    def test_reordering_actually_reorders(self):
+        net = Network(reorder_rng=random.Random(1))
+        net.register(Recorder("a"))
+        b = net.register(Recorder("b"))
+        for i in range(20):
+            net.send("a", "b", i)
+        net.run()
+        assert sorted(b.inbox) == list(range(20))
+        assert b.inbox != list(range(20))  # order was scrambled
+
+    def test_guaranteed_delivery(self):
+        net = Network(reorder_rng=random.Random(2))
+        net.register(Recorder("a"))
+        b = net.register(Recorder("b"))
+        for i in range(50):
+            net.send("a", "b", i)
+        net.run()
+        assert len(b.inbox) == 50
+
+
+class TestAsyncHandshake:
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    @settings(max_examples=5, deadline=None)
+    def test_handshake_survives_any_interleaving(self, scheme1_world, seed):
+        net = Network(reorder_rng=random.Random(seed))
+        outcomes = run_handshake_over_network(
+            scheme1_world.lineup("alice", "bob", "carol"),
+            scheme1_policy(), scheme1_world.rng, network=net,
+            session_id=f"async-{seed}",
+        )
+        assert all(o.success for o in outcomes)
+        assert len({o.session_key for o in outcomes}) == 1
+
+    def test_scheme2_async(self, scheme2_world):
+        net = Network(reorder_rng=random.Random(7))
+        outcomes = run_handshake_over_network(
+            scheme2_world.lineup("xavier", "yvonne", "zelda"),
+            scheme2_policy(), scheme2_world.rng, network=net,
+            session_id="async-s2",
+        )
+        assert all(o.success and o.distinct for o in outcomes)
+
+    def test_mixed_groups_async(self, scheme1_world, other_scheme1_world):
+        net = Network(reorder_rng=random.Random(11))
+        lineup = (scheme1_world.lineup("alice", "bob")
+                  + other_scheme1_world.lineup("dan"))
+        outcomes = run_handshake_over_network(
+            lineup, scheme1_policy(partial_success=True),
+            scheme1_world.rng, network=net, session_id="async-mixed",
+        )
+        assert outcomes[0].confirmed_peers == {1}
+        assert not any(o.success for o in outcomes)

@@ -1,0 +1,77 @@
+"""Equivalence of the two handshake drivers.
+
+The synchronous engine (`repro.core.handshake.run_handshake`) and the
+asynchronous network runner (`repro.net.runner`) execute the same Fig. 6
+protocol; for any membership configuration they must reach the same
+verdicts (success flags, confirmed-peer sets, distinctness) even though
+the message interleavings differ."""
+
+import random
+
+import pytest
+
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.core.scheme2 import scheme2_policy
+from repro.net.runner import run_handshake_over_network
+from repro.net.simulator import Network
+
+
+def _verdicts(outcomes):
+    return [
+        (o.index, o.success, frozenset(o.confirmed_peers), o.distinct)
+        for o in outcomes
+    ]
+
+
+CONFIGS = [
+    ("same-group pair", ["alice", "bob"], [], False),
+    ("same-group trio", ["alice", "bob", "carol"], [], False),
+    ("mixed 2+1", ["alice", "bob"], ["dan"], False),
+    ("mixed 2+2 partial", ["alice", "bob"], ["dan", "eve"], True),
+]
+
+
+@pytest.mark.parametrize("label,ours,theirs,partial", CONFIGS)
+def test_sync_async_same_verdicts(label, ours, theirs, partial,
+                                  scheme1_world, other_scheme1_world):
+    lineup = scheme1_world.lineup(*ours) + other_scheme1_world.lineup(*theirs)
+    policy = scheme1_policy(partial_success=partial)
+    sync_outcomes = run_handshake(lineup, policy, scheme1_world.rng)
+    async_outcomes = run_handshake_over_network(
+        lineup, policy, scheme1_world.rng,
+        network=Network(reorder_rng=random.Random(5)),
+        session_id=f"eq-{label}",
+    )
+    sync_v, async_v = _verdicts(sync_outcomes), _verdicts(async_outcomes)
+    for (si, ss, sc, sd), (ai, as_, ac, ad) in zip(sync_v, async_v):
+        assert si == ai
+        assert ss == as_, (label, si)
+        # Success participants agree on confirmed peers; decoy publishers
+        # may differ benignly (the sync engine zeroes them out).
+        if ss:
+            assert sc == ac, (label, si)
+
+
+def test_sync_async_scheme2_rogue(scheme2_world):
+    lineup = scheme2_world.lineup("xavier", "yvonne", "xavier")
+    sync_outcomes = run_handshake(lineup, scheme2_policy(), scheme2_world.rng)
+    async_outcomes = run_handshake_over_network(
+        lineup, scheme2_policy(), scheme2_world.rng,
+        network=Network(reorder_rng=random.Random(9)),
+        session_id="eq-rogue",
+    )
+    assert sync_outcomes[1].distinct is False
+    assert async_outcomes[1].distinct is False
+    assert not sync_outcomes[1].success and not async_outcomes[1].success
+
+
+def test_both_transcripts_trace_identically(scheme1_world):
+    lineup = scheme1_world.lineup("alice", "bob")
+    sync_outcomes = run_handshake(lineup, scheme1_policy(), scheme1_world.rng)
+    async_outcomes = run_handshake_over_network(
+        lineup, scheme1_policy(), scheme1_world.rng, session_id="eq-trace",
+    )
+    t1 = scheme1_world.framework.trace(sync_outcomes[0].transcript)
+    t2 = scheme1_world.framework.trace(async_outcomes[0].transcript)
+    assert sorted(t1.identified) == sorted(t2.identified) == ["alice", "bob"]

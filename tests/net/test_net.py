@@ -1,0 +1,200 @@
+"""Tests for the network simulator, channels and adversary hooks."""
+
+import pytest
+
+from repro import metrics
+from repro.errors import ProtocolError, VerificationError
+from repro.net.adversary import CorruptionLog, Eavesdropper, ManInTheMiddle
+from repro.net.channels import AuthenticatedChannel, BulletinBoard
+from repro.net.simulator import BROADCAST, Message, Network, Party
+
+
+class Recorder(Party):
+    def __init__(self, name):
+        super().__init__(name)
+        self.inbox = []
+
+    def on_message(self, message):
+        self.inbox.append(message)
+
+
+class Echoer(Party):
+    def on_message(self, message):
+        if message.payload == "ping":
+            self.send(message.sender, "pong")
+
+
+class TestDelivery:
+    def test_p2p(self):
+        net = Network()
+        a, b = net.register(Recorder("a")), net.register(Recorder("b"))
+        a.send("b", "hello")
+        net.run()
+        assert [m.payload for m in b.inbox] == ["hello"]
+        assert b.inbox[0].sender == "a"
+        assert not a.inbox
+
+    def test_in_order(self):
+        net = Network()
+        net.register(Recorder("a"))
+        b = net.register(Recorder("b"))
+        for i in range(5):
+            net.send("a", "b", i)
+        net.run()
+        assert [m.payload for m in b.inbox] == list(range(5))
+
+    def test_broadcast_excludes_sender(self):
+        net = Network()
+        parties = [net.register(Recorder(n)) for n in "abc"]
+        parties[0].broadcast("hi")
+        net.run()
+        assert not parties[0].inbox
+        assert all(p.inbox[0].payload == "hi" for p in parties[1:])
+
+    def test_anonymous_channel_strips_sender(self):
+        net = Network()
+        net.register(Recorder("a"))
+        b = net.register(Recorder("b"))
+        net.send("a", "b", "secret", channel="anonymous")
+        net.run()
+        assert b.inbox[0].sender is None
+
+    def test_reply_chain(self):
+        net = Network()
+        a = net.register(Recorder("a"))
+        net.register(Echoer("b"))
+        a.send("b", "ping")
+        net.run()
+        assert [m.payload for m in a.inbox] == ["pong"]
+
+    def test_unknown_recipient_dropped(self):
+        net = Network()
+        net.register(Recorder("a"))
+        net.send("a", "ghost", "x")
+        assert net.run() == 0 or net.history == []
+
+    def test_storm_detection(self):
+        net = Network()
+
+        class Storm(Party):
+            def on_message(self, message):
+                self.send(message.sender, "again")
+
+        net.register(Storm("a"))
+        net.register(Storm("b"))
+        net.send("a", "b", "go")
+        with pytest.raises(ProtocolError):
+            net.run(max_steps=50)
+
+    def test_duplicate_names_rejected(self):
+        net = Network()
+        net.register(Recorder("a"))
+        with pytest.raises(ProtocolError):
+            net.register(Recorder("a"))
+
+    def test_unattached_party(self):
+        with pytest.raises(ProtocolError):
+            Recorder("lonely").send("x", "y")
+
+    def test_message_counting(self):
+        metrics.reset()
+        net = Network()
+        net.register(Recorder("a"))
+        net.register(Recorder("b"))
+        net.send("a", "b", "x")
+        net.run()
+        assert metrics.total().messages_sent == 1
+        assert metrics.total().messages_received == 1
+
+
+class TestAdversaries:
+    def test_eavesdropper_sees_all(self):
+        net = Network()
+        net.register(Recorder("a"))
+        net.register(Recorder("b"))
+        eve = Eavesdropper(net)
+        net.send("a", "b", "sensitive")
+        net.run()
+        assert len(eve.log) == 1
+        assert eve.senders() == {"a"}
+        assert eve.traffic_volume() > 0
+
+    def test_mitm_rewrites(self):
+        net = Network()
+        net.register(Recorder("a"))
+        b = net.register(Recorder("b"))
+        mitm = ManInTheMiddle(net)
+        from dataclasses import replace
+        mitm.add_rule(lambda m: replace(m, payload="tampered"))
+        net.send("a", "b", "original")
+        net.run()
+        assert b.inbox[0].payload == "tampered"
+        assert mitm.intercepted[0].payload == "original"
+
+    def test_mitm_drops(self):
+        net = Network()
+        net.register(Recorder("a"))
+        b = net.register(Recorder("b"))
+        mitm = ManInTheMiddle(net)
+        mitm.add_rule(lambda m: None)
+        net.send("a", "b", "x")
+        net.run()
+        assert not b.inbox
+
+    def test_mitm_injects(self):
+        net = Network()
+        b = net.register(Recorder("b"))
+        mitm = ManInTheMiddle(net)
+        mitm.inject(Message(999, "forged", "b", "p2p", "evil"))
+        net.run()
+        assert b.inbox[0].payload == "evil"
+
+    def test_corruption_log(self):
+        log = CorruptionLog()
+        log.corrupt_user("u1")
+        assert log.is_corrupt("u1") and not log.is_corrupt("u2")
+        log.corrupt_ga("trace")
+        assert log.corrupted_ga_trace and not log.corrupted_ga_admit
+        with pytest.raises(ValueError):
+            log.corrupt_ga("everything")
+
+
+class TestBulletinBoard:
+    def test_post_and_read(self, rng):
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        board.post("topic", b"payload-1", public, secret, rng)
+        board.post("other", b"payload-2", public, secret, rng)
+        posts = board.read_since(0, "topic")
+        assert len(posts) == 1 and posts[0].payload == b"payload-1"
+        assert len(board.read_since(0)) == 2
+
+    def test_cursor(self, rng):
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        board.post("t", b"1", public, secret, rng)
+        board.post("t", b"2", public, secret, rng)
+        assert [p.payload for p in board.read_since(1)] == [b"2"]
+
+    def test_forged_post_detected(self, rng):
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        post = board.post("t", b"real", public, secret, rng)
+        object.__setattr__(post, "payload", b"forged")
+        with pytest.raises(VerificationError):
+            board.read_since(0)
+
+
+class TestAuthenticatedChannel:
+    def test_roundtrip(self, rng):
+        channel = AuthenticatedChannel(rng=rng)
+        public, secret = channel.keygen()
+        sealed = channel.seal(secret, b"message")
+        assert channel.open(public, sealed) == b"message"
+
+    def test_forgery_rejected(self, rng):
+        channel = AuthenticatedChannel(rng=rng)
+        public, secret = channel.keygen()
+        payload, signature = channel.seal(secret, b"message")
+        with pytest.raises(VerificationError):
+            channel.open(public, (b"other", signature))

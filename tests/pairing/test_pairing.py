@@ -1,0 +1,172 @@
+"""Tests for F_p^2, curve arithmetic, the Tate pairing and SOK."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.pairing.curve import Curve, curve_params
+from repro.pairing.fields import Fp2
+from repro.pairing.sok import SokAuthority, shared_key
+from repro.pairing.tate import tate_pairing
+
+CURVE = curve_params("pf256")
+P_MOD = CURVE.p
+
+_elements = st.builds(
+    lambda a, b: Fp2(a, b, P_MOD),
+    st.integers(min_value=0, max_value=P_MOD - 1),
+    st.integers(min_value=0, max_value=P_MOD - 1),
+)
+
+
+class TestFp2:
+    @given(_elements, _elements, _elements)
+    @settings(max_examples=30)
+    def test_ring_laws(self, x, y, z):
+        assert (x + y) + z == x + (y + z)
+        assert x + y == y + x
+        assert (x * y) * z == x * (y * z)
+        assert x * y == y * x
+        assert x * (y + z) == x * y + x * z
+
+    @given(_elements)
+    @settings(max_examples=30)
+    def test_inverse(self, x):
+        if x.is_zero:
+            with pytest.raises(ParameterError):
+                x.inv()
+        else:
+            assert (x * x.inv()).is_one
+
+    @given(_elements)
+    @settings(max_examples=20)
+    def test_conjugate_norm(self, x):
+        assert (x * x.conjugate()) == Fp2.of(x.norm(), P_MOD)
+
+    def test_i_squared(self):
+        i = Fp2.i(P_MOD)
+        assert i * i == Fp2.of(-1, P_MOD)
+
+    @given(_elements, st.integers(min_value=0, max_value=1000))
+    @settings(max_examples=20)
+    def test_pow_matches_repeated_multiplication(self, x, e):
+        if x.is_zero:
+            return
+        expected = Fp2.one(P_MOD)
+        for _ in range(e % 16):
+            expected = expected * x
+        assert x ** (e % 16) == expected
+
+    def test_mixed_field_rejected(self):
+        other = Fp2(1, 1, 103)
+        with pytest.raises(ParameterError):
+            _ = Fp2(1, 1, P_MOD) + other
+
+
+class TestCurve:
+    def test_params_consistent(self):
+        assert CURVE.p % 4 == 3
+        assert (CURVE.p + 1) == CURVE.q * CURVE.cofactor
+
+    def test_bad_params_rejected(self):
+        with pytest.raises(ParameterError):
+            Curve(13, 7, 2)  # 13 = 1 mod 4
+        with pytest.raises(ParameterError):
+            Curve(11, 5, 3)  # order mismatch
+
+    def test_point_membership(self, rng):
+        point = CURVE.random_point(rng)
+        assert CURVE.contains(point)
+        assert CURVE.contains(None)
+
+    def test_order_q(self, rng):
+        point = CURVE.random_point(rng)
+        assert CURVE.multiply(point, CURVE.q) is None
+
+    def test_group_laws(self, rng):
+        p1, p2 = CURVE.random_point(rng), CURVE.random_point(rng)
+        assert CURVE.add(p1, None) == p1
+        assert CURVE.add(None, p1) == p1
+        assert CURVE.add(p1, CURVE.negate(p1)) is None
+        assert CURVE.add(p1, p2) == CURVE.add(p2, p1)
+
+    def test_scalar_distributes(self, rng):
+        point = CURVE.random_point(rng)
+        a, b = rng.randrange(1, 1000), rng.randrange(1, 1000)
+        left = CURVE.multiply(point, a + b)
+        right = CURVE.add(CURVE.multiply(point, a), CURVE.multiply(point, b))
+        assert left == right
+
+    def test_distortion_map_on_curve(self, rng):
+        point = CURVE.random_point(rng)
+        distorted = CURVE.distort(point)
+        assert CURVE.contains(distorted)
+        assert not distorted.x.b == distorted.y.b == 0  # off the base field
+
+    def test_hash_to_point(self):
+        p1 = CURVE.hash_to_point("alpha")
+        p2 = CURVE.hash_to_point("alpha")
+        p3 = CURVE.hash_to_point("beta")
+        assert p1 == p2 != p3
+        assert CURVE.contains(p1)
+        assert CURVE.multiply(p1, CURVE.q) is None
+
+    def test_unknown_curve(self):
+        with pytest.raises(ParameterError):
+            curve_params("nope")
+
+
+class TestTatePairing:
+    def test_nondegenerate(self, rng):
+        point = CURVE.generator()
+        value = tate_pairing(CURVE, point, point)
+        assert not value.is_one
+        assert (value ** CURVE.q).is_one
+
+    def test_bilinearity(self, rng):
+        p1, p2 = CURVE.random_point(rng), CURVE.random_point(rng)
+        base = tate_pairing(CURVE, p1, p2)
+        a, b = rng.randrange(2, CURVE.q), rng.randrange(2, CURVE.q)
+        assert tate_pairing(CURVE, CURVE.multiply(p1, a), p2) == base ** a
+        assert tate_pairing(CURVE, p1, CURVE.multiply(p2, b)) == base ** b
+        assert tate_pairing(
+            CURVE, CURVE.multiply(p1, a), CURVE.multiply(p2, b)
+        ) == base ** ((a * b) % CURVE.q)
+
+    def test_symmetry(self, rng):
+        """The modified pairing on the base-field subgroup is symmetric."""
+        p1, p2 = CURVE.random_point(rng), CURVE.random_point(rng)
+        assert tate_pairing(CURVE, p1, p2) == tate_pairing(CURVE, p2, p1)
+
+    def test_infinity_gives_one(self, rng):
+        point = CURVE.random_point(rng)
+        assert tate_pairing(CURVE, None, point).is_one
+        assert tate_pairing(CURVE, point, None).is_one
+
+
+class TestSok:
+    def test_key_agreement(self, rng):
+        authority = SokAuthority(CURVE, rng=rng)
+        sa = authority.extract("alice")
+        sb = authority.extract("bob")
+        k_ab = shared_key(CURVE, sa, authority.identity_point("bob"),
+                          True, "alice", "bob")
+        k_ba = shared_key(CURVE, sb, authority.identity_point("alice"),
+                          False, "bob", "alice")
+        assert k_ab == k_ba
+
+    def test_cross_authority_mismatch(self, rng):
+        auth1 = SokAuthority(CURVE, rng=rng)
+        auth2 = SokAuthority(CURVE, rng=rng)
+        k1 = shared_key(CURVE, auth1.extract("alice"),
+                        auth1.identity_point("bob"), True, "alice", "bob")
+        k2 = shared_key(CURVE, auth2.extract("bob"),
+                        auth2.identity_point("alice"), False, "bob", "alice")
+        assert k1 != k2
+
+    def test_zero_master_rejected(self):
+        with pytest.raises(ParameterError):
+            SokAuthority(CURVE, master_secret=CURVE.q)

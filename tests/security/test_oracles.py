@@ -1,0 +1,68 @@
+"""Tests for the Appendix-A oracle world."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.security.oracles import OracleWorld
+
+
+@pytest.fixture
+def world(rng):
+    w = OracleWorld(rng)
+    w.o_create_group("g")
+    return w
+
+
+class TestOracles:
+    def test_create_group_once(self, world):
+        with pytest.raises(ParameterError):
+            world.o_create_group("g")
+
+    def test_admit_and_handshake(self, world):
+        a = world.o_admit_member("g", "a")
+        b = world.o_admit_member("g", "b")
+        outcomes = world.o_handshake([a, b])
+        assert all(o.success for o in outcomes)
+        assert len(world.handshakes) == 1
+
+    def test_trace_oracle(self, world):
+        a = world.o_admit_member("g", "a")
+        b = world.o_admit_member("g", "b")
+        outcomes = world.o_handshake([a, b])
+        result = world.o_trace("g", outcomes[0].transcript)
+        assert sorted(result.identified) == ["a", "b"]
+
+    def test_adversarial_admission_marks_corrupt(self, world):
+        world.o_admit_member("g", "mallory", adversarial=True)
+        assert not world.user_is_fresh("mallory")
+        world.o_admit_member("g", "honest")
+        assert world.user_is_fresh("honest")
+
+    def test_corrupt_user_oracle(self, world):
+        world.o_admit_member("g", "a")
+        member = world.o_corrupt_user("g", "a")
+        assert member.credential is not None
+        assert not world.user_is_fresh("a")
+
+    def test_corrupt_ga_capabilities(self, world):
+        manager = world.o_corrupt_ga("g", "admit")
+        assert manager is world.frameworks["g"].authority.gsig_manager
+        assert world.corruptions.corrupted_ga_admit
+        authority = world.o_corrupt_ga("g", "trace")
+        assert authority is world.frameworks["g"].authority
+        with pytest.raises(ParameterError):
+            world.o_corrupt_ga("g", "everything")
+
+    def test_revoke_corrupted_hygiene(self, world):
+        a = world.o_admit_member("g", "a")
+        world.o_admit_member("g", "b")
+        world.o_corrupt_user("g", "a")
+        world.revoke_corrupted("g")
+        assert a.revoked
+        # Idempotent: calling again does not raise.
+        world.revoke_corrupted("g")
+
+    def test_remove_user_oracle(self, world):
+        a = world.o_admit_member("g", "a")
+        world.o_remove_user("g", "a")
+        assert a.revoked

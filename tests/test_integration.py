@@ -1,0 +1,101 @@
+"""End-to-end integration tests, including a property-based sweep over
+random group assignments: for ANY seating of members from two groups, the
+partial handshake must discover exactly the ground-truth partition."""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.handshake import run_handshake
+from repro.core.partial import subsets, subsets_are_consistent
+from repro.core.scheme1 import scheme1_policy
+from repro.core.scheme2 import scheme2_policy
+
+
+@given(st.lists(st.sampled_from(["A", "B"]), min_size=2, max_size=6),
+       st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=8, deadline=None)
+def test_partial_handshake_matches_ground_truth(scheme1_world,
+                                                other_scheme1_world,
+                                                assignment, seed):
+    rng = random.Random(seed)
+    pool = {"A": list(scheme1_world.members.values()),
+            "B": list(other_scheme1_world.members.values())}
+    counters = {"A": 0, "B": 0}
+    lineup = []
+    for label in assignment:
+        members = pool[label]
+        lineup.append(members[counters[label] % len(members)])
+        counters[label] += 1
+    # Skip seatings that reuse one member twice (multi-role is a separate
+    # experiment; here we test the partition semantics).
+    if len({id(m) for m in lineup}) != len(lineup):
+        return
+    outcomes = run_handshake(lineup, scheme1_policy(partial_success=True), rng)
+    expected = set()
+    for label in ("A", "B"):
+        clique = frozenset(i for i, l in enumerate(assignment) if l == label)
+        if len(clique) > 1:
+            expected.add(clique)
+    assert set(subsets(outcomes)) == expected, assignment
+    assert subsets_are_consistent(outcomes)
+    # Full success iff everyone is in one group.
+    uniform = len(set(assignment)) == 1
+    assert all(o.success == uniform for o in outcomes)
+
+
+class TestFullLifecycle:
+    """The paper's complete story in one test: create, admit, handshake,
+    trace, revoke, update, handshake again — for both instantiations."""
+
+    @pytest.mark.parametrize("kind", ["scheme1", "scheme2"])
+    def test_lifecycle(self, kind, rng):
+        from repro.core.scheme1 import create_scheme1
+        from repro.core.scheme2 import create_scheme2
+        if kind == "scheme1":
+            framework = create_scheme1("lc1", rng=rng)
+            policy = scheme1_policy()
+        else:
+            framework = create_scheme2("lc2", rng=rng)
+            policy = scheme2_policy()
+
+        members = {n: framework.admit_member(n, rng) for n in "abcd"}
+        outcomes = run_handshake(list(members.values()), policy, rng)
+        assert all(o.success for o in outcomes)
+
+        result = framework.trace(outcomes[0].transcript)
+        assert sorted(result.identified) == list("abcd")
+
+        framework.remove_user("c")
+        survivors = [members[n] for n in "abd"]
+        outcomes = run_handshake(survivors, policy, rng)
+        assert all(o.success for o in outcomes)
+
+        # The revoked member spoils any session it joins.
+        outcomes = run_handshake(survivors + [members["c"]], policy, rng)
+        assert not any(o.success for o in outcomes)
+
+        # Late joiner integrates seamlessly.
+        eve = framework.admit_member("e", rng)
+        outcomes = run_handshake(survivors + [eve], policy, rng)
+        assert all(o.success for o in outcomes)
+
+
+class TestCrossInstantiation:
+    def test_scheme1_and_scheme2_members_never_match(self, scheme1_world,
+                                                     scheme2_world):
+        """Different groups — even with different GSIG flavours — simply
+        fail, without errors or information leaks."""
+        lineup = (scheme1_world.lineup("alice")
+                  + scheme2_world.lineup("xavier"))
+        outcomes = run_handshake(lineup, scheme1_policy(), scheme1_world.rng)
+        assert not any(o.success for o in outcomes)
+
+    def test_transcripts_cross_traced_safely(self, scheme1_world,
+                                             scheme2_world):
+        outcomes = run_handshake(scheme2_world.lineup("xavier", "yvonne"),
+                                 scheme2_policy(), scheme2_world.rng)
+        foreign = scheme1_world.framework.trace(outcomes[0].transcript)
+        assert foreign.identified == ()
