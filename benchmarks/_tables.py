@@ -8,7 +8,9 @@ can be cross-checked against regenerated artifacts.
 from __future__ import annotations
 
 import os
-from typing import Iterable, List, Sequence
+from typing import Dict, Iterable, List, Optional, Sequence
+
+from repro import metrics
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -36,4 +38,26 @@ def emit(name: str, title: str, headers: Sequence[str],
     os.makedirs(RESULTS_DIR, exist_ok=True)
     with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
         handle.write(text + "\n")
+    return text
+
+
+def emit_snapshot(name: str, title: str,
+                  snap: Optional[Dict[str, metrics.Counters]] = None,
+                  scopes: Optional[Sequence[str]] = None,
+                  fields: Sequence[str] = ("modexp", "messages_sent",
+                                           "messages_received",
+                                           "wall_time")) -> str:
+    """Persist a metrics snapshot through the exporters: an aligned text
+    table (``results/<name>.txt``) plus the full JSON document
+    (``results/<name>.json``) — benchmarks hand the snapshot over instead
+    of poking :class:`repro.metrics.Counters` fields."""
+    snap = metrics.snapshot() if snap is None else snap
+    text = metrics.format_table(snap, scopes=scopes, fields=fields,
+                                title=title)
+    print("\n" + text + "\n")
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    with open(os.path.join(RESULTS_DIR, f"{name}.txt"), "w") as handle:
+        handle.write(text + "\n")
+    with open(os.path.join(RESULTS_DIR, f"{name}.json"), "w") as handle:
+        handle.write(metrics.export_json(snap) + "\n")
     return text

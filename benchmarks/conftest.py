@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import random
+import re
 import sys
 import os
 from dataclasses import dataclass
@@ -12,12 +13,27 @@ import pytest
 
 sys.path.insert(0, os.path.dirname(__file__))
 
+from repro import metrics
 from repro.core.framework import GcdFramework
 from repro.core.member import GcdMember
 from repro.core.scheme1 import create_scheme1
 from repro.core.scheme2 import create_scheme2
 
 MAX_PARTIES = 8
+
+METRICS_DIR = os.path.join(os.path.dirname(__file__), "results", "metrics")
+
+
+@pytest.fixture(autouse=True)
+def metrics_artifact(request):
+    """Persist each benchmark's final metrics snapshot through the JSON
+    exporter (``results/metrics/<test>.json``) so counter regressions show
+    up as reviewable artifacts, not just assertion failures."""
+    metrics.reset()
+    yield
+    os.makedirs(METRICS_DIR, exist_ok=True)
+    safe = re.sub(r"[^\w.-]+", "_", request.node.name)
+    metrics.write_json(os.path.join(METRICS_DIR, f"{safe}.json"))
 
 
 @dataclass

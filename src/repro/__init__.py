@@ -34,6 +34,7 @@ Package layout:
 * :mod:`repro.net`       — message-passing simulator with adversary taps
 """
 
+from repro import metrics  # noqa: F401
 from repro.core.framework import GcdFramework  # noqa: F401
 from repro.core.handshake import (  # noqa: F401
     HandshakeOutcome,
@@ -47,6 +48,7 @@ __version__ = "1.0.0"
 
 __all__ = [
     "GcdFramework",
+    "metrics",
     "HandshakeOutcome",
     "HandshakePolicy",
     "run_handshake",

@@ -1,12 +1,19 @@
-"""``python -m repro`` — a self-contained demonstration.
+"""``python -m repro`` — demos and measurement tooling.
 
-Runs a condensed tour of the framework: group creation, enrolment, a
-successful multi-party handshake, an impostor failure, self-distinction,
-revocation, and tracing.  Seeded, so the output is reproducible.
+Subcommands:
+
+* ``demo`` (default) — a condensed, seeded tour of the framework: group
+  creation, enrolment, a successful multi-party handshake, an impostor
+  failure, self-distinction, revocation, and tracing.
+* ``stats`` — replay the complexity benchmark (one handshake per party
+  count) under full instrumentation and print the per-phase / per-party
+  observability tables (the measured form of the paper's O(m) claims);
+  optionally export JSON/CSV artifacts or the trace-event stream.
 """
 
 from __future__ import annotations
 
+import argparse
 import random
 import sys
 import time
@@ -14,6 +21,7 @@ import time
 from repro import (
     create_scheme1,
     create_scheme2,
+    metrics,
     run_handshake,
     scheme1_policy,
     scheme2_policy,
@@ -25,7 +33,7 @@ def _banner(text: str) -> None:
     print(f"\n=== {text}")
 
 
-def main(argv=None) -> int:
+def _demo() -> int:
     rng = random.Random(2005)
     started = time.time()
 
@@ -70,6 +78,86 @@ def main(argv=None) -> int:
 
     print(f"\ndone in {time.time() - started:.1f}s — see examples/ for more")
     return 0
+
+
+def _stats(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
+    if args.scheme == "2":
+        framework = create_scheme2("stats-group", rng=rng)
+        policy = scheme2_policy()
+    else:
+        framework = create_scheme1("stats-group", rng=rng)
+        policy = scheme1_policy()
+    top = max(args.parties)
+    print(f"building scheme-{args.scheme} group with {top} members "
+          f"(seed {args.seed}) …")
+    members = [framework.admit_member(f"user-{i}", rng) for i in range(top)]
+
+    last_snapshot = None
+    for m in args.parties:
+        metrics.reset()
+        if args.trace:
+            metrics.enable_tracing()
+        outcomes = run_handshake(members[:m], policy, rng)
+        snap = metrics.snapshot()
+        last_snapshot = snap
+        ok = all(o.success for o in outcomes)
+        phase_scopes = [s for s in ("phase:I", "phase:II", "phase:III")
+                        if s in snap]
+        party_scopes = [f"hs:{i}" for i in range(m)]
+        print()
+        print(metrics.format_table(
+            snap, scopes=phase_scopes + party_scopes + ["total"],
+            title=f"m={m} parties, success={ok} "
+                  f"(paper: O(m) modexp + O(m) messages per party)"))
+        if args.trace:
+            evs = metrics.events()
+            print(f"\ntrace: {len(evs)} events "
+                  f"(scope begin/end, send/recv, modexp bursts); first 10:")
+            for event in evs[:10]:
+                print(f"  {event.ts:9.4f}s  {event.kind:<12} "
+                      f"{event.scope:<12} {event.data}")
+
+    if last_snapshot is not None:
+        if args.json:
+            metrics.write_json(args.json, snap=last_snapshot,
+                               include_events=args.trace)
+            print(f"\nwrote JSON export to {args.json}")
+        if args.csv:
+            with open(args.csv, "w") as handle:
+                handle.write(metrics.export_csv(last_snapshot))
+            print(f"wrote CSV export to {args.csv}")
+    return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command")
+    sub.add_parser("demo", help="seeded framework tour (the default)")
+    stats = sub.add_parser(
+        "stats", help="replay a benchmark handshake and print per-phase "
+                      "and per-party cost tables")
+    stats.add_argument("-m", "--parties", type=int, nargs="+",
+                       default=[2, 4], metavar="M",
+                       help="party counts to sweep (default: 2 4)")
+    stats.add_argument("--scheme", choices=("1", "2"), default="1",
+                       help="instantiation: 1 = BD+LKH+ACJT, "
+                            "2 = BD+NNL+KTY (default: 1)")
+    stats.add_argument("--seed", type=int, default=2005)
+    stats.add_argument("--trace", action="store_true",
+                       help="record and summarize the trace-event stream")
+    stats.add_argument("--json", metavar="PATH",
+                       help="write the final snapshot as JSON")
+    stats.add_argument("--csv", metavar="PATH",
+                       help="write the final snapshot as CSV")
+    args = parser.parse_args(argv)
+    if args.command == "stats":
+        if min(args.parties) < 2:
+            stats.error("a handshake needs at least two parties (-m >= 2)")
+        return _stats(args)
+    return _demo()
 
 
 if __name__ == "__main__":

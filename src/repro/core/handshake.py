@@ -183,14 +183,17 @@ def run_handshake(
         for i, member in enumerate(members)
     ]
 
-    _phase1_preparation(parties, tamper)
-    tags = _phase2_preliminary(parties)
-    _phase2_validate(parties, tags)
+    with metrics.scope("phase:I"):
+        _phase1_preparation(parties, tamper)
+    with metrics.scope("phase:II"):
+        tags = _phase2_preliminary(parties)
+        _phase2_validate(parties, tags)
 
     if not policy.traceable:
         return _outcomes_without_tracing(parties)
 
-    return _phase3_full(parties, policy)
+    with metrics.scope("phase:III"):
+        return _phase3_full(parties, policy)
 
 
 # ---------------------------------------------------------------------------
@@ -207,10 +210,10 @@ def _phase1_preparation(parties: List[_PartyRuntime], tamper) -> None:
         for party in parties:
             with metrics.scope(party.scope()):
                 payload = party.dgka.emit(round_no)
-            if payload is not None:
-                payloads[party.index] = payload
-                metrics.count_message_sent()
-                metrics.bump(f"hs-sent:{party.index}")
+                if payload is not None:
+                    payloads[party.index] = payload
+                    metrics.count_message_sent()
+                    metrics.bump(f"hs-sent:{party.index}")
         for party in parties:
             delivered = {}
             for sender, payload in payloads.items():
@@ -259,10 +262,10 @@ def _phase2_preliminary(parties: List[_PartyRuntime]) -> Dict[int, bytes]:
                 continue
             s_i = party.dgka.unique_string(party.index)
             party.tag = mac.mac(party.k_prime, s_i, party.index)
-        if party.tag is not None:
-            tags[party.index] = party.tag
-            metrics.count_message_sent()
-            metrics.bump(f"hs-sent:{party.index}")
+            if party.tag is not None:
+                tags[party.index] = party.tag
+                metrics.count_message_sent()
+                metrics.bump(f"hs-sent:{party.index}")
     return tags
 
 
@@ -311,8 +314,8 @@ def _phase3_full(parties: List[_PartyRuntime],
             else:
                 publications[party.index] = _publish_decoy(party)
                 party.is_decoy = True
-        metrics.count_message_sent()
-        metrics.bump(f"hs-sent:{party.index}")
+            metrics.count_message_sent()
+            metrics.bump(f"hs-sent:{party.index}")
 
     entries = tuple(
         HandshakeEntry(index=i, theta=publications[i][0], delta=publications[i][1])

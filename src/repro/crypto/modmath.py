@@ -126,10 +126,16 @@ def sqrt_mod_prime(a: int, p: int) -> int:
 
 
 def random_unit(modulus: int, rng: Optional[random.Random] = None) -> int:
-    """Random element of ``Z_modulus^*``."""
+    """Uniform element of ``Z_modulus^*``.
+
+    Rejection-samples over the full residue range ``[1, modulus)`` — every
+    unit, including 1 and ``modulus - 1`` (≡ −1), must be reachable or the
+    draw is not uniform over the group."""
+    if modulus <= 1:
+        raise ParameterError("modulus must exceed 1")
     rng = rng or random
     while True:
-        candidate = rng.randrange(2, modulus - 1)
+        candidate = rng.randrange(1, modulus)
         if math.gcd(candidate, modulus) == 1:
             return candidate
 
@@ -147,7 +153,9 @@ def int_in_symmetric_range(value: int, bits: int) -> bool:
 
 
 def random_int_symmetric(bits: int, rng: Optional[random.Random] = None) -> int:
-    """Uniform integer from ``[-(2^bits - 1), 2^bits - 1]``."""
+    """Uniform integer from ``[-(2^bits - 1), 2^bits - 1]``.
+
+    A single draw over the whole symmetric range — the magnitude-then-sign
+    construction samples 0 with double weight (+0 and −0 collapse)."""
     rng = rng or random
-    magnitude = rng.getrandbits(bits)
-    return magnitude if rng.random() < 0.5 else -magnitude
+    return rng.randrange(-(1 << bits) + 1, 1 << bits)

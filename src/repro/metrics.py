@@ -1,4 +1,4 @@
-"""Operation counters used by the benchmark harness.
+"""Observability layer: operation counters, timers, trace events, exporters.
 
 The paper's efficiency claims are stated in *number of modular
 exponentiations* and *number of messages* per participant (Sections 8.1 and
@@ -7,8 +7,9 @@ else is built from:
 
 * :func:`count_modexp` is called by :func:`repro.crypto.modmath.mexp` on every
   modular exponentiation;
-* :class:`repro.net.simulator.Network` calls :func:`count_message` whenever a
-  protocol message is delivered.
+* :class:`repro.net.simulator.Network` calls :func:`count_message_sent` /
+  :func:`count_message_received` (with wire-level byte sizes) on every
+  enqueue / delivery.
 
 Counters are grouped into named scopes so a benchmark can attribute cost to a
 particular party or protocol phase::
@@ -17,16 +18,47 @@ particular party or protocol phase::
         run_protocol()
     print(metrics.snapshot()["party-3"].modexp)
 
-Scopes nest; an operation is charged to every active scope plus the implicit
-``"total"`` scope.  Counting is thread-local-free and deterministic because
-the whole library runs single-threaded simulations.
+Scopes nest; an operation is charged to every *distinct* active scope plus
+the implicit ``"total"`` scope.  Re-entering a name that is already on the
+stack is legal and charges that scope **once** (the naive
+charge-every-frame rule would double-count a party scope wrapped around a
+sub-protocol that re-opens the same scope).
+
+Concurrency model
+-----------------
+
+The scope stack lives in a :class:`contextvars.ContextVar`, so nesting is
+restored exactly on exit (token-based, correct under exceptions and
+re-entrancy) and coroutines see their own stacks.  Counter storage lives in
+a :class:`Recorder`; the active recorder is resolved per thread (with an
+optional :func:`using` override), so two threads running handshakes
+concurrently observe fully independent counters — no cross-thread bleed.
+All mutation of a recorder is guarded by a lock, so explicitly sharing one
+recorder across threads (via :func:`using`) is also safe.
+
+Beyond raw counts the layer records:
+
+* **wall-clock timers** — every scope accrues ``wall_time`` (inclusive,
+  charged once per distinct scope even when re-entered);
+* **trace events** — an opt-in structured stream (scope begin/end, message
+  send/receive with byte sizes, coalesced modexp bursts); see
+  :func:`enable_tracing` / :func:`events`;
+* **exporters** — :func:`export_json` / :func:`export_csv` /
+  :func:`format_table` turn a snapshot into artifacts the benchmark
+  harness and the ``python -m repro stats`` CLI consume.
 """
 
 from __future__ import annotations
 
 import contextlib
+import csv
+import io
+import json
+import threading
+import time
+from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 
 @dataclass
@@ -38,8 +70,10 @@ class Counters:
     messages_sent: int = 0
     messages_received: int = 0
     bytes_sent: int = 0
+    bytes_received: int = 0
     hashes: int = 0
     pairings: int = 0
+    wall_time: float = 0.0
     extra: Dict[str, int] = field(default_factory=dict)
 
     def bump(self, name: str, amount: int = 1) -> None:
@@ -53,82 +87,460 @@ class Counters:
             messages_sent=self.messages_sent,
             messages_received=self.messages_received,
             bytes_sent=self.bytes_sent,
+            bytes_received=self.bytes_received,
             hashes=self.hashes,
             pairings=self.pairings,
+            wall_time=self.wall_time,
         )
         clone.extra = dict(self.extra)
         return clone
 
+    def as_dict(self) -> Dict[str, object]:
+        """Flat exporter view: fixed fields first, then ``extra`` inline."""
+        out: Dict[str, object] = {f: getattr(self, f) for f in FIELDS}
+        out.update(self.extra)
+        return out
+
+
+#: Fixed counter fields, in export order.
+FIELDS: Tuple[str, ...] = (
+    "modexp",
+    "modmul",
+    "messages_sent",
+    "messages_received",
+    "bytes_sent",
+    "bytes_received",
+    "hashes",
+    "pairings",
+    "wall_time",
+)
 
 _TOTAL = "total"
-_counters: Dict[str, Counters] = {_TOTAL: Counters()}
-_active: List[str] = [_TOTAL]
+
+
+@dataclass
+class TraceEvent:
+    """One structured trace record.
+
+    ``ts``/``ts_end`` are seconds since the recorder's epoch (its creation
+    or last :func:`reset`).  ``scope`` is the innermost active scope at
+    emission time (``"total"`` outside any scope).  Burst kinds (e.g.
+    ``"modexp"``) coalesce consecutive same-scope events into one record
+    with an aggregated ``count`` and a widened ``[ts, ts_end]`` window.
+    """
+
+    kind: str
+    scope: str
+    ts: float
+    ts_end: float
+    data: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "scope": self.scope,
+            "ts": self.ts,
+            "ts_end": self.ts_end,
+            **self.data,
+        }
+
+
+#: Event kinds that coalesce into bursts instead of one record per call.
+_BURST_KINDS = frozenset({"modexp", "modmul", "hash"})
+
+
+class _Frame:
+    """One scope activation: the name plus the counters it charges."""
+
+    __slots__ = ("name", "counters", "t0")
+
+    def __init__(self, name: str, counters: Counters, t0: float) -> None:
+        self.name = name
+        self.counters = counters
+        self.t0 = t0
+
+
+class Recorder:
+    """Counter + trace storage for one logical measurement context.
+
+    Normally one recorder exists per thread (created lazily); benchmarks
+    never see it directly — the module-level functions proxy to the
+    current one.  Pass a recorder to :func:`using` to pin it explicitly
+    (e.g. to aggregate several worker threads into one set of books).
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.RLock()
+        self._counters: Dict[str, Counters] = {_TOTAL: Counters()}
+        self._events: List[TraceEvent] = []
+        self._tracing = False
+        self._epoch = time.perf_counter()
+
+    # Storage ----------------------------------------------------------------
+
+    def reset(self) -> None:
+        with self._lock:
+            self._counters = {_TOTAL: Counters()}
+            self._events = []
+            self._epoch = time.perf_counter()
+
+    def counters_for(self, name: str) -> Counters:
+        with self._lock:
+            return self._counters.setdefault(name, Counters())
+
+    def snapshot(self) -> Dict[str, Counters]:
+        with self._lock:
+            snap = {name: c.copy() for name, c in self._counters.items()}
+            # "total" is never a scope frame, so its wall clock is the
+            # recorder's own: time elapsed since creation / last reset.
+            snap[_TOTAL].wall_time = time.perf_counter() - self._epoch
+            return snap
+
+    def total(self) -> Counters:
+        with self._lock:
+            clone = self._counters[_TOTAL].copy()
+            clone.wall_time = time.perf_counter() - self._epoch
+            return clone
+
+    # Tracing ----------------------------------------------------------------
+
+    @property
+    def tracing(self) -> bool:
+        return self._tracing
+
+    @tracing.setter
+    def tracing(self, on: bool) -> None:
+        self._tracing = bool(on)
+
+    def trace(self, kind: str, scope: str, **data: object) -> None:
+        if not self._tracing:
+            return
+        with self._lock:
+            now = time.perf_counter() - self._epoch
+            if kind in _BURST_KINDS and self._events:
+                last = self._events[-1]
+                if last.kind == kind and last.scope == scope:
+                    last.data["count"] = (
+                        int(last.data.get("count", 0)) + int(data.get("count", 1))
+                    )
+                    last.ts_end = now
+                    return
+            if kind in _BURST_KINDS:
+                data.setdefault("count", 1)
+            self._events.append(
+                TraceEvent(kind=kind, scope=scope, ts=now, ts_end=now, data=data)
+            )
+
+    def events(self) -> List[TraceEvent]:
+        with self._lock:
+            return list(self._events)
+
+
+# ---------------------------------------------------------------------------
+# Recorder + stack resolution.
+# ---------------------------------------------------------------------------
+
+#: Scope stack: immutable tuple so token-based reset restores the exact
+#: previous stack (the seed implementation's ``_active.remove(name)``
+#: popped the *first* occurrence, corrupting re-entrant same-name scopes).
+_STACK: ContextVar[Tuple[_Frame, ...]] = ContextVar("repro.metrics.stack",
+                                                    default=())
+
+#: Explicit recorder override (see :func:`using`); ``None`` means "use the
+#: current thread's recorder".
+_RECORDER: ContextVar[Optional[Recorder]] = ContextVar(
+    "repro.metrics.recorder", default=None
+)
+
+_thread_state = threading.local()
+
+
+def current_recorder() -> Recorder:
+    """The recorder all module-level calls resolve to.
+
+    An explicit :func:`using` override wins; otherwise each thread gets its
+    own lazily-created recorder, so concurrent measurements stay disjoint.
+    """
+    rec = _RECORDER.get()
+    if rec is not None:
+        return rec
+    rec = getattr(_thread_state, "recorder", None)
+    if rec is None:
+        rec = Recorder()
+        _thread_state.recorder = rec
+    return rec
+
+
+@contextlib.contextmanager
+def using(recorder: Recorder) -> Iterator[Recorder]:
+    """Pin ``recorder`` as the active one for the dynamic extent."""
+    token = _RECORDER.set(recorder)
+    try:
+        yield recorder
+    finally:
+        _RECORDER.reset(token)
 
 
 def reset() -> None:
-    """Drop all counters and scopes (benchmarks call this between runs)."""
-    _counters.clear()
-    _counters[_TOTAL] = Counters()
-    del _active[:]
-    _active.append(_TOTAL)
+    """Drop all counters, scopes and events (benchmarks call this between
+    runs).  Scopes still open keep charging their (now detached) counter
+    objects, which simply no longer appear in :func:`snapshot`."""
+    current_recorder().reset()
+
+
+# ---------------------------------------------------------------------------
+# Scopes.
+# ---------------------------------------------------------------------------
 
 
 @contextlib.contextmanager
 def scope(name: str) -> Iterator[Counters]:
-    """Attribute operations performed inside the block to ``name``."""
-    counters = _counters.setdefault(name, Counters())
-    _active.append(name)
+    """Attribute operations performed inside the block to ``name``.
+
+    Exit restores the exact prior stack (token-based), so re-entrant
+    same-name scopes and teardown on exception are both correct.  Wall
+    time is charged inclusively, once per distinct scope.
+    """
+    rec = current_recorder()
+    counters = rec.counters_for(name)
+    frame = _Frame(name, counters, time.perf_counter())
+    token = _STACK.set(_STACK.get() + (frame,))
+    rec.trace("scope-begin", name)
     try:
         yield counters
     finally:
-        _active.remove(name)
+        _STACK.reset(token)
+        elapsed = time.perf_counter() - frame.t0
+        # Charge wall time only on the outermost frame of this scope —
+        # an inner re-entry finishing must not double-book the interval.
+        if all(outer.counters is not counters for outer in _STACK.get()):
+            with rec._lock:
+                counters.wall_time += elapsed
+        rec.trace("scope-end", name, elapsed=elapsed)
 
 
-def _each_active() -> List[Counters]:
-    return [_counters[name] for name in _active]
+@contextlib.contextmanager
+def timer(name: str) -> Iterator[Counters]:
+    """Alias of :func:`scope` for call sites that only want the clock."""
+    with scope(name) as counters:
+        yield counters
+
+
+def active_scopes() -> List[str]:
+    """Names currently on the scope stack, outermost first (diagnostics)."""
+    return [frame.name for frame in _STACK.get()]
+
+
+def _charged() -> List[Counters]:
+    """Every counter object the current operation must be charged to:
+    the recorder's total plus each *distinct* active scope (a name opened
+    twice on the stack shares one ``Counters`` and is charged once)."""
+    rec = current_recorder()
+    total = rec.counters_for(_TOTAL)
+    targets = [total]
+    seen = {id(total)}
+    for frame in _STACK.get():
+        ident = id(frame.counters)
+        if ident not in seen:
+            seen.add(ident)
+            targets.append(frame.counters)
+    return targets
+
+
+def _innermost() -> str:
+    stack = _STACK.get()
+    return stack[-1].name if stack else _TOTAL
+
+
+# ---------------------------------------------------------------------------
+# Counting hooks.
+# ---------------------------------------------------------------------------
 
 
 def count_modexp(amount: int = 1) -> None:
-    for c in _each_active():
-        c.modexp += amount
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.modexp += amount
+    rec.trace("modexp", _innermost(), count=amount)
 
 
 def count_modmul(amount: int = 1) -> None:
-    for c in _each_active():
-        c.modmul += amount
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.modmul += amount
+    rec.trace("modmul", _innermost(), count=amount)
 
 
 def count_hash(amount: int = 1) -> None:
-    for c in _each_active():
-        c.hashes += amount
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.hashes += amount
+    rec.trace("hash", _innermost(), count=amount)
 
 
 def count_pairing(amount: int = 1) -> None:
-    for c in _each_active():
-        c.pairings += amount
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.pairings += amount
 
 
 def count_message_sent(nbytes: int = 0) -> None:
-    for c in _each_active():
-        c.messages_sent += 1
-        c.bytes_sent += nbytes
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.messages_sent += 1
+            c.bytes_sent += nbytes
+    rec.trace("send", _innermost(), nbytes=nbytes)
 
 
-def count_message_received() -> None:
-    for c in _each_active():
-        c.messages_received += 1
+def count_message_received(nbytes: int = 0) -> None:
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.messages_received += 1
+            c.bytes_received += nbytes
+    rec.trace("recv", _innermost(), nbytes=nbytes)
 
 
 def bump(name: str, amount: int = 1) -> None:
-    for c in _each_active():
-        c.bump(name, amount)
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            c.bump(name, amount)
+
+
+# ---------------------------------------------------------------------------
+# Reading results.
+# ---------------------------------------------------------------------------
 
 
 def snapshot() -> Dict[str, Counters]:
     """Return a copy of every scope's counters."""
-    return {name: c.copy() for name, c in _counters.items()}
+    return current_recorder().snapshot()
 
 
 def total() -> Counters:
     """Counters accumulated since the last :func:`reset`."""
-    return _counters[_TOTAL].copy()
+    return current_recorder().total()
+
+
+def value(scope_name: str, field_name: str, default: int = 0) -> object:
+    """One value out of the current snapshot, via the exporter view.
+
+    ``field_name`` may be a fixed field (``"modexp"``) or an ``extra``
+    key (``"hs-sent:0"``).  Missing scope or field yields ``default`` —
+    benchmark code reads counters through this instead of poking
+    :class:`Counters` attributes."""
+    counters = snapshot().get(scope_name)
+    if counters is None:
+        return default
+    return counters.as_dict().get(field_name, default)
+
+
+# ---------------------------------------------------------------------------
+# Tracing controls.
+# ---------------------------------------------------------------------------
+
+
+def enable_tracing(on: bool = True) -> None:
+    """Switch the structured trace-event stream on (off by default —
+    counting stays cheap unless someone asks for the event log)."""
+    current_recorder().tracing = on
+
+
+@contextlib.contextmanager
+def tracing() -> Iterator[None]:
+    """Enable trace events for the extent of the block."""
+    rec = current_recorder()
+    before = rec.tracing
+    rec.tracing = True
+    try:
+        yield
+    finally:
+        rec.tracing = before
+
+
+def events() -> List[TraceEvent]:
+    """The trace-event stream since the last :func:`reset` (copies)."""
+    return current_recorder().events()
+
+
+# ---------------------------------------------------------------------------
+# Exporters.
+# ---------------------------------------------------------------------------
+
+
+def export_json(snap: Optional[Dict[str, Counters]] = None, *,
+                include_events: bool = False, indent: int = 2) -> str:
+    """Serialize a snapshot (default: the live one) as JSON.
+
+    Layout: ``{"scopes": {name: {field: value, ...}}, "events": [...]}``;
+    events only when requested (they can be large)."""
+    snap = snapshot() if snap is None else snap
+    doc: Dict[str, object] = {
+        "scopes": {name: c.as_dict() for name, c in sorted(snap.items())}
+    }
+    if include_events:
+        doc["events"] = [e.as_dict() for e in events()]
+    return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def export_csv(snap: Optional[Dict[str, Counters]] = None) -> str:
+    """Serialize a snapshot as CSV: one row per scope, fixed fields plus
+    the union of all ``extra`` keys as trailing columns."""
+    snap = snapshot() if snap is None else snap
+    extra_keys = sorted({k for c in snap.values() for k in c.extra})
+    header = ["scope", *FIELDS, *extra_keys]
+    buf = io.StringIO()
+    writer = csv.writer(buf)
+    writer.writerow(header)
+    for name in sorted(snap):
+        flat = snap[name].as_dict()
+        writer.writerow([name] + [flat.get(col, 0) for col in header[1:]])
+    return buf.getvalue()
+
+
+def write_json(path: str, **kwargs) -> None:
+    with open(path, "w") as handle:
+        handle.write(export_json(**kwargs) + "\n")
+
+
+def write_csv(path: str) -> None:
+    with open(path, "w") as handle:
+        handle.write(export_csv())
+
+
+def format_table(snap: Optional[Dict[str, Counters]] = None,
+                 scopes: Optional[Sequence[str]] = None,
+                 fields: Sequence[str] = ("modexp", "messages_sent",
+                                          "messages_received", "bytes_sent",
+                                          "bytes_received", "wall_time"),
+                 title: str = "metrics") -> str:
+    """Render selected scopes x fields as an aligned text table (the CLI
+    and the benchmark harness share this)."""
+    snap = snapshot() if snap is None else snap
+    names = list(scopes) if scopes is not None else sorted(snap)
+    header = ["scope", *fields]
+    rows: List[List[str]] = []
+    for name in names:
+        counters = snap.get(name)
+        flat = counters.as_dict() if counters is not None else {}
+        cells = [name]
+        for f in fields:
+            v = flat.get(f, 0)
+            cells.append(f"{v:.4f}" if isinstance(v, float) else str(v))
+        rows.append(cells)
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title),
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

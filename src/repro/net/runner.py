@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
+from repro import metrics
 from repro.core import wire
 from repro.core.handshake import (
     HandshakeOutcome,
@@ -78,6 +79,12 @@ class HandshakeDevice(Party):
         self._entries: Dict[int, HandshakeEntry] = {}
         self._published_phase3 = False
         self.outcome: Optional[HandshakeOutcome] = None
+
+    @property
+    def metrics_scope(self) -> str:
+        """Same scope naming as the synchronous engine, so per-party counts
+        from both drivers are directly comparable (tested for parity)."""
+        return f"hs:{self.index}"
 
     # Protocol driving ---------------------------------------------------------
 
@@ -295,7 +302,11 @@ def run_handshake_over_network(
         for i, member in enumerate(members)
     ]
     for device in devices:
-        device.start()
+        # start() performs the device's round-0 DGKA work; without the
+        # scope that cost would land only on ``total``, breaking per-party
+        # parity with the synchronous engine.
+        with metrics.scope(device.metrics_scope):
+            device.start()
     network.run()
     return [
         device.outcome

@@ -66,12 +66,20 @@ class Party:
     """Base class for simulated participants.
 
     Subclasses override :meth:`on_message`; they send through the network
-    handle passed at registration.
+    handle passed at registration.  ``metrics_scope`` names the scope all
+    of the party's deliveries (and whatever work they trigger) are charged
+    to; subclasses may override it to align with other engines' scope
+    naming (e.g. :class:`repro.net.runner.HandshakeDevice` uses ``hs:<i>``
+    to match the synchronous driver).
     """
 
     def __init__(self, name: str) -> None:
         self.name = name
         self.network: Optional["Network"] = None
+
+    @property
+    def metrics_scope(self) -> str:
+        return f"party:{self.name}"
 
     def attached(self, network: "Network") -> None:
         """Hook called when the party is registered."""
@@ -204,10 +212,11 @@ class Network:
         delivered = message
         if message.channel in self.ANONYMOUS_CHANNELS:
             delivered = replace(message, sender=None)
+        nbytes = delivered.size
         for party in targets:
-            metrics.count_message_received()
-            metrics.bump(f"received:{party.name}")
-            with metrics.scope(f"party:{party.name}"):
+            with metrics.scope(party.metrics_scope):
+                metrics.count_message_received(nbytes)
+                metrics.bump(f"received:{party.name}")
                 party.on_message(delivered)
         self._delivered.append(delivered)
 

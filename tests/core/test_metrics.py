@@ -45,6 +45,50 @@ class TestScopes:
         metrics.bump("custom", 3)
         assert metrics.total().extra["custom"] == 3
 
+    def test_duplicate_name_nesting_counts_once(self):
+        """Regression: the seed charged every *frame*, so a scope nested
+        inside itself (a party scope around a sub-protocol that re-opens
+        the same scope) double-counted every operation."""
+        metrics.reset()
+        with metrics.scope("party"):
+            with metrics.scope("party"):
+                mexp(2, 10, 101)
+        snap = metrics.snapshot()
+        assert snap["party"].modexp == 1
+        assert snap["total"].modexp == 1
+
+    def test_reentrant_same_name_teardown(self):
+        """Regression: the seed tore down with ``_active.remove(name)``,
+        popping the *first* occurrence of a re-entered name; exit must
+        restore the exact prior stack."""
+        metrics.reset()
+        with metrics.scope("a"):
+            with metrics.scope("b"):
+                with metrics.scope("a"):
+                    mexp(2, 10, 101)
+                # The outer "a" must still be active here.
+                assert metrics.active_scopes() == ["a", "b"]
+                mexp(2, 10, 101)
+        snap = metrics.snapshot()
+        assert snap["a"].modexp == 2
+        assert snap["b"].modexp == 2
+        assert snap["total"].modexp == 2
+        assert metrics.active_scopes() == []
+
+    def test_scope_teardown_on_exception(self):
+        metrics.reset()
+        try:
+            with metrics.scope("doomed"):
+                with metrics.scope("doomed"):
+                    raise RuntimeError("boom")
+        except RuntimeError:
+            pass
+        assert metrics.active_scopes() == []
+        mexp(2, 10, 101)
+        snap = metrics.snapshot()
+        assert snap["doomed"].modexp == 0
+        assert snap["total"].modexp == 1
+
 
 class TestHandshakeAccounting:
     def test_per_party_scopes_populated(self, scheme1_world):
