@@ -1,19 +1,30 @@
-"""``python -m repro`` — demos and measurement tooling.
+"""``python -m repro`` — demos, measurement tooling, and the service layer.
 
 Subcommands:
 
 * ``demo`` (default) — a condensed, seeded tour of the framework: group
   creation, enrolment, a successful multi-party handshake, an impostor
-  failure, self-distinction, revocation, and tracing.
+  failure, self-distinction, revocation, and tracing.  Exits nonzero if
+  any of the expected verdicts does not hold.
 * ``stats`` — replay the complexity benchmark (one handshake per party
   count) under full instrumentation and print the per-phase / per-party
   observability tables (the measured form of the paper's O(m) claims);
-  optionally export JSON/CSV artifacts or the trace-event stream.
+  optionally export JSON/CSV artifacts or the trace-event stream.  Exits
+  nonzero if any same-group handshake in the sweep fails.
+* ``serve`` — run the asyncio rendezvous server (an untrusted relay for
+  handshake rooms) until interrupted.
+* ``join`` — run handshake participant(s) against a rendezvous server.
+  With ``--index`` one party joins from this process (run m processes
+  with the same ``--seed`` to handshake across processes: group creation
+  is deterministic, so each process derives the same credentials); without
+  it, all m parties run concurrently from this process — a loopback demo
+  of real TCP wire traffic.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import random
 import sys
 import time
@@ -33,9 +44,16 @@ def _banner(text: str) -> None:
     print(f"\n=== {text}")
 
 
-def _demo() -> int:
-    rng = random.Random(2005)
+def _demo(args: argparse.Namespace) -> int:
+    rng = random.Random(args.seed)
     started = time.time()
+    ok = True
+
+    def check(label: str, condition: bool) -> None:
+        nonlocal ok
+        if not condition:
+            ok = False
+            print(f"!! demo expectation failed: {label}")
 
     _banner("SHS.CreateGroup + SHS.AdmitMember")
     agency = create_scheme1("demo-agency", rng=rng)
@@ -47,25 +65,33 @@ def _demo() -> int:
     outcomes = run_handshake(members, scheme1_policy(), rng)
     print("success:", all(o.success for o in outcomes),
           "| shared key:", outcomes[0].session_key.hex()[:24], "…")
+    check("same-group handshake succeeds", all(o.success for o in outcomes))
 
     _banner("SHS.Handshake with an impostor")
     outcomes = run_handshake(members[:2] + [Impostor(rng=rng)],
                              scheme1_policy(), rng)
     print("success:", any(o.success for o in outcomes),
           "(impostor detected, affiliations never revealed)")
+    check("impostor handshake fails", not any(o.success for o in outcomes))
 
     _banner("SHS.TraceUser")
     outcomes = run_handshake(members[:3], scheme1_policy(), rng)
     trace = agency.trace(outcomes[0].transcript)
     print("GA identifies:", ", ".join(sorted(trace.identified)))
+    check("tracing identifies the participants",
+          sorted(trace.identified) == ["agent-0", "agent-1", "agent-2"])
 
     _banner("SHS.RemoveUser (dual revocation)")
     agency.remove_user("agent-3")
     outcomes = run_handshake(members, scheme1_policy(), rng)
     print("handshake including the revoked member succeeds:",
           any(o.success for o in outcomes))
+    check("revoked member breaks the handshake",
+          not any(o.success for o in outcomes))
     outcomes = run_handshake(members[:3], scheme1_policy(), rng)
     print("survivors-only handshake succeeds:",
+          all(o.success for o in outcomes))
+    check("survivors-only handshake succeeds",
           all(o.success for o in outcomes))
 
     _banner("Self-distinction (instantiation 2)")
@@ -75,9 +101,10 @@ def _demo() -> int:
     outcomes = run_handshake([honest, rogue, rogue], scheme2_policy(), rng)
     print("rogue playing two roles detected:",
           outcomes[0].distinct is False)
+    check("rogue detected", outcomes[0].distinct is False)
 
     print(f"\ndone in {time.time() - started:.1f}s — see examples/ for more")
-    return 0
+    return 0 if ok else 1
 
 
 def _stats(args: argparse.Namespace) -> int:
@@ -93,6 +120,7 @@ def _stats(args: argparse.Namespace) -> int:
           f"(seed {args.seed}) …")
     members = [framework.admit_member(f"user-{i}", rng) for i in range(top)]
 
+    all_ok = True
     last_snapshot = None
     for m in args.parties:
         metrics.reset()
@@ -102,6 +130,7 @@ def _stats(args: argparse.Namespace) -> int:
         snap = metrics.snapshot()
         last_snapshot = snap
         ok = all(o.success for o in outcomes)
+        all_ok = all_ok and ok
         phase_scopes = [s for s in ("phase:I", "phase:II", "phase:III")
                         if s in snap]
         party_scopes = [f"hs:{i}" for i in range(m)]
@@ -127,7 +156,88 @@ def _stats(args: argparse.Namespace) -> int:
             with open(args.csv, "w") as handle:
                 handle.write(metrics.export_csv(last_snapshot))
             print(f"wrote CSV export to {args.csv}")
+    if not all_ok:
+        print("\n!! at least one same-group handshake failed", file=sys.stderr)
+        return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Service subcommands.
+# ---------------------------------------------------------------------------
+
+
+def _serve(args: argparse.Namespace) -> int:
+    from repro.service import RendezvousServer, ServerConfig
+
+    async def main() -> int:
+        config = ServerConfig(
+            host=args.host, port=args.port,
+            room_fill_timeout=args.room_fill_timeout,
+            handshake_timeout=args.handshake_timeout)
+        server = await RendezvousServer(config).start()
+        print(f"rendezvous server listening on {args.host}:{server.port} "
+              f"(untrusted relay — it sees only wire-format ciphertexts)")
+        try:
+            await server.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await server.shutdown()
+            snap = metrics.snapshot()
+            print(metrics.format_table(
+                snap, scopes=[s for s in sorted(snap) if s != "total"] + ["total"],
+                fields=("messages_sent", "messages_received",
+                        "bytes_sent", "bytes_received", "wall_time"),
+                title="service metrics"))
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
+def _build_join_world(args: argparse.Namespace):
+    rng = random.Random(args.seed)
+    if args.scheme == "2":
+        framework = create_scheme2("cli-room", rng=rng)
+        policy = scheme2_policy()
+    else:
+        framework = create_scheme1("cli-room", rng=rng)
+        policy = scheme1_policy()
+    members = [framework.admit_member(f"user-{i}", rng)
+               for i in range(args.m)]
+    return members, policy
+
+
+def _join(args: argparse.Namespace) -> int:
+    from repro.core.handshake import HandshakeOutcome
+    from repro.service import ClientConfig, join_room, run_room
+
+    print(f"deriving scheme-{args.scheme} group from seed {args.seed} "
+          f"(m={args.m}) …")
+    members, policy = _build_join_world(args)
+    config = ClientConfig(host=args.host, port=args.port, room=args.room,
+                          m=args.m, deadline=args.deadline)
+
+    async def main():
+        if args.index is not None:
+            rng = random.Random(args.seed * 1000 + args.index)
+            return [await join_room(members[args.index], config, policy, rng)]
+        return await run_room(members, config, policy)
+
+    outcomes = asyncio.run(main())
+    for outcome in outcomes:
+        assert isinstance(outcome, HandshakeOutcome)
+        peers = ", ".join(str(i) for i in sorted(outcome.confirmed_peers))
+        key = (outcome.session_key.hex()[:24] + " …"
+               if outcome.session_key else "-")
+        print(f"party {outcome.index}: success={outcome.success} "
+              f"confirmed_peers=[{peers}] key={key}")
+    ok = bool(outcomes) and all(o.success for o in outcomes)
+    return 0 if ok else 1
 
 
 def main(argv=None) -> int:
@@ -135,7 +245,11 @@ def main(argv=None) -> int:
         prog="repro", description=__doc__,
         formatter_class=argparse.RawDescriptionHelpFormatter)
     sub = parser.add_subparsers(dest="command")
-    sub.add_parser("demo", help="seeded framework tour (the default)")
+
+    demo = sub.add_parser("demo", help="seeded framework tour (the default)")
+    demo.add_argument("--seed", type=int, default=2005,
+                      help="RNG seed for the tour (default: 2005)")
+
     stats = sub.add_parser(
         "stats", help="replay a benchmark handshake and print per-phase "
                       "and per-party cost tables")
@@ -152,12 +266,48 @@ def main(argv=None) -> int:
                        help="write the final snapshot as JSON")
     stats.add_argument("--csv", metavar="PATH",
                        help="write the final snapshot as CSV")
+
+    serve = sub.add_parser(
+        "serve", help="run the rendezvous server (untrusted relay) "
+                      "until interrupted")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=7045)
+    serve.add_argument("--room-fill-timeout", type=float, default=30.0)
+    serve.add_argument("--handshake-timeout", type=float, default=60.0)
+
+    join = sub.add_parser(
+        "join", help="join a handshake room on a rendezvous server")
+    join.add_argument("--host", default="127.0.0.1")
+    join.add_argument("--port", type=int, default=7045)
+    join.add_argument("--room", default="cli-room")
+    join.add_argument("-m", type=int, default=3,
+                      help="room size (default: 3)")
+    join.add_argument("--index", type=int, default=None,
+                      help="run only party INDEX from this process "
+                           "(default: run all m parties concurrently)")
+    join.add_argument("--seed", type=int, default=2005,
+                      help="group-derivation seed; every joining process "
+                           "must use the same value")
+    join.add_argument("--scheme", choices=("1", "2"), default="1")
+    join.add_argument("--deadline", type=float, default=60.0,
+                      help="overall per-party deadline in seconds")
+
     args = parser.parse_args(argv)
     if args.command == "stats":
         if min(args.parties) < 2:
             stats.error("a handshake needs at least two parties (-m >= 2)")
         return _stats(args)
-    return _demo()
+    if args.command == "serve":
+        return _serve(args)
+    if args.command == "join":
+        if args.m < 2:
+            join.error("a handshake needs at least two parties (-m >= 2)")
+        if args.index is not None and not 0 <= args.index < args.m:
+            join.error(f"--index must be in [0, {args.m})")
+        return _join(args)
+    if args.command is None:
+        args.seed = 2005
+    return _demo(args)
 
 
 if __name__ == "__main__":

@@ -29,6 +29,12 @@ from repro.errors import ProtocolError, SessionError
 class DgkaParty(abc.ABC):
     """One protocol instance Pi_U^i."""
 
+    #: True when every party broadcasts in every round (e.g. Burmester-
+    #: Desmedt).  Chain protocols with per-round single speakers (GDH.2)
+    #: set this False; broadcast-relay drivers check it up front instead
+    #: of deadlocking mid-session waiting for silent parties.
+    all_speak: bool = True
+
     def __init__(self, index: int, m: int) -> None:
         if not 0 <= index < m or m < 2:
             raise SessionError(f"bad party index {index} for m={m}")

@@ -36,6 +36,8 @@ class GdhParty(DgkaParty):
     ``m-1`` is the final broadcast by party ``m-1``.
     """
 
+    all_speak = False   # chain protocol: one speaker per round
+
     def __init__(self, index: int, m: int,
                  group: Optional[DHParams] = None,
                  rng: Optional[random.Random] = None) -> None:

@@ -22,6 +22,16 @@ class EncodingError(ReproError):
     """Malformed serialized value (wire format, transcripts, keys)."""
 
 
+class FrameError(EncodingError):
+    """Malformed transport frame: truncated mid-header/mid-body, or a
+    declared length exceeding the negotiated maximum."""
+
+
+class TransportError(ReproError):
+    """A transport-level failure talking to the rendezvous service
+    (connect retries exhausted, connection lost mid-handshake)."""
+
+
 class VerificationError(ReproError):
     """A cryptographic check failed (signature, proof, MAC, ciphertext tag)."""
 

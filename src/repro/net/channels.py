@@ -13,7 +13,7 @@
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
 from repro.crypto import hashing
@@ -54,15 +54,32 @@ class BulletinBoard:
         return entry
 
     def read_since(self, index: int, topic: Optional[str] = None) -> List[Post]:
-        """Anonymous read: all verified posts with index >= ``index``."""
+        """Anonymous read: all verified posts with index >= ``index``.
+
+        The returned list is freshly built and every entry is a defensive
+        copy of an immutable record (:class:`Post` and its Schnorr
+        signature are frozen dataclasses) — callers can neither mutate
+        board state through the result nor observe later posts through a
+        stale handle."""
         out = []
-        for post in self._posts[index:]:
+        for post in self._posts[max(index, 0):]:
             body = hashing.encode(post.index, post.topic, post.payload)
             if not post.signature.verify(self.group, post.poster_public, body):
                 raise VerificationError(f"bulletin post {post.index} forged")
             if topic is None or post.topic == topic:
-                out.append(post)
+                out.append(replace(post))
         return out
+
+    def poll(self, cursor: int = 0,
+             topic: Optional[str] = None) -> Tuple[List[Post], int]:
+        """Paginated anonymous read: ``(new_posts, next_cursor)``.
+
+        ``cursor`` is the index to resume from (0 for a first read); the
+        returned cursor covers everything currently on the board, so
+        repeated ``posts, cursor = board.poll(cursor)`` loops see each
+        post exactly once.  Same defensive-copy guarantees as
+        :meth:`read_since`."""
+        return self.read_since(cursor, topic), len(self._posts)
 
     def __len__(self) -> int:
         return len(self._posts)

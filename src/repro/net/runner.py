@@ -12,7 +12,10 @@ network sees exactly the paper's wire format.
 
 The device driver supports all-speak DGKA protocols (Burmester-Desmedt,
 the default for both instantiations); chain protocols like GDH.2 have
-per-round single speakers and use the synchronous engine instead.
+per-round single speakers and use the synchronous engine instead —
+constructing a device with a chain-style ``dgka_factory`` raises
+:class:`~repro.errors.ProtocolError` up front rather than deadlocking
+mid-session.
 """
 
 from __future__ import annotations
@@ -32,7 +35,6 @@ from repro.core.handshake import (
 from repro.core.transcript import HandshakeEntry, HandshakeTranscript, signed_message
 from repro.crypto import hashing, mac, symmetric
 from repro.crypto.cramer_shoup import CramerShoup
-from repro.dgka.burmester_desmedt import BurmesterDesmedtParty
 from repro.errors import DecryptionError, ProtocolError
 from repro.net.simulator import Message, Network, Party
 
@@ -70,7 +72,14 @@ class HandshakeDevice(Party):
         self.policy = policy or HandshakePolicy()
         self.rng = rng if rng is not None else random.Random()
         self.index = plan.index_of(name)
-        self.dgka = BurmesterDesmedtParty(self.index, plan.m, rng=self.rng)
+        self.dgka = self.policy.dgka_factory(self.index, plan.m, self.rng)
+        if not getattr(self.dgka, "all_speak", True):
+            raise ProtocolError(
+                f"{type(self.dgka).__name__} is a chain-style DGKA with "
+                "per-round single speakers; the broadcast network driver "
+                "requires an all-speak protocol (e.g. Burmester-Desmedt) — "
+                "run chain protocols through the synchronous engine "
+                "(repro.core.handshake.run_handshake) instead")
         self._round_buffers: Dict[int, Dict[int, object]] = {}
         self._current_round = 0
         self._k_prime: Optional[bytes] = None

@@ -1,0 +1,258 @@
+"""Async participant driver: one GCD party over the rendezvous service.
+
+:func:`join_room` connects a member to the server, joins a named room, and
+drives a :class:`repro.net.runner.HandshakeDevice` — the exact state
+machine the in-process simulator runs — by translating between device
+broadcasts and BROADCAST/DELIVER frames.  Because the device code and the
+payload encoding are shared, per-party operation counts (modexp, messages
+sent/received in scope ``hs:<i>``) are identical across the synchronous
+engine, the simulator, and this transport — asserted by the
+engine-equivalence tests.
+
+Failure handling: connect retries with exponential backoff + jitter, an
+overall deadline, and explicit failed :class:`~repro.core.handshake.
+HandshakeOutcome` results on room abort, connection loss, or timeout —
+a client never hangs and never raises out of :func:`join_room` for
+protocol-level failures.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Sequence
+
+from repro import metrics
+from repro.core.handshake import HandshakeOutcome, HandshakePolicy
+from repro.errors import EncodingError, ProtocolError, TransportError
+from repro.net.runner import HandshakeDevice, SessionPlan
+from repro.net.simulator import BROADCAST, Message
+from repro.service import framing, protocol
+
+
+@dataclass
+class ClientConfig:
+    """Connection/session tunables for one participant."""
+
+    host: str = "127.0.0.1"
+    port: int = 0
+    room: str = "handshake"
+    m: int = 2
+    max_frame: int = framing.DEFAULT_MAX_FRAME
+    connect_retries: int = 4
+    backoff_base: float = 0.05     # first retry delay, seconds
+    backoff_factor: float = 2.0
+    backoff_jitter: float = 0.5    # uniform extra fraction of the delay
+    deadline: float = 30.0         # overall cap: connect -> outcome
+
+
+class _DeviceLink:
+    """Duck-types the :class:`~repro.net.simulator.Network` surface a
+    :class:`Party` uses (``send``): outgoing broadcasts are encoded to
+    frames and buffered; the client coroutine flushes them to the socket
+    after each device step.  Counting happens here, at enqueue, inside the
+    device's ``hs:<i>`` scope — mirroring ``Network.send``."""
+
+    def __init__(self, max_frame: int) -> None:
+        self.max_frame = max_frame
+        self.outbox: List[bytes] = []
+
+    def send(self, sender: str, recipient: str, payload: object,
+             channel: str = "p2p") -> None:
+        if recipient != BROADCAST:
+            raise ProtocolError(
+                "the rendezvous transport only relays broadcasts")
+        blob = protocol.encode_message(protocol.Broadcast(payload=payload))
+        frame = framing.encode_frame(blob, self.max_frame)
+        metrics.count_message_sent(len(frame))
+        metrics.bump(f"sent:{sender}")
+        self.outbox.append(frame)
+
+
+async def _connect(config: ClientConfig, rng: random.Random):
+    """Open the TCP connection, retrying with backoff + jitter."""
+    delay = config.backoff_base
+    last_error: Optional[Exception] = None
+    for attempt in range(config.connect_retries + 1):
+        try:
+            return await asyncio.open_connection(config.host, config.port)
+        except OSError as exc:
+            last_error = exc
+            if attempt == config.connect_retries:
+                break
+            metrics.bump("svc-client:retries")
+            await asyncio.sleep(delay * (1.0 + config.backoff_jitter * rng.random()))
+            delay *= config.backoff_factor
+    raise TransportError(
+        f"could not connect to {config.host}:{config.port} after "
+        f"{config.connect_retries + 1} attempts: {last_error}")
+
+
+async def join_room(member, config: ClientConfig,
+                    policy: Optional[HandshakePolicy] = None,
+                    rng: Optional[random.Random] = None,
+                    joined: Optional[asyncio.Event] = None) -> HandshakeOutcome:
+    """Run one participant through a complete rendezvous handshake.
+
+    Always returns a :class:`HandshakeOutcome`; transport failures, room
+    aborts and the overall deadline all surface as ``success=False``
+    outcomes (``index`` is ``-1`` if the failure precedes index
+    assignment).  Only programming errors escape as exceptions.
+    ``joined`` (if given) is set once the server has assigned an index —
+    :func:`run_room` uses it to make join order deterministic.
+    """
+    rng = rng if rng is not None else random.Random()
+    state = {"index": -1, "joined": joined}
+    try:
+        return await asyncio.wait_for(
+            _join(member, config, policy, rng, state), config.deadline)
+    except asyncio.TimeoutError:
+        metrics.bump("svc-client:deadline-expired")
+    except (TransportError, ConnectionError, OSError,
+            EncodingError, asyncio.IncompleteReadError):
+        metrics.bump("svc-client:transport-failures")
+    return HandshakeOutcome(index=state["index"], success=False)
+
+
+async def _join(member, config: ClientConfig,
+                policy: Optional[HandshakePolicy],
+                rng: random.Random, state: dict) -> HandshakeOutcome:
+    reader, writer = await _connect(config, rng)
+    msg_ids = itertools.count(1)
+    try:
+        await _send(writer, protocol.Hello(room=config.room, m=config.m),
+                    config.max_frame)
+        welcome = await _expect(reader, config, protocol.Welcome)
+        if welcome is None:
+            return HandshakeOutcome(index=-1, success=False)
+        state["index"] = welcome.index
+        if state.get("joined") is not None:
+            state["joined"].set()
+        ready = await _expect(reader, config, protocol.RoomReady)
+        if ready is None:
+            return HandshakeOutcome(index=welcome.index, success=False)
+
+        plan = SessionPlan(
+            session_id=ready.token,
+            roster=tuple(f"device-{i}" for i in range(welcome.m)))
+        link = _DeviceLink(config.max_frame)
+        device = HandshakeDevice(f"device-{welcome.index}", member, plan,
+                                 policy, rng)
+        device.attached(link)
+        with metrics.scope(device.metrics_scope):
+            device.start()
+        await _flush(writer, link)
+
+        while device.outcome is None:
+            blob = await framing.read_frame(reader, config.max_frame)
+            if blob is None:        # server closed: room died under us
+                break
+            message = protocol.decode_message(blob)
+            if isinstance(message, protocol.Deliver):
+                delivered = Message(
+                    msg_id=next(msg_ids), sender=None,
+                    recipient=device.name, channel=plan.channel,
+                    payload=_retuple(message.payload))
+                with metrics.scope(device.metrics_scope):
+                    metrics.count_message_received(
+                        len(blob) + framing.HEADER_SIZE)
+                    metrics.bump(f"received:{device.name}")
+                    device.on_message(delivered)
+                await _flush(writer, link)
+            elif isinstance(message, protocol.Abort):
+                metrics.bump("svc-client:room-aborts")
+                break
+            elif isinstance(message, protocol.Error):
+                metrics.bump("svc-client:server-errors")
+                break
+            else:
+                raise ProtocolError(
+                    f"unexpected {type(message).__name__} from server")
+
+        if device.outcome is not None:
+            try:
+                await _send(writer, protocol.Done(), config.max_frame)
+            except (ConnectionError, OSError):
+                pass        # outcome already decided; DONE is best-effort
+        return device.outcome or HandshakeOutcome(index=device.index,
+                                                  success=False)
+    finally:
+        try:
+            writer.close()
+        except Exception:
+            pass
+
+
+async def _flush(writer: asyncio.StreamWriter, link: _DeviceLink) -> None:
+    """Write every frame the device queued during its last step, honouring
+    transport backpressure before handing control back to the read loop."""
+    if not link.outbox:
+        return
+    for frame in link.outbox:
+        writer.write(frame)
+    link.outbox.clear()
+    await writer.drain()
+
+
+def _retuple(value):
+    """Wire tuples survive the codec as tuples already; normalise any
+    nested lists defensively so device payload checks hold."""
+    if isinstance(value, list):
+        return tuple(_retuple(v) for v in value)
+    if isinstance(value, tuple):
+        return tuple(_retuple(v) for v in value)
+    return value
+
+
+async def _send(writer: asyncio.StreamWriter, message,
+                max_frame: int) -> None:
+    blob = protocol.encode_message(message)
+    metrics.bump(f"svc-client:{type(message).__name__.lower()}")
+    await framing.write_frame(writer, blob, max_frame)
+
+
+async def _expect(reader: asyncio.StreamReader, config: ClientConfig,
+                  expected_type):
+    """Read the next control message; ``None`` if the session ended first
+    (EOF, ABORT, ERROR) — the caller reports a failed outcome."""
+    while True:
+        blob = await framing.read_frame(reader, config.max_frame)
+        if blob is None:
+            return None
+        message = protocol.decode_message(blob)
+        if isinstance(message, expected_type):
+            return message
+        if isinstance(message, (protocol.Abort, protocol.Error)):
+            metrics.bump("svc-client:room-aborts")
+            return None
+        raise ProtocolError(
+            f"expected {expected_type.__name__}, got {type(message).__name__}")
+
+
+async def run_room(members: Sequence[object], config: ClientConfig,
+                   policy: Optional[HandshakePolicy] = None,
+                   rngs: Optional[Sequence[random.Random]] = None,
+                   ) -> List[HandshakeOutcome]:
+    """Drive all ``members`` of one room concurrently (loopback helper for
+    tests, benchmarks and the CLI).  Returns outcomes in roster-join order
+    (member i joins first and receives index i)."""
+    if rngs is None:
+        rngs = [random.Random(7000 + i) for i in range(len(members))]
+    cfg = replace(config, m=len(members))
+    tasks = []
+    for i, member in enumerate(members):
+        joined = asyncio.Event()
+        task = asyncio.ensure_future(
+            join_room(member, cfg, policy, rngs[i], joined=joined))
+        tasks.append(task)
+        # Wait until the server assigned this member's index before
+        # starting the next one: join order = roster index, keeping
+        # outcomes aligned with ``members``.  If the join dies before
+        # WELCOME the task itself completes and we move on.
+        waiter = asyncio.ensure_future(joined.wait())
+        await asyncio.wait([waiter, task],
+                           return_when=asyncio.FIRST_COMPLETED)
+        waiter.cancel()
+    return list(await asyncio.gather(*tasks))

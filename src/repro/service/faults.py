@@ -1,0 +1,95 @@
+"""Opt-in fault injection for the rendezvous relay.
+
+The paper's channel gives guaranteed delivery; real networks do not.  A
+:class:`FaultInjector` plugged into :class:`~repro.service.server.ServerConfig`
+lets tests exercise the failure surface deterministically — the relay asks
+it what to do with each broadcast before fanning it out:
+
+* **delay** — sleep before relaying (slow-network / reordering pressure);
+* **drop**  — swallow broadcasts of given handshake kinds ("dgka", "tag",
+  "phase3"), optionally only from one victim index;
+* **duplicate** — relay matching broadcasts twice (at-least-once fabrics);
+* **disconnect-at-phase** — kill the victim's connection the moment it
+  sends a broadcast of the given kind, *instead of* relaying it (a crash
+  mid-protocol).
+
+The degradation contract under any of these is: every surviving client
+terminates with an explicit failed :class:`~repro.core.handshake.
+HandshakeOutcome` (via room ABORT or the handshake timeout) — never a hang.
+Each applied fault is recorded via :func:`repro.metrics.bump` under
+``fault:<kind>`` so tests can assert injection actually happened.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, Optional
+
+from repro import metrics
+from repro.service.protocol import payload_kind
+
+
+@dataclass(frozen=True)
+class FaultAction:
+    """What the relay should do with one broadcast."""
+
+    copies: int = 1          # 0 = drop, 2 = duplicate
+    delay: float = 0.0       # seconds to sleep before fanning out
+    disconnect_sender: bool = False
+
+
+_PASS = FaultAction()
+
+
+class FaultInjector:
+    """Declarative fault plan consulted by the room relay loop.
+
+    ``victim`` scopes drop/duplicate/disconnect to one participant index;
+    ``None`` applies drop/duplicate to every sender (disconnect requires an
+    explicit victim).  ``max_events`` caps how many faults fire in total —
+    handy for "drop exactly the first tag" scenarios.
+    """
+
+    def __init__(self, *, delay: float = 0.0,
+                 drop_kinds: Iterable[str] = (),
+                 duplicate_kinds: Iterable[str] = (),
+                 victim: Optional[int] = None,
+                 disconnect_at: Optional[str] = None,
+                 max_events: Optional[int] = None) -> None:
+        self.delay = delay
+        self.drop_kinds: FrozenSet[str] = frozenset(drop_kinds)
+        self.duplicate_kinds: FrozenSet[str] = frozenset(duplicate_kinds)
+        self.victim = victim
+        self.disconnect_at = disconnect_at
+        if disconnect_at is not None and victim is None:
+            raise ValueError("disconnect_at requires an explicit victim index")
+        self.max_events = max_events
+        self.events = 0
+
+    def _targets(self, sender: int) -> bool:
+        return self.victim is None or sender == self.victim
+
+    def _spent(self) -> bool:
+        return self.max_events is not None and self.events >= self.max_events
+
+    def action_for(self, sender: int, payload: object) -> FaultAction:
+        """Decide the relay action for one broadcast from ``sender``."""
+        if self._spent():
+            return _PASS
+        kind = payload_kind(payload)
+        if (self.disconnect_at == kind and sender == self.victim):
+            self.events += 1
+            metrics.bump("fault:disconnect")
+            return FaultAction(copies=0, delay=self.delay,
+                               disconnect_sender=True)
+        if kind in self.drop_kinds and self._targets(sender):
+            self.events += 1
+            metrics.bump("fault:drop")
+            return FaultAction(copies=0, delay=self.delay)
+        if kind in self.duplicate_kinds and self._targets(sender):
+            self.events += 1
+            metrics.bump("fault:duplicate")
+            return FaultAction(copies=2, delay=self.delay)
+        if self.delay:
+            return FaultAction(copies=1, delay=self.delay)
+        return _PASS

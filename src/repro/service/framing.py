@@ -1,0 +1,110 @@
+"""Length-prefixed framing for the rendezvous transport.
+
+One frame is a 4-byte big-endian length header followed by exactly that
+many payload bytes.  Payloads are :mod:`repro.core.wire` encodings, so an
+on-wire observer sees precisely the paper's message format, merely
+delimited into frames.  Protections:
+
+* a header declaring more than ``max_frame`` bytes raises
+  :class:`~repro.errors.FrameError` *before* any body byte is buffered —
+  a malicious peer cannot make the server allocate unbounded memory;
+* truncation (stream ends mid-header or mid-body) raises
+  :class:`~repro.errors.FrameError`, never yields a partial frame;
+* the core decoder (:class:`FrameDecoder`) is sans-IO, so property tests
+  fuzz it byte-by-byte without sockets; the asyncio helpers wrap it.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import List, Optional
+
+from repro.errors import FrameError
+
+#: Bytes of the big-endian unsigned length header.
+HEADER_SIZE = 4
+
+#: Default payload ceiling.  Handshake payloads (DGKA group elements,
+#: MAC tags, theta/delta pairs) are a few KiB at the paper's parameter
+#: sizes; 1 MiB leaves ample headroom without letting a peer balloon
+#: server memory.
+DEFAULT_MAX_FRAME = 1 << 20
+
+
+def encode_frame(payload: bytes, max_frame: int = DEFAULT_MAX_FRAME) -> bytes:
+    """Wrap ``payload`` in a length-prefixed frame."""
+    if len(payload) > max_frame:
+        raise FrameError(
+            f"frame payload of {len(payload)} bytes exceeds max {max_frame}")
+    return len(payload).to_bytes(HEADER_SIZE, "big") + payload
+
+
+class FrameDecoder:
+    """Incremental (sans-IO) frame parser.
+
+    Feed arbitrary byte chunks; complete frames come back in order.  The
+    decoder validates the declared length against ``max_frame`` as soon as
+    the header is complete, so oversized frames are rejected while at most
+    ``HEADER_SIZE + max_frame`` bytes are ever buffered.
+    """
+
+    def __init__(self, max_frame: int = DEFAULT_MAX_FRAME) -> None:
+        self.max_frame = max_frame
+        self._buffer = bytearray()
+
+    @property
+    def buffered(self) -> int:
+        """Bytes held waiting for a complete frame."""
+        return len(self._buffer)
+
+    def feed(self, data: bytes) -> List[bytes]:
+        """Absorb ``data``; return every frame completed by it."""
+        self._buffer.extend(data)
+        frames: List[bytes] = []
+        while True:
+            if len(self._buffer) < HEADER_SIZE:
+                return frames
+            length = int.from_bytes(self._buffer[:HEADER_SIZE], "big")
+            if length > self.max_frame:
+                raise FrameError(
+                    f"frame declares {length} bytes, max is {self.max_frame}")
+            if len(self._buffer) < HEADER_SIZE + length:
+                return frames
+            frames.append(bytes(self._buffer[HEADER_SIZE:HEADER_SIZE + length]))
+            del self._buffer[:HEADER_SIZE + length]
+
+    def close(self) -> None:
+        """Signal end-of-stream; raises if it cuts a frame short."""
+        if self._buffer:
+            raise FrameError(
+                f"stream truncated with {len(self._buffer)} partial frame bytes")
+
+
+async def read_frame(reader: asyncio.StreamReader,
+                     max_frame: int = DEFAULT_MAX_FRAME) -> Optional[bytes]:
+    """Read one frame; ``None`` on clean EOF at a frame boundary.
+
+    Raises :class:`~repro.errors.FrameError` on truncation mid-frame or an
+    oversized declared length (the caller should drop the connection)."""
+    try:
+        header = await reader.readexactly(HEADER_SIZE)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise FrameError("stream truncated mid-header") from exc
+    length = int.from_bytes(header, "big")
+    if length > max_frame:
+        raise FrameError(f"frame declares {length} bytes, max is {max_frame}")
+    try:
+        return await reader.readexactly(length)
+    except asyncio.IncompleteReadError as exc:
+        raise FrameError(
+            f"stream truncated mid-body ({len(exc.partial)}/{length} bytes)"
+        ) from exc
+
+
+async def write_frame(writer: asyncio.StreamWriter, payload: bytes,
+                      max_frame: int = DEFAULT_MAX_FRAME) -> None:
+    """Frame ``payload`` and flush it (awaits transport backpressure)."""
+    writer.write(encode_frame(payload, max_frame))
+    await writer.drain()

@@ -1,0 +1,147 @@
+"""Typed client<->server control messages for the rendezvous service.
+
+Every message is a frozen dataclass serialized through the same
+:mod:`repro.core.wire` codec the handshake payloads use — one tagged tuple
+per message, so a wire observer sees a uniform self-describing format and
+the codec's malformed-input rejection covers control traffic too.
+
+Session flow::
+
+    C -> S   HELLO(room, m)            join rendezvous point ``room``
+    S -> C   WELCOME(room, index, m)   assigned participant index
+    S -> C   ROOM_READY(room, token, m)   all m joined; ``token`` is the
+                                       random, unlinkable session id
+    C -> S   BROADCAST(payload)        relay to every other room member
+    S -> C   DELIVER(payload)          a relayed broadcast (sender-less:
+                                       the relay strips transport identity,
+                                       mirroring the anonymous channel)
+    C -> S   DONE()                    handshake concluded locally
+    S -> C   ABORT(reason)             room torn down (timeout, lost peer)
+    both     ERROR(reason)             protocol violation; connection drops
+
+``BROADCAST``/``DELIVER`` payloads are the exact tuples
+:class:`repro.net.runner.HandshakeDevice` exchanges over the simulator —
+the service adds framing and relay, not a new message format.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple, Type
+
+from repro.core import wire
+from repro.errors import ProtocolError
+
+
+@dataclass(frozen=True)
+class Hello:
+    room: str
+    m: int
+
+    KIND = "svc/hello"
+
+
+@dataclass(frozen=True)
+class Welcome:
+    room: str
+    index: int
+    m: int
+
+    KIND = "svc/welcome"
+
+
+@dataclass(frozen=True)
+class RoomReady:
+    room: str
+    token: str
+    m: int
+
+    KIND = "svc/ready"
+
+
+@dataclass(frozen=True)
+class Broadcast:
+    payload: object
+
+    KIND = "svc/bcast"
+
+
+@dataclass(frozen=True)
+class Deliver:
+    payload: object
+
+    KIND = "svc/deliver"
+
+
+@dataclass(frozen=True)
+class Done:
+    KIND = "svc/done"
+
+
+@dataclass(frozen=True)
+class Abort:
+    reason: str
+
+    KIND = "svc/abort"
+
+
+@dataclass(frozen=True)
+class Error:
+    reason: str
+
+    KIND = "svc/error"
+
+
+_REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {
+    cls.KIND: (cls, tuple(cls.__dataclass_fields__))  # type: ignore[attr-defined]
+    for cls in (Hello, Welcome, RoomReady, Broadcast, Deliver, Done, Abort, Error)
+}
+
+_FIELD_TYPES = {"room": str, "reason": str, "token": str, "m": int, "index": int}
+
+
+def encode_message(message) -> bytes:
+    """Serialize one control message to wire bytes."""
+    kind = getattr(type(message), "KIND", None)
+    if kind not in _REGISTRY:
+        raise ProtocolError(f"not a service message: {type(message).__name__}")
+    _, fields = _REGISTRY[kind]
+    return wire.dumps((kind,) + tuple(getattr(message, f) for f in fields))
+
+
+def decode_message(blob: bytes):
+    """Parse wire bytes into a typed message.
+
+    Raises :class:`~repro.errors.EncodingError` on junk bytes and
+    :class:`~repro.errors.ProtocolError` on a well-formed value that is not
+    a valid service message (unknown kind, wrong arity, wrong field type).
+    """
+    value = wire.loads(blob)  # EncodingError propagates
+    if not isinstance(value, tuple) or not value or not isinstance(value[0], str):
+        raise ProtocolError("service frame is not a tagged message tuple")
+    kind, fields = value[0], value[1:]
+    entry = _REGISTRY.get(kind)
+    if entry is None:
+        raise ProtocolError(f"unknown service message kind {kind!r}")
+    cls, names = entry
+    if len(fields) != len(names):
+        raise ProtocolError(f"{kind} arity mismatch: got {len(fields)} fields")
+    for name, field_value in zip(names, fields):
+        expected = _FIELD_TYPES.get(name)
+        if expected is not None and not isinstance(field_value, expected):
+            raise ProtocolError(f"{kind} field {name!r} has wrong type")
+    return cls(*fields)
+
+
+def payload_kind(payload: object) -> str:
+    """The handshake-level kind of a relayed payload ("dgka", "tag",
+    "phase3", ...) — what fault injection keys on."""
+    if isinstance(payload, tuple) and payload and isinstance(payload[0], str):
+        return payload[0]
+    return "?"
+
+
+__all__ = [
+    "Hello", "Welcome", "RoomReady", "Broadcast", "Deliver", "Done",
+    "Abort", "Error", "encode_message", "decode_message", "payload_kind",
+]

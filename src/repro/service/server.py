@@ -1,0 +1,444 @@
+"""Asyncio rendezvous server: many concurrent handshake rooms over TCP.
+
+The server realises the paper's anonymous broadcast channel as an
+*untrusted relay*.  Clients meet at a named rendezvous point (a "room");
+once ``m`` of them have arrived the room activates under a random,
+unlinkable session token and every BROADCAST a member sends is fanned out
+to the other members through a single per-room FIFO queue — the same
+total-order guarantee :class:`repro.net.simulator.Network` gives, so the
+:class:`repro.net.runner.HandshakeDevice` state machines run unchanged.
+Deliveries carry no transport-level sender identity (the relay strips it),
+mirroring the simulator's anonymous channels.
+
+Robustness machinery:
+
+* **room fill timeout** — a room that never reaches ``m`` members aborts;
+* **handshake timeout** — an active room that does not complete in time
+  aborts (the backstop that turns silent packet loss into explicit
+  failure);
+* **per-connection backpressure** — each connection owns a *bounded* send
+  queue drained by a writer task; a slow reader stalls only its own room,
+  which the handshake timeout then reaps;
+* **graceful drain** — :meth:`RendezvousServer.shutdown` stops accepting,
+  gives active rooms a drain window to finish, then aborts stragglers.
+
+Observability: accepts, frames in/out, room lifecycle counts land in the
+:mod:`repro.metrics` layer under ``svc:*`` bumps; each room's relay loop
+runs inside scope ``room:<token>`` so relayed messages and room wall time
+are attributable per room.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import random
+import secrets
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro import metrics
+from repro.errors import EncodingError, ProtocolError
+from repro.service import framing, protocol
+from repro.service.faults import FaultInjector
+
+
+@dataclass
+class ServerConfig:
+    """Tunables for one :class:`RendezvousServer`."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                     # 0 = ephemeral (read .port after start)
+    max_frame: int = framing.DEFAULT_MAX_FRAME
+    room_fill_timeout: float = 30.0   # waiting for m members
+    handshake_timeout: float = 60.0   # active room must complete
+    idle_timeout: float = 60.0        # per-connection silent-read limit
+    send_queue_limit: int = 64        # frames buffered per connection
+    drain_timeout: float = 5.0        # shutdown grace for active rooms
+    max_room_size: int = 64
+    faults: Optional[FaultInjector] = None
+    #: Deterministic token source for tests; production uses ``secrets``.
+    token_rng: Optional[random.Random] = None
+
+
+class _Connection:
+    """One client socket: reader loop (the handler task) plus a writer
+    task draining a bounded queue — the backpressure boundary."""
+
+    _CLOSE = object()
+
+    def __init__(self, conn_id: int, reader: asyncio.StreamReader,
+                 writer: asyncio.StreamWriter, limit: int) -> None:
+        self.conn_id = conn_id
+        self.reader = reader
+        self.writer = writer
+        self.queue: asyncio.Queue = asyncio.Queue(maxsize=limit)
+        self.index: Optional[int] = None
+        self.room: Optional["_Room"] = None
+        self.done = False
+        self.kicked = False
+        self.writer_task: Optional[asyncio.Task] = None
+
+    def start_writer(self) -> None:
+        self.writer_task = asyncio.ensure_future(self._writer_loop())
+
+    async def _writer_loop(self) -> None:
+        try:
+            while True:
+                frame = await self.queue.get()
+                if frame is self._CLOSE:
+                    break
+                self.writer.write(frame)
+                await self.writer.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            pass
+        finally:
+            self._close_transport()
+
+    def _close_transport(self) -> None:
+        try:
+            self.writer.close()
+        except Exception:
+            pass
+
+    async def send(self, message) -> None:
+        """Queue a control message; awaits when the bounded queue is full
+        (backpressure propagates to the caller — the room relay)."""
+        blob = protocol.encode_message(message)
+        frame = framing.encode_frame(blob)
+        metrics.count_message_sent(len(frame))
+        await self.queue.put(frame)
+
+    def send_best_effort(self, message) -> None:
+        """Non-blocking send for abort/error paths: if the queue is full
+        the peer is not reading — just close, EOF carries the signal."""
+        try:
+            blob = protocol.encode_message(message)
+            self.queue.put_nowait(framing.encode_frame(blob))
+        except asyncio.QueueFull:
+            pass
+
+    def close(self) -> None:
+        """Ask the writer task to flush queued frames then close."""
+        try:
+            self.queue.put_nowait(self._CLOSE)
+        except asyncio.QueueFull:
+            if self.writer_task is not None:
+                self.writer_task.cancel()
+            self._close_transport()
+
+    def kick(self) -> None:
+        """Hard-disconnect (fault injection): drop without flushing."""
+        self.kicked = True
+        if self.writer_task is not None:
+            self.writer_task.cancel()
+        self._close_transport()
+
+
+class _Room:
+    """One rendezvous room: roster, FIFO relay, lifecycle state."""
+
+    FILLING, ACTIVE, CLOSED = "filling", "active", "closed"
+
+    def __init__(self, server: "RendezvousServer", name: str, m: int,
+                 token: str) -> None:
+        self.server = server
+        self.name = name
+        self.m = m
+        self.token = token
+        self.state = self.FILLING
+        self.members: List[_Connection] = []
+        self.done: set = set()
+        self.outcome: Optional[str] = None   # "completed" | abort reason
+        self.queue: asyncio.Queue = asyncio.Queue()
+        self.relay_task: Optional[asyncio.Task] = None
+        self.finished = asyncio.Event()
+
+    @property
+    def scope(self) -> str:
+        return f"room:{self.token}"
+
+    # Filling --------------------------------------------------------------
+
+    def add(self, conn: _Connection) -> int:
+        index = len(self.members)
+        self.members.append(conn)
+        conn.index = index
+        conn.room = self
+        return index
+
+    def activate(self) -> None:
+        self.state = self.ACTIVE
+        metrics.bump("svc:rooms-active")
+        for conn in self.members:
+            conn.send_best_effort(
+                protocol.RoomReady(room=self.name, token=self.token, m=self.m))
+        self.relay_task = asyncio.ensure_future(self._relay_loop())
+
+    # Relay ----------------------------------------------------------------
+
+    async def relay(self, sender_index: int, payload: object) -> None:
+        await self.queue.put((sender_index, payload))
+
+    async def _relay_loop(self) -> None:
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.server.config.handshake_timeout
+        with metrics.scope(self.scope):
+            while self.state == self.ACTIVE:
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    self.abort("handshake-timeout")
+                    return
+                try:
+                    sender, payload = await asyncio.wait_for(
+                        self.queue.get(), remaining)
+                    await asyncio.wait_for(
+                        self._fan_out(sender, payload),
+                        deadline - loop.time())
+                except asyncio.TimeoutError:
+                    self.abort("handshake-timeout")
+                    return
+                except asyncio.CancelledError:
+                    return
+
+    async def _fan_out(self, sender: int, payload: object) -> None:
+        faults = self.server.config.faults
+        action = faults.action_for(sender, payload) if faults else None
+        if action is not None and action.delay:
+            await asyncio.sleep(action.delay)
+        copies = 1 if action is None else action.copies
+        if action is not None and action.disconnect_sender:
+            metrics.bump("room-disconnects")
+            victim = self.members[sender]
+            victim.kick()
+            # The victim's handler will observe the closed socket and
+            # report the loss; abort proactively so survivors never wait
+            # on the handshake timeout.
+            self.abort("peer-disconnect")
+            return
+        if copies == 0:
+            metrics.bump("room-drops")
+            return
+        message = protocol.Deliver(payload=payload)
+        for _ in range(copies):
+            for conn in self.members:
+                if conn.index == sender or conn.kicked:
+                    continue
+                await conn.send(message)
+            metrics.bump("room-relays")
+        if copies > 1:
+            metrics.bump("room-duplicates")
+
+    # Lifecycle ------------------------------------------------------------
+
+    def mark_done(self, conn: _Connection) -> None:
+        conn.done = True
+        self.done.add(conn.index)
+        if self.state == self.ACTIVE and len(self.done) == self.m:
+            self._finish("completed")
+            metrics.bump("svc:rooms-completed")
+            for member in self.members:
+                member.close()
+
+    def member_lost(self, conn: _Connection) -> None:
+        """A member's connection dropped.  During fill: abort (indices are
+        roster positions, they cannot be reassigned).  Active: abort unless
+        the member had already concluded."""
+        if self.state == self.CLOSED or conn.done:
+            return
+        self.abort("peer-disconnect" if self.state == self.ACTIVE
+                   else "peer-left-while-filling")
+
+    def abort(self, reason: str) -> None:
+        if self.state == self.CLOSED:
+            return
+        self._finish(reason)
+        metrics.bump("svc:rooms-aborted")
+        metrics.bump(f"svc:abort:{reason}")
+        for conn in self.members:
+            if not conn.done and not conn.kicked:
+                conn.send_best_effort(protocol.Abort(reason=reason))
+            conn.close()
+
+    def _finish(self, outcome: str) -> None:
+        self.state = self.CLOSED
+        self.outcome = outcome
+        self.server._room_closed(self)
+        if self.relay_task is not None and self.relay_task is not asyncio.current_task():
+            self.relay_task.cancel()
+        self.finished.set()
+
+
+class RendezvousServer:
+    """The rendezvous service: accept loop + room registry.
+
+    Usage::
+
+        server = RendezvousServer(ServerConfig(port=0))
+        await server.start()
+        ... clients connect to server.port ...
+        await server.shutdown()
+
+    Also usable as an async context manager.
+    """
+
+    def __init__(self, config: Optional[ServerConfig] = None) -> None:
+        self.config = config or ServerConfig()
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._filling: Dict[str, _Room] = {}
+        self._rooms: Dict[str, _Room] = {}     # token -> room (all states)
+        self._handlers: set = set()
+        self._conn_ids = itertools.count(1)
+        self._accepting = False
+
+    # Lifecycle ------------------------------------------------------------
+
+    async def start(self) -> "RendezvousServer":
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self._accepting = True
+        return self
+
+    async def __aenter__(self) -> "RendezvousServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "server not started"
+        await self._server.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        """Stop accepting; drain active rooms, then abort stragglers."""
+        self._accepting = False
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        for room in list(self._filling.values()):
+            room.abort("server-shutdown")
+        active = [r for r in self._rooms.values() if r.state == _Room.ACTIVE]
+        if drain and active:
+            waits = [r.finished.wait() for r in active]
+            try:
+                await asyncio.wait_for(asyncio.gather(*waits),
+                                       self.config.drain_timeout)
+            except asyncio.TimeoutError:
+                pass
+        for room in list(self._rooms.values()):
+            if room.state != _Room.CLOSED:
+                room.abort("server-shutdown")
+        for task in list(self._handlers):
+            task.cancel()
+        if self._handlers:
+            await asyncio.gather(*self._handlers, return_exceptions=True)
+
+    # Introspection --------------------------------------------------------
+
+    def room_outcomes(self) -> Dict[str, str]:
+        """token -> "completed" / abort reason, for closed rooms."""
+        return {t: r.outcome for t, r in self._rooms.items()
+                if r.outcome is not None}
+
+    # Accept path ----------------------------------------------------------
+
+    def _new_token(self) -> str:
+        # Random and independent of the rendezvous name: logs, metric
+        # scopes and on-wire ROOM_READY frames cannot be linked back to
+        # the (possibly meaningful) name clients agreed on out of band.
+        if self.config.token_rng is not None:
+            return f"{self.config.token_rng.getrandbits(64):016x}"
+        return secrets.token_hex(8)
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        conn = _Connection(next(self._conn_ids), reader, writer,
+                           self.config.send_queue_limit)
+        self._handlers.add(asyncio.current_task())
+        metrics.bump("svc:accepts")
+        conn.start_writer()
+        try:
+            await self._session(conn)
+        except (EncodingError, ProtocolError) as exc:
+            metrics.bump("svc:protocol-errors")
+            conn.send_best_effort(protocol.Error(reason=str(exc)))
+        except (ConnectionError, OSError, asyncio.IncompleteReadError):
+            metrics.bump("svc:connection-lost")
+        except asyncio.TimeoutError:
+            metrics.bump("svc:idle-timeouts")
+            conn.send_best_effort(protocol.Error(reason="idle timeout"))
+        except asyncio.CancelledError:
+            pass
+        finally:
+            if conn.room is not None:
+                conn.room.member_lost(conn)
+            conn.close()
+            task = asyncio.current_task()
+            if task in self._handlers:
+                self._handlers.discard(task)
+
+    async def _read_message(self, conn: _Connection):
+        blob = await asyncio.wait_for(
+            framing.read_frame(conn.reader, self.config.max_frame),
+            self.config.idle_timeout)
+        if blob is None:
+            return None
+        metrics.count_message_received(len(blob) + framing.HEADER_SIZE)
+        return protocol.decode_message(blob)
+
+    async def _session(self, conn: _Connection) -> None:
+        hello = await self._read_message(conn)
+        if hello is None:
+            return
+        if not isinstance(hello, protocol.Hello):
+            raise ProtocolError(f"expected HELLO, got {type(hello).__name__}")
+        if not 2 <= hello.m <= self.config.max_room_size:
+            raise ProtocolError(
+                f"room size {hello.m} outside [2, {self.config.max_room_size}]")
+        if not self._accepting:
+            raise ProtocolError("server is draining")
+        room = self._filling.get(hello.room)
+        if room is None:
+            room = _Room(self, hello.room, hello.m, self._new_token())
+            self._filling[hello.room] = room
+            self._rooms[room.token] = room
+            metrics.bump("svc:rooms-opened")
+            asyncio.get_running_loop().call_later(
+                self.config.room_fill_timeout, self._fill_timeout, room)
+        elif room.m != hello.m:
+            raise ProtocolError(
+                f"room {hello.room!r} expects m={room.m}, not {hello.m}")
+        index = room.add(conn)
+        await conn.send(protocol.Welcome(room=room.name, index=index, m=room.m))
+        if len(room.members) == room.m:
+            del self._filling[room.name]
+            room.activate()
+        # Main read loop: relay broadcasts until the client signals DONE
+        # and closes, or the room dies under us (closed socket -> except).
+        while True:
+            message = await self._read_message(conn)
+            if message is None:
+                return
+            if isinstance(message, protocol.Broadcast):
+                if room.state != _Room.ACTIVE:
+                    raise ProtocolError("broadcast outside an active room")
+                await room.relay(conn.index, message.payload)
+            elif isinstance(message, protocol.Done):
+                room.mark_done(conn)
+            elif isinstance(message, protocol.Hello):
+                raise ProtocolError("duplicate HELLO")
+            else:
+                raise ProtocolError(
+                    f"unexpected {type(message).__name__} from client")
+
+    def _fill_timeout(self, room: _Room) -> None:
+        if room.state == _Room.FILLING:
+            room.abort("fill-timeout")
+
+    def _room_closed(self, room: _Room) -> None:
+        self._filling.pop(room.name, None)

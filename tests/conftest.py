@@ -98,3 +98,11 @@ def scheme2_world() -> SchemeWorld:
 def other_scheme1_world() -> SchemeWorld:
     """A second, unrelated scheme-1 group for mixed-group scenarios."""
     return _build_world(create_scheme1, "cia", ("dan", "eve"), 5005)
+
+
+@pytest.fixture(scope="session")
+def service_world() -> SchemeWorld:
+    """Five members for the service-layer tests (the transport acceptance
+    criterion is a 5-party handshake over real sockets)."""
+    return _build_world(create_scheme1, "nsa",
+                        ("p0", "p1", "p2", "p3", "p4"), 6006)

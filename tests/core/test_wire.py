@@ -49,6 +49,25 @@ class TestCodec:
         with pytest.raises(EncodingError):
             wire.loads(b"")
 
+    @given(_values, st.data())
+    @settings(max_examples=150)
+    def test_every_strict_prefix_rejected(self, value, data):
+        """Truncation anywhere — mid-tag, mid-length, mid-body — must fail
+        loudly rather than decode to a different value (frame safety for
+        the service transport, which trusts the codec's self-delimiting)."""
+        blob = wire.dumps(value)
+        cut = data.draw(st.integers(min_value=0, max_value=len(blob) - 1))
+        with pytest.raises(EncodingError):
+            wire.loads(blob[:cut])
+
+    @given(_values, st.binary(min_size=1, max_size=16))
+    @settings(max_examples=150)
+    def test_any_suffix_rejected(self, value, suffix):
+        """A frame carrying trailing garbage after a valid encoding is
+        malformed — oversized/padded payloads never silently round-trip."""
+        with pytest.raises(EncodingError):
+            wire.loads(wire.dumps(value) + suffix)
+
 
 class TestSignatureCodec:
     def test_acjt_roundtrip(self, acjt_world):

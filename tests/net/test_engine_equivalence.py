@@ -66,6 +66,60 @@ def test_sync_async_scheme2_rogue(scheme2_world):
     assert not sync_outcomes[1].success and not async_outcomes[1].success
 
 
+def test_five_party_service_transport_count_parity(service_world):
+    """The acceptance bar for the socket transport: a 5-party handshake
+    over real loopback TCP performs exactly the same per-party work —
+    modexp, messages sent, messages received in scope ``hs:<i>`` — as the
+    synchronous engine and the in-process simulator."""
+    import asyncio
+
+    from repro import metrics
+    from repro.service import ClientConfig, RendezvousServer, ServerConfig, run_room
+
+    lineup = service_world.lineup(*sorted(service_world.members))
+    policy = scheme1_policy()
+    m = len(lineup)
+
+    def per_party(recorder):
+        snap = recorder.snapshot()
+        return [
+            (snap[f"hs:{i}"].modexp,
+             snap[f"hs:{i}"].messages_sent,
+             snap[f"hs:{i}"].messages_received)
+            for i in range(m)
+        ]
+
+    sync_rec = metrics.Recorder()
+    with metrics.using(sync_rec):
+        sync_outcomes = run_handshake(lineup, policy, service_world.rng)
+
+    sim_rec = metrics.Recorder()
+    with metrics.using(sim_rec):
+        sim_outcomes = run_handshake_over_network(
+            lineup, policy, service_world.rng, session_id="parity-5")
+
+    async def over_sockets():
+        async with RendezvousServer(ServerConfig()) as server:
+            cfg = ClientConfig(port=server.port, room="parity")
+            return await asyncio.wait_for(
+                run_room(lineup, cfg, policy), 60)
+
+    svc_rec = metrics.Recorder()
+    with metrics.using(svc_rec):
+        svc_outcomes = asyncio.run(over_sockets())
+
+    assert all(o.success for o in sync_outcomes)
+    assert all(o.success for o in sim_outcomes)
+    assert all(o.success for o in svc_outcomes)
+    sync_counts = per_party(sync_rec)
+    assert per_party(sim_rec) == sync_counts
+    assert per_party(svc_rec) == sync_counts
+    # The profile itself is the paper's: 4 broadcasts per party (2 DGKA
+    # rounds + tag + phase3), each received by the other m-1 parties.
+    assert all(sent == 4 and received == 4 * (m - 1)
+               for _, sent, received in sync_counts)
+
+
 def test_both_transcripts_trace_identically(scheme1_world):
     lineup = scheme1_world.lineup("alice", "bob")
     sync_outcomes = run_handshake(lineup, scheme1_policy(), scheme1_world.rng)

@@ -1,5 +1,7 @@
 """Tests for the network simulator, channels and adversary hooks."""
 
+import dataclasses
+
 import pytest
 
 from repro import metrics
@@ -183,6 +185,51 @@ class TestBulletinBoard:
         object.__setattr__(post, "payload", b"forged")
         with pytest.raises(VerificationError):
             board.read_since(0)
+
+    def test_negative_cursor_clamped(self, rng):
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        board.post("t", b"1", public, secret, rng)
+        assert [p.payload for p in board.read_since(-5)] == [b"1"]
+
+    def test_poll_pagination_sees_each_post_once(self, rng):
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        board.post("t", b"1", public, secret, rng)
+        board.post("t", b"2", public, secret, rng)
+        posts, cursor = board.poll()
+        assert [p.payload for p in posts] == [b"1", b"2"] and cursor == 2
+        posts, cursor = board.poll(cursor)
+        assert posts == [] and cursor == 2
+        board.post("t", b"3", public, secret, rng)
+        posts, cursor = board.poll(cursor)
+        assert [p.payload for p in posts] == [b"3"] and cursor == 3
+
+    def test_poll_topic_filter_keeps_global_cursor(self, rng):
+        """The cursor tracks the whole board, not the filtered view, so a
+        topic reader never re-sees skipped posts."""
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        board.post("a", b"1", public, secret, rng)
+        board.post("b", b"2", public, secret, rng)
+        posts, cursor = board.poll(0, topic="b")
+        assert [p.payload for p in posts] == [b"2"] and cursor == 2
+
+    def test_reads_return_defensive_copies(self, rng):
+        board = BulletinBoard()
+        public, secret = board.make_poster_key(rng)
+        board.post("t", b"1", public, secret, rng)
+        first = board.read_since(0)
+        # Mutating the returned list never touches board state …
+        first.clear()
+        assert len(board.read_since(0)) == 1
+        # … the entries are fresh copies, not handles into the board …
+        again = board.read_since(0)[0]
+        assert again == board.read_since(0)[0]
+        assert again is not board.read_since(0)[0]
+        # … and the records themselves are immutable.
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            again.payload = b"evil"
 
 
 class TestAuthenticatedChannel:

@@ -19,6 +19,36 @@ class TestSessionPlan:
         assert plan.channel == "handshake/s"
 
 
+class TestChainDgkaRejected:
+    def test_gdh_policy_raises_up_front(self, scheme1_world):
+        """GDH.2 has per-round single speakers; the broadcast driver would
+        deadlock waiting for silent parties, so device construction must
+        fail fast with a clear error instead."""
+        from repro.core.handshake import HandshakePolicy
+        from repro.dgka.gdh import GdhParty
+        from repro.errors import ProtocolError
+        from repro.net.runner import HandshakeDevice
+
+        policy = HandshakePolicy(
+            dgka_factory=lambda i, m, rng: GdhParty(i, m, rng=rng))
+        plan = SessionPlan("chain", ["device-0", "device-1"])
+        with pytest.raises(ProtocolError, match="chain-style"):
+            HandshakeDevice("device-0", scheme1_world.members["alice"],
+                            plan, policy, scheme1_world.rng)
+
+    def test_run_over_network_propagates(self, scheme1_world):
+        from repro.core.handshake import HandshakePolicy
+        from repro.dgka.gdh import GdhParty
+        from repro.errors import ProtocolError
+
+        policy = HandshakePolicy(
+            dgka_factory=lambda i, m, rng: GdhParty(i, m, rng=rng))
+        with pytest.raises(ProtocolError, match="chain-style"):
+            run_handshake_over_network(
+                scheme1_world.lineup("alice", "bob"), policy,
+                scheme1_world.rng, session_id="chain-net")
+
+
 class TestNetworkHandshake:
     def test_same_group_succeeds(self, scheme1_world):
         outcomes = run_handshake_over_network(

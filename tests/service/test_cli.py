@@ -1,0 +1,149 @@
+"""CLI smoke tests: exit codes, --seed plumbing, and the join/serve path.
+
+``demo``'s heavy crypto is stubbed out so these tests probe exactly what
+the satellite asks for — nonzero exit status on handshake failure — in
+milliseconds; ``join`` runs the real thing against an in-process server.
+"""
+
+import asyncio
+import threading
+from types import SimpleNamespace
+
+from repro import __main__ as cli
+
+
+def _outcomes(m, success=True, distinct=None):
+    return [
+        SimpleNamespace(
+            index=i, success=success,
+            session_key=b"k" * 32 if success else None,
+            confirmed_peers=set(range(m)) - {i} if success else set(),
+            distinct=distinct, transcript="T")
+        for i in range(m)
+    ]
+
+
+class _FakeFramework:
+    def __init__(self):
+        self.authority = SimpleNamespace(board=[1])
+
+    def admit_member(self, name, rng):
+        return name
+
+    def trace(self, transcript):
+        return SimpleNamespace(identified=["agent-0", "agent-1", "agent-2"])
+
+    def remove_user(self, name):
+        pass
+
+
+def _stub_demo_world(monkeypatch, script):
+    """Replace the demo's crypto with fakes; ``script`` yields one verdict
+    ("ok" / "fail" / "rogue") per run_handshake call."""
+    plan = iter(script)
+
+    def fake_run(members, policy, rng):
+        verdict = next(plan)
+        if verdict == "ok":
+            return _outcomes(len(members), True)
+        if verdict == "rogue":
+            return _outcomes(len(members), False, distinct=False)
+        return _outcomes(len(members), False)
+
+    monkeypatch.setattr(cli, "create_scheme1", lambda *a, **k: _FakeFramework())
+    monkeypatch.setattr(cli, "create_scheme2", lambda *a, **k: _FakeFramework())
+    monkeypatch.setattr(cli, "run_handshake", fake_run)
+
+
+# The demo runs six handshakes, expecting this verdict sequence.
+DEMO_HAPPY = ["ok", "fail", "ok", "fail", "ok", "rogue"]
+
+
+class TestDemo:
+    def test_exit_zero_when_all_expectations_hold(self, monkeypatch, capsys):
+        _stub_demo_world(monkeypatch, DEMO_HAPPY)
+        assert cli.main(["demo", "--seed", "7"]) == 0
+        assert "expectation failed" not in capsys.readouterr().out
+
+    def test_exit_nonzero_when_handshake_misbehaves(self, monkeypatch, capsys):
+        # The revoked member's handshake "succeeds" — a protocol failure.
+        script = ["ok", "fail", "ok", "ok", "ok", "rogue"]
+        _stub_demo_world(monkeypatch, script)
+        assert cli.main(["demo"]) == 1
+        assert "expectation failed" in capsys.readouterr().out
+
+    def test_default_command_is_demo(self, monkeypatch):
+        _stub_demo_world(monkeypatch, DEMO_HAPPY)
+        assert cli.main([]) == 0
+
+
+class TestStats:
+    def test_exit_nonzero_on_failed_handshake(self, monkeypatch, capsys):
+        monkeypatch.setattr(cli, "create_scheme1",
+                            lambda *a, **k: _FakeFramework())
+        monkeypatch.setattr(
+            cli, "run_handshake",
+            lambda members, policy, rng: _outcomes(len(members), False))
+        assert cli.main(["stats", "-m", "2", "--seed", "5"]) == 1
+        assert "failed" in capsys.readouterr().err
+
+    def test_exit_zero_on_success(self, monkeypatch):
+        monkeypatch.setattr(cli, "create_scheme1",
+                            lambda *a, **k: _FakeFramework())
+        monkeypatch.setattr(
+            cli, "run_handshake",
+            lambda members, policy, rng: _outcomes(len(members), True))
+        assert cli.main(["stats", "-m", "2", "3"]) == 0
+
+
+class _ServerThread:
+    """A rendezvous server on its own thread + loop, for driving the CLI
+    client exactly as a user would (separate process boundary modulo GIL)."""
+
+    def __init__(self):
+        self.started = threading.Event()
+        self.port = None
+        self._loop = None
+        self._stop = None
+        self._thread = threading.Thread(target=self._run, daemon=True)
+
+    def _run(self):
+        from repro.service import RendezvousServer, ServerConfig
+
+        async def main():
+            self._loop = asyncio.get_running_loop()
+            self._stop = self._loop.create_future()
+            async with RendezvousServer(ServerConfig()) as server:
+                self.port = server.port
+                self.started.set()
+                await self._stop
+
+        asyncio.run(main())
+
+    def __enter__(self):
+        self._thread.start()
+        assert self.started.wait(10), "server thread failed to start"
+        return self
+
+    def __exit__(self, *exc):
+        self._loop.call_soon_threadsafe(self._stop.set_result, None)
+        self._thread.join(10)
+
+
+class TestJoin:
+    def test_loopback_join_exits_zero(self):
+        with _ServerThread() as server:
+            code = cli.main(["join", "--port", str(server.port),
+                             "-m", "2", "--seed", "11", "--room", "cli-e2e",
+                             "--deadline", "60"])
+        assert code == 0
+
+    def test_join_without_server_exits_nonzero(self):
+        # Grab a port nothing listens on.
+        probe = __import__("socket").socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = cli.main(["join", "--port", str(port), "-m", "2",
+                         "--seed", "11", "--deadline", "10"])
+        assert code == 1

@@ -1,0 +1,125 @@
+"""Fault-injection tests: graceful degradation, never a hang.
+
+Every scenario uses a short server-side handshake timeout plus a client
+deadline, so the worst case is an explicit failure a couple of seconds in;
+the module-level ``_run`` cap turns any true hang into a loud test error.
+"""
+
+import asyncio
+
+import pytest
+
+from repro import metrics
+from repro.core.scheme1 import scheme1_policy
+from repro.service import (
+    ClientConfig,
+    FaultInjector,
+    RendezvousServer,
+    ServerConfig,
+    run_room,
+)
+
+TEST_CAP = 60.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+def _lineup(world, count):
+    names = sorted(world.members)[:count]
+    return world.lineup(*names)
+
+
+def _faulty_room(members, faults, *, handshake_timeout=2.0, deadline=15.0):
+    async def scenario():
+        config = ServerConfig(handshake_timeout=handshake_timeout,
+                              faults=faults)
+        recorder = metrics.Recorder()
+        async with RendezvousServer(config) as server:
+            cfg = ClientConfig(port=server.port, room="faulty",
+                               deadline=deadline)
+            with metrics.using(recorder):
+                outcomes = await asyncio.ensure_future(
+                    run_room(members, cfg, scheme1_policy()))
+        # Outside the context manager: shutdown's drain has finalized
+        # every room, so outcomes are race-free.
+        return outcomes, server.room_outcomes(), recorder.snapshot()
+
+    return _run(scenario())
+
+
+class TestFaultInjector:
+    def test_disconnect_requires_victim(self):
+        with pytest.raises(ValueError):
+            FaultInjector(disconnect_at="tag")
+
+    def test_max_events_caps_faults(self):
+        faults = FaultInjector(drop_kinds={"tag"}, max_events=1)
+        assert faults.action_for(0, ("tag", "s", 0, b"t")).copies == 0
+        assert faults.action_for(1, ("tag", "s", 1, b"t")).copies == 1
+
+    def test_pass_through_by_default(self):
+        faults = FaultInjector()
+        action = faults.action_for(0, ("dgka", "s", 0, 0, ()))
+        assert action.copies == 1 and not action.disconnect_sender
+
+
+class TestDegradation:
+    def test_dropped_tag_fails_cleanly(self, scheme1_world):
+        """Swallowing one party's Phase II tag stalls everyone; the
+        handshake timeout converts the stall into explicit failures."""
+        members = _lineup(scheme1_world, 2)
+        outcomes, rooms, snap = _faulty_room(
+            members, FaultInjector(drop_kinds={"tag"}, victim=0,
+                                   max_events=1))
+        assert all(o.success is False for o in outcomes)
+        assert list(rooms.values()) == ["handshake-timeout"]
+        assert snap["total"].extra["svc-client:room-aborts"] == 2
+
+    def test_disconnect_at_phase3_fails_cleanly(self, scheme1_world):
+        """Killing a participant's socket the moment it publishes Phase III
+        aborts the room immediately — survivors do not wait out the
+        handshake timeout."""
+        members = _lineup(scheme1_world, 3)
+        outcomes, rooms, snap = _faulty_room(
+            members,
+            FaultInjector(disconnect_at="phase3", victim=0, max_events=1),
+            handshake_timeout=30.0)        # must NOT be needed
+        assert all(o.success is False for o in outcomes)
+        assert list(rooms.values()) == ["peer-disconnect"]
+
+    def test_duplicated_broadcasts_are_harmless(self, scheme1_world):
+        """An at-least-once relay (every dgka broadcast doubled) does not
+        confuse the device state machines: buffering is idempotent."""
+        members = _lineup(scheme1_world, 2)
+        outcomes, rooms, snap = _faulty_room(
+            members, FaultInjector(duplicate_kinds={"dgka"}),
+            handshake_timeout=20.0)
+        assert all(o.success for o in outcomes)
+        assert list(rooms.values()) == ["completed"]
+        # Extra deliveries really happened (more receives than the clean
+        # 4 * (m - 1) profile).
+        received = sum(snap[f"hs:{i}"].messages_received for i in range(2))
+        assert received > 8
+
+    def test_delay_slows_but_succeeds(self, scheme1_world):
+        members = _lineup(scheme1_world, 2)
+        outcomes, rooms, snap = _faulty_room(
+            members, FaultInjector(delay=0.05), handshake_timeout=20.0)
+        assert all(o.success for o in outcomes)
+        assert list(rooms.values()) == ["completed"]
+
+    def test_total_blackout_hits_client_deadline(self, scheme1_world):
+        """Even if the server never aborts (huge handshake timeout) and
+        every broadcast is dropped, the client's own deadline guarantees
+        termination with a failed outcome."""
+        members = _lineup(scheme1_world, 2)
+        outcomes, rooms, snap = _faulty_room(
+            members,
+            FaultInjector(drop_kinds={"dgka", "tag", "phase3"}),
+            handshake_timeout=300.0, deadline=1.5)
+        assert all(o.success is False for o in outcomes)
+        assert snap["total"].extra["svc-client:deadline-expired"] == 2

@@ -1,0 +1,123 @@
+"""Property/fuzz tests for the length-prefixed frame codec.
+
+The :class:`~repro.service.framing.FrameDecoder` is sans-IO, so hypothesis
+can push arbitrary chunkings through it without sockets; the asyncio
+helpers are exercised against in-memory stream readers.
+"""
+
+import asyncio
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FrameError
+from repro.service.framing import (
+    DEFAULT_MAX_FRAME,
+    HEADER_SIZE,
+    FrameDecoder,
+    encode_frame,
+    read_frame,
+)
+
+_payloads = st.lists(st.binary(max_size=200), max_size=8)
+
+
+def _rechunk(blob: bytes, cuts) -> list:
+    """Split ``blob`` at the (sorted, deduplicated) cut offsets."""
+    points = sorted({min(c, len(blob)) for c in cuts})
+    out, prev = [], 0
+    for point in points:
+        out.append(blob[prev:point])
+        prev = point
+    out.append(blob[prev:])
+    return out
+
+
+class TestFrameDecoder:
+    @given(_payloads, st.lists(st.integers(min_value=0, max_value=2000),
+                               max_size=16))
+    @settings(max_examples=150)
+    def test_roundtrip_any_chunking(self, payloads, cuts):
+        """Frames survive any split of the byte stream — including splits
+        mid-header and mid-body — and come out in order."""
+        stream = b"".join(encode_frame(p) for p in payloads)
+        decoder = FrameDecoder()
+        seen = []
+        for chunk in _rechunk(stream, cuts):
+            seen.extend(decoder.feed(chunk))
+        assert seen == payloads
+        decoder.close()          # no partial bytes may remain
+
+    @given(_payloads, st.integers(min_value=1, max_value=300))
+    @settings(max_examples=100)
+    def test_truncation_always_detected(self, payloads, cut):
+        """Dropping bytes off the end either loses only whole trailing
+        frames or makes close() raise — a partial frame never decodes."""
+        stream = b"".join(encode_frame(p) for p in payloads)
+        if not stream:
+            return
+        cut = cut % len(stream)
+        truncated = stream[: len(stream) - (cut or 1)]
+        decoder = FrameDecoder()
+        seen = decoder.feed(truncated)
+        # Whatever decoded is a prefix of the original frame sequence …
+        assert seen == payloads[: len(seen)]
+        assert len(seen) < len(payloads)
+        if decoder.buffered:
+            # … and a cut mid-frame is detected at end-of-stream.
+            with pytest.raises(FrameError):
+                decoder.close()
+        else:
+            decoder.close()      # cut at a frame boundary: clean EOF
+
+    def test_oversized_declared_length_rejected_at_header(self):
+        decoder = FrameDecoder(max_frame=16)
+        with pytest.raises(FrameError, match="max is 16"):
+            decoder.feed((17).to_bytes(HEADER_SIZE, "big"))
+        # Rejection happens before any body byte is buffered.
+        assert decoder.buffered == HEADER_SIZE
+
+    def test_encode_rejects_oversized_payload(self):
+        with pytest.raises(FrameError):
+            encode_frame(b"x" * 17, max_frame=16)
+        assert encode_frame(b"x" * 16, max_frame=16)
+
+    def test_empty_payload_frame(self):
+        decoder = FrameDecoder()
+        assert decoder.feed(encode_frame(b"")) == [b""]
+
+    def test_default_ceiling(self):
+        huge = (DEFAULT_MAX_FRAME + 1).to_bytes(HEADER_SIZE, "big")
+        with pytest.raises(FrameError):
+            FrameDecoder().feed(huge)
+
+
+class TestAsyncHelpers:
+    def _run(self, feed: bytes, eof: bool = True, max_frame: int = DEFAULT_MAX_FRAME):
+        async def main():
+            reader = asyncio.StreamReader()
+            reader.feed_data(feed)
+            if eof:
+                reader.feed_eof()
+            return await asyncio.wait_for(read_frame(reader, max_frame), 5)
+        return asyncio.run(main())
+
+    def test_reads_one_frame(self):
+        assert self._run(encode_frame(b"hello") + b"rest") == b"hello"
+
+    def test_clean_eof_returns_none(self):
+        assert self._run(b"") is None
+
+    def test_eof_mid_header_raises(self):
+        with pytest.raises(FrameError, match="mid-header"):
+            self._run(b"\x00\x00")
+
+    def test_eof_mid_body_raises(self):
+        with pytest.raises(FrameError, match="mid-body"):
+            self._run(encode_frame(b"hello")[:-2])
+
+    def test_oversized_rejected_before_body(self):
+        with pytest.raises(FrameError, match="declares"):
+            self._run((99).to_bytes(HEADER_SIZE, "big"), eof=False,
+                      max_frame=16)

@@ -1,0 +1,67 @@
+"""Tests for the typed service control-message codec."""
+
+import pytest
+
+from repro.core import wire
+from repro.errors import EncodingError, ProtocolError
+from repro.service import protocol
+
+
+MESSAGES = [
+    protocol.Hello(room="lobby", m=3),
+    protocol.Welcome(room="lobby", index=1, m=3),
+    protocol.RoomReady(room="lobby", token="deadbeef01020304", m=3),
+    protocol.Broadcast(payload=("dgka", "sid", 0, 1, (12345,))),
+    protocol.Deliver(payload=("tag", "sid", 2, b"\x01\x02")),
+    protocol.Done(),
+    protocol.Abort(reason="handshake-timeout"),
+    protocol.Error(reason="duplicate HELLO"),
+]
+
+
+class TestRoundtrip:
+    @pytest.mark.parametrize("message", MESSAGES,
+                             ids=[type(m).__name__ for m in MESSAGES])
+    def test_roundtrip(self, message):
+        assert protocol.decode_message(protocol.encode_message(message)) == message
+
+    def test_kinds_are_distinct(self):
+        kinds = {type(m).KIND for m in MESSAGES}
+        assert len(kinds) == len(MESSAGES)
+
+
+class TestRejection:
+    def test_junk_bytes(self):
+        with pytest.raises(EncodingError):
+            protocol.decode_message(b"\xff\xfejunk")
+
+    def test_non_tuple_value(self):
+        with pytest.raises(ProtocolError, match="tagged message"):
+            protocol.decode_message(wire.dumps(b"hello"))
+
+    def test_unknown_kind(self):
+        with pytest.raises(ProtocolError, match="unknown service message"):
+            protocol.decode_message(wire.dumps(("svc/evil", 1)))
+
+    def test_arity_mismatch(self):
+        with pytest.raises(ProtocolError, match="arity"):
+            protocol.decode_message(wire.dumps(("svc/hello", "room-only")))
+
+    def test_field_type_mismatch(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            protocol.decode_message(wire.dumps(("svc/hello", "lobby", "three")))
+
+    def test_encode_rejects_foreign_object(self):
+        with pytest.raises(ProtocolError, match="not a service message"):
+            protocol.encode_message(("svc/hello", "lobby", 3))
+
+
+class TestPayloadKind:
+    def test_handshake_kinds(self):
+        assert protocol.payload_kind(("dgka", "sid", 0, 1, ())) == "dgka"
+        assert protocol.payload_kind(("tag", "sid", 1, b"t")) == "tag"
+
+    def test_untagged(self):
+        assert protocol.payload_kind(42) == "?"
+        assert protocol.payload_kind(()) == "?"
+        assert protocol.payload_kind((1, "x")) == "?"
