@@ -9,10 +9,19 @@ Subcommands:
 * ``stats`` — replay the complexity benchmark (one handshake per party
   count) under full instrumentation and print the per-phase / per-party
   observability tables (the measured form of the paper's O(m) claims);
-  optionally export JSON/CSV artifacts or the trace-event stream.  Exits
-  nonzero if any same-group handshake in the sweep fails.
+  ``--format json|csv|table`` selects the stdout rendering and
+  ``--percentiles`` adds latency/burst histogram summaries; optionally
+  export JSON/CSV artifacts or the trace-event stream.  Exits nonzero if
+  any same-group handshake in the sweep fails.
+* ``trace`` — run one fully traced handshake (engine, simulator, or a
+  loopback socket room) and render the span timeline as an ASCII Gantt;
+  ``--out`` writes a Chrome ``trace_event`` JSON loadable in Perfetto
+  (https://ui.perfetto.dev) and ``--jsonl`` a span log.  Exits nonzero
+  if the handshake fails.
 * ``serve`` — run the asyncio rendezvous server (an untrusted relay for
   handshake rooms) until interrupted.
+* ``status`` — send the one-shot STATUS introspection query to a running
+  rendezvous server and print its live telemetry snapshot.
 * ``join`` — run handshake participant(s) against a rendezvous server.
   With ``--index`` one party joins from this process (run m processes
   with the same ``--seed`` to handshake across processes: group creation
@@ -116,10 +125,13 @@ def _stats(args: argparse.Namespace) -> int:
         framework = create_scheme1("stats-group", rng=rng)
         policy = scheme1_policy()
     top = max(args.parties)
+    # Progress goes to stderr so ``--format json|csv`` stdout stays parseable.
+    progress = sys.stdout if args.format == "table" else sys.stderr
     print(f"building scheme-{args.scheme} group with {top} members "
-          f"(seed {args.seed}) …")
+          f"(seed {args.seed}) …", file=progress)
     members = [framework.admit_member(f"user-{i}", rng) for i in range(top)]
 
+    table_out = args.format == "table"
     all_ok = True
     last_snapshot = None
     for m in args.parties:
@@ -131,6 +143,8 @@ def _stats(args: argparse.Namespace) -> int:
         last_snapshot = snap
         ok = all(o.success for o in outcomes)
         all_ok = all_ok and ok
+        if not table_out:
+            continue
         phase_scopes = [s for s in ("phase:I", "phase:II", "phase:III")
                         if s in snap]
         party_scopes = [f"hs:{i}" for i in range(m)]
@@ -139,6 +153,10 @@ def _stats(args: argparse.Namespace) -> int:
             snap, scopes=phase_scopes + party_scopes + ["total"],
             title=f"m={m} parties, success={ok} "
                   f"(paper: O(m) modexp + O(m) messages per party)"))
+        if args.percentiles:
+            print()
+            print(metrics.format_histograms(
+                title=f"m={m} latency/burst percentiles"))
         if args.trace:
             evs = metrics.events()
             print(f"\ntrace: {len(evs)} events "
@@ -148,16 +166,80 @@ def _stats(args: argparse.Namespace) -> int:
                       f"{event.scope:<12} {event.data}")
 
     if last_snapshot is not None:
+        # Machine-readable stdout renderings of the final (largest-m)
+        # snapshot; ``--json``/``--csv`` below write files instead.
+        if args.format == "json":
+            print(metrics.export_json(last_snapshot,
+                                      include_events=args.trace,
+                                      include_histograms=True))
+        elif args.format == "csv":
+            print(metrics.export_csv(last_snapshot), end="")
         if args.json:
             metrics.write_json(args.json, snap=last_snapshot,
                                include_events=args.trace)
-            print(f"\nwrote JSON export to {args.json}")
+            if table_out:
+                print(f"\nwrote JSON export to {args.json}")
         if args.csv:
             with open(args.csv, "w") as handle:
                 handle.write(metrics.export_csv(last_snapshot))
-            print(f"wrote CSV export to {args.csv}")
+            if table_out:
+                print(f"wrote CSV export to {args.csv}")
     if not all_ok:
         print("\n!! at least one same-group handshake failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _trace(args: argparse.Namespace) -> int:
+    from repro.obs import export as obs_export
+
+    rng = random.Random(args.seed)
+    if args.scheme == "2":
+        framework = create_scheme2("trace-group", rng=rng)
+        policy = scheme2_policy()
+    else:
+        framework = create_scheme1("trace-group", rng=rng)
+        policy = scheme1_policy()
+    print(f"building scheme-{args.scheme} group with {args.m} members "
+          f"(seed {args.seed}) …")
+    members = [framework.admit_member(f"user-{i}", rng)
+               for i in range(args.m)]
+
+    metrics.reset()
+    metrics.enable_tracing()
+    if args.transport == "engine":
+        outcomes = run_handshake(members, policy, rng)
+    elif args.transport == "sim":
+        from repro.net.runner import run_handshake_over_network
+        outcomes = run_handshake_over_network(members, policy, rng=rng)
+    else:  # socket: loopback rendezvous room over real TCP
+        from repro.service import (ClientConfig, RendezvousServer,
+                                   ServerConfig, run_room)
+
+        async def socket_room():
+            async with RendezvousServer(ServerConfig(port=0)) as server:
+                config = ClientConfig(port=server.port, room="trace-room",
+                                      m=args.m)
+                return await run_room(members, config, policy)
+
+        outcomes = asyncio.run(socket_room())
+
+    ok = all(o.success for o in outcomes)
+    spans = metrics.spans()
+    print()
+    print(obs_export.render_gantt(
+        spans, width=args.width,
+        title=f"{args.transport} handshake, m={args.m}, success={ok} "
+              f"({len(spans)} spans)"))
+    if args.out:
+        obs_export.export_chrome_trace(args.out, spans)
+        print(f"\nwrote Chrome trace to {args.out} "
+              f"(load it at https://ui.perfetto.dev)")
+    if args.jsonl:
+        obs_export.export_spans_jsonl(args.jsonl, spans)
+        print(f"wrote span log to {args.jsonl}")
+    if not ok:
+        print("\n!! handshake failed", file=sys.stderr)
         return 1
     return 0
 
@@ -240,6 +322,54 @@ def _join(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import TransportError
+    from repro.service import query_status
+
+    try:
+        status = asyncio.run(query_status(args.host, args.port,
+                                          timeout=args.timeout))
+    except (TransportError, ConnectionError, OSError,
+            asyncio.TimeoutError) as exc:
+        print(f"!! could not query {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    rooms = status.get("rooms", {})
+    queues = status.get("send_queues", {})
+    print(f"relay {args.host}:{args.port} — "
+          f"up {status.get('uptime_s', 0.0):.1f}s, "
+          f"accepting={status.get('accepting')}")
+    print(f"connections: {status.get('connections', 0)}  "
+          f"rooms: {rooms.get('filling', 0)} filling / "
+          f"{rooms.get('active', 0)} active / {rooms.get('closed', 0)} closed")
+    print(f"send queues: depth {queues.get('total_depth', 0)} total, "
+          f"{queues.get('max_depth', 0)} max; "
+          f"relay backlog {status.get('relay_backlog', 0)}")
+    for section in ("outcomes", "counters"):
+        entries = status.get(section, {})
+        if entries:
+            print(f"{section}:")
+            for name in sorted(entries):
+                print(f"  {name:<28} {entries[name]}")
+    hists = status.get("histograms", {})
+    if hists:
+        print("histograms:")
+        for name in sorted(hists):
+            s = hists[name]
+            if not s["count"]:
+                print(f"  {name:<24} count=0")
+                continue
+            print(f"  {name:<24} count={s['count']:<6} "
+                  f"p50={s['p50']:.6g} p90={s['p90']:.6g} "
+                  f"p99={s['p99']:.6g} max={s['max']:.6g}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -262,10 +392,37 @@ def main(argv=None) -> int:
     stats.add_argument("--seed", type=int, default=2005)
     stats.add_argument("--trace", action="store_true",
                        help="record and summarize the trace-event stream")
+    stats.add_argument("--percentiles", action="store_true",
+                       help="also print latency/burst histogram percentile "
+                            "tables (p50/p90/p99)")
+    stats.add_argument("--format", choices=("table", "json", "csv"),
+                       default="table",
+                       help="stdout rendering: human tables (default), or "
+                            "the final snapshot as JSON / CSV")
     stats.add_argument("--json", metavar="PATH",
                        help="write the final snapshot as JSON")
     stats.add_argument("--csv", metavar="PATH",
                        help="write the final snapshot as CSV")
+
+    trace = sub.add_parser(
+        "trace", help="run one traced handshake and render the span "
+                      "timeline (ASCII Gantt; optional Perfetto export)")
+    trace.add_argument("-m", type=int, default=3,
+                       help="party count (default: 3)")
+    trace.add_argument("--transport", choices=("engine", "sim", "socket"),
+                       default="sim",
+                       help="how to run the handshake: synchronous engine, "
+                            "in-process simulator (default), or a loopback "
+                            "TCP rendezvous room")
+    trace.add_argument("--scheme", choices=("1", "2"), default="1")
+    trace.add_argument("--seed", type=int, default=2005)
+    trace.add_argument("--width", type=int, default=60,
+                       help="Gantt bar width in characters (default: 60)")
+    trace.add_argument("--out", metavar="PATH",
+                       help="write a Chrome trace_event JSON "
+                            "(load at https://ui.perfetto.dev)")
+    trace.add_argument("--jsonl", metavar="PATH",
+                       help="write finished spans as JSON lines")
 
     serve = sub.add_parser(
         "serve", help="run the rendezvous server (untrusted relay) "
@@ -292,13 +449,27 @@ def main(argv=None) -> int:
     join.add_argument("--deadline", type=float, default=60.0,
                       help="overall per-party deadline in seconds")
 
+    status = sub.add_parser(
+        "status", help="query a running rendezvous server's live telemetry")
+    status.add_argument("--host", default="127.0.0.1")
+    status.add_argument("--port", type=int, default=7045)
+    status.add_argument("--timeout", type=float, default=5.0)
+    status.add_argument("--json", action="store_true",
+                        help="print the raw JSON snapshot")
+
     args = parser.parse_args(argv)
     if args.command == "stats":
         if min(args.parties) < 2:
             stats.error("a handshake needs at least two parties (-m >= 2)")
         return _stats(args)
+    if args.command == "trace":
+        if args.m < 2:
+            trace.error("a handshake needs at least two parties (-m >= 2)")
+        return _trace(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "status":
+        return _status(args)
     if args.command == "join":
         if args.m < 2:
             join.error("a handshake needs at least two parties (-m >= 2)")

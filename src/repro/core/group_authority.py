@@ -40,6 +40,7 @@ from repro.errors import (
 from repro.gsig import acjt, kty
 from repro.gsig.base import StateUpdate
 from repro.net.channels import BulletinBoard
+from repro.obs import spans as obs
 
 
 @dataclass(frozen=True)
@@ -166,7 +167,8 @@ class GroupAuthority:
         finishes with the scheme's ``finish_join``.
         """
         user_id = gsig_request.user_id
-        cgkd_welcome, rekey = self._cgkd.join(user_id)
+        with obs.span("cgkd:rekey", op="join"):
+            cgkd_welcome, rekey = self._cgkd.join(user_id)
         gsig_response, gsig_update = self._gsig.admit(gsig_request)
         self._post_update("join", rekey, gsig_update)
         return gsig_response, len(self.board), cgkd_welcome
@@ -176,7 +178,8 @@ class GroupAuthority:
         under the *new* group key so the leaver cannot read it."""
         if user_id in self._crl:
             raise MembershipError(f"{user_id} already revoked")
-        rekey = self._cgkd.leave(user_id)
+        with obs.span("cgkd:rekey", op="revoke"):
+            rekey = self._cgkd.leave(user_id)
         gsig_update = self._gsig.revoke(user_id)
         self._crl.append(user_id)
         self._post_update("revoke", rekey, gsig_update)

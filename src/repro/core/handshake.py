@@ -32,10 +32,12 @@ subset, exactly as the paper's extension describes.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import metrics
+from repro.obs import spans as obs
 from repro.core import wire
 from repro.core.transcript import HandshakeEntry, HandshakeTranscript, signed_message
 from repro.crypto import hashing, mac, symmetric
@@ -183,17 +185,22 @@ def run_handshake(
         for i, member in enumerate(members)
     ]
 
-    with metrics.scope("phase:I"):
-        _phase1_preparation(parties, tamper)
-    with metrics.scope("phase:II"):
-        tags = _phase2_preliminary(parties)
-        _phase2_validate(parties, tags)
+    started = time.perf_counter()
+    try:
+        with obs.span("handshake", m=m, transport="engine"):
+            with metrics.scope("phase:I"), obs.span("phase:I"):
+                _phase1_preparation(parties, tamper)
+            with metrics.scope("phase:II"), obs.span("phase:II"):
+                tags = _phase2_preliminary(parties)
+                _phase2_validate(parties, tags)
 
-    if not policy.traceable:
-        return _outcomes_without_tracing(parties)
+            if not policy.traceable:
+                return _outcomes_without_tracing(parties)
 
-    with metrics.scope("phase:III"):
-        return _phase3_full(parties, policy)
+            with metrics.scope("phase:III"), obs.span("phase:III"):
+                return _phase3_full(parties, policy)
+    finally:
+        metrics.observe("hs:latency", time.perf_counter() - started)
 
 
 # ---------------------------------------------------------------------------
@@ -208,7 +215,8 @@ def _phase1_preparation(parties: List[_PartyRuntime], tamper) -> None:
     for round_no in range(rounds):
         payloads: Dict[int, object] = {}
         for party in parties:
-            with metrics.scope(party.scope()):
+            with metrics.scope(party.scope()), \
+                    obs.span("dgka:emit", party=party.index, round=round_no):
                 payload = party.dgka.emit(round_no)
                 if payload is not None:
                     payloads[party.index] = payload
@@ -221,7 +229,8 @@ def _phase1_preparation(parties: List[_PartyRuntime], tamper) -> None:
                     payload = tamper(round_no, sender, party.index, payload)
                 if payload is not None:
                     delivered[sender] = payload
-            with metrics.scope(party.scope()):
+            with metrics.scope(party.scope()), \
+                    obs.span("dgka:absorb", party=party.index, round=round_no):
                 for sender in delivered:
                     if sender != party.index:
                         metrics.count_message_received()
@@ -257,7 +266,8 @@ def _phase2_preliminary(parties: List[_PartyRuntime]) -> Dict[int, bytes]:
     """Each party publishes MAC(k'_i, s_i, i)."""
     tags: Dict[int, bytes] = {}
     for party in parties:
-        with metrics.scope(party.scope()):
+        with metrics.scope(party.scope()), \
+                obs.span("tag:publish", party=party.index):
             if party.k_prime is None:
                 continue
             s_i = party.dgka.unique_string(party.index)
@@ -272,7 +282,8 @@ def _phase2_preliminary(parties: List[_PartyRuntime]) -> Dict[int, bytes]:
 def _phase2_validate(parties: List[_PartyRuntime], tags: Dict[int, bytes]) -> None:
     """Each party checks every tag under its own k'."""
     for party in parties:
-        with metrics.scope(party.scope()):
+        with metrics.scope(party.scope()), \
+                obs.span("tag:verify", party=party.index):
             if party.k_prime is None:
                 continue
             for j, tag in tags.items():
@@ -298,7 +309,8 @@ def _phase3_full(parties: List[_PartyRuntime],
     # any party with at least one confirmed same-group peer).
     publications: Dict[int, Tuple[bytes, Tuple[int, int, int, int]]] = {}
     for party in parties:
-        with metrics.scope(party.scope()):
+        with metrics.scope(party.scope()), \
+                obs.span("phase3:publish", party=party.index):
             case1 = party.valid_tags == all_indices or (
                 policy.partial_success and len(party.valid_tags) > 1
             )
@@ -324,7 +336,8 @@ def _phase3_full(parties: List[_PartyRuntime],
 
     outcomes: List[HandshakeOutcome] = []
     for party in parties:
-        with metrics.scope(party.scope()):
+        with metrics.scope(party.scope()), \
+                obs.span("phase3:conclude", party=party.index):
             outcomes.append(
                 _conclude(party, entries, publications, policy, all_indices)
             )

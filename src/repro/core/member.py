@@ -25,6 +25,7 @@ from repro.core.group_authority import GroupPublicInfo, MembershipPackage
 from repro.crypto import symmetric
 from repro.errors import DecryptionError, ParameterError, RevocationError
 from repro.gsig import acjt, kty
+from repro.obs import spans as obs
 
 
 def _cgkd_member_for(welcome) -> MemberState:
@@ -79,7 +80,9 @@ class GcdMember:
                 epoch=epoch, kind=rekey_kind,
                 deliveries=tuple(deliveries), header=dict(header_items),
             )
-            if not self.cgkd.rekey(rekey):
+            with obs.span("cgkd:rekey", op="apply"):
+                accepted = self.cgkd.rekey(rekey)
+            if not accepted:
                 self.revoked = True
                 continue
             try:
@@ -101,43 +104,46 @@ class GcdMember:
         """Produce a serialized group signature on ``message``.
 
         ``shield`` activates the self-distinction mode (KTY only)."""
-        if isinstance(self.credential, acjt.AcjtCredential):
-            if shield is not None:
-                raise ParameterError("ACJT does not support shielded signing")
-            signature = self.credential.sign(message, rng)
-        elif isinstance(self.credential, kty.KtyCredential):
-            signature = self.credential.sign(message, rng, shield=shield)
-        else:
-            raise ParameterError("unknown credential type")
-        return wire.signature_to_bytes(signature)
+        with obs.span("gsig:sign"):
+            if isinstance(self.credential, acjt.AcjtCredential):
+                if shield is not None:
+                    raise ParameterError(
+                        "ACJT does not support shielded signing")
+                signature = self.credential.sign(message, rng)
+            elif isinstance(self.credential, kty.KtyCredential):
+                signature = self.credential.sign(message, rng, shield=shield)
+            else:
+                raise ParameterError("unknown credential type")
+            return wire.signature_to_bytes(signature)
 
     def gsig_verify(self, message: bytes, blob: bytes,
                     expected_shield: Optional[int] = None) -> bool:
         """Verify a peer's serialized signature with this member's own view
         of the system state (the CRL / accumulator value travels inside
         encrypted updates, so only members can do this)."""
-        try:
-            signature = wire.signature_from_bytes(blob)
-        except Exception:
+        with obs.span("gsig:verify"):
+            try:
+                signature = wire.signature_from_bytes(blob)
+            except Exception:
+                return False
+            pk = self.info.gsig_public_key
+            if isinstance(self.credential, acjt.AcjtCredential):
+                if not isinstance(signature, acjt.AcjtSignature):
+                    return False
+                if expected_shield is not None:
+                    return False
+                view = acjt.AcjtMemberView(
+                    acc_value=self.credential.acc_value,
+                    acc_epoch=self.credential.acc_epoch,
+                )
+                return acjt.verify(pk, message, signature, view)
+            if isinstance(self.credential, kty.KtyCredential):
+                if not isinstance(signature, kty.KtySignature):
+                    return False
+                return kty.verify(pk, message, signature,
+                                  self.credential.member_view(),
+                                  expected_shield=expected_shield)
             return False
-        pk = self.info.gsig_public_key
-        if isinstance(self.credential, acjt.AcjtCredential):
-            if not isinstance(signature, acjt.AcjtSignature):
-                return False
-            if expected_shield is not None:
-                return False
-            view = acjt.AcjtMemberView(
-                acc_value=self.credential.acc_value,
-                acc_epoch=self.credential.acc_epoch,
-            )
-            return acjt.verify(pk, message, signature, view)
-        if isinstance(self.credential, kty.KtyCredential):
-            if not isinstance(signature, kty.KtySignature):
-                return False
-            return kty.verify(pk, message, signature,
-                              self.credential.member_view(),
-                              expected_shield=expected_shield)
-        return False
 
     def distinction_shield(self, *context) -> int:
         """The common T7 base for a handshake session (KTY only)."""

@@ -39,24 +39,42 @@ recorder across threads (via :func:`using`) is also safe.
 Beyond raw counts the layer records:
 
 * **wall-clock timers** — every scope accrues ``wall_time`` (inclusive,
-  charged once per distinct scope even when re-entered);
+  charged once per distinct scope even when re-entered, and once per
+  *union* interval when the same scope is open concurrently in several
+  tasks or threads sharing one recorder);
 * **trace events** — an opt-in structured stream (scope begin/end, message
   send/receive with byte sizes, coalesced modexp bursts); see
   :func:`enable_tracing` / :func:`events`;
+* **histograms** — fixed-bucket distributions with percentile summaries
+  (handshake latency, relay frame latency, modexp burst sizes); see
+  :func:`observe` / :func:`histogram`;
+* **spans** — the :mod:`repro.obs` layer records start/end/duration spans
+  with parent/child links into the current recorder (storage lives here so
+  spans, counters and histograms share one measurement context);
 * **exporters** — :func:`export_json` / :func:`export_csv` /
   :func:`format_table` turn a snapshot into artifacts the benchmark
-  harness and the ``python -m repro stats`` CLI consume.
+  harness and the ``python -m repro stats`` CLI consume; span exporters
+  (Chrome ``trace_event`` JSON, JSONL) live in :mod:`repro.obs.export`.
+
+Asyncio guidance: a :class:`contextvars.ContextVar` is copied into every
+task at *creation* time, so tasks spawned inside ``with using(rec):``
+inherit ``rec``; tasks spawned **before** the swap keep whatever recorder
+their creation context had (usually the shared per-thread one) and will
+interleave their counts with every other such task.  Either spawn workers
+inside the ``using`` block, or call :meth:`Recorder.bind_task` first thing
+inside the task body to pin its books explicitly.
 """
 
 from __future__ import annotations
 
+import bisect
 import contextlib
 import csv
 import io
 import json
 import threading
 import time
-from contextvars import ContextVar
+from contextvars import ContextVar, Token
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
@@ -148,6 +166,100 @@ class TraceEvent:
 #: Event kinds that coalesce into bursts instead of one record per call.
 _BURST_KINDS = frozenset({"modexp", "modmul", "hash"})
 
+#: Default bucket upper bounds for latency histograms (seconds).
+LATENCY_BOUNDS: Tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1,
+    0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 30.0,
+)
+
+#: Default bucket upper bounds for burst/size histograms (counts).
+SIZE_BOUNDS: Tuple[float, ...] = (
+    1, 2, 5, 10, 20, 50, 100, 200, 500, 1000, 5000,
+)
+
+
+class Histogram:
+    """Fixed-bucket distribution with a percentile summary.
+
+    Buckets are upper-inclusive (Prometheus ``le`` semantics): a value
+    lands in the first bucket whose bound is ``>= value``; anything above
+    the last bound lands in the overflow bucket.  Percentiles interpolate
+    linearly inside a bucket; the overflow bucket reports the observed
+    maximum (the honest answer when the tail is unbounded).
+
+    Not locked itself — the owning :class:`Recorder` serializes access.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "min", "max")
+
+    def __init__(self, name: str, bounds: Sequence[float]) -> None:
+        if not bounds or list(bounds) != sorted(bounds):
+            raise ValueError("histogram bounds must be a sorted, "
+                             "non-empty sequence")
+        self.name = name
+        self.bounds: Tuple[float, ...] = tuple(float(b) for b in bounds)
+        self.counts: List[int] = [0] * (len(self.bounds) + 1)
+        self.total = 0
+        self.sum = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def percentile(self, fraction: float) -> float:
+        """Estimated value at ``fraction`` (0..1) of the distribution.
+
+        Interpolated values are clamped to the observed ``[min, max]`` so a
+        sparse histogram never reports a quantile outside what was seen."""
+        if self.total == 0:
+            return 0.0
+        target = max(1.0, fraction * self.total)
+        cumulative = 0
+        for i, count in enumerate(self.counts):
+            if count == 0:
+                continue
+            if cumulative + count >= target:
+                if i == len(self.bounds):       # overflow bucket
+                    return float(self.max)
+                lo = self.bounds[i - 1] if i > 0 else 0.0
+                hi = self.bounds[i]
+                estimate = lo + (hi - lo) * ((target - cumulative) / count)
+                return min(max(estimate, float(self.min)), float(self.max))
+            cumulative += count
+        return float(self.max)
+
+    def summary(self) -> Dict[str, object]:
+        """Exporter view: totals, extrema, p50/p90/p99, raw buckets."""
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": (self.sum / self.total) if self.total else 0.0,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+            "buckets": [
+                {"le": b, "count": c}
+                for b, c in zip(self.bounds, self.counts)
+            ] + [{"le": None, "count": self.counts[-1]}],
+        }
+
+    def copy(self) -> "Histogram":
+        clone = Histogram(self.name, self.bounds)
+        clone.counts = list(self.counts)
+        clone.total = self.total
+        clone.sum = self.sum
+        clone.min = self.min
+        clone.max = self.max
+        return clone
+
 
 class _Frame:
     """One scope activation: the name plus the counters it charges."""
@@ -173,6 +285,12 @@ class Recorder:
         self._lock = threading.RLock()
         self._counters: Dict[str, Counters] = {_TOTAL: Counters()}
         self._events: List[TraceEvent] = []
+        self._hists: Dict[str, Histogram] = {}
+        self._spans: List[object] = []
+        self._next_span_id = 1
+        #: id(Counters) -> [open-frame refcount, interval start]; the
+        #: union-interval bookkeeping behind scope wall time.
+        self._open: Dict[int, List[float]] = {}
         self._tracing = False
         self._epoch = time.perf_counter()
 
@@ -182,7 +300,20 @@ class Recorder:
         with self._lock:
             self._counters = {_TOTAL: Counters()}
             self._events = []
+            self._hists = {}
+            self._spans = []
+            self._next_span_id = 1
+            self._open = {}
             self._epoch = time.perf_counter()
+
+    def bind_task(self) -> Token:
+        """Pin this recorder for the *current* context (thread or asyncio
+        task) without a ``with`` block — the escape hatch for tasks that
+        were spawned before a :func:`using` swap and would otherwise fall
+        back to the shared per-thread recorder.  Call it first thing in
+        the task body; the returned token can restore the previous binding
+        via ``_RECORDER.reset(token)`` but normally dies with the task."""
+        return _RECORDER.set(self)
 
     def counters_for(self, name: str) -> Counters:
         with self._lock:
@@ -201,6 +332,57 @@ class Recorder:
             clone = self._counters[_TOTAL].copy()
             clone.wall_time = time.perf_counter() - self._epoch
             return clone
+
+    # Histograms -------------------------------------------------------------
+
+    def histogram(self, name: str,
+                  bounds: Optional[Sequence[float]] = None) -> Histogram:
+        """Get-or-create the named histogram (latency-style bounds by
+        default).  Passing bounds that contradict an existing histogram's
+        is a programming error — the buckets could not be merged."""
+        with self._lock:
+            hist = self._hists.get(name)
+            if hist is None:
+                hist = Histogram(name, bounds or LATENCY_BOUNDS)
+                self._hists[name] = hist
+            elif (bounds is not None
+                    and tuple(float(b) for b in bounds) != hist.bounds):
+                raise ValueError(
+                    f"histogram {name!r} already exists with different "
+                    f"bounds")
+            return hist
+
+    def observe(self, name: str, value: float,
+                bounds: Optional[Sequence[float]] = None) -> None:
+        with self._lock:
+            self.histogram(name, bounds).observe(value)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """Copies of every histogram, keyed by name."""
+        with self._lock:
+            return {name: h.copy() for name, h in self._hists.items()}
+
+    # Spans ------------------------------------------------------------------
+
+    def next_span_id(self) -> int:
+        with self._lock:
+            span_id = self._next_span_id
+            self._next_span_id += 1
+            return span_id
+
+    def record_span(self, span: object) -> None:
+        """Store one *finished* span (see :mod:`repro.obs.spans`)."""
+        with self._lock:
+            self._spans.append(span)
+
+    def spans(self) -> List[object]:
+        with self._lock:
+            return list(self._spans)
+
+    @property
+    def epoch(self) -> float:
+        """``time.perf_counter()`` value all ts fields are relative to."""
+        return self._epoch
 
     # Tracing ----------------------------------------------------------------
 
@@ -225,6 +407,15 @@ class Recorder:
                     )
                     last.ts_end = now
                     return
+            # A non-coalescing event closes any burst in flight: its final
+            # size feeds the burst-size histogram (the tail burst of a run
+            # is closed by the enclosing scope-end event).
+            if self._events:
+                last = self._events[-1]
+                if last.kind in _BURST_KINDS and (last.kind != kind
+                                                  or last.scope != scope):
+                    self.histogram(f"{last.kind}:burst", SIZE_BOUNDS).observe(
+                        int(last.data.get("count", 1)))
             if kind in _BURST_KINDS:
                 data.setdefault("count", 1)
             self._events.append(
@@ -299,24 +490,39 @@ def scope(name: str) -> Iterator[Counters]:
 
     Exit restores the exact prior stack (token-based), so re-entrant
     same-name scopes and teardown on exception are both correct.  Wall
-    time is charged inclusively, once per distinct scope.
+    time is charged inclusively as the *union* of open intervals: the
+    recorder refcounts open frames per counter object, so a same-name
+    re-entry in one task — or the same scope open concurrently in two
+    tasks or threads sharing the recorder — books each wall-clock second
+    exactly once.  (The previous stack-local rule saw only its own task's
+    frames and double-booked concurrent overlap.)
     """
     rec = current_recorder()
     counters = rec.counters_for(name)
     frame = _Frame(name, counters, time.perf_counter())
     token = _STACK.set(_STACK.get() + (frame,))
+    with rec._lock:
+        entry = rec._open.get(id(counters))
+        if entry is None:
+            rec._open[id(counters)] = [1, frame.t0]
+        else:
+            entry[0] += 1
     rec.trace("scope-begin", name)
     try:
         yield counters
     finally:
         _STACK.reset(token)
-        elapsed = time.perf_counter() - frame.t0
-        # Charge wall time only on the outermost frame of this scope —
-        # an inner re-entry finishing must not double-book the interval.
-        if all(outer.counters is not counters for outer in _STACK.get()):
-            with rec._lock:
-                counters.wall_time += elapsed
-        rec.trace("scope-end", name, elapsed=elapsed)
+        now = time.perf_counter()
+        with rec._lock:
+            entry = rec._open.get(id(counters))
+            # A reset() between enter and exit drops the entry: the
+            # detached counter simply misses its wall charge.
+            if entry is not None:
+                entry[0] -= 1
+                if entry[0] <= 0:
+                    counters.wall_time += now - entry[1]
+                    del rec._open[id(counters)]
+        rec.trace("scope-end", name, elapsed=now - frame.t0)
 
 
 @contextlib.contextmanager
@@ -442,6 +648,35 @@ def value(scope_name: str, field_name: str, default: int = 0) -> object:
 
 
 # ---------------------------------------------------------------------------
+# Histograms + spans (module-level proxies).
+# ---------------------------------------------------------------------------
+
+
+def observe(name: str, value: float,
+            bounds: Optional[Sequence[float]] = None) -> None:
+    """Record one observation into the named histogram of the current
+    recorder (created on first use; ``bounds`` only matter then)."""
+    current_recorder().observe(name, value, bounds)
+
+
+def histogram(name: str,
+              bounds: Optional[Sequence[float]] = None) -> Histogram:
+    """The live named histogram of the current recorder."""
+    return current_recorder().histogram(name, bounds)
+
+
+def histograms() -> Dict[str, Histogram]:
+    """Copies of every histogram in the current recorder."""
+    return current_recorder().histograms()
+
+
+def spans() -> List[object]:
+    """Finished spans recorded since the last :func:`reset` (see
+    :mod:`repro.obs.spans` for the span type and how to start them)."""
+    return current_recorder().spans()
+
+
+# ---------------------------------------------------------------------------
 # Tracing controls.
 # ---------------------------------------------------------------------------
 
@@ -475,18 +710,50 @@ def events() -> List[TraceEvent]:
 
 
 def export_json(snap: Optional[Dict[str, Counters]] = None, *,
-                include_events: bool = False, indent: int = 2) -> str:
+                include_events: bool = False,
+                include_histograms: bool = True, indent: int = 2) -> str:
     """Serialize a snapshot (default: the live one) as JSON.
 
-    Layout: ``{"scopes": {name: {field: value, ...}}, "events": [...]}``;
-    events only when requested (they can be large)."""
+    Layout: ``{"scopes": {...}, "histograms": {...}, "events": [...]}``;
+    events only when requested (they can be large), histograms whenever
+    any exist."""
     snap = snapshot() if snap is None else snap
     doc: Dict[str, object] = {
         "scopes": {name: c.as_dict() for name, c in sorted(snap.items())}
     }
+    if include_histograms:
+        hists = histograms()
+        if hists:
+            doc["histograms"] = {
+                name: hists[name].summary() for name in sorted(hists)
+            }
     if include_events:
         doc["events"] = [e.as_dict() for e in events()]
     return json.dumps(doc, indent=indent, sort_keys=False)
+
+
+def format_histograms(hists: Optional[Dict[str, Histogram]] = None,
+                      title: str = "histograms") -> str:
+    """Aligned percentile table, one row per histogram (CLI helper)."""
+    hists = histograms() if hists is None else hists
+    header = ["histogram", "count", "min", "p50", "p90", "p99", "max", "mean"]
+    rows: List[List[str]] = []
+    for name in sorted(hists):
+        s = hists[name].summary()
+        rows.append([name, str(s["count"])] + [
+            "-" if s[k] is None else f"{s[k]:.6g}"
+            for k in ("min", "p50", "p90", "p99", "max", "mean")
+        ])
+    widths = [len(h) for h in header]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = [title, "=" * len(title),
+             "  ".join(h.ljust(w) for h, w in zip(header, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
 
 
 def export_csv(snap: Optional[Dict[str, Counters]] = None) -> str:

@@ -21,10 +21,12 @@ mid-session.
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro import metrics
+from repro.obs import spans as obs
 from repro.core import wire
 from repro.core.handshake import (
     HandshakeOutcome,
@@ -88,6 +90,11 @@ class HandshakeDevice(Party):
         self._entries: Dict[int, HandshakeEntry] = {}
         self._published_phase3 = False
         self.outcome: Optional[HandshakeOutcome] = None
+        # Span bookkeeping: phase boundaries end inside message callbacks,
+        # so the device holds manual spans with explicit parents instead
+        # of relying on the (task-local) context span.
+        self._root_span = obs.NOOP_SPAN
+        self._phase_span = obs.NOOP_SPAN
 
     @property
     def metrics_scope(self) -> str:
@@ -99,6 +106,10 @@ class HandshakeDevice(Party):
 
     def start(self) -> None:
         """Kick off Phase I by broadcasting the first DGKA round."""
+        self._root_span = obs.start_span(f"hs:{self.index}",
+                                         party=self.index)
+        self._phase_span = obs.start_span("phase:I", parent=self._root_span,
+                                          party=self.index)
         self._emit_round(0)
 
     def _emit_round(self, round_no: int) -> None:
@@ -157,6 +168,9 @@ class HandshakeDevice(Party):
                     self._emit_round(self._current_round)
 
     def _finish_phase1(self) -> None:
+        self._phase_span.end()
+        self._phase_span = obs.start_span("phase:II", parent=self._root_span,
+                                          party=self.index)
         try:
             group_key = self.member.group_key
         except Exception:
@@ -186,9 +200,14 @@ class HandshakeDevice(Party):
 
     def _publish_phase3(self) -> None:
         self._published_phase3 = True
+        self._phase_span.end()
         if not self.policy.traceable:
+            self._phase_span = obs.NOOP_SPAN
             self._conclude_without_phase3()
             return
+        self._phase_span = obs.start_span("phase:III",
+                                          parent=self._root_span,
+                                          party=self.index)
         all_indices = set(range(self.plan.m))
         case1 = self._valid_tags == all_indices or (
             self.policy.partial_success and len(self._valid_tags) > 1
@@ -274,6 +293,8 @@ class HandshakeDevice(Party):
                 self._k_prime + sid, "gcd-secure-channel"
             )
         self.outcome = outcome
+        self._phase_span.end()
+        self._root_span.end(success=outcome.success)
 
     def _conclude_without_phase3(self) -> None:
         all_peers = set(range(self.plan.m)) - {self.index}
@@ -288,6 +309,7 @@ class HandshakeDevice(Party):
                 self._k_prime + self.dgka.sid, "gcd-secure-channel"
             )
         self.outcome = outcome
+        self._root_span.end(success=outcome.success)
 
 
 def run_handshake_over_network(
@@ -305,18 +327,21 @@ def run_handshake_over_network(
     network = network or Network()
     plan = SessionPlan(session_id=session_id,
                        roster=[f"device-{i}" for i in range(len(members))])
-    devices = [
-        network.register(HandshakeDevice(plan.roster[i], member, plan,
-                                         policy, rng))
-        for i, member in enumerate(members)
-    ]
-    for device in devices:
-        # start() performs the device's round-0 DGKA work; without the
-        # scope that cost would land only on ``total``, breaking per-party
-        # parity with the synchronous engine.
-        with metrics.scope(device.metrics_scope):
-            device.start()
-    network.run()
+    started = time.perf_counter()
+    with obs.span("handshake", m=len(members), transport="simulator"):
+        devices = [
+            network.register(HandshakeDevice(plan.roster[i], member, plan,
+                                             policy, rng))
+            for i, member in enumerate(members)
+        ]
+        for device in devices:
+            # start() performs the device's round-0 DGKA work; without the
+            # scope that cost would land only on ``total``, breaking
+            # per-party parity with the synchronous engine.
+            with metrics.scope(device.metrics_scope):
+                device.start()
+        network.run()
+    metrics.observe("hs:latency", time.perf_counter() - started)
     return [
         device.outcome
         or HandshakeOutcome(index=device.index, success=False)

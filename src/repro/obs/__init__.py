@@ -1,0 +1,55 @@
+"""``repro.obs`` — span tracing, exporters, and structured logging.
+
+The observability subsystem layered on :mod:`repro.metrics` (which owns
+storage: counters, histograms, trace events, and finished spans all live
+in the current :class:`~repro.metrics.Recorder`):
+
+* :func:`span` / :func:`start_span` — nested timed regions, safe across
+  threads and asyncio tasks (:mod:`repro.obs.spans`);
+* :func:`chrome_trace` / :func:`spans_jsonl` / :func:`render_gantt` —
+  Perfetto-loadable traces, JSONL span logs, and the ASCII timeline the
+  ``python -m repro trace`` CLI renders (:mod:`repro.obs.export`);
+* :func:`get_logger` / :func:`log_event` / :func:`configure_logging` —
+  JSON log lines with mandatory anonymity redaction
+  (:mod:`repro.obs.logging`).
+
+Recording is gated by the metrics tracing switch: wrap work in
+``with metrics.tracing():`` (or call ``metrics.enable_tracing()``) and
+every span started under that recorder is kept; otherwise span calls are
+no-ops.  See docs/OBSERVABILITY.md for naming conventions and the
+"no identity on the wire, no identity in exported artifacts" rule.
+"""
+
+from repro.obs.export import (
+    chrome_trace,
+    export_chrome_trace,
+    export_spans_jsonl,
+    render_gantt,
+    spans_jsonl,
+)
+from repro.obs.logging import (
+    JsonFormatter,
+    RedactionFilter,
+    configure as configure_logging,
+    get_logger,
+    log_event,
+    redact_fields,
+    unconfigure as unconfigure_logging,
+)
+from repro.obs.spans import (
+    NOOP_SPAN,
+    Span,
+    current_span,
+    finished_spans,
+    span,
+    start_span,
+)
+
+__all__ = [
+    "Span", "NOOP_SPAN", "span", "start_span", "current_span",
+    "finished_spans",
+    "chrome_trace", "export_chrome_trace", "spans_jsonl",
+    "export_spans_jsonl", "render_gantt",
+    "JsonFormatter", "RedactionFilter", "get_logger", "log_event",
+    "redact_fields", "configure_logging", "unconfigure_logging",
+]

@@ -1,0 +1,137 @@
+"""Structured JSON logging with an anonymity-preserving redaction layer.
+
+Everything rides on stdlib :mod:`logging`: the service layer emits events
+through :func:`log_event`, which attaches a flat field dict to the record;
+:class:`JsonFormatter` renders one JSON object per line; and redaction
+runs **twice** — eagerly in :func:`log_event` (so any handler, including
+ones we do not control, only ever sees scrubbed fields) and again in
+:class:`RedactionFilter` as defence in depth for records built by hand.
+
+The redaction rule (docs/OBSERVABILITY.md) protects the handshake's
+anonymity/unlinkability guarantees from the telemetry side-channel:
+
+* **key denylist** — any field whose name mentions members, identities,
+  payloads, keys or signature material is dropped to a placeholder;
+  the rendezvous room *name* (chosen out of band, possibly meaningful)
+  is likewise forbidden — logs carry only the random room token;
+* **type allowlist** — values must be short scalars; bytes, tuples,
+  lists, dicts and big integers (crypto-sized) are replaced by a type
+  tag, so wire payloads cannot leak through a forgotten field.
+
+By default the ``repro`` logger tree has a :class:`logging.NullHandler`
+(library etiquette: silent unless the application opts in); call
+:func:`configure` — or pass ``--log`` to the service CLI — to get JSON
+lines on a stream.
+"""
+
+from __future__ import annotations
+
+import json
+import logging
+import re
+from typing import Dict
+
+#: Field names that may never be logged with a live value.
+_DENY_KEY = re.compile(
+    r"(payload|member|identit|user|name|peer|key|secret|theta|delta|sigma"
+    r"|credential|sid|signature)", re.IGNORECASE)
+
+#: Ints larger than this are crypto-sized, not counters; redact them.
+_MAX_INT = 1 << 63
+
+#: Strings longer than this cannot be a reason/token/state label.
+_MAX_STR = 120
+
+_REDACTED = "[redacted]"
+
+_ROOT = logging.getLogger("repro")
+_ROOT.addHandler(logging.NullHandler())
+
+
+def redact_value(key: str, value: object) -> object:
+    """Apply the anonymity rule to one field; returns the value to log."""
+    if _DENY_KEY.search(key):
+        return _REDACTED
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, int):
+        return value if -_MAX_INT < value < _MAX_INT else "[redacted:bigint]"
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        return value if len(value) <= _MAX_STR else value[:_MAX_STR] + "…"
+    return f"[redacted:{type(value).__name__}]"
+
+
+def redact_fields(fields: Dict[str, object]) -> Dict[str, object]:
+    return {key: redact_value(key, value) for key, value in fields.items()}
+
+
+def get_logger(name: str) -> logging.Logger:
+    """A logger under the ``repro`` tree (``name`` should start with
+    ``repro.``; anything else is reparented for consistent config)."""
+    if not name.startswith("repro"):
+        name = f"repro.{name}"
+    return logging.getLogger(name)
+
+
+def log_event(logger: logging.Logger, event: str, *,
+              level: int = logging.INFO, **fields: object) -> None:
+    """Emit one structured event: ``event`` is a short kebab-case label
+    (``"room-active"``), ``fields`` are flat scalars.  Redaction happens
+    here, before the record exists — no handler can see raw values."""
+    if logger.isEnabledFor(level):
+        logger.log(level, event, extra={"obs_fields": redact_fields(fields)})
+
+
+class RedactionFilter(logging.Filter):
+    """Second line of defence: scrub ``obs_fields`` on any record passing
+    a handler, covering records built without :func:`log_event`."""
+
+    def filter(self, record: logging.LogRecord) -> bool:
+        fields = getattr(record, "obs_fields", None)
+        if isinstance(fields, dict):
+            record.obs_fields = redact_fields(fields)
+        return True
+
+
+class JsonFormatter(logging.Formatter):
+    """One JSON object per line: timestamp, level, logger, event, fields."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        doc = {
+            "ts": round(record.created, 6),
+            "level": record.levelname,
+            "logger": record.name,
+            "event": record.getMessage(),
+        }
+        fields = getattr(record, "obs_fields", None)
+        if isinstance(fields, dict):
+            for key, value in sorted(fields.items()):
+                doc.setdefault(key, value)
+        if record.exc_info:
+            doc["exc"] = self.formatException(record.exc_info)
+        return json.dumps(doc, sort_keys=False, default=str)
+
+
+def configure(level: int = logging.INFO, stream=None) -> logging.Handler:
+    """Attach a JSON stream handler (stderr by default) to the ``repro``
+    logger tree.  Idempotent: a previous :func:`configure` handler is
+    replaced, not stacked."""
+    for handler in list(_ROOT.handlers):
+        if getattr(handler, "_repro_obs", False):
+            _ROOT.removeHandler(handler)
+    handler = logging.StreamHandler(stream)
+    handler.setFormatter(JsonFormatter())
+    handler.addFilter(RedactionFilter())
+    handler._repro_obs = True  # type: ignore[attr-defined]
+    _ROOT.addHandler(handler)
+    _ROOT.setLevel(level)
+    return handler
+
+
+def unconfigure() -> None:
+    """Remove any handler installed by :func:`configure` (test teardown)."""
+    for handler in list(_ROOT.handlers):
+        if getattr(handler, "_repro_obs", False):
+            _ROOT.removeHandler(handler)

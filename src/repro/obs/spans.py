@@ -1,0 +1,154 @@
+"""Span tracing: start/end/duration records with parent/child links.
+
+A *span* is one timed region of protocol work — a handshake phase, a GSIG
+signature, a room's relay loop.  Spans nest: the :func:`span` context
+manager keeps the current span in a :class:`contextvars.ContextVar`, so
+parent links are correct across threads *and* asyncio tasks (each task
+gets a copy of the context at creation, exactly like the metrics scope
+stack).  State machines that cannot bracket their work in a ``with``
+block (e.g. :class:`repro.net.runner.HandshakeDevice`, whose phases end
+inside message callbacks) use :func:`start_span` / :meth:`Span.end` with
+explicit parents instead.
+
+Storage and the on/off switch live in :mod:`repro.metrics`: finished
+spans land in the current :class:`~repro.metrics.Recorder` and recording
+is gated by the same flag as trace events (:func:`metrics.enable_tracing`
+/ :func:`metrics.tracing`), so "tracing off" really is zero-allocation —
+the hot path does one attribute read and yields.
+
+Anonymity rule (see docs/OBSERVABILITY.md): span names and attributes may
+carry room *tokens* (random, unlinkable) and ``hs:<i>`` roster indices —
+never member identifiers, payload bytes, or rendezvous room names.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import threading
+import time
+from contextvars import ContextVar
+from typing import Dict, Iterator, List, Optional
+
+from repro import metrics
+
+#: Innermost live span in the current context (thread or asyncio task).
+_CURRENT: ContextVar[Optional["Span"]] = ContextVar("repro.obs.span",
+                                                    default=None)
+
+_UNSET = object()
+
+
+class Span:
+    """One timed region.  ``ts`` is seconds since the owning recorder's
+    epoch; ``dur`` is ``None`` until :meth:`end` runs (only *finished*
+    spans are recorded/exported)."""
+
+    __slots__ = ("name", "span_id", "parent_id", "ts", "dur", "attrs",
+                 "tid", "_recorder", "_t0")
+
+    def __init__(self, name: str, span_id: int, parent_id: Optional[int],
+                 recorder, attrs: Dict[str, object]) -> None:
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.attrs = attrs
+        self.tid = threading.current_thread().name
+        self._recorder = recorder
+        self._t0 = time.perf_counter()
+        self.ts = self._t0 - recorder.epoch
+        self.dur: Optional[float] = None
+
+    def end(self, **attrs: object) -> "Span":
+        """Close the span (idempotent) and record it into the recorder it
+        was started under — safe even if another task finishes it."""
+        if self.dur is None:
+            self.dur = time.perf_counter() - self._t0
+            if attrs:
+                self.attrs.update(attrs)
+            self._recorder.record_span(self)
+        return self
+
+    @property
+    def ts_end(self) -> Optional[float]:
+        return None if self.dur is None else self.ts + self.dur
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "span_id": self.span_id,
+            "parent_id": self.parent_id,
+            "ts": self.ts,
+            "dur": self.dur,
+            "tid": self.tid,
+            **{f"attr.{k}": v for k, v in sorted(self.attrs.items())},
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Span({self.name!r}, id={self.span_id}, "
+                f"parent={self.parent_id}, ts={self.ts:.6f}, dur={self.dur})")
+
+
+class _NoopSpan:
+    """Recording disabled: a shared do-nothing stand-in so instrumented
+    code never branches on the switch itself."""
+
+    __slots__ = ()
+    name = "<noop>"
+    span_id = None
+    parent_id = None
+    ts = 0.0
+    dur = None
+    attrs: Dict[str, object] = {}
+
+    def end(self, **attrs: object) -> "_NoopSpan":
+        return self
+
+
+NOOP_SPAN = _NoopSpan()
+
+
+def current_span() -> Optional[Span]:
+    """The innermost live span of this context, or ``None``."""
+    return _CURRENT.get()
+
+
+def start_span(name: str, parent=_UNSET, **attrs: object):
+    """Begin a manual span (caller must :meth:`Span.end` it).
+
+    ``parent`` defaults to the context's current span at *start* time;
+    pass another span (e.g. a device's root) or ``None`` for an explicit
+    link — the pattern for callback-driven state machines.  Returns
+    :data:`NOOP_SPAN` when the current recorder is not tracing."""
+    rec = metrics.current_recorder()
+    if not rec.tracing:
+        return NOOP_SPAN
+    if parent is _UNSET:
+        parent = _CURRENT.get()
+    parent_id = getattr(parent, "span_id", None)
+    return Span(name, rec.next_span_id(), parent_id, rec, dict(attrs))
+
+
+@contextlib.contextmanager
+def span(name: str, **attrs: object) -> Iterator[object]:
+    """Record the block as a span, parented to the enclosing one.
+
+    Token-based ContextVar handling restores the previous parent exactly,
+    under exceptions and re-entrancy, per thread and per asyncio task."""
+    rec = metrics.current_recorder()
+    if not rec.tracing:
+        yield NOOP_SPAN
+        return
+    parent = _CURRENT.get()
+    live = Span(name, rec.next_span_id(),
+                getattr(parent, "span_id", None), rec, dict(attrs))
+    token = _CURRENT.set(live)
+    try:
+        yield live
+    finally:
+        _CURRENT.reset(token)
+        live.end()
+
+
+def finished_spans() -> List[Span]:
+    """Finished spans in the current recorder (proxy for exporters)."""
+    return [s for s in metrics.spans() if isinstance(s, Span)]

@@ -13,7 +13,8 @@ as infrastructure:
   handshake rooms, per-room FIFO broadcast relay, timeouts, backpressure,
   graceful drain;
 * :mod:`repro.service.client`   — async participant driver with connect
-  retry/backoff and an overall deadline;
+  retry/backoff, an overall deadline, and :func:`query_status` for the
+  one-shot STATUS introspection query (docs/OBSERVABILITY.md);
 * :mod:`repro.service.faults`   — opt-in fault injection (delay, drop,
   duplicate, disconnect-at-phase) for graceful-degradation tests.
 
@@ -23,7 +24,12 @@ room tokens are random, deliveries carry no sender identity beyond what
 the protocol messages themselves embed).
 """
 
-from repro.service.client import ClientConfig, join_room, run_room  # noqa: F401
+from repro.service.client import (  # noqa: F401
+    ClientConfig,
+    join_room,
+    query_status,
+    run_room,
+)
 from repro.service.faults import FaultInjector  # noqa: F401
 from repro.service.framing import (  # noqa: F401
     DEFAULT_MAX_FRAME,

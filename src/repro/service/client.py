@@ -14,13 +14,23 @@ overall deadline, and explicit failed :class:`~repro.core.handshake.
 HandshakeOutcome` results on room abort, connection loss, or timeout —
 a client never hangs and never raises out of :func:`join_room` for
 protocol-level failures.
+
+Observability (docs/OBSERVABILITY.md): connect attempts and handshakes
+are span-traced (``connect`` / ``handshake`` with ``transport="socket"``),
+end-to-end latency feeds the ``hs:latency`` histogram, and lifecycle
+events (retries, aborts, outcomes) go through the redacting structured
+logger — identified by roster index and random room token only.
+:func:`query_status` fetches the live telemetry snapshot a running relay
+serves on the STATUS control query.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import random
+import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
@@ -29,7 +39,11 @@ from repro.core.handshake import HandshakeOutcome, HandshakePolicy
 from repro.errors import EncodingError, ProtocolError, TransportError
 from repro.net.runner import HandshakeDevice, SessionPlan
 from repro.net.simulator import BROADCAST, Message
+from repro.obs import logging as obslog
+from repro.obs import spans as obs
 from repro.service import framing, protocol
+
+_log = obslog.get_logger("repro.service.client")
 
 
 @dataclass
@@ -75,16 +89,25 @@ async def _connect(config: ClientConfig, rng: random.Random):
     """Open the TCP connection, retrying with backoff + jitter."""
     delay = config.backoff_base
     last_error: Optional[Exception] = None
-    for attempt in range(config.connect_retries + 1):
-        try:
-            return await asyncio.open_connection(config.host, config.port)
-        except OSError as exc:
-            last_error = exc
-            if attempt == config.connect_retries:
-                break
-            metrics.bump("svc-client:retries")
-            await asyncio.sleep(delay * (1.0 + config.backoff_jitter * rng.random()))
-            delay *= config.backoff_factor
+    with obs.span("connect") as span:
+        for attempt in range(config.connect_retries + 1):
+            try:
+                streams = await asyncio.open_connection(
+                    config.host, config.port)
+                span.end(attempts=attempt + 1)
+                return streams
+            except OSError as exc:
+                last_error = exc
+                if attempt == config.connect_retries:
+                    break
+                metrics.bump("svc-client:retries")
+                obslog.log_event(_log, "connect-retry", attempt=attempt + 1,
+                                 delay_s=round(delay, 4),
+                                 error=type(exc).__name__)
+                await asyncio.sleep(
+                    delay * (1.0 + config.backoff_jitter * rng.random()))
+                delay *= config.backoff_factor
+        span.end(attempts=config.connect_retries + 1, failed=True)
     raise TransportError(
         f"could not connect to {config.host}:{config.port} after "
         f"{config.connect_retries + 1} attempts: {last_error}")
@@ -141,43 +164,57 @@ async def _join(member, config: ClientConfig,
         device = HandshakeDevice(f"device-{welcome.index}", member, plan,
                                  policy, rng)
         device.attached(link)
-        with metrics.scope(device.metrics_scope):
-            device.start()
-        await _flush(writer, link)
+        hs_started = time.perf_counter()
+        with obs.span("handshake", m=welcome.m, transport="socket",
+                      party=welcome.index, token=ready.token):
+            with metrics.scope(device.metrics_scope):
+                device.start()
+            await _flush(writer, link)
 
-        while device.outcome is None:
-            blob = await framing.read_frame(reader, config.max_frame)
-            if blob is None:        # server closed: room died under us
-                break
-            message = protocol.decode_message(blob)
-            if isinstance(message, protocol.Deliver):
-                delivered = Message(
-                    msg_id=next(msg_ids), sender=None,
-                    recipient=device.name, channel=plan.channel,
-                    payload=_retuple(message.payload))
-                with metrics.scope(device.metrics_scope):
-                    metrics.count_message_received(
-                        len(blob) + framing.HEADER_SIZE)
-                    metrics.bump(f"received:{device.name}")
-                    device.on_message(delivered)
-                await _flush(writer, link)
-            elif isinstance(message, protocol.Abort):
-                metrics.bump("svc-client:room-aborts")
-                break
-            elif isinstance(message, protocol.Error):
-                metrics.bump("svc-client:server-errors")
-                break
-            else:
-                raise ProtocolError(
-                    f"unexpected {type(message).__name__} from server")
+            while device.outcome is None:
+                blob = await framing.read_frame(reader, config.max_frame)
+                if blob is None:    # server closed: room died under us
+                    break
+                message = protocol.decode_message(blob)
+                if isinstance(message, protocol.Deliver):
+                    delivered = Message(
+                        msg_id=next(msg_ids), sender=None,
+                        recipient=device.name, channel=plan.channel,
+                        payload=_retuple(message.payload))
+                    with metrics.scope(device.metrics_scope):
+                        metrics.count_message_received(
+                            len(blob) + framing.HEADER_SIZE)
+                        metrics.bump(f"received:{device.name}")
+                        device.on_message(delivered)
+                    await _flush(writer, link)
+                elif isinstance(message, protocol.Abort):
+                    metrics.bump("svc-client:room-aborts")
+                    obslog.log_event(_log, "room-abort",
+                                     party=welcome.index, token=ready.token,
+                                     abort_reason=message.reason)
+                    break
+                elif isinstance(message, protocol.Error):
+                    metrics.bump("svc-client:server-errors")
+                    obslog.log_event(_log, "server-error",
+                                     party=welcome.index, token=ready.token)
+                    break
+                else:
+                    raise ProtocolError(
+                        f"unexpected {type(message).__name__} from server")
 
+        metrics.observe("hs:latency", time.perf_counter() - hs_started)
         if device.outcome is not None:
             try:
                 await _send(writer, protocol.Done(), config.max_frame)
             except (ConnectionError, OSError):
                 pass        # outcome already decided; DONE is best-effort
-        return device.outcome or HandshakeOutcome(index=device.index,
-                                                  success=False)
+        outcome = device.outcome or HandshakeOutcome(index=device.index,
+                                                     success=False)
+        obslog.log_event(_log, "outcome", party=welcome.index,
+                         token=ready.token, success=outcome.success,
+                         latency_s=round(
+                             time.perf_counter() - hs_started, 6))
+        return outcome
     finally:
         try:
             writer.close()
@@ -229,6 +266,36 @@ async def _expect(reader: asyncio.StreamReader, config: ClientConfig,
             return None
         raise ProtocolError(
             f"expected {expected_type.__name__}, got {type(message).__name__}")
+
+
+async def query_status(host: str, port: int, *,
+                       max_frame: int = framing.DEFAULT_MAX_FRAME,
+                       timeout: float = 5.0) -> dict:
+    """Fetch a running relay's live telemetry snapshot.
+
+    Opens a fresh connection, sends the one-shot STATUS query and returns
+    the decoded JSON document (see :meth:`RendezvousServer.status`).
+    Raises :class:`~repro.errors.TransportError` if the server closes
+    without replying, and propagates connection errors as-is."""
+    async def _query() -> dict:
+        reader, writer = await asyncio.open_connection(host, port)
+        try:
+            await _send(writer, protocol.Status(), max_frame)
+            blob = await framing.read_frame(reader, max_frame)
+            if blob is None:
+                raise TransportError("server closed without a STATUS reply")
+            message = protocol.decode_message(blob)
+            if not isinstance(message, protocol.StatusReply):
+                raise ProtocolError(
+                    f"expected STATUS_REPLY, got {type(message).__name__}")
+            return json.loads(message.body)
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+
+    return await asyncio.wait_for(_query(), timeout)
 
 
 async def run_room(members: Sequence[object], config: ClientConfig,

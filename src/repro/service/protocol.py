@@ -19,6 +19,16 @@ Session flow::
     S -> C   ABORT(reason)             room torn down (timeout, lost peer)
     both     ERROR(reason)             protocol violation; connection drops
 
+Introspection (one-shot, in place of HELLO)::
+
+    C -> S   STATUS()                  ask the relay for live telemetry
+    S -> C   STATUS_REPLY(body)        JSON: room counts by state, queue
+                                       depths, histogram summaries — only
+                                       aggregates and random room tokens,
+                                       never member identifiers (the
+                                       anonymity rule applies to exported
+                                       telemetry, docs/OBSERVABILITY.md)
+
 ``BROADCAST``/``DELIVER`` payloads are the exact tuples
 :class:`repro.net.runner.HandshakeDevice` exchanges over the simulator —
 the service adds framing and relay, not a new message format.
@@ -92,12 +102,26 @@ class Error:
     KIND = "svc/error"
 
 
+@dataclass(frozen=True)
+class Status:
+    KIND = "svc/status"
+
+
+@dataclass(frozen=True)
+class StatusReply:
+    body: str          # JSON document (aggregates only; see module doc)
+
+    KIND = "svc/status-reply"
+
+
 _REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {
     cls.KIND: (cls, tuple(cls.__dataclass_fields__))  # type: ignore[attr-defined]
-    for cls in (Hello, Welcome, RoomReady, Broadcast, Deliver, Done, Abort, Error)
+    for cls in (Hello, Welcome, RoomReady, Broadcast, Deliver, Done, Abort,
+                Error, Status, StatusReply)
 }
 
-_FIELD_TYPES = {"room": str, "reason": str, "token": str, "m": int, "index": int}
+_FIELD_TYPES = {"room": str, "reason": str, "token": str, "m": int,
+                "index": int, "body": str}
 
 
 def encode_message(message) -> bytes:
@@ -143,5 +167,6 @@ def payload_kind(payload: object) -> str:
 
 __all__ = [
     "Hello", "Welcome", "RoomReady", "Broadcast", "Deliver", "Done",
-    "Abort", "Error", "encode_message", "decode_message", "payload_kind",
+    "Abort", "Error", "Status", "StatusReply",
+    "encode_message", "decode_message", "payload_kind",
 ]

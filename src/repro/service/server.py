@@ -22,25 +22,40 @@ Robustness machinery:
 * **graceful drain** — :meth:`RendezvousServer.shutdown` stops accepting,
   gives active rooms a drain window to finish, then aborts stragglers.
 
-Observability: accepts, frames in/out, room lifecycle counts land in the
-:mod:`repro.metrics` layer under ``svc:*`` bumps; each room's relay loop
-runs inside scope ``room:<token>`` so relayed messages and room wall time
-are attributable per room.
+Observability (docs/OBSERVABILITY.md): accepts, frames in/out, room
+lifecycle and every error path (abort/error frames sent, fill/handshake/
+idle timeouts fired, send-queue drops) land in the :mod:`repro.metrics`
+layer under ``svc:*`` bumps; each room's relay loop runs inside scope
+``room:<token>`` so relayed messages and room wall time are attributable
+per room; per-frame relay latency feeds the ``svc:relay-latency``
+histogram; room lifecycle (fill → relay) is span-traced when tracing is
+on; structured JSON logs go through :mod:`repro.obs.logging` with the
+anonymity redaction rule (random room tokens and roster indices only —
+never rendezvous names, member identifiers, or payload bytes); and a
+one-shot ``STATUS`` control query (see :meth:`RendezvousServer.status`)
+returns live room counts, queue depths and histogram snapshots from a
+running relay.
 """
 
 from __future__ import annotations
 
 import asyncio
 import itertools
+import json
 import random
 import secrets
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro import metrics
 from repro.errors import EncodingError, ProtocolError
+from repro.obs import logging as obslog
+from repro.obs import spans as obs
 from repro.service import framing, protocol
 from repro.service.faults import FaultInjector
+
+_log = obslog.get_logger("repro.service.server")
 
 
 @dataclass
@@ -116,7 +131,9 @@ class _Connection:
             blob = protocol.encode_message(message)
             self.queue.put_nowait(framing.encode_frame(blob))
         except asyncio.QueueFull:
-            pass
+            metrics.bump("svc:send-queue-drops")
+            obslog.log_event(_log, "send-queue-drop", conn=self.conn_id,
+                             frame=type(message).__name__)
 
     def close(self) -> None:
         """Ask the writer task to flush queued frames then close."""
@@ -153,6 +170,14 @@ class _Room:
         self.queue: asyncio.Queue = asyncio.Queue()
         self.relay_task: Optional[asyncio.Task] = None
         self.finished = asyncio.Event()
+        self.opened_at = time.perf_counter()
+        # Lifecycle spans (fill -> relay under one root); identified by
+        # the unlinkable token only — never the rendezvous name.
+        self._span_root = obs.start_span("room", parent=None,
+                                         token=token, m=m)
+        self._span_stage = obs.start_span("room:fill",
+                                          parent=self._span_root,
+                                          token=token)
 
     @property
     def scope(self) -> str:
@@ -170,6 +195,12 @@ class _Room:
     def activate(self) -> None:
         self.state = self.ACTIVE
         metrics.bump("svc:rooms-active")
+        self._span_stage.end()
+        self._span_stage = obs.start_span("room:relay",
+                                          parent=self._span_root,
+                                          token=self.token)
+        obslog.log_event(_log, "room-active", token=self.token, m=self.m,
+                         fill_s=round(time.perf_counter() - self.opened_at, 6))
         for conn in self.members:
             conn.send_best_effort(
                 protocol.RoomReady(room=self.name, token=self.token, m=self.m))
@@ -178,7 +209,7 @@ class _Room:
     # Relay ----------------------------------------------------------------
 
     async def relay(self, sender_index: int, payload: object) -> None:
-        await self.queue.put((sender_index, payload))
+        await self.queue.put((sender_index, payload, time.perf_counter()))
 
     async def _relay_loop(self) -> None:
         loop = asyncio.get_running_loop()
@@ -187,15 +218,22 @@ class _Room:
             while self.state == self.ACTIVE:
                 remaining = deadline - loop.time()
                 if remaining <= 0:
+                    metrics.bump("svc:handshake-timeouts")
                     self.abort("handshake-timeout")
                     return
                 try:
-                    sender, payload = await asyncio.wait_for(
+                    sender, payload, enqueued = await asyncio.wait_for(
                         self.queue.get(), remaining)
                     await asyncio.wait_for(
                         self._fan_out(sender, payload),
                         deadline - loop.time())
+                    # Queue-to-fanned-out latency of one relayed frame:
+                    # the relay's own contribution to handshake latency
+                    # (includes injected fault delays — honestly).
+                    metrics.observe("svc:relay-latency",
+                                    time.perf_counter() - enqueued)
                 except asyncio.TimeoutError:
+                    metrics.bump("svc:handshake-timeouts")
                     self.abort("handshake-timeout")
                     return
                 except asyncio.CancelledError:
@@ -237,6 +275,8 @@ class _Room:
         if self.state == self.ACTIVE and len(self.done) == self.m:
             self._finish("completed")
             metrics.bump("svc:rooms-completed")
+            metrics.observe("svc:room-lifetime",
+                            time.perf_counter() - self.opened_at)
             for member in self.members:
                 member.close()
 
@@ -257,12 +297,19 @@ class _Room:
         metrics.bump(f"svc:abort:{reason}")
         for conn in self.members:
             if not conn.done and not conn.kicked:
+                metrics.bump("svc:abort-frames")
                 conn.send_best_effort(protocol.Abort(reason=reason))
             conn.close()
 
     def _finish(self, outcome: str) -> None:
         self.state = self.CLOSED
         self.outcome = outcome
+        self._span_stage.end()
+        self._span_root.end(outcome=outcome)
+        obslog.log_event(_log, "room-closed", token=self.token,
+                         outcome=outcome, members=len(self.members),
+                         lifetime_s=round(
+                             time.perf_counter() - self.opened_at, 6))
         self.server._room_closed(self)
         if self.relay_task is not None and self.relay_task is not asyncio.current_task():
             self.relay_task.cancel()
@@ -288,8 +335,10 @@ class RendezvousServer:
         self._filling: Dict[str, _Room] = {}
         self._rooms: Dict[str, _Room] = {}     # token -> room (all states)
         self._handlers: set = set()
+        self._connections: set = set()         # live _Connection objects
         self._conn_ids = itertools.count(1)
         self._accepting = False
+        self._started = 0.0
 
     # Lifecycle ------------------------------------------------------------
 
@@ -297,6 +346,8 @@ class RendezvousServer:
         self._server = await asyncio.start_server(
             self._handle, self.config.host, self.config.port)
         self._accepting = True
+        self._started = time.perf_counter()
+        obslog.log_event(_log, "server-start", port=self.port)
         return self
 
     async def __aenter__(self) -> "RendezvousServer":
@@ -345,6 +396,45 @@ class RendezvousServer:
         return {t: r.outcome for t, r in self._rooms.items()
                 if r.outcome is not None}
 
+    def status(self) -> Dict[str, object]:
+        """Live telemetry snapshot — what a STATUS query returns.
+
+        Aggregates only (the anonymity rule, docs/OBSERVABILITY.md):
+        room counts by state keyed to random tokens' existence, queue
+        depths, ``svc:*`` counters and histogram summaries.  No rendezvous
+        names, member identifiers or payload bytes appear."""
+        states = {_Room.FILLING: 0, _Room.ACTIVE: 0, _Room.CLOSED: 0}
+        relay_backlog = 0
+        for room in self._rooms.values():
+            states[room.state] += 1
+            if room.state == _Room.ACTIVE:
+                relay_backlog += room.queue.qsize()
+        depths = [c.queue.qsize() for c in self._connections]
+        outcomes: Dict[str, int] = {}
+        for outcome in self.room_outcomes().values():
+            outcomes[outcome] = outcomes.get(outcome, 0) + 1
+        rec = metrics.current_recorder()
+        counters = {name: value
+                    for name, value in sorted(rec.total().extra.items())
+                    if name.startswith("svc:")}
+        histograms = {name: hist.summary()
+                      for name, hist in sorted(rec.histograms().items())}
+        return {
+            "uptime_s": round(time.perf_counter() - self._started, 3)
+                        if self._started else 0.0,
+            "accepting": self._accepting,
+            "connections": len(self._connections),
+            "rooms": {"filling": states[_Room.FILLING],
+                      "active": states[_Room.ACTIVE],
+                      "closed": states[_Room.CLOSED]},
+            "outcomes": outcomes,
+            "send_queues": {"total_depth": sum(depths),
+                            "max_depth": max(depths, default=0)},
+            "relay_backlog": relay_backlog,
+            "counters": counters,
+            "histograms": histograms,
+        }
+
     # Accept path ----------------------------------------------------------
 
     def _new_token(self) -> str:
@@ -360,17 +450,29 @@ class RendezvousServer:
         conn = _Connection(next(self._conn_ids), reader, writer,
                            self.config.send_queue_limit)
         self._handlers.add(asyncio.current_task())
+        self._connections.add(conn)
         metrics.bump("svc:accepts")
+        obslog.log_event(_log, "accept", conn=conn.conn_id)
         conn.start_writer()
         try:
             await self._session(conn)
         except (EncodingError, ProtocolError) as exc:
             metrics.bump("svc:protocol-errors")
+            metrics.bump("svc:error-frames")
+            # Only the error *class* is logged: ProtocolError messages can
+            # quote the client-chosen rendezvous name, which must not
+            # appear in telemetry (the wire Error frame still carries it —
+            # that goes to the offending client only).
+            obslog.log_event(_log, "protocol-error", conn=conn.conn_id,
+                             error=type(exc).__name__)
             conn.send_best_effort(protocol.Error(reason=str(exc)))
         except (ConnectionError, OSError, asyncio.IncompleteReadError):
             metrics.bump("svc:connection-lost")
+            obslog.log_event(_log, "connection-lost", conn=conn.conn_id)
         except asyncio.TimeoutError:
             metrics.bump("svc:idle-timeouts")
+            metrics.bump("svc:error-frames")
+            obslog.log_event(_log, "idle-timeout", conn=conn.conn_id)
             conn.send_best_effort(protocol.Error(reason="idle timeout"))
         except asyncio.CancelledError:
             pass
@@ -378,6 +480,7 @@ class RendezvousServer:
             if conn.room is not None:
                 conn.room.member_lost(conn)
             conn.close()
+            self._connections.discard(conn)
             task = asyncio.current_task()
             if task in self._handlers:
                 self._handlers.discard(task)
@@ -394,6 +497,12 @@ class RendezvousServer:
     async def _session(self, conn: _Connection) -> None:
         hello = await self._read_message(conn)
         if hello is None:
+            return
+        if isinstance(hello, protocol.Status):
+            # One-shot introspection query in place of HELLO.
+            metrics.bump("svc:status-queries")
+            await conn.send(protocol.StatusReply(body=json.dumps(
+                self.status(), sort_keys=True)))
             return
         if not isinstance(hello, protocol.Hello):
             raise ProtocolError(f"expected HELLO, got {type(hello).__name__}")
@@ -438,6 +547,7 @@ class RendezvousServer:
 
     def _fill_timeout(self, room: _Room) -> None:
         if room.state == _Room.FILLING:
+            metrics.bump("svc:fill-timeouts")
             room.abort("fill-timeout")
 
     def _room_closed(self, room: _Room) -> None:

@@ -70,7 +70,11 @@ def test_five_party_service_transport_count_parity(service_world):
     """The acceptance bar for the socket transport: a 5-party handshake
     over real loopback TCP performs exactly the same per-party work —
     modexp, messages sent, messages received in scope ``hs:<i>`` — as the
-    synchronous engine and the in-process simulator."""
+    synchronous engine and the in-process simulator.
+
+    The simulator and socket legs run with span tracing *enabled* while
+    the engine leg runs with it off: parity across the three recorders
+    therefore also proves instrumentation is observationally free."""
     import asyncio
 
     from repro import metrics
@@ -94,6 +98,7 @@ def test_five_party_service_transport_count_parity(service_world):
         sync_outcomes = run_handshake(lineup, policy, service_world.rng)
 
     sim_rec = metrics.Recorder()
+    sim_rec.tracing = True
     with metrics.using(sim_rec):
         sim_outcomes = run_handshake_over_network(
             lineup, policy, service_world.rng, session_id="parity-5")
@@ -105,6 +110,7 @@ def test_five_party_service_transport_count_parity(service_world):
                 run_room(lineup, cfg, policy), 60)
 
     svc_rec = metrics.Recorder()
+    svc_rec.tracing = True
     with metrics.using(svc_rec):
         svc_outcomes = asyncio.run(over_sockets())
 
@@ -118,6 +124,14 @@ def test_five_party_service_transport_count_parity(service_world):
     # rounds + tag + phase3), each received by the other m-1 parties.
     assert all(sent == 4 and received == 4 * (m - 1)
                for _, sent, received in sync_counts)
+    # The traced legs really did trace: every party has a root span with
+    # nested phase spans (the Perfetto acceptance artifact's skeleton).
+    for rec in (sim_rec, svc_rec):
+        names = [s.name for s in rec.spans()]
+        for i in range(m):
+            assert f"hs:{i}" in names
+        assert names.count("phase:I") == m
+        assert names.count("phase:III") == m
 
 
 def test_both_transcripts_trace_identically(scheme1_world):

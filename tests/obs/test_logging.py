@@ -1,0 +1,108 @@
+"""Structured-log redaction: the anonymity rule applied to telemetry.
+
+These tests *prove* the redaction layer: member identifiers, payload
+bytes, key material and crypto-sized integers can never reach a log line,
+whichever path built the record."""
+
+import io
+import json
+import logging
+
+import pytest
+
+from repro.obs import logging as obslog
+
+
+@pytest.fixture()
+def captured():
+    stream = io.StringIO()
+    obslog.configure(level=logging.DEBUG, stream=stream)
+    yield stream
+    obslog.unconfigure()
+
+
+def _lines(stream):
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestRedactValue:
+    def test_denylisted_keys_always_redact(self):
+        for key in ("member", "member_id", "user_id", "peer", "payload",
+                    "identity", "session_key", "room_name", "signature",
+                    "theta", "delta", "credential", "UserName"):
+            assert obslog.redact_value(key, "alice") == "[redacted]", key
+
+    def test_allowed_scalars_pass(self):
+        assert obslog.redact_value("token", "cafe1234") == "cafe1234"
+        assert obslog.redact_value("m", 5) == 5
+        assert obslog.redact_value("fill_s", 0.25) == 0.25
+        assert obslog.redact_value("ok", True) is True
+        assert obslog.redact_value("detail", None) is None
+
+    def test_crypto_sized_ints_redact(self):
+        assert obslog.redact_value("count", 2**521) == "[redacted:bigint]"
+        assert obslog.redact_value("count", -(2**127)) == "[redacted:bigint]"
+
+    def test_bytes_and_containers_redact(self):
+        assert obslog.redact_value("data", b"\x01\x02") == "[redacted:bytes]"
+        assert obslog.redact_value("data", (1, 2)) == "[redacted:tuple]"
+        assert obslog.redact_value("data", [1]) == "[redacted:list]"
+        assert obslog.redact_value("data", {"a": 1}) == "[redacted:dict]"
+
+    def test_long_strings_truncate(self):
+        long = "x" * 500
+        out = obslog.redact_value("note", long)
+        assert len(out) < 200 and out.endswith("…")
+
+
+class TestLogEvent:
+    def test_json_line_structure(self, captured):
+        log = obslog.get_logger("repro.test")
+        obslog.log_event(log, "room-active", token="cafe", m=3)
+        (doc,) = _lines(captured)
+        assert doc["event"] == "room-active"
+        assert doc["logger"] == "repro.test"
+        assert doc["token"] == "cafe" and doc["m"] == 3
+        assert doc["level"] == "INFO" and "ts" in doc
+
+    def test_forbidden_fields_scrubbed_before_any_handler(self, captured):
+        log = obslog.get_logger("repro.test")
+        obslog.log_event(log, "join", member="alice", payload=b"\xde\xad",
+                         token="ok")
+        (doc,) = _lines(captured)
+        assert doc["member"] == "[redacted]"
+        assert doc["payload"] == "[redacted]"
+        assert doc["token"] == "ok"
+        assert "alice" not in captured.getvalue()
+        assert "dead" not in captured.getvalue().lower().replace("\\", "")
+
+    def test_filter_scrubs_handmade_records(self, captured):
+        # Bypass log_event entirely: the handler-side RedactionFilter is
+        # the second line of defence.
+        log = obslog.get_logger("repro.test")
+        log.info("manual", extra={"obs_fields": {"user": "mallory",
+                                                 "n": 2**80}})
+        (doc,) = _lines(captured)
+        assert doc["user"] == "[redacted]"
+        assert doc["n"] == "[redacted:bigint]"
+        assert "mallory" not in captured.getvalue()
+
+    def test_get_logger_reparents_foreign_names(self):
+        assert obslog.get_logger("service").name == "repro.service"
+        assert obslog.get_logger("repro.x").name == "repro.x"
+
+    def test_configure_is_idempotent(self):
+        a = obslog.configure(stream=io.StringIO())
+        b = obslog.configure(stream=io.StringIO())
+        root = logging.getLogger("repro")
+        ours = [h for h in root.handlers
+                if getattr(h, "_repro_obs", False)]
+        assert ours == [b] and a not in root.handlers
+        obslog.unconfigure()
+        assert not [h for h in root.handlers
+                    if getattr(h, "_repro_obs", False)]
+
+    def test_silent_without_configure(self):
+        # Library etiquette: NullHandler only — no output, no warnings.
+        log = obslog.get_logger("repro.quiet")
+        obslog.log_event(log, "nothing-to-see")  # must not raise

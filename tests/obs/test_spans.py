@@ -1,0 +1,166 @@
+"""Span tracing: nesting, explicit parents, the tracing switch, and
+correctness across threads and asyncio tasks."""
+
+import asyncio
+import threading
+
+from repro import metrics
+from repro.obs import spans as obs
+
+
+def _traced_recorder():
+    rec = metrics.Recorder()
+    rec.tracing = True
+    return rec
+
+
+class TestSwitch:
+    def test_noop_when_tracing_off(self):
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            with obs.span("work") as s:
+                assert s is obs.NOOP_SPAN
+            assert obs.start_span("manual") is obs.NOOP_SPAN
+            assert rec.spans() == []
+
+    def test_noop_span_absorbs_end(self):
+        obs.NOOP_SPAN.end(outcome="whatever")  # must not raise
+        assert obs.NOOP_SPAN.dur is None
+
+    def test_only_finished_spans_are_recorded(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            live = obs.start_span("open")
+            assert rec.spans() == []
+            live.end()
+            assert [s.name for s in rec.spans()] == ["open"]
+
+
+class TestNesting:
+    def test_context_manager_parent_links(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            with obs.span("outer") as outer:
+                with obs.span("inner") as inner:
+                    assert inner.parent_id == outer.span_id
+                    assert obs.current_span() is inner
+                assert obs.current_span() is outer
+            assert obs.current_span() is None
+        names = {s.name: s for s in rec.spans()}
+        assert names["inner"].parent_id == names["outer"].span_id
+        assert names["outer"].parent_id is None
+
+    def test_context_restored_after_exception(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            try:
+                with obs.span("doomed"):
+                    raise RuntimeError("boom")
+            except RuntimeError:
+                pass
+            assert obs.current_span() is None
+            # The span still recorded (finished on the way out).
+            assert [s.name for s in rec.spans()] == ["doomed"]
+
+    def test_manual_span_explicit_parent(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            root = obs.start_span("root", parent=None)
+            child = obs.start_span("child", parent=root)
+            orphan = obs.start_span("orphan", parent=None)
+            assert child.parent_id == root.span_id
+            assert orphan.parent_id is None
+            for s in (child, orphan, root):
+                s.end()
+
+    def test_manual_span_defaults_to_context_parent(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            with obs.span("ctx") as ctx:
+                manual = obs.start_span("manual")
+                assert manual.parent_id == ctx.span_id
+                manual.end()
+
+    def test_end_is_idempotent_and_merges_attrs(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            s = obs.start_span("once", kind="x")
+            s.end(outcome="ok")
+            first_dur = s.dur
+            s.end(outcome="overwritten?")
+            assert s.dur == first_dur
+            assert s.attrs == {"kind": "x", "outcome": "ok"}
+            assert len(rec.spans()) == 1
+
+    def test_as_dict_prefixes_attrs(self):
+        rec = _traced_recorder()
+        with metrics.using(rec):
+            s = obs.start_span("d", party=3).end()
+        doc = s.as_dict()
+        assert doc["name"] == "d"
+        assert doc["attr.party"] == 3
+        assert doc["dur"] is not None and doc["dur"] >= 0
+
+
+class TestConcurrency:
+    def test_threads_do_not_share_span_context(self):
+        recs = [_traced_recorder(), _traced_recorder()]
+        errors = []
+
+        def worker(rec, label):
+            try:
+                with metrics.using(rec):
+                    with obs.span(f"root-{label}"):
+                        with obs.span(f"leaf-{label}"):
+                            pass
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=worker, args=(recs[i], i))
+                   for i in range(2)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        for i, rec in enumerate(recs):
+            names = {s.name: s for s in rec.spans()}
+            assert set(names) == {f"root-{i}", f"leaf-{i}"}
+            assert (names[f"leaf-{i}"].parent_id
+                    == names[f"root-{i}"].span_id)
+
+    def test_asyncio_tasks_get_independent_parents(self):
+        rec = _traced_recorder()
+
+        async def party(i):
+            with obs.span(f"hs:{i}", party=i):
+                await asyncio.sleep(0)
+                with obs.span("phase", party=i):
+                    await asyncio.sleep(0)
+
+        async def main():
+            with metrics.using(rec):
+                await asyncio.gather(*(party(i) for i in range(3)))
+
+        asyncio.run(main())
+        spans = rec.spans()
+        roots = {s.attrs["party"]: s for s in spans if s.name.startswith("hs:")}
+        phases = [s for s in spans if s.name == "phase"]
+        assert len(roots) == 3 and len(phases) == 3
+        for ph in phases:
+            # Each phase is parented to its *own* party's root, not to
+            # whichever task happened to run last.
+            assert ph.parent_id == roots[ph.attrs["party"]].span_id
+
+    def test_span_records_into_originating_recorder(self):
+        """A span ends inside a different recorder context than it started
+        in (callback-driven state machines): it must land in the recorder
+        that created it."""
+        rec_a = _traced_recorder()
+        rec_b = _traced_recorder()
+        with metrics.using(rec_a):
+            s = obs.start_span("crossing")
+        with metrics.using(rec_b):
+            s.end()
+        assert [x.name for x in rec_a.spans()] == ["crossing"]
+        assert rec_b.spans() == []

@@ -95,6 +95,52 @@ class TestStats:
             lambda members, policy, rng: _outcomes(len(members), True))
         assert cli.main(["stats", "-m", "2", "3"]) == 0
 
+    def _stub_success(self, monkeypatch):
+        monkeypatch.setattr(cli, "create_scheme1",
+                            lambda *a, **k: _FakeFramework())
+        monkeypatch.setattr(
+            cli, "run_handshake",
+            lambda members, policy, rng: _outcomes(len(members), True))
+
+    def test_format_json_stdout_is_parseable(self, monkeypatch, capsys):
+        import json
+        self._stub_success(monkeypatch)
+        assert cli.main(["stats", "-m", "2", "--format", "json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert "scopes" in doc
+
+    def test_format_csv_stdout_is_parseable(self, monkeypatch, capsys):
+        import csv
+        import io
+        self._stub_success(monkeypatch)
+        assert cli.main(["stats", "-m", "2", "--format", "csv"]) == 0
+        rows = list(csv.reader(io.StringIO(capsys.readouterr().out)))
+        assert rows[0][0] == "scope"
+
+    def test_percentiles_prints_histogram_table(self, monkeypatch, capsys):
+        self._stub_success(monkeypatch)
+        assert cli.main(["stats", "-m", "2", "--percentiles"]) == 0
+        out = capsys.readouterr().out
+        assert "percentiles" in out and "p99" in out
+
+
+class TestTrace:
+    def test_sim_transport_renders_gantt_and_exports(self, tmp_path, capsys):
+        import json
+        out_path = tmp_path / "trace.json"
+        jsonl_path = tmp_path / "spans.jsonl"
+        code = cli.main(["trace", "-m", "2", "--transport", "sim",
+                         "--seed", "11",
+                         "--out", str(out_path), "--jsonl", str(jsonl_path)])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "hs:0" in rendered and "hs:1" in rendered
+        assert "phase:I" in rendered and "#" in rendered
+        doc = json.loads(out_path.read_text())
+        names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+        assert {"handshake", "phase:I", "phase:III"} <= names
+        assert len(jsonl_path.read_text().splitlines()) > 0
+
 
 class _ServerThread:
     """A rendezvous server on its own thread + loop, for driving the CLI
