@@ -1,0 +1,164 @@
+"""Accel sweep — baseline vs fixed-base precompute vs process pool.
+
+Three configurations of the same seeded handshake, m ∈ {2, 4, 8}:
+
+* ``baseline``   — accel disabled: plain ``pow`` everywhere, inline.
+* ``precompute`` — accel enabled: fixed-base tables + Shamir/Straus
+  multi-exp, still inline on one core.
+* ``pooled``     — accel enabled *and* Phase III fanned out over the
+  :mod:`repro.accel.pool` worker processes.
+
+The **counter-parity guard** is the heart of the benchmark and is always
+asserted, on any machine: all three configurations must produce
+bit-identical session keys and transcripts and identical per-party E1
+(modexp) / E2 (message) counts — acceleration that changes the books is
+a bug, not a speedup.  The ≥1.5× pooled-vs-inline wall-clock bar for
+m=8 is asserted only on a multi-core runner (a single-core container
+cannot parallelise anything); the JSON artifact records whether the bar
+was enforced via ``speedup_asserted``.
+
+Artifacts: ``results/accel_sweep.txt`` (table) and ``BENCH_accel.json``
+at the repo root (CI uploads it; see .github/workflows/ci.yml).
+"""
+
+import json
+import os
+import random
+import time
+
+from _tables import emit
+from repro import accel, metrics
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+
+SWEEP = (2, 4, 8)
+SEED = 52000
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_accel.json")
+SPEEDUP_BAR = 1.5
+
+
+def _seeded_rngs(m):
+    return [random.Random(SEED + i) for i in range(m)]
+
+
+def _run_once(members, pool):
+    rec = metrics.Recorder()
+    with metrics.using(rec):
+        started = time.perf_counter()
+        outcomes = run_handshake(members, scheme1_policy(),
+                                 rngs=_seeded_rngs(len(members)), pool=pool)
+        wall = time.perf_counter() - started
+    assert all(o.success for o in outcomes)
+    return outcomes, rec.snapshot(), wall
+
+
+def _fingerprint(outcomes, snapshot):
+    """Everything the parity guard compares: protocol outputs plus the
+    guarded per-party books (E1 modexps, E2 messages, hashes)."""
+    books = []
+    for i in range(len(outcomes)):
+        c = snapshot[f"hs:{i}"]
+        books.append((c.modexp, c.messages_sent, c.messages_received,
+                      c.hashes))
+    return (
+        tuple(o.session_key for o in outcomes),
+        tuple(tuple(o.transcript.entries) for o in outcomes),
+        tuple(books),
+    )
+
+
+def _mode_run(members, mode):
+    if mode == "baseline":
+        accel.disable()
+        return _run_once(members, pool=None)
+    accel.enable()
+    if mode == "precompute":
+        return _run_once(members, pool=None)
+    return _run_once(members, pool=accel.get_pool())
+
+
+def test_accel_sweep(benchmark, bench_scheme1):
+    modes = ("baseline", "precompute", "pooled")
+    results = {}
+    try:
+        # Warm-up outside the timed region: fixed-base tables build on
+        # first use and the process pool forks lazily — one-time costs
+        # that would otherwise be billed to whichever mode runs first.
+        accel.enable()
+        warm = bench_scheme1.members[:2]
+        _run_once(warm, pool=None)
+        _run_once(warm, pool=accel.get_pool())
+
+        def run():
+            for m in SWEEP:
+                members = bench_scheme1.members[:m]
+                results[m] = {mode: _mode_run(members, mode)
+                              for mode in modes}
+
+        benchmark.pedantic(run, rounds=1, iterations=1)
+    finally:
+        accel.shutdown_pool()
+        accel.disable()
+
+    # Counter-parity guard (always on): identical outputs and books.
+    for m in SWEEP:
+        prints = {mode: _fingerprint(outcomes, snap)
+                  for mode, (outcomes, snap, _) in results[m].items()}
+        assert prints["baseline"] == prints["precompute"], \
+            f"m={m}: precompute changed outputs or counters"
+        assert prints["baseline"] == prints["pooled"], \
+            f"m={m}: pool changed outputs or counters"
+
+    cpus = os.cpu_count() or 1
+    walls = {m: {mode: results[m][mode][2] for mode in modes} for m in SWEEP}
+    speedup_m8 = walls[8]["precompute"] / walls[8]["pooled"]
+    speedup_asserted = cpus >= 2
+    if speedup_asserted:
+        assert speedup_m8 >= SPEEDUP_BAR, (
+            f"pooled m=8 handshake only {speedup_m8:.2f}x faster than "
+            f"inline on {cpus} cores (bar: {SPEEDUP_BAR}x)")
+
+    rows = []
+    for m in SWEEP:
+        snap = results[m]["pooled"][1]
+        e1 = snap["hs:0"].modexp
+        rows.append((
+            m, e1,
+            f"{walls[m]['baseline']:.3f}",
+            f"{walls[m]['precompute']:.3f}",
+            f"{walls[m]['pooled']:.3f}",
+            f"{walls[m]['precompute'] / walls[m]['pooled']:.2f}x",
+        ))
+    emit(
+        "accel_sweep",
+        f"Accel: baseline vs precompute vs pooled ({cpus} CPUs; "
+        f"counters bit-identical across all modes)",
+        ("m", "E1/party", "base(s)", "pre(s)", "pool(s)", "pool-speedup"),
+        rows,
+    )
+
+    doc = {
+        "cpus": cpus,
+        "sweep": [
+            {
+                "m": m,
+                "wall_baseline_s": round(walls[m]["baseline"], 6),
+                "wall_precompute_s": round(walls[m]["precompute"], 6),
+                "wall_pooled_s": round(walls[m]["pooled"], 6),
+                "modexp_per_party": results[m]["pooled"][1]["hs:0"].modexp,
+                "pool_tasks": results[m]["pooled"][1]["total"].extra.get(
+                    "accel:pool-tasks", 0),
+                "fb_hits": results[m]["pooled"][1]["total"].extra.get(
+                    "accel:fb-hit", 0),
+            }
+            for m in SWEEP
+        ],
+        "counter_parity": "ok",
+        "speedup_pooled_vs_inline_m8": round(speedup_m8, 4),
+        "speedup_bar": SPEEDUP_BAR,
+        "speedup_asserted": speedup_asserted,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

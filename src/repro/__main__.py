@@ -39,6 +39,7 @@ import sys
 import time
 
 from repro import (
+    accel,
     create_scheme1,
     create_scheme2,
     metrics,
@@ -53,7 +54,42 @@ def _banner(text: str) -> None:
     print(f"\n=== {text}")
 
 
+def _add_accel_flags(sub) -> None:
+    sub.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="worker processes / bridge threads for the accel "
+                          "subsystem (default: one per CPU)")
+    sub.add_argument("--no-accel", action="store_true",
+                     help="disable crypto acceleration (fixed-base "
+                          "precomputation, multi-exp grouping, offload); "
+                          "results and operation counts are identical "
+                          "either way")
+
+
+def _apply_accel(args: argparse.Namespace) -> bool:
+    """Configure repro.accel from the CLI flags; returns enabled state."""
+    enabled = not getattr(args, "no_accel", False)
+    accel.configure(enabled=enabled, workers=getattr(args, "workers", None))
+    return enabled
+
+
+def _accel_summary() -> str:
+    stats = accel.stats()
+    fb = stats["fixed_base"]
+    line = (f"accel: enabled={stats['enabled']} "
+            f"fixed-base hits/misses={fb['hits']}/{fb['misses']} "
+            f"tables={fb['tables']}/{fb['capacity']}")
+    if stats["pool"]:
+        pool = stats["pool"]
+        line += (f" pool tasks={pool['tasks']} "
+                 f"inline={pool['inline']} workers={pool['workers']}")
+    bridge = stats["bridge"]
+    if bridge["tasks"]:
+        line += f" bridge tasks={bridge['tasks']}"
+    return line
+
+
 def _demo(args: argparse.Namespace) -> int:
+    _apply_accel(args)
     rng = random.Random(args.seed)
     started = time.time()
     ok = True
@@ -112,11 +148,13 @@ def _demo(args: argparse.Namespace) -> int:
           outcomes[0].distinct is False)
     check("rogue detected", outcomes[0].distinct is False)
 
-    print(f"\ndone in {time.time() - started:.1f}s — see examples/ for more")
+    print(f"\n{_accel_summary()}")
+    print(f"done in {time.time() - started:.1f}s — see examples/ for more")
     return 0 if ok else 1
 
 
 def _stats(args: argparse.Namespace) -> int:
+    _apply_accel(args)
     rng = random.Random(args.seed)
     if args.scheme == "2":
         framework = create_scheme2("stats-group", rng=rng)
@@ -164,6 +202,9 @@ def _stats(args: argparse.Namespace) -> int:
             for event in evs[:10]:
                 print(f"  {event.ts:9.4f}s  {event.kind:<12} "
                       f"{event.scope:<12} {event.data}")
+
+    if table_out:
+        print(f"\n{_accel_summary()}")
 
     if last_snapshot is not None:
         # Machine-readable stdout renderings of the final (largest-m)
@@ -252,11 +293,14 @@ def _trace(args: argparse.Namespace) -> int:
 def _serve(args: argparse.Namespace) -> int:
     from repro.service import RendezvousServer, ServerConfig
 
+    offload = _apply_accel(args)
+
     async def main() -> int:
         config = ServerConfig(
             host=args.host, port=args.port,
             room_fill_timeout=args.room_fill_timeout,
-            handshake_timeout=args.handshake_timeout)
+            handshake_timeout=args.handshake_timeout,
+            offload=offload)
         server = await RendezvousServer(config).start()
         print(f"rendezvous server listening on {args.host}:{server.port} "
               f"(untrusted relay — it sees only wire-format ciphertexts)")
@@ -298,11 +342,12 @@ def _join(args: argparse.Namespace) -> int:
     from repro.core.handshake import HandshakeOutcome
     from repro.service import ClientConfig, join_room, run_room
 
+    offload = _apply_accel(args)
     print(f"deriving scheme-{args.scheme} group from seed {args.seed} "
           f"(m={args.m}) …")
     members, policy = _build_join_world(args)
     config = ClientConfig(host=args.host, port=args.port, room=args.room,
-                          m=args.m, deadline=args.deadline)
+                          m=args.m, deadline=args.deadline, offload=offload)
 
     async def main():
         if args.index is not None:
@@ -367,6 +412,16 @@ def _status(args: argparse.Namespace) -> int:
             print(f"  {name:<24} count={s['count']:<6} "
                   f"p50={s['p50']:.6g} p90={s['p90']:.6g} "
                   f"p99={s['p99']:.6g} max={s['max']:.6g}")
+    accel_stats = status.get("accel")
+    if accel_stats:
+        fb = accel_stats.get("fixed_base", {})
+        pool = accel_stats.get("pool") or {}
+        bridge = accel_stats.get("bridge", {})
+        print(f"accel: enabled={accel_stats.get('enabled')}  "
+              f"fixed-base hits/misses={fb.get('hits', 0)}/"
+              f"{fb.get('misses', 0)} tables={fb.get('tables', 0)}  "
+              f"pool tasks={pool.get('tasks', 0)}  "
+              f"bridge tasks={bridge.get('tasks', 0)}")
     return 0
 
 
@@ -379,6 +434,7 @@ def main(argv=None) -> int:
     demo = sub.add_parser("demo", help="seeded framework tour (the default)")
     demo.add_argument("--seed", type=int, default=2005,
                       help="RNG seed for the tour (default: 2005)")
+    _add_accel_flags(demo)
 
     stats = sub.add_parser(
         "stats", help="replay a benchmark handshake and print per-phase "
@@ -403,6 +459,7 @@ def main(argv=None) -> int:
                        help="write the final snapshot as JSON")
     stats.add_argument("--csv", metavar="PATH",
                        help="write the final snapshot as CSV")
+    _add_accel_flags(stats)
 
     trace = sub.add_parser(
         "trace", help="run one traced handshake and render the span "
@@ -431,6 +488,7 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=7045)
     serve.add_argument("--room-fill-timeout", type=float, default=30.0)
     serve.add_argument("--handshake-timeout", type=float, default=60.0)
+    _add_accel_flags(serve)
 
     join = sub.add_parser(
         "join", help="join a handshake room on a rendezvous server")
@@ -448,6 +506,7 @@ def main(argv=None) -> int:
     join.add_argument("--scheme", choices=("1", "2"), default="1")
     join.add_argument("--deadline", type=float, default=60.0,
                       help="overall per-party deadline in seconds")
+    _add_accel_flags(join)
 
     status = sub.add_parser(
         "status", help="query a running rendezvous server's live telemetry")

@@ -1,0 +1,113 @@
+"""repro.accel — crypto acceleration subsystem.
+
+Three layers, all behaviour-preserving (see docs/PERFORMANCE.md):
+
+1. **Algorithmic** (:mod:`repro.accel.fixed_base`,
+   :mod:`repro.accel.multi_exp`) — fixed-base windowed precomputation
+   for long-lived bases and Shamir/Straus simultaneous
+   multi-exponentiation for ACJT's multi-term products.
+2. **Parallel** (:mod:`repro.accel.pool`) — a ``ProcessPoolExecutor``
+   worker pool with batch submit (``sign_many`` / ``verify_many`` /
+   ``modexp_many``) and counter replay into the caller's books.
+3. **Async** (:mod:`repro.accel.bridge`) — a ``run_in_executor`` bridge
+   so the service client/server keep the event loop free while crypto
+   computes.
+
+Everything is off by default and switched with :func:`configure` /
+:func:`enable`; the guarded E1/E2 counters (modexp, messages, bytes) and
+every protocol output are bit-identical with acceleration on or off.
+New ``accel:*`` extra counters and histograms ride on top.
+
+Importing this package installs the fixed-base hook into
+:func:`repro.crypto.modmath.mexp`; the hook is inert until enabled.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.accel import bridge, fixed_base, state
+from repro.accel.fixed_base import FixedBaseTable, lookup_pow, register_base
+from repro.accel.multi_exp import multi_exp
+from repro.accel.pool import WorkerPool
+from repro.crypto import modmath as _modmath
+
+_modmath._install_accel_pow(lookup_pow)
+
+__all__ = [
+    "FixedBaseTable",
+    "WorkerPool",
+    "bridge",
+    "configure",
+    "disable",
+    "enable",
+    "get_pool",
+    "is_enabled",
+    "multi_exp",
+    "register_base",
+    "reset",
+    "shutdown_pool",
+    "stats",
+]
+
+_POOL: Optional[WorkerPool] = None
+
+
+def configure(enabled: Optional[bool] = None, *,
+              window: Optional[int] = None,
+              cache_size: Optional[int] = None,
+              workers: Optional[int] = None) -> Dict[str, object]:
+    """Set any subset of the subsystem switches; returns the snapshot."""
+    snap = state.configure(enabled=enabled, window=window,
+                           cache_size=cache_size, workers=workers)
+    if cache_size is not None:
+        fixed_base.configure_cache(cache_size)
+    return snap
+
+
+def enable(workers: Optional[int] = None) -> None:
+    configure(enabled=True, workers=workers)
+
+
+def disable() -> None:
+    configure(enabled=False)
+
+
+def is_enabled() -> bool:
+    return state.is_enabled()
+
+
+def get_pool(workers: Optional[int] = None) -> WorkerPool:
+    """The shared process pool (created on first call)."""
+    global _POOL
+    if _POOL is None:
+        _POOL = WorkerPool(workers=workers)
+    return _POOL
+
+
+def shutdown_pool() -> None:
+    global _POOL
+    pool, _POOL = _POOL, None
+    if pool is not None:
+        pool.shutdown()
+
+
+def reset() -> None:
+    """Drop caches, pools and bridge threads; configuration persists."""
+    fixed_base.clear()
+    shutdown_pool()
+    bridge.shutdown()
+
+
+def stats() -> Dict[str, object]:
+    """One structured snapshot for STATUS replies and the CLI."""
+    snap = state.snapshot()
+    return {
+        "enabled": snap["enabled"],
+        "window": snap["window"],
+        "workers": snap["workers"],
+        "fixed_base": fixed_base.stats(),
+        "pool": dict(_POOL.stats, workers=_POOL.workers,
+                     usable=_POOL.usable) if _POOL is not None else None,
+        "bridge": bridge.stats(),
+    }

@@ -1,0 +1,108 @@
+"""Asyncio bridge (layer 3): run crypto off the event loop.
+
+``service.client`` drives a full handshake state machine from coroutine
+context, and the server decodes/encodes frames inline in its relay path.
+Both block the loop for the duration of each ACJT operation — tens of
+milliseconds at secure parameters — which is exactly the latency the
+relay is supposed to keep flat.  :func:`run` pushes such a callable onto
+a shared :class:`~concurrent.futures.ThreadPoolExecutor` and awaits it.
+
+Threads (not processes) on purpose: handshake devices hold sockets,
+queues and callbacks that do not pickle, and a thread is enough to get
+blocking work off the *loop* even though the GIL still serializes
+big-int math.  CPU-level parallelism is :mod:`repro.accel.pool`'s job.
+
+Metrics: ``loop.run_in_executor`` does **not** propagate context
+variables, so the wrapped callable re-pins the caller's recorder (and
+optionally enters a scope) inside the worker thread — otherwise every
+count would land in the thread's own private books and vanish.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import os
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from typing import Any, Callable, Dict, Optional
+
+from repro import metrics
+from repro.accel import state
+
+_LOCK = threading.Lock()
+_EXECUTOR: Optional[ThreadPoolExecutor] = None
+_PENDING = 0
+_TASKS = 0
+
+
+def _default_workers() -> int:
+    configured = state.workers()
+    if configured is not None:
+        return configured
+    return min(32, (os.cpu_count() or 1) + 4)
+
+
+def _executor() -> ThreadPoolExecutor:
+    global _EXECUTOR
+    with _LOCK:
+        if _EXECUTOR is None:
+            _EXECUTOR = ThreadPoolExecutor(
+                max_workers=_default_workers(),
+                thread_name_prefix="repro-accel-bridge",
+            )
+        return _EXECUTOR
+
+
+async def run(fn: Callable, *args: Any, scope: Optional[str] = None) -> Any:
+    """Await ``fn(*args)`` on the bridge executor.
+
+    The callable runs under the caller's recorder, inside ``scope`` when
+    given, so its counters land exactly where inline execution would
+    have put them.  Latency (submit → done) feeds the
+    ``accel:bridge-latency`` histogram.
+    """
+    global _PENDING, _TASKS
+    recorder = metrics.current_recorder()
+
+    def _invoke() -> Any:
+        with metrics.using(recorder):
+            if scope is None:
+                return fn(*args)
+            with metrics.scope(scope):
+                return fn(*args)
+
+    loop = asyncio.get_running_loop()
+    with _LOCK:
+        _PENDING += 1
+        depth = _PENDING
+    metrics.observe("accel:bridge-queue-depth", depth, metrics.SIZE_BOUNDS)
+    started = time.perf_counter()
+    try:
+        return await loop.run_in_executor(_executor(), _invoke)
+    finally:
+        with _LOCK:
+            _PENDING -= 1
+            _TASKS += 1
+        metrics.observe("accel:bridge-latency", time.perf_counter() - started)
+        metrics.bump("accel:bridge-tasks")
+
+
+def shutdown() -> None:
+    """Tear down the shared executor (a new one starts on next use)."""
+    global _EXECUTOR
+    with _LOCK:
+        executor, _EXECUTOR = _EXECUTOR, None
+    if executor is not None:
+        executor.shutdown(wait=True)
+
+
+def stats() -> Dict[str, int]:
+    with _LOCK:
+        return {
+            "workers": (_EXECUTOR._max_workers
+                        if _EXECUTOR is not None else _default_workers()),
+            "running": _EXECUTOR is not None,
+            "pending": _PENDING,
+            "tasks": _TASKS,
+        }

@@ -1,0 +1,259 @@
+"""Process-pool offload with counter replay (layer 2 of :mod:`repro.accel`).
+
+Pure-Python big-int exponentiation holds the GIL, so threads cannot
+parallelize a handshake — processes can.  The difficulty is the metrics
+contract: every modexp/message/hash a worker performs must land in the
+*caller's* books, attributed to the same scopes, or the E1/E2 counters
+would silently shrink whenever the pool is on.
+
+The mechanism: workers run each task under a **fresh**
+:class:`repro.metrics.Recorder` and ship the non-zero totals back with
+the result; the parent calls :func:`repro.metrics.replay` inside the
+scopes the inline execution would have used.  The same wrapper runs for
+the inline fallback, so pool, fallback, and plain execution are
+indistinguishable to the counters.
+
+Failure model: a pool that cannot start (sandboxes without fork), a
+payload that cannot pickle, or a worker crash all degrade to inline
+execution — recorded under ``accel:pool-inline`` /
+``accel:pool-broken`` — and never change results.  Genuine exceptions
+raised by the task itself propagate unchanged.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import random
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro import metrics
+from repro.accel import state
+
+#: Exception types that mean "this payload / pool cannot do process
+#: transport" rather than "the task failed" — these fall back inline.
+_TRANSPORT_ERRORS = (BrokenProcessPool, pickle.PicklingError, OSError)
+
+
+def _worker_init(enabled: bool, window: int) -> None:
+    """Run in each worker on start: mirror the parent's accel switches so
+    workers also benefit from fixed-base tables (counters are unaffected
+    either way — that is the whole point of the parity contract)."""
+    if enabled:
+        state.configure(enabled=True, window=window)
+
+
+def _call_counted(fn: Callable, args: Tuple) -> Tuple[Any, Dict[str, int]]:
+    """Execute ``fn(*args)`` under a fresh recorder; return the result plus
+    the non-zero counter totals it accrued (wall time excluded — worker
+    wall clock overlaps the parent's and must not be double-booked)."""
+    rec = metrics.Recorder()
+    with metrics.using(rec):
+        result = fn(*args)
+    totals = rec.total()
+    counts: Dict[str, int] = {}
+    for name in metrics.REPLAY_FIELDS:
+        value = getattr(totals, name)
+        if value:
+            counts[name] = value
+    for name, value in totals.extra.items():
+        if value:
+            counts[name] = counts.get(name, 0) + value
+    return result, counts
+
+
+# --- picklable task bodies (must be module-level for process transport) ---
+
+
+def _sign_task(credential: Any, message: bytes,
+               rng_state: Tuple) -> Tuple[Any, Tuple]:
+    """Group-sign ``message``; round-trips the caller's rng state so the
+    draw sequence is identical to inline signing."""
+    rng = random.Random()
+    rng.setstate(rng_state)
+    signature = credential.sign(message, rng)
+    return signature, rng.getstate()
+
+
+def _verify_task(pk: Any, message: bytes, signature: Any,
+                 view: Any) -> bool:
+    from repro.gsig import acjt, kty
+    if isinstance(signature, acjt.AcjtSignature):
+        return acjt.verify(pk, message, signature, view)
+    return kty.verify(pk, message, signature, view)
+
+
+def _modexp_chunk(triples: Sequence[Tuple[int, int, int]]) -> List[int]:
+    from repro.crypto.modmath import mexp
+    return [mexp(base, exponent, modulus)
+            for base, exponent, modulus in triples]
+
+
+class WorkerPool:
+    """Lazily-started ``ProcessPoolExecutor`` with batch submit + replay.
+
+    ``with WorkerPool(workers=4) as pool: pool.run_batch(...)`` — or keep
+    one long-lived instance (the engine and benchmarks do) and call
+    :meth:`shutdown` when done.
+    """
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        configured = workers if workers is not None else state.workers()
+        self.workers = max(1, configured if configured is not None
+                           else (os.cpu_count() or 1))
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+        self._lock = threading.Lock()
+        self._pending = 0
+        self.stats: Dict[str, int] = {
+            "batches": 0, "tasks": 0, "inline": 0, "broken": 0,
+        }
+
+    # -- lifecycle --
+
+    def _ensure(self) -> Optional[ProcessPoolExecutor]:
+        with self._lock:
+            if self._executor is None and not self._broken:
+                try:
+                    self._executor = ProcessPoolExecutor(
+                        max_workers=self.workers,
+                        initializer=_worker_init,
+                        initargs=(state.is_enabled(), state.window()),
+                    )
+                except (OSError, ValueError, PermissionError):
+                    self._mark_broken_locked()
+            return self._executor
+
+    def _mark_broken_locked(self) -> None:
+        self._broken = True
+        self.stats["broken"] += 1
+        executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=False, cancel_futures=True)
+
+    @property
+    def usable(self) -> bool:
+        return not self._broken
+
+    def shutdown(self) -> None:
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.shutdown(wait=True)
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.shutdown()
+
+    # -- batch API --
+
+    def run_batch(self, fn: Callable, arg_tuples: Sequence[Tuple],
+                  scopes: Optional[Sequence[Optional[str]]] = None) -> List:
+        """Run ``fn(*args)`` for each tuple; replay each task's counters
+        into ``scopes[i]`` (plus whatever scopes are active at the call
+        site).  Returns results in submission order."""
+        items = list(arg_tuples)
+        if not items:
+            return []
+        self.stats["batches"] += 1
+        executor = self._ensure()
+        futures: Optional[List] = None
+        if executor is not None:
+            try:
+                with self._lock:
+                    self._pending += len(items)
+                    depth = self._pending
+                metrics.observe("accel:pool-queue-depth", depth,
+                                metrics.SIZE_BOUNDS)
+                futures = [executor.submit(_call_counted, fn, args)
+                           for args in items]
+            except _TRANSPORT_ERRORS + (RuntimeError,):
+                with self._lock:
+                    self._pending -= len(items)
+                    self._mark_broken_locked()
+                futures = None
+
+        results: List = []
+        for index, args in enumerate(items):
+            outcome = None
+            started = time.perf_counter()
+            if futures is not None:
+                try:
+                    outcome = futures[index].result()
+                except BrokenProcessPool:
+                    for late in futures[index + 1:]:
+                        late.cancel()
+                    with self._lock:
+                        self._mark_broken_locked()
+                        # Items past this one never reach the per-item
+                        # decrement below once futures is dropped.
+                        self._pending -= len(items) - index - 1
+                    futures = None
+                except _TRANSPORT_ERRORS:
+                    pass        # this payload only; later futures may be fine
+                finally:
+                    with self._lock:
+                        self._pending -= 1
+            if outcome is None:
+                metrics.bump("accel:pool-inline")
+                self.stats["inline"] += 1
+                outcome = _call_counted(fn, args)
+            result, counts = outcome
+            metrics.observe("accel:task-latency",
+                            time.perf_counter() - started)
+            self.stats["tasks"] += 1
+            metrics.bump("accel:pool-tasks")
+            scope_name = scopes[index] if scopes is not None else None
+            if scope_name is not None:
+                with metrics.scope(scope_name):
+                    metrics.replay(counts)
+            else:
+                metrics.replay(counts)
+            results.append(result)
+        return results
+
+    # -- domain wrappers --
+
+    def sign_many(self, jobs: Sequence[Tuple[Any, bytes, random.Random]],
+                  scopes: Optional[Sequence[Optional[str]]] = None) -> List:
+        """Batch group-sign: ``jobs`` is ``(credential, message, rng)``;
+        each rng is advanced exactly as inline signing would have."""
+        payload = [(credential, message, rng.getstate())
+                   for credential, message, rng in jobs]
+        outcomes = self.run_batch(_sign_task, payload, scopes=scopes)
+        signatures = []
+        for (signature, rng_state), (_, _, rng) in zip(outcomes, jobs):
+            rng.setstate(rng_state)
+            signatures.append(signature)
+        return signatures
+
+    def verify_many(self, jobs: Sequence[Tuple[Any, bytes, Any, Any]],
+                    scopes: Optional[Sequence[Optional[str]]] = None,
+                    ) -> List[bool]:
+        """Batch group-signature verification: ``(pk, message, signature,
+        member_view)`` per job."""
+        return self.run_batch(_verify_task, [tuple(j) for j in jobs],
+                              scopes=scopes)
+
+    def modexp_many(self, triples: Sequence[Tuple[int, int, int]],
+                    chunk_size: Optional[int] = None) -> List[int]:
+        """Chunked modexp burst: ``(base, exponent, modulus)`` per entry."""
+        items = list(triples)
+        if not items:
+            return []
+        if chunk_size is None:
+            chunk_size = max(1, (len(items) + 2 * self.workers - 1)
+                             // (2 * self.workers))
+        chunks = [items[i:i + chunk_size]
+                  for i in range(0, len(items), chunk_size)]
+        out: List[int] = []
+        for chunk_result in self.run_batch(_modexp_chunk,
+                                           [(chunk,) for chunk in chunks]):
+            out.extend(chunk_result)
+        return out

@@ -167,21 +167,45 @@ def run_handshake(
     policy: Optional[HandshakePolicy] = None,
     rng: Optional[random.Random] = None,
     tamper=None,
+    *,
+    rngs: Optional[Sequence[random.Random]] = None,
+    pool=None,
 ) -> List[HandshakeOutcome]:
     """Execute SHS.Handshake among ``members`` (Fig. 1 / Fig. 6).
 
     ``members`` are :class:`repro.core.member.GcdMember` objects (or
     adversarial stand-ins duck-typing the same surface).  Returns one
     :class:`HandshakeOutcome` per participant, in order.
+
+    ``rngs`` gives every party its own generator (``rngs[i]`` drives party
+    ``i``), which decouples the parties' draw sequences; with the single
+    shared ``rng`` the interleaved draw order serializes them.  ``pool``
+    (a :class:`repro.accel.pool.WorkerPool`) computes the Phase III
+    publish/verify crypto for all parties concurrently and therefore
+    *requires* ``rngs`` — results, transcripts, and the guarded E1/E2
+    counters are bit-identical to the inline path for the same ``rngs``.
     """
     policy = policy or HandshakePolicy()
-    rng = rng if rng is not None else random.Random()
     m = len(members)
     if m < 2:
         raise ProtocolError("a handshake needs at least two participants")
+    if rngs is not None:
+        if len(rngs) != m:
+            raise ParameterError("need exactly one rng per participant")
+        party_rngs = list(rngs)
+    else:
+        if pool is not None:
+            raise ParameterError(
+                "pool execution needs per-party rngs (rngs=...): a shared "
+                "rng couples the parties' draw sequences, which only the "
+                "serial inline order can reproduce"
+            )
+        shared = rng if rng is not None else random.Random()
+        party_rngs = [shared] * m
 
     parties = [
-        _PartyRuntime(i, member, policy.dgka_factory(i, m, rng), rng)
+        _PartyRuntime(i, member, policy.dgka_factory(i, m, party_rngs[i]),
+                      party_rngs[i])
         for i, member in enumerate(members)
     ]
 
@@ -198,7 +222,7 @@ def run_handshake(
                 return _outcomes_without_tracing(parties)
 
             with metrics.scope("phase:III"), obs.span("phase:III"):
-                return _phase3_full(parties, policy)
+                return _phase3_full(parties, policy, pool)
     finally:
         metrics.observe("hs:latency", time.perf_counter() - started)
 
@@ -299,10 +323,45 @@ def _phase2_validate(parties: List[_PartyRuntime], tags: Dict[int, bytes]) -> No
 # ---------------------------------------------------------------------------
 
 
-def _phase3_full(parties: List[_PartyRuntime],
-                 policy: HandshakePolicy) -> List[HandshakeOutcome]:
+def _phase3_full(parties: List[_PartyRuntime], policy: HandshakePolicy,
+                 pool=None) -> List[HandshakeOutcome]:
     m = len(parties)
     all_indices = set(range(m))
+
+    def _case1(party: _PartyRuntime) -> bool:
+        return party.k_prime is not None and (
+            party.valid_tags == all_indices
+            or (policy.partial_success and len(party.valid_tags) > 1)
+        )
+
+    # Pool mode: CASE 1 payloads (the expensive sign+encrypt path) are
+    # computed concurrently, round-tripping each party's rng state so the
+    # draw sequence matches inline execution draw for draw; the workers'
+    # operation counts are replayed into each party's scope below.
+    prebuilt: Dict[int, Tuple[bool, bytes, Tuple[int, int, int, int]]] = {}
+    sids: Dict[int, bytes] = {}
+    if pool is not None:
+        jobs, job_parties = [], []
+        for party in parties:
+            if _case1(party):
+                # dgka.sid hashes the transcript on every access; derive
+                # it under the party's scope (where the inline publish
+                # path charges it) and reuse the bytes below.
+                with metrics.scope(party.scope()):
+                    sids[party.index] = _session_sid(party)
+                jobs.append((party.member, party.k_prime,
+                             sids[party.index], policy.self_distinction,
+                             party.rng.getstate()))
+                job_parties.append(party)
+        if jobs:
+            results = pool.run_batch(
+                _phase3_payload_task, jobs,
+                scopes=[p.scope() for p in job_parties],
+            )
+            for party, (is_decoy, theta, delta, rng_state) in zip(
+                    job_parties, results):
+                party.rng.setstate(rng_state)
+                prebuilt[party.index] = (is_decoy, theta, delta)
 
     # Decide, per party, whether to publish real values or decoys (CASE 1
     # vs CASE 2 of Fig. 6; the partial-success extension keeps CASE 1 for
@@ -311,21 +370,18 @@ def _phase3_full(parties: List[_PartyRuntime],
     for party in parties:
         with metrics.scope(party.scope()), \
                 obs.span("phase3:publish", party=party.index):
-            case1 = party.valid_tags == all_indices or (
-                policy.partial_success and len(party.valid_tags) > 1
-            )
-            if party.k_prime is not None and case1:
-                try:
-                    publications[party.index] = _publish_real(party, policy)
-                except Exception:
-                    # A participant without usable credentials (e.g. an
-                    # impostor who somehow passed Phase II) can only emit
-                    # something decoy-shaped.
-                    publications[party.index] = _publish_decoy(party)
-                    party.is_decoy = True
+            if party.index in prebuilt:
+                is_decoy, theta, delta = prebuilt[party.index]
+            elif _case1(party):
+                is_decoy, theta, delta = _phase3_payload(
+                    party.member, party.k_prime, _session_sid(party),
+                    policy.self_distinction, party.rng,
+                )
             else:
-                publications[party.index] = _publish_decoy(party)
-                party.is_decoy = True
+                theta, delta = _publish_decoy(party.member, party.rng)
+                is_decoy = True
+            publications[party.index] = (theta, delta)
+            party.is_decoy = is_decoy
             metrics.count_message_sent()
             metrics.bump(f"hs-sent:{party.index}")
 
@@ -334,12 +390,40 @@ def _phase3_full(parties: List[_PartyRuntime],
         for i in range(m)
     )
 
+    # Pool mode: the verification scans (m-1 signature verifies per party)
+    # also fan out.  The distinction shield is derived once, parent-side,
+    # under the party's scope — exactly where the inline path charges it.
+    scans: Dict[int, Tuple[Optional[int], Set[int], Dict[int, int]]] = {}
+    if pool is not None:
+        jobs, job_parties, shields = [], [], []
+        for party in parties:
+            if party.k_prime is None or party.is_decoy:
+                continue
+            sid = sids[party.index]
+            with metrics.scope(party.scope()):
+                shield = (party.member.distinction_shield(sid)
+                          if policy.self_distinction else None)
+            jobs.append((party.member, party.k_prime, sid,
+                         entries, set(party.valid_tags), party.index,
+                         shield, policy.self_distinction))
+            job_parties.append(party)
+            shields.append(shield)
+        if jobs:
+            results = pool.run_batch(
+                _conclude_scan, jobs,
+                scopes=[p.scope() for p in job_parties],
+            )
+            for party, shield, (confirmed, tags_by_peer) in zip(
+                    job_parties, shields, results):
+                scans[party.index] = (shield, confirmed, tags_by_peer)
+
     outcomes: List[HandshakeOutcome] = []
     for party in parties:
         with metrics.scope(party.scope()), \
                 obs.span("phase3:conclude", party=party.index):
             outcomes.append(
-                _conclude(party, entries, publications, policy, all_indices)
+                _conclude(party, entries, publications, policy, all_indices,
+                          scans.get(party.index))
             )
     return outcomes
 
@@ -348,40 +432,97 @@ def _session_sid(party: _PartyRuntime) -> bytes:
     return party.dgka.sid
 
 
-def _publish_real(party: _PartyRuntime,
-                  policy: HandshakePolicy) -> Tuple[bytes, Tuple[int, int, int, int]]:
-    member = party.member
-    sid = _session_sid(party)
+def _publish_real(member, k_prime: bytes, sid: bytes, self_distinction: bool,
+                  rng: random.Random) -> Tuple[bytes, Tuple[int, int, int, int]]:
     pk_t = member.info.tracing_public_key
-    delta_ct = CramerShoup.encrypt_bytes(pk_t, party.k_prime, party.rng)
+    delta_ct = CramerShoup.encrypt_bytes(pk_t, k_prime, rng)
     delta = delta_ct.as_tuple()
     message = signed_message(sid, delta)
     shield = None
-    if policy.self_distinction:
+    if self_distinction:
         shield = member.distinction_shield(sid)
-    blob = member.gsig_sign(message, party.rng, shield=shield)
-    theta = symmetric.encrypt(party.k_prime, blob, party.rng)
+    blob = member.gsig_sign(message, rng, shield=shield)
+    theta = symmetric.encrypt(k_prime, blob, rng)
     return theta, delta
 
 
-def _publish_decoy(party: _PartyRuntime) -> Tuple[bytes, Tuple[int, int, int, int]]:
+def _publish_decoy(member,
+                   rng: random.Random) -> Tuple[bytes, Tuple[int, int, int, int]]:
     """CASE 2: random elements of the two ciphertext spaces."""
-    member = party.member
     try:
         sig_len = _nominal_signature_length(member)
         pk_t = member.info.tracing_public_key
-        delta = CramerShoup.random_ciphertext(pk_t, party.rng).as_tuple()
+        delta = CramerShoup.random_ciphertext(pk_t, rng).as_tuple()
     except Exception:
         # A credential-less impostor fabricates something shaped right.
         sig_len = 512
-        draw = lambda: party.rng.getrandbits(512)  # noqa: E731
+        draw = lambda: rng.getrandbits(512)  # noqa: E731
         delta = (draw(), draw(), draw(), draw())
-    theta = symmetric.random_ciphertext(sig_len, party.rng)
+    theta = symmetric.random_ciphertext(sig_len, rng)
     return theta, delta
 
 
+def _phase3_payload(member, k_prime: bytes, sid: bytes, self_distinction: bool,
+                    rng: random.Random,
+                    ) -> Tuple[bool, bytes, Tuple[int, int, int, int]]:
+    """One CASE 1 publication: ``(is_decoy, theta, delta)`` — the real
+    pair, or a decoy when the member's credentials cannot produce one
+    (e.g. an impostor who somehow passed Phase II)."""
+    try:
+        theta, delta = _publish_real(member, k_prime, sid, self_distinction, rng)
+        return False, theta, delta
+    except Exception:
+        theta, delta = _publish_decoy(member, rng)
+        return True, theta, delta
+
+
+def _phase3_payload_task(member, k_prime: bytes, sid: bytes,
+                         self_distinction: bool, rng_state: tuple,
+                         ) -> Tuple[bool, bytes, Tuple[int, int, int, int], tuple]:
+    """Worker-side payload build: reconstructs the party rng from its
+    state and hands the advanced state back, so the parent can continue
+    the sequence exactly where inline execution would have."""
+    rng = random.Random()
+    rng.setstate(rng_state)
+    is_decoy, theta, delta = _phase3_payload(
+        member, k_prime, sid, self_distinction, rng
+    )
+    return is_decoy, theta, delta, rng.getstate()
+
+
+def _conclude_scan(member, k_prime: bytes, sid: bytes, entries,
+                   valid_tags: Set[int], own_index: int,
+                   shield: Optional[int], want_tags: bool,
+                   ) -> Tuple[Set[int], Dict[int, int]]:
+    """The verification loop of Phase III conclude: which peers published
+    a decryptable theta carrying a valid group signature.  Module-level
+    and argument-complete so the worker pool can run it per party."""
+    confirmed: Set[int] = set()
+    tags_by_peer: Dict[int, int] = {}
+    for entry in entries:
+        if entry.index == own_index:
+            continue
+        metrics.count_message_received()
+        if entry.index not in valid_tags:
+            continue
+        try:
+            blob = symmetric.decrypt(k_prime, entry.theta)
+        except DecryptionError:
+            continue
+        message = signed_message(sid, entry.delta)
+        if not member.gsig_verify(message, blob, expected_shield=shield):
+            continue
+        if want_tags:
+            signature = wire.signature_from_bytes(blob)
+            tags_by_peer[entry.index] = signature.t6
+        confirmed.add(entry.index)
+    return confirmed, tags_by_peer
+
+
 def _conclude(party: _PartyRuntime, entries, publications,
-              policy: HandshakePolicy, all_indices: Set[int]) -> HandshakeOutcome:
+              policy: HandshakePolicy, all_indices: Set[int],
+              scan: Optional[Tuple[Optional[int], Set[int], Dict[int, int]]] = None,
+              ) -> HandshakeOutcome:
     outcome = HandshakeOutcome(index=party.index, success=False,
                                k_prime=party.k_prime)
     if party.dgka.acc:
@@ -394,27 +535,15 @@ def _conclude(party: _PartyRuntime, entries, publications,
         return outcome
     member = party.member
     sid = _session_sid(party)
-    shield = member.distinction_shield(sid) if policy.self_distinction else None
-
-    confirmed: Set[int] = set()
-    tags_by_peer: Dict[int, int] = {}
-    for entry in entries:
-        if entry.index == party.index:
-            continue
-        metrics.count_message_received()
-        if entry.index not in party.valid_tags:
-            continue
-        try:
-            blob = symmetric.decrypt(party.k_prime, entry.theta)
-        except DecryptionError:
-            continue
-        message = signed_message(sid, entry.delta)
-        if not member.gsig_verify(message, blob, expected_shield=shield):
-            continue
-        if policy.self_distinction:
-            signature = wire.signature_from_bytes(blob)
-            tags_by_peer[entry.index] = signature.t6
-        confirmed.add(entry.index)
+    if scan is not None:
+        shield, confirmed, tags_by_peer = scan
+    else:
+        shield = (member.distinction_shield(sid)
+                  if policy.self_distinction else None)
+        confirmed, tags_by_peer = _conclude_scan(
+            member, party.k_prime, sid, entries, party.valid_tags,
+            party.index, shield, policy.self_distinction,
+        )
 
     outcome.confirmed_peers = confirmed
 

@@ -81,6 +81,11 @@ class CramerShoup:
         d = (mexp(g1, y1, group.p) * mexp(g2, y2, group.p)) % group.p
         h = mexp(g1, z, group.p)
         pk = CSPublicKey(group, g1, g2, c, d, h)
+        # Every encryption exponentiates these five for the key's
+        # lifetime — register them for fixed-base precomputation.
+        from repro.accel.fixed_base import register_base
+        for base in (g1, g2, c, d, h):
+            register_base(base, group.p)
         return pk, CSSecretKey(pk, x1, x2, y1, y2, z)
 
     @staticmethod

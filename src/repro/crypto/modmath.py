@@ -16,14 +16,36 @@ from repro import metrics
 from repro.errors import ParameterError
 
 
+#: Optional fast path installed by :mod:`repro.accel` on import:
+#: ``hook(base, exponent, modulus)`` returns the power for bases with a
+#: precomputed table, or ``None`` to fall back to builtin ``pow``.  The
+#: hook runs *after* counting so the E1 books are hook-independent.
+_ACCEL_POW = None
+
+
+def _install_accel_pow(hook) -> None:
+    global _ACCEL_POW
+    _ACCEL_POW = hook
+
+
 def mexp(base: int, exponent: int, modulus: int) -> int:
-    """Counted modular exponentiation; supports negative exponents for units."""
+    """Counted modular exponentiation; supports negative exponents for units.
+
+    Negative exponents are normalized through :func:`inverse` (rather than
+    handed to CPython's ``pow``) so the inversion is visible to the
+    ``inversions`` counter — the E1 ledger stays honest about what the
+    protocol actually computes.
+    """
     if modulus <= 0:
         raise ParameterError("modulus must be positive")
     metrics.count_modexp()
     if exponent < 0:
         base = inverse(base, modulus)
         exponent = -exponent
+    if _ACCEL_POW is not None:
+        accelerated = _ACCEL_POW(base, exponent, modulus)
+        if accelerated is not None:
+            return accelerated
     return pow(base, exponent, modulus)
 
 
@@ -34,7 +56,13 @@ def mmul(a: int, b: int, modulus: int) -> int:
 
 
 def inverse(a: int, modulus: int) -> int:
-    """Modular inverse of ``a`` mod ``modulus``; raises if not invertible."""
+    """Modular inverse of ``a`` mod ``modulus``; raises if not invertible.
+
+    Counted under the ``inversions`` extra counter: an inverse costs about
+    as much as an exponentiation and the paper's cost model should not be
+    able to hide them (negative-exponent ``mexp`` calls route through
+    here for exactly that reason)."""
+    metrics.bump("inversions")
     try:
         return pow(a, -1, modulus)
     except ValueError as exc:

@@ -114,9 +114,14 @@ def dh_group(bits: int) -> DHParams:
         )
     if bits not in _DH_CACHE:
         p = SAFE_PRIMES[bits][2]
-        _DH_CACHE[bits] = DHParams(
+        params = DHParams(
             p=p, q=(p - 1) // 2, g=_find_qr_generator(p), name=f"modp-{bits}"
         )
+        # The subgroup generator is exponentiated for the life of the
+        # process — a prime candidate for fixed-base precomputation.
+        from repro.accel.fixed_base import register_base
+        register_base(params.g, p)
+        _DH_CACHE[bits] = params
     return _DH_CACHE[bits]
 
 

@@ -21,6 +21,7 @@ import random
 from dataclasses import dataclass
 from typing import Optional, Sequence, Tuple
 
+from repro.accel.multi_exp import multi_exp
 from repro.crypto import hashing
 from repro.crypto.modmath import mexp
 from repro.crypto.params import DHParams
@@ -50,9 +51,9 @@ class SchnorrProof:
                context: bytes = b"") -> bool:
         if not (0 <= self.challenge < group.q and 0 <= self.response < group.q):
             return False
-        commitment = (
-            mexp(base, self.response, group.p) * mexp(public, self.challenge, group.p)
-        ) % group.p
+        commitment = multi_exp(
+            ((base, self.response), (public, self.challenge)), group.p
+        )
         expected = hashing.hash_mod(
             "schnorr-pok", group.q, group.p, base, public, commitment, context
         )
@@ -83,8 +84,8 @@ class DleqProof:
                context: bytes = b"") -> bool:
         if not (0 <= self.challenge < group.q and 0 <= self.response < group.q):
             return False
-        a1 = (mexp(g1, self.response, group.p) * mexp(y1, self.challenge, group.p)) % group.p
-        a2 = (mexp(g2, self.response, group.p) * mexp(y2, self.challenge, group.p)) % group.p
+        a1 = multi_exp(((g1, self.response), (y1, self.challenge)), group.p)
+        a2 = multi_exp(((g2, self.response), (y2, self.challenge)), group.p)
         expected = hashing.hash_mod(
             "dleq", group.q, group.p, g1, y1, g2, y2, a1, a2, context
         )
@@ -124,11 +125,13 @@ class RepresentationProof:
             return False
         if not 0 <= self.challenge < group.q:
             return False
-        commitment = mexp(public, self.challenge, group.p)
-        for base, response in zip(bases, self.responses):
+        for response in self.responses:
             if not 0 <= response < group.q:
                 return False
-            commitment = (commitment * mexp(base, response, group.p)) % group.p
+        commitment = multi_exp(
+            ((public, self.challenge),
+             *zip(bases, self.responses)), group.p
+        )
         expected = hashing.hash_mod(
             "representation", group.q, group.p, tuple(bases), public, commitment, context
         )
@@ -166,9 +169,9 @@ class SchnorrSignature:
     def verify(self, group: DHParams, public: int, message: bytes) -> bool:
         if not (0 <= self.challenge < group.q and 0 <= self.response < group.q):
             return False
-        commitment = (
-            group.power_of_g(self.response) * mexp(public, self.challenge, group.p)
-        ) % group.p
+        commitment = multi_exp(
+            ((group.g, self.response), (public, self.challenge)), group.p
+        )
         expected = hashing.hash_mod(
             "schnorr-sig", group.q, group.p, public, commitment, message
         )

@@ -34,6 +34,8 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
+from repro.accel.fixed_base import register_base
+from repro.accel.multi_exp import multi_exp
 from repro.crypto import hashing
 from repro.crypto.accumulator import (
     Accumulator,
@@ -180,10 +182,9 @@ def _verify_join_request(pk: AcjtPublicKey, request: JoinRequest) -> bool:
     if not 1 < request.commitment < pk.n:
         return False
     shifted = request.response - request.challenge * (1 << lengths.lambda1)
-    d = (
-        mexp(request.commitment, request.challenge, pk.n)
-        * mexp(pk.a, shifted, pk.n)
-    ) % pk.n
+    d = multi_exp(
+        ((request.commitment, request.challenge), (pk.a, shifted)), pk.n
+    )
     expected = hashing.hash_to_int(
         _JOIN_DOMAIN, lengths.k, pk.n, pk.a, request.user_id, request.commitment, d
     )
@@ -239,6 +240,10 @@ class AcjtManager(GroupSignatureManager):
             n=self._group.n, lengths=self._lengths,
             a=a, a0=a0, g=g, h=h, y=y, ped_g=ped_g, ped_h=ped_h,
         )
+        # These bases are exponentiated for the lifetime of the group —
+        # mark them for repro.accel's fixed-base precomputation tables.
+        for base in (a, a0, g, h, y, ped_g, ped_h):
+            register_base(base, self._group.n)
         self._accumulator = Accumulator(self._group, rng)
         # Epoch -> accumulator value, so Open can verify signatures made
         # under older system states (tracing must survive later rekeys).
@@ -410,15 +415,15 @@ class AcjtCredential(GroupMemberCredential):
         w = rng.getrandbits(two_lp)
         t1 = (self.big_a * mexp(pk.y, w, n)) % n
         t2 = mexp(pk.g, w, n)
-        t3 = (mexp(pk.g, self.e, n) * mexp(pk.h, w, n)) % n
+        t3 = multi_exp(((pk.g, self.e), (pk.h, w)), n)
 
         # Accumulator blinding.
         r1 = rng.randrange(1, n // 4)
         r2 = rng.randrange(1, n // 4)
         r3 = rng.randrange(1, n // 4)
-        c_e = (mexp(pk.ped_g, self.e, n) * mexp(pk.ped_h, r1, n)) % n
+        c_e = multi_exp(((pk.ped_g, self.e), (pk.ped_h, r1)), n)
         c_u = (self.witness * mexp(pk.ped_h, r2, n)) % n
-        c_r = (mexp(pk.ped_g, r2, n) * mexp(pk.ped_h, r3, n)) % n
+        c_r = multi_exp(((pk.ped_g, r2), (pk.ped_h, r3)), n)
         z = self.e * r2
         w3 = self.e * r3
 
@@ -433,17 +438,14 @@ class AcjtCredential(GroupMemberCredential):
         t_az = random_int_symmetric(eps * (lengths.gamma1 + ln + k + 1), rng)
         t_w3 = random_int_symmetric(eps * (lengths.gamma1 + ln + k + 1), rng)
 
-        d1 = (
-            mexp(t1, t_e, n)
-            * inverse((mexp(pk.a, t_x, n) * mexp(pk.y, t_z, n)) % n, n)
-        ) % n
-        d2 = (mexp(t2, t_e, n) * inverse(mexp(pk.g, t_z, n), n)) % n
+        d1 = multi_exp(((t1, t_e), (pk.a, -t_x), (pk.y, -t_z)), n)
+        d2 = multi_exp(((t2, t_e), (pk.g, -t_z)), n)
         d3 = mexp(pk.g, t_w, n)
-        d4 = (mexp(pk.g, t_e, n) * mexp(pk.h, t_w, n)) % n
-        d5 = (mexp(pk.ped_g, t_e, n) * mexp(pk.ped_h, t_r1, n)) % n
-        d6 = (mexp(c_u, t_e, n) * mexp(pk.ped_h, -t_az, n)) % n
-        d7 = (mexp(pk.ped_g, t_r2, n) * mexp(pk.ped_h, t_r3, n)) % n
-        d8 = (mexp(c_r, t_e, n) * mexp(pk.ped_g, -t_az, n) * mexp(pk.ped_h, -t_w3, n)) % n
+        d4 = multi_exp(((pk.g, t_e), (pk.h, t_w)), n)
+        d5 = multi_exp(((pk.ped_g, t_e), (pk.ped_h, t_r1)), n)
+        d6 = multi_exp(((c_u, t_e), (pk.ped_h, -t_az)), n)
+        d7 = multi_exp(((pk.ped_g, t_r2), (pk.ped_h, t_r3)), n)
+        d8 = multi_exp(((c_r, t_e), (pk.ped_g, -t_az), (pk.ped_h, -t_w3)), n)
 
         challenge = _spk_challenge(
             pk, self.acc_value, message, t1, t2, t3, c_e, c_u, c_r,
@@ -498,43 +500,31 @@ def verify(pk: AcjtPublicKey, message: bytes, signature: AcjtSignature,
     s1_hat = signature.s1 - c * (1 << lengths.gamma1)
     s2_hat = signature.s2 - c * (1 << lengths.lambda1)
 
-    d1 = (
-        mexp(pk.a0, c, n)
-        * mexp(signature.t1, s1_hat, n)
-        * inverse(
-            (mexp(pk.a, s2_hat, n) * mexp(pk.y, signature.s3, n)) % n, n
-        )
-    ) % n
-    d2 = (
-        mexp(signature.t2, s1_hat, n)
-        * inverse(mexp(pk.g, signature.s3, n), n)
-    ) % n
-    d3 = (mexp(signature.t2, c, n) * mexp(pk.g, signature.s4, n)) % n
-    d4 = (
-        mexp(signature.t3, c, n)
-        * mexp(pk.g, s1_hat, n)
-        * mexp(pk.h, signature.s4, n)
-    ) % n
-    d5 = (
-        mexp(signature.c_e, c, n)
-        * mexp(pk.ped_g, s1_hat, n)
-        * mexp(pk.ped_h, signature.s_r1, n)
-    ) % n
-    d6 = (
-        mexp(member_view.acc_value, c, n)
-        * mexp(signature.c_u, s1_hat, n)
-        * mexp(pk.ped_h, -signature.s_z, n)
-    ) % n
-    d7 = (
-        mexp(signature.c_r, c, n)
-        * mexp(pk.ped_g, signature.s_r2, n)
-        * mexp(pk.ped_h, signature.s_r3, n)
-    ) % n
-    d8 = (
-        mexp(signature.c_r, s1_hat, n)
-        * mexp(pk.ped_g, -signature.s_z, n)
-        * mexp(pk.ped_h, -signature.s_w3, n)
-    ) % n
+    d1 = multi_exp(
+        ((pk.a0, c), (signature.t1, s1_hat),
+         (pk.a, -s2_hat), (pk.y, -signature.s3)), n
+    )
+    d2 = multi_exp(((signature.t2, s1_hat), (pk.g, -signature.s3)), n)
+    d3 = multi_exp(((signature.t2, c), (pk.g, signature.s4)), n)
+    d4 = multi_exp(
+        ((signature.t3, c), (pk.g, s1_hat), (pk.h, signature.s4)), n
+    )
+    d5 = multi_exp(
+        ((signature.c_e, c), (pk.ped_g, s1_hat),
+         (pk.ped_h, signature.s_r1)), n
+    )
+    d6 = multi_exp(
+        ((member_view.acc_value, c), (signature.c_u, s1_hat),
+         (pk.ped_h, -signature.s_z)), n
+    )
+    d7 = multi_exp(
+        ((signature.c_r, c), (pk.ped_g, signature.s_r2),
+         (pk.ped_h, signature.s_r3)), n
+    )
+    d8 = multi_exp(
+        ((signature.c_r, s1_hat), (pk.ped_g, -signature.s_z),
+         (pk.ped_h, -signature.s_w3)), n
+    )
 
     expected = _spk_challenge(
         pk, member_view.acc_value, message,

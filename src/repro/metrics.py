@@ -133,6 +133,13 @@ FIELDS: Tuple[str, ...] = (
     "wall_time",
 )
 
+#: Fields a worker's books can be replayed into a parent recorder
+#: (:func:`replay`): everything except wall time, which overlaps the
+#: parent's clock and would double-book.
+REPLAY_FIELDS: Tuple[str, ...] = tuple(f for f in FIELDS if f != "wall_time")
+
+_REPLAY_SET = frozenset(REPLAY_FIELDS)
+
 _TOTAL = "total"
 
 
@@ -617,6 +624,34 @@ def bump(name: str, amount: int = 1) -> None:
     with rec._lock:
         for c in _charged():
             c.bump(name, amount)
+
+
+def replay(counts: Dict[str, int]) -> None:
+    """Charge a bulk dict of counts produced under *another* recorder —
+    e.g. a :mod:`repro.accel.pool` worker process — to the current one.
+
+    Keys are fixed field names (:data:`REPLAY_FIELDS`) or ``extra``
+    counter names; everything is charged to the total plus each distinct
+    active scope, exactly as if the operations had run inline here.
+    ``wall_time`` keys are ignored (worker clocks overlap the parent's).
+    """
+    if not counts:
+        return
+    fixed = [(k, v) for k, v in counts.items() if k in _REPLAY_SET and v]
+    extras = [(k, v) for k, v in counts.items()
+              if k not in _REPLAY_SET and k != "wall_time" and v]
+    if not fixed and not extras:
+        return
+    rec = current_recorder()
+    with rec._lock:
+        for c in _charged():
+            for name, amount in fixed:
+                setattr(c, name, getattr(c, name) + amount)
+            for name, amount in extras:
+                c.bump(name, amount)
+    modexp_total = counts.get("modexp", 0)
+    if modexp_total:
+        rec.trace("modexp", _innermost(), count=modexp_total)
 
 
 # ---------------------------------------------------------------------------

@@ -48,7 +48,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import metrics
+from repro import accel, metrics
+from repro.accel import bridge as accel_bridge
 from repro.errors import EncodingError, ProtocolError
 from repro.obs import logging as obslog
 from repro.obs import spans as obs
@@ -71,6 +72,12 @@ class ServerConfig:
     send_queue_limit: int = 64        # frames buffered per connection
     drain_timeout: float = 5.0        # shutdown grace for active rooms
     max_room_size: int = 64
+    #: Move frame codec work (fan-out encodes, large-frame decodes) onto
+    #: the accel bridge threads so the event loop stays responsive while
+    #: relaying Phase III payloads.  Counting is unchanged: frames are
+    #: still counted on the loop, per recipient, under the room scope.
+    offload: bool = False
+    offload_threshold: int = 4096  # bridge-decode frames at least this big
     faults: Optional[FaultInjector] = None
     #: Deterministic token source for tests; production uses ``secrets``.
     token_rng: Optional[random.Random] = None
@@ -120,7 +127,11 @@ class _Connection:
         """Queue a control message; awaits when the bounded queue is full
         (backpressure propagates to the caller — the room relay)."""
         blob = protocol.encode_message(message)
-        frame = framing.encode_frame(blob)
+        await self.send_frame(framing.encode_frame(blob))
+
+    async def send_frame(self, frame: bytes) -> None:
+        """Queue an already-encoded frame — the fan-out path encodes each
+        relay once and hands the same bytes to every recipient."""
         metrics.count_message_sent(len(frame))
         await self.queue.put(frame)
 
@@ -258,11 +269,16 @@ class _Room:
             metrics.bump("room-drops")
             return
         message = protocol.Deliver(payload=payload)
+        if self.server.config.offload:
+            frame = await accel_bridge.run(_encode_deliver, message,
+                                           scope=self.scope)
+        else:
+            frame = _encode_deliver(message)
         for _ in range(copies):
             for conn in self.members:
                 if conn.index == sender or conn.kicked:
                     continue
-                await conn.send(message)
+                await conn.send_frame(frame)
             metrics.bump("room-relays")
         if copies > 1:
             metrics.bump("room-duplicates")
@@ -314,6 +330,12 @@ class _Room:
         if self.relay_task is not None and self.relay_task is not asyncio.current_task():
             self.relay_task.cancel()
         self.finished.set()
+
+
+def _encode_deliver(message) -> bytes:
+    """Encode one DELIVER to a ready-to-send frame (bridge-friendly:
+    pure CPU, no loop state)."""
+    return framing.encode_frame(protocol.encode_message(message))
 
 
 class RendezvousServer:
@@ -433,6 +455,7 @@ class RendezvousServer:
             "relay_backlog": relay_backlog,
             "counters": counters,
             "histograms": histograms,
+            "accel": accel.stats(),
         }
 
     # Accept path ----------------------------------------------------------
@@ -492,6 +515,9 @@ class RendezvousServer:
         if blob is None:
             return None
         metrics.count_message_received(len(blob) + framing.HEADER_SIZE)
+        if (self.config.offload
+                and len(blob) >= self.config.offload_threshold):
+            return await accel_bridge.run(protocol.decode_message, blob)
         return protocol.decode_message(blob)
 
     async def _session(self, conn: _Connection) -> None:

@@ -1,0 +1,90 @@
+"""The asyncio bridge: off-loop execution with correct metric routing.
+
+``run_in_executor`` does not propagate context variables, so the bridge
+must re-pin the caller's recorder (and optionally a scope) inside the
+worker thread — these tests fail loudly if counts start vanishing into
+thread-private books.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro import metrics
+from repro.accel import bridge
+
+TEST_CAP = 30.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+@pytest.fixture(autouse=True)
+def _fresh_bridge():
+    bridge.shutdown()
+    yield
+    bridge.shutdown()
+
+
+class TestBridgeRun:
+    def test_returns_result_off_the_loop_thread(self):
+        loop_thread = threading.current_thread()
+
+        def work(x, y):
+            assert threading.current_thread() is not loop_thread
+            return x * y
+
+        assert _run(bridge.run(work, 6, 7)) == 42
+
+    def test_counts_land_in_callers_recorder_and_scope(self):
+        def work():
+            metrics.count_modexp(3)
+            metrics.bump("bridge-test-extra")
+
+        rec = metrics.Recorder()
+
+        async def main():
+            with metrics.using(rec):
+                await bridge.run(work, scope="hs:9")
+
+        _run(main())
+        snap = rec.snapshot()
+        assert snap["hs:9"].modexp == 3
+        assert snap["hs:9"].extra.get("bridge-test-extra") == 1
+        assert rec.total().modexp == 3
+
+    def test_bridge_bookkeeping_counters(self):
+        rec = metrics.Recorder()
+
+        async def main():
+            with metrics.using(rec):
+                await bridge.run(lambda: None)
+                await bridge.run(lambda: None)
+
+        _run(main())
+        assert rec.total().extra.get("accel:bridge-tasks") == 2
+        hist = rec.histograms().get("accel:bridge-latency")
+        assert hist is not None and hist.summary()["count"] == 2
+
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("bridge-boom")
+
+        async def main():
+            await bridge.run(boom)
+
+        with pytest.raises(RuntimeError, match="bridge-boom"):
+            _run(main())
+
+    def test_concurrent_tasks_share_the_executor(self):
+        async def main():
+            return await asyncio.gather(
+                *(bridge.run(lambda i=i: i * i) for i in range(8)))
+
+        assert _run(main()) == [i * i for i in range(8)]
+        assert bridge.stats()["running"] is True
+        assert bridge.stats()["pending"] == 0

@@ -1,0 +1,145 @@
+"""Property tests for fixed-base windowed precomputation.
+
+The contract is exact: for every (base, exponent, modulus, window) a
+table returns the same residue as builtin ``pow`` — including exponent 0,
+base 1, modulus 1 and 2, and exponents far larger than the modulus (the
+lazy-row-growth path).  The LRU cache and the mexp hook get behavioural
+tests on top.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import metrics
+from repro.accel import fixed_base, state
+from repro.accel.fixed_base import FixedBaseTable, TableCache
+from repro.crypto.modmath import mexp
+
+MODULI = st.sampled_from(
+    [1, 2, 3, 4, 101, 7919, (1 << 61) - 1, (1 << 127) - 1, 1 << 128])
+
+
+@pytest.fixture(autouse=True)
+def _clean_accel_state():
+    """Each test starts disabled with empty tables/registry and leaves
+    the module-global state the same way."""
+    state.configure(enabled=False, window=5, cache_size=64)
+    fixed_base.clear()
+    fixed_base.configure_cache(64)
+    yield
+    state.configure(enabled=False, window=5, cache_size=64)
+    fixed_base.clear()
+    fixed_base.configure_cache(64)
+
+
+class TestFixedBaseTable:
+    @given(base=st.integers(min_value=0, max_value=1 << 80),
+           exponent=st.integers(min_value=0, max_value=1 << 300),
+           modulus=MODULI,
+           window=st.integers(min_value=1, max_value=8))
+    @settings(max_examples=150, deadline=None)
+    def test_matches_builtin_pow(self, base, exponent, modulus, window):
+        table = FixedBaseTable(base, modulus, window=window)
+        assert table.pow(exponent) == pow(base, exponent, modulus)
+
+    def test_exponent_zero_and_base_one(self):
+        assert FixedBaseTable(7, 101).pow(0) == 1
+        assert FixedBaseTable(1, 101).pow(123456) == 1
+        assert FixedBaseTable(0, 101).pow(5) == 0
+
+    def test_modulus_one_is_all_zero(self):
+        assert FixedBaseTable(9, 1).pow(7) == 0
+
+    def test_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseTable(2, 101).pow(-1)
+
+    def test_bad_modulus_rejected(self):
+        with pytest.raises(ValueError):
+            FixedBaseTable(2, 0)
+
+    def test_rows_grow_lazily_with_exponent_size(self):
+        table = FixedBaseTable(3, 7919, window=4)
+        assert len(table.rows) == 1
+        table.pow(1 << 64)
+        assert len(table.rows) >= 64 // 4
+        built = table.mults
+        table.pow(1 << 32)        # smaller exponent: no further growth
+        assert table.mults == built
+
+
+class TestTableCache:
+    def test_hit_miss_accounting(self):
+        cache = TableCache(4)
+        _, hit = cache.lookup((3, 101))
+        assert hit is False
+        _, hit = cache.lookup((3, 101))
+        assert hit is True
+        assert cache.stats()["hits"] == 1
+        assert cache.stats()["misses"] == 1
+
+    def test_lru_eviction_bounded(self):
+        cache = TableCache(2)
+        for base in (2, 3, 4, 5):
+            cache.lookup((base, 101))
+        stats = cache.stats()
+        assert stats["tables"] == 2
+        assert stats["evictions"] == 2
+        # Oldest entries were evicted; rebuilding them is a miss.
+        _, hit = cache.lookup((2, 101))
+        assert hit is False
+
+    def test_resize_shrinks_immediately(self):
+        cache = TableCache(8)
+        for base in range(2, 8):
+            cache.lookup((base, 101))
+        cache.resize(3)
+        assert cache.stats()["tables"] == 3
+
+
+class TestLookupHook:
+    def test_disabled_returns_none(self):
+        fixed_base.register_base(3, 101)
+        assert fixed_base.lookup_pow(3, 10, 101) is None
+
+    def test_unregistered_base_returns_none(self):
+        state.configure(enabled=True)
+        assert fixed_base.lookup_pow(12345, 10, 7919) is None
+
+    def test_registered_base_accelerates_with_counters(self):
+        state.configure(enabled=True)
+        fixed_base.register_base(3, 7919)
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            first = fixed_base.lookup_pow(3, 1000, 7919)
+            second = fixed_base.lookup_pow(3, 2000, 7919)
+        assert first == pow(3, 1000, 7919)
+        assert second == pow(3, 2000, 7919)
+        extras = rec.total().extra
+        assert extras.get("accel:fb-miss") == 1
+        assert extras.get("accel:fb-hit") == 1
+
+    def test_negative_exponents_bypass_tables(self):
+        state.configure(enabled=True)
+        fixed_base.register_base(3, 101)
+        assert fixed_base.lookup_pow(3, -2, 101) is None
+
+    def test_mexp_results_identical_enabled_vs_disabled(self):
+        fixed_base.register_base(5, 7919)
+        state.configure(enabled=False)
+        baseline = [mexp(5, e, 7919) for e in (0, 1, 17, 7919, 1 << 200)]
+        state.configure(enabled=True)
+        accelerated = [mexp(5, e, 7919) for e in (0, 1, 17, 7919, 1 << 200)]
+        assert baseline == accelerated
+
+    def test_mexp_charges_modexp_on_table_hits(self):
+        """The E1 invariant: a precomputed answer still counts as the
+        modexp it replaced."""
+        state.configure(enabled=True)
+        fixed_base.register_base(5, 7919)
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            mexp(5, 100, 7919)
+            mexp(5, 200, 7919)
+        assert rec.total().modexp == 2

@@ -1,0 +1,96 @@
+"""Property tests for Shamir/Straus simultaneous multi-exponentiation.
+
+``multi_exp`` must be bit-identical to the naive per-term product for
+every input — enabled or disabled — and must charge exactly one modexp
+per term (the E1 invariant: each term replaces one ``mexp`` call).
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import metrics
+from repro.accel import state
+from repro.accel.multi_exp import GROUP_SIZE, multi_exp
+from repro.crypto.modmath import inverse
+
+PRIME_MODULI = st.sampled_from([2, 3, 101, 7919, (1 << 61) - 1])
+
+
+def _naive(pairs, modulus):
+    result = 1 % modulus
+    for base, exponent in pairs:
+        if exponent < 0:
+            base = inverse(base, modulus)
+            exponent = -exponent
+        result = (result * pow(base, exponent, modulus)) % modulus
+    return result
+
+
+@pytest.fixture(autouse=True)
+def _clean_accel_state():
+    state.configure(enabled=False, window=5, cache_size=64)
+    yield
+    state.configure(enabled=False, window=5, cache_size=64)
+
+
+@pytest.mark.parametrize("enabled", [False, True])
+class TestCorrectness:
+    @given(pairs=st.lists(
+        st.tuples(st.integers(min_value=0, max_value=1 << 64),
+                  st.integers(min_value=0, max_value=1 << 128)),
+        min_size=0, max_size=2 * GROUP_SIZE + 1),
+        modulus=st.sampled_from([1, 2, 3, 101, 7919, (1 << 61) - 1, 1 << 96]))
+    @settings(max_examples=120, deadline=None)
+    def test_matches_naive_product(self, enabled, pairs, modulus):
+        state.configure(enabled=enabled)
+        assert multi_exp(pairs, modulus) == _naive(pairs, modulus)
+
+    @given(pairs=st.lists(
+        st.tuples(st.integers(min_value=1, max_value=1 << 64),
+                  st.integers(min_value=-(1 << 96), max_value=1 << 96)),
+        min_size=1, max_size=GROUP_SIZE + 1),
+        modulus=PRIME_MODULI)
+    @settings(max_examples=100, deadline=None)
+    def test_negative_exponents_via_inverse(self, enabled, pairs, modulus):
+        # Prime modulus keeps every nonzero base invertible.
+        pairs = [(b, e) for b, e in pairs if b % modulus != 0]
+        state.configure(enabled=enabled)
+        assert multi_exp(pairs, modulus) == _naive(pairs, modulus)
+
+    def test_edge_inputs(self, enabled):
+        state.configure(enabled=enabled)
+        assert multi_exp([], 101) == 1          # empty product
+        assert multi_exp([], 1) == 0            # empty product mod 1
+        assert multi_exp([(1, 0)], 101) == 1    # base 1, exponent 0
+        assert multi_exp([(7, 0), (9, 0)], 101) == 1
+        assert multi_exp([(5, 3), (4, 2)], 1) == 0   # modulus boundary
+
+    def test_bad_modulus_rejected(self, enabled):
+        state.configure(enabled=enabled)
+        with pytest.raises(ValueError):
+            multi_exp([(2, 3)], 0)
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("enabled", [False, True])
+    def test_charges_one_modexp_per_term(self, enabled):
+        state.configure(enabled=enabled)
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            multi_exp([(2, 10), (3, 20), (5, 30)], 7919)
+        assert rec.total().modexp == 3
+
+    @pytest.mark.parametrize("enabled", [False, True])
+    def test_inversion_count_independent_of_switch(self, enabled):
+        state.configure(enabled=enabled)
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            multi_exp([(2, -10), (3, 20), (5, -30)], 7919)
+        assert rec.total().extra.get("inversions") == 2
+
+    def test_empty_product_charges_nothing(self):
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            multi_exp([], 101)
+        assert rec.total().modexp == 0

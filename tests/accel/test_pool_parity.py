@@ -1,0 +1,115 @@
+"""Determinism and parity of the process-pool handshake path.
+
+The acceptance bar for :mod:`repro.accel.pool` is *observational
+equivalence*: a seeded handshake run with Phase III fanned out over
+worker processes must produce byte-identical transcripts and session
+keys AND identical operation counters (modexp, messages, hashes — per
+party and per phase) as the same seeds run inline.  ``accel:*`` extras
+are the only permitted difference.
+"""
+
+import random
+
+import pytest
+
+from repro import accel, metrics
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.errors import ParameterError
+
+M = 5
+
+
+def _seeded_rngs(seed):
+    return [random.Random(seed + i) for i in range(M)]
+
+
+def _run(world, pool, seed=41000):
+    members = _lineup(world)
+    rec = metrics.Recorder()
+    with metrics.using(rec):
+        outcomes = run_handshake(members, scheme1_policy(),
+                                 rngs=_seeded_rngs(seed), pool=pool)
+    return outcomes, rec.snapshot()
+
+
+def _lineup(world):
+    names = sorted(world.members)[:M]
+    return world.lineup(*names)
+
+
+def _comparable(snapshot):
+    """Counter books minus wall time and the accel:* extras layered on
+    top by the pool itself."""
+    books = {}
+    for scope, counters in snapshot.items():
+        fields = {k: v for k, v in counters.as_dict().items()
+                  if k != "wall_time" and not k.startswith("accel:")}
+        books[scope] = fields
+    return books
+
+
+class TestPoolParity:
+    def test_pooled_run_is_byte_identical_to_inline(self, service_world):
+        inline_outcomes, inline_snap = _run(service_world, pool=None)
+        assert all(o.success for o in inline_outcomes)
+
+        accel.enable()
+        try:
+            pool = accel.get_pool(workers=2)
+            pooled_outcomes, pooled_snap = _run(service_world, pool=pool)
+        finally:
+            accel.shutdown_pool()
+            accel.disable()
+
+        # Byte-identical protocol outputs.
+        assert [o.session_key for o in inline_outcomes] == \
+               [o.session_key for o in pooled_outcomes]
+        assert [o.transcript.entries for o in inline_outcomes] == \
+               [o.transcript.entries for o in pooled_outcomes]
+        assert [o.confirmed_peers for o in inline_outcomes] == \
+               [o.confirmed_peers for o in pooled_outcomes]
+
+        # Identical books, scope by scope.
+        assert _comparable(inline_snap) == _comparable(pooled_snap)
+
+        # The pool really ran: payload + scan jobs for every party.
+        extras = pooled_snap["total"].extra
+        assert extras.get("accel:pool-tasks", 0) == 2 * M
+
+    def test_same_seeds_reproduce_across_pooled_runs(self, service_world):
+        accel.enable()
+        try:
+            pool = accel.get_pool(workers=2)
+            first, _ = _run(service_world, pool=pool)
+            second, _ = _run(service_world, pool=pool)
+        finally:
+            accel.shutdown_pool()
+            accel.disable()
+        assert [o.session_key for o in first] == \
+               [o.session_key for o in second]
+        assert [o.transcript.entries for o in first] == \
+               [o.transcript.entries for o in second]
+
+
+class TestEngineValidation:
+    def test_pool_without_rngs_is_rejected(self, service_world):
+        accel.enable()
+        try:
+            pool = accel.get_pool(workers=2)
+            with pytest.raises(ParameterError):
+                run_handshake(_lineup(service_world), scheme1_policy(),
+                              random.Random(1), pool=pool)
+        finally:
+            accel.shutdown_pool()
+            accel.disable()
+
+    def test_rngs_must_match_party_count(self, service_world):
+        with pytest.raises(ParameterError):
+            run_handshake(_lineup(service_world), scheme1_policy(),
+                          rngs=[random.Random(1)] * (M - 1))
+
+    def test_per_party_rngs_without_pool_run_inline(self, service_world):
+        outcomes = run_handshake(_lineup(service_world), scheme1_policy(),
+                                 rngs=_seeded_rngs(42))
+        assert all(o.success for o in outcomes)

@@ -153,3 +153,36 @@ class TestRandomHelpers:
         v = modmath.random_int_symmetric(bits, r)
         assert modmath.int_in_symmetric_range(v, bits)
         assert not modmath.int_in_symmetric_range((1 << bits) + 1, bits)
+
+
+class TestCounterHonesty:
+    """Regression: negative exponents route through ``inverse`` and every
+    leg of that trip is counted — one modexp for the call itself plus one
+    ``inversions`` extra for the modular inverse it hides (E1 honesty)."""
+
+    def test_negative_exponent_counts_modexp_and_inversion(self):
+        from repro import metrics
+
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            result = modmath.mexp(5, -3, 101)
+        assert result == pow(pow(5, -1, 101), 3, 101)
+        assert rec.total().modexp == 1
+        assert rec.total().extra.get("inversions") == 1
+
+    def test_positive_exponent_counts_no_inversion(self):
+        from repro import metrics
+
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            modmath.mexp(5, 3, 101)
+        assert rec.total().modexp == 1
+        assert "inversions" not in rec.total().extra
+
+    def test_direct_inverse_is_counted(self):
+        from repro import metrics
+
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            modmath.inverse(7, 101)
+        assert rec.total().extra.get("inversions") == 1
