@@ -1,0 +1,186 @@
+"""Cluster burst — multi-shard rendezvous vs the single-process server.
+
+Three legs, same seeded rooms (m=2) throughout:
+
+* ``single``   — a burst of rooms on one in-process RendezvousServer;
+  the baseline the cluster is measured against.
+* ``cluster``  — the same burst through a 2-shard ClusterRouter: every
+  byte crosses the router splice and lands on one of two real worker
+  processes.  The router is a transparent relay, so each room must still
+  show the paper's per-party message profile (4 broadcasts sent,
+  4*(m-1) received) — asserted per room, exactly as in the
+  single-process throughput bench.
+* ``failover`` — the cluster burst again, but one shard is SIGKILLed
+  mid-flight.  The bar is the PR's acceptance criterion: every client
+  outcome is a success or an *explicitly retryable* failure — zero
+  non-retryable casualties, zero hangs — and the router keeps answering
+  aggregated STATUS afterwards.
+
+Artifacts: ``results/cluster_burst.txt`` (table) and ``BENCH_cluster.json``
+at the repo root (CI uploads it; see .github/workflows/ci.yml).
+"""
+
+import asyncio
+import json
+import os
+import time
+
+from _tables import emit
+from repro import metrics
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.core.scheme1 import scheme1_policy
+from repro.service import (
+    ClientConfig,
+    RendezvousServer,
+    ServerConfig,
+    query_status,
+    run_room,
+)
+
+ROOMS = 12
+ROOM_SIZE = 2
+SHARDS = 2
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_cluster.json")
+
+
+async def _one_room(port, members, policy, label, deadline=120.0):
+    """One room under its own Recorder; returns (outcomes, latency, books
+    are asserted here so cross-room/cross-shard interference can't hide)."""
+    recorder = metrics.Recorder()
+    with metrics.using(recorder):
+        config = ClientConfig(port=port, room=label, deadline=deadline,
+                              backoff_base=0.05, backoff_max=0.5)
+        started = time.perf_counter()
+        outcomes = await run_room(members, config, policy)
+        latency = time.perf_counter() - started
+    if all(o.success for o in outcomes):
+        snapshot = recorder.snapshot()
+        for i in range(len(members)):
+            counters = snapshot[f"hs:{i}"]
+            assert counters.messages_sent == 4, \
+                f"{label}: party {i} sent {counters.messages_sent} != 4"
+            assert counters.messages_received == 4 * (len(members) - 1), \
+                f"{label}: party {i} received {counters.messages_received}"
+    return outcomes, latency
+
+
+async def _burst(port, members, policy, prefix, deadline=120.0):
+    jobs = [_one_room(port, members, policy, f"{prefix}-{i}",
+                      deadline=deadline)
+            for i in range(ROOMS)]
+    started = time.perf_counter()
+    results = await asyncio.gather(*jobs)
+    wall = time.perf_counter() - started
+    return results, wall
+
+
+async def _single_leg(members, policy):
+    async with RendezvousServer(ServerConfig(handshake_timeout=120.0)) \
+            as server:
+        results, wall = await _burst(server.port, members, policy, "single")
+    assert all(o.success for outcomes, _ in results for o in outcomes)
+    return wall
+
+
+async def _cluster_leg(members, policy):
+    config = ClusterConfig(shards=SHARDS, heartbeat_interval=0.1,
+                           handshake_timeout=120.0)
+    async with ClusterRouter(config) as router:
+        results, wall = await _burst(router.port, members, policy, "cluster")
+        await asyncio.sleep(0.4)     # let heartbeats carry the final books
+        status = await query_status("127.0.0.1", router.port)
+    assert all(o.success for outcomes, _ in results for o in outcomes)
+    assert status["outcomes"].get("completed", 0) == ROOMS
+    return wall, status
+
+
+async def _failover_leg(members, policy):
+    config = ClusterConfig(shards=SHARDS, heartbeat_interval=0.1,
+                           handshake_timeout=120.0)
+    recorder = metrics.Recorder()
+    with metrics.using(recorder):
+        async with ClusterRouter(config) as router:
+            jobs = [asyncio.ensure_future(_one_room(
+                        router.port, members, policy, f"failover-{i}",
+                        deadline=30.0))
+                    for i in range(ROOMS)]
+            await asyncio.sleep(0.15)          # burst underway on both shards
+            started = time.perf_counter()
+            router.kill_shard(0)
+            results = await asyncio.gather(*jobs)
+            wall = time.perf_counter() - started
+            status = await query_status("127.0.0.1", router.port)
+    flat = [o for outcomes, _ in results for o in outcomes]
+    successes = sum(o.success for o in flat)
+    retryable = sum((not o.success) and o.retryable for o in flat)
+    casualties = sum((not o.success) and (not o.retryable) for o in flat)
+    assert casualties == 0, \
+        f"{casualties} outcomes were neither success nor retryable"
+    assert status["cluster"]["states"].get("dead") == [0]
+    return {
+        "wall_after_kill_s": round(wall, 6),
+        "successes": successes,
+        "retryable_failures": retryable,
+        "nonretryable_failures": casualties,
+        "replacements": recorder.total().extra.get(
+            "svc-cluster:replacements", 0),
+        "shard_states": status["cluster"]["states"],
+    }
+
+
+def test_cluster_burst(benchmark, bench_scheme1):
+    members = bench_scheme1.members[:ROOM_SIZE]
+    policy = scheme1_policy()
+    report = {}
+
+    def run():
+        report["single_wall_s"] = asyncio.run(_single_leg(members, policy))
+        cluster_wall, status = asyncio.run(_cluster_leg(members, policy))
+        report["cluster_wall_s"] = cluster_wall
+        report["cluster_status"] = status
+        report["failover"] = asyncio.run(_failover_leg(members, policy))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    single_wall = report["single_wall_s"]
+    cluster_wall = report["cluster_wall_s"]
+    failover = report["failover"]
+    status = report["cluster_status"]
+    shard_rooms = {
+        shard_id: (line["rooms"] or {}).get("closed", 0)
+        for shard_id, line in status["shards"].items()
+    }
+
+    rows = [
+        ("single", 1, ROOMS, f"{single_wall:.3f}",
+         f"{ROOMS / single_wall:.1f}", "-"),
+        ("cluster", SHARDS, ROOMS, f"{cluster_wall:.3f}",
+         f"{ROOMS / cluster_wall:.1f}",
+         "/".join(str(shard_rooms.get(str(i), 0)) for i in range(SHARDS))),
+        ("failover", SHARDS, ROOMS, f"{failover['wall_after_kill_s']:.3f}",
+         f"{failover['successes']}ok+{failover['retryable_failures']}retry",
+         str(failover["shard_states"])),
+    ]
+    emit(
+        "cluster_burst",
+        f"Cluster: {ROOMS}-room burst (m={ROOM_SIZE}), single vs "
+        f"{SHARDS}-shard vs kill-one-shard (books asserted per room)",
+        ("leg", "shards", "rooms", "wall(s)", "rooms/s", "per-shard"),
+        rows,
+    )
+
+    doc = {
+        "rooms": ROOMS,
+        "room_size": ROOM_SIZE,
+        "shards": SHARDS,
+        "single_wall_s": round(single_wall, 6),
+        "cluster_wall_s": round(cluster_wall, 6),
+        "cluster_overhead_x": round(cluster_wall / single_wall, 4),
+        "rooms_per_shard": shard_rooms,
+        "message_profile": "asserted (4 sent, 4*(m-1) received per party)",
+        "failover": failover,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

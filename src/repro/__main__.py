@@ -19,9 +19,13 @@ Subcommands:
   (https://ui.perfetto.dev) and ``--jsonl`` a span log.  Exits nonzero
   if the handshake fails.
 * ``serve`` — run the asyncio rendezvous server (an untrusted relay for
-  handshake rooms) until interrupted.
+  handshake rooms) until interrupted; with ``--shards N`` run the
+  multi-process cluster instead (a front-door router consistent-hashing
+  rooms onto N shard workers, each a full server in its own process).
 * ``status`` — send the one-shot STATUS introspection query to a running
   rendezvous server and print its live telemetry snapshot.
+* ``cluster-status`` — the same query against a cluster router, rendered
+  with the per-shard health table and the merged cross-shard telemetry.
 * ``join`` — run handshake participant(s) against a rendezvous server.
   With ``--index`` one party joins from this process (run m processes
   with the same ``--seed`` to handshake across processes: group creation
@@ -295,11 +299,12 @@ def _serve(args: argparse.Namespace) -> int:
 
     offload = _apply_accel(args)
 
-    async def main() -> int:
+    async def single() -> int:
         config = ServerConfig(
             host=args.host, port=args.port,
             room_fill_timeout=args.room_fill_timeout,
             handshake_timeout=args.handshake_timeout,
+            max_rooms=args.max_rooms,
             offload=offload)
         server = await RendezvousServer(config).start()
         print(f"rendezvous server listening on {args.host}:{server.port} "
@@ -318,8 +323,29 @@ def _serve(args: argparse.Namespace) -> int:
                 title="service metrics"))
         return 0
 
+    async def cluster() -> int:
+        from repro.cluster import ClusterConfig, ClusterRouter
+
+        config = ClusterConfig(
+            host=args.host, port=args.port, shards=args.shards,
+            room_fill_timeout=args.room_fill_timeout,
+            handshake_timeout=args.handshake_timeout,
+            max_rooms_per_shard=args.max_rooms)
+        router = await ClusterRouter(config).start()
+        print(f"cluster router listening on {args.host}:{router.port} — "
+              f"{args.shards} shard processes behind it "
+              f"(rooms consistent-hashed by rendezvous name; "
+              f"query with `python -m repro cluster-status`)")
+        try:
+            await router.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await router.shutdown()
+        return 0
+
     try:
-        return asyncio.run(main())
+        return asyncio.run(cluster() if args.shards > 0 else single())
     except KeyboardInterrupt:
         print("\nshutting down")
         return 0
@@ -425,6 +451,73 @@ def _status(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cluster_status(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.errors import TransportError
+    from repro.service import query_status
+
+    try:
+        status = asyncio.run(query_status(args.host, args.port,
+                                          timeout=args.timeout))
+    except (TransportError, ConnectionError, OSError,
+            asyncio.TimeoutError) as exc:
+        print(f"!! could not query {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if args.json:
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    cluster = status.get("cluster")
+    if cluster is None:
+        print(f"!! {args.host}:{args.port} answered a plain server STATUS "
+              f"— not a cluster router (try `python -m repro status`)",
+              file=sys.stderr)
+        return 1
+    states = cluster.get("states", {})
+    print(f"cluster router {args.host}:{args.port} — "
+          f"up {cluster.get('router_uptime_s', 0.0):.1f}s, "
+          f"accepting={cluster.get('accepting')}, "
+          f"{cluster.get('shards', 0)} shards "
+          f"({', '.join(f'{s}: {ids}' for s, ids in sorted(states.items()))})")
+    rooms = status.get("rooms", {})
+    print(f"rooms (all shards): {rooms.get('filling', 0)} filling / "
+          f"{rooms.get('active', 0)} active / {rooms.get('closed', 0)} closed"
+          f"  open={status.get('open_rooms', 0)}"
+          f"  connections={status.get('connections', 0)}")
+    shards = status.get("shards", {})
+    if shards:
+        print("shards:")
+        for shard_id in sorted(shards, key=int):
+            line = shards[shard_id]
+            age = line.get("heartbeat_age_s")
+            shard_rooms = line.get("rooms") or {}
+            print(f"  #{shard_id:<3} {line.get('state', '?'):<9} "
+                  f"port={line.get('port') or '-':<6} "
+                  f"hb_age={age if age is not None else '-':<7} "
+                  f"rooms={shard_rooms.get('filling', 0)}f/"
+                  f"{shard_rooms.get('active', 0)}a/"
+                  f"{shard_rooms.get('closed', 0)}c")
+    for section in ("outcomes", "counters"):
+        entries = status.get(section, {})
+        if entries:
+            print(f"{section} (merged):")
+            for name in sorted(entries):
+                print(f"  {name:<32} {entries[name]}")
+    hists = status.get("histograms", {})
+    if hists:
+        print("histograms (merged):")
+        for name in sorted(hists):
+            s = hists[name]
+            if not s["count"]:
+                print(f"  {name:<24} count=0")
+                continue
+            print(f"  {name:<24} count={s['count']:<6} "
+                  f"p50={s['p50']:.6g} p90={s['p90']:.6g} "
+                  f"p99={s['p99']:.6g} max={s['max']:.6g}")
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description=__doc__,
@@ -488,6 +581,14 @@ def main(argv=None) -> int:
     serve.add_argument("--port", type=int, default=7045)
     serve.add_argument("--room-fill-timeout", type=float, default=30.0)
     serve.add_argument("--handshake-timeout", type=float, default=60.0)
+    serve.add_argument("--shards", type=int, default=0, metavar="N",
+                       help="run a multi-process cluster: a front-door "
+                            "router placing rooms onto N shard worker "
+                            "processes (default: 0 = single process)")
+    serve.add_argument("--max-rooms", type=int, default=None, metavar="R",
+                       help="admission ceiling on open rooms (per shard "
+                            "when clustered); beyond it new rooms are "
+                            "shed with a retryable BUSY frame")
     _add_accel_flags(serve)
 
     join = sub.add_parser(
@@ -516,6 +617,16 @@ def main(argv=None) -> int:
     status.add_argument("--json", action="store_true",
                         help="print the raw JSON snapshot")
 
+    cstatus = sub.add_parser(
+        "cluster-status",
+        help="query a running cluster router: per-shard health plus the "
+             "merged cross-shard telemetry")
+    cstatus.add_argument("--host", default="127.0.0.1")
+    cstatus.add_argument("--port", type=int, default=7045)
+    cstatus.add_argument("--timeout", type=float, default=5.0)
+    cstatus.add_argument("--json", action="store_true",
+                         help="print the raw JSON snapshot")
+
     args = parser.parse_args(argv)
     if args.command == "stats":
         if min(args.parties) < 2:
@@ -529,6 +640,8 @@ def main(argv=None) -> int:
         return _serve(args)
     if args.command == "status":
         return _status(args)
+    if args.command == "cluster-status":
+        return _cluster_status(args)
     if args.command == "join":
         if args.m < 2:
             join.error("a handshake needs at least two parties (-m >= 2)")

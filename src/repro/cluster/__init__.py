@@ -1,0 +1,34 @@
+"""Cluster layer: the rendezvous service sharded across processes.
+
+One front-door :class:`~repro.cluster.router.ClusterRouter` accepts every
+client connection and places each room — keyed by the rendezvous name the
+clients share — onto one of N shard workers via consistent hashing, then
+proxies bytes transparently.  Each shard is a separate OS process running
+the unchanged :class:`~repro.service.server.RendezvousServer` on its own
+event loop with its own metrics recorder, so relay work scales across
+cores and a crash loses only one shard's rooms:
+
+* :mod:`repro.cluster.placement` — consistent-hash ring (SHA-256, virtual
+  nodes, deterministic failover preference order);
+* :mod:`repro.cluster.shard`     — the worker process: spawn entry point,
+  heartbeats carrying full status snapshots, drain-on-command;
+* :mod:`repro.cluster.health`    — supervision: pipe-EOF death detection
+  (instant, SIGKILL-proof), heartbeat staleness backstop, drain/kill;
+* :mod:`repro.cluster.router`    — the front door: placement with
+  explicit re-placement around draining/dead shards, BUSY shedding,
+  transparent byte splice, aggregated STATUS merging shard snapshots.
+
+The proxied handshake is byte-identical to dialling a shard directly, so
+per-party E1/E2 counter books and session keys match the single-process
+service exactly (asserted by the cluster parity test).  Protocol and
+failure semantics: docs/PROTOCOL.md; telemetry: docs/OBSERVABILITY.md.
+"""
+
+from repro.cluster.health import HealthMonitor, ShardHandle  # noqa: F401
+from repro.cluster.placement import HashRing  # noqa: F401
+from repro.cluster.router import (  # noqa: F401
+    ClusterConfig,
+    ClusterRouter,
+    merge_histogram_summaries,
+)
+from repro.cluster.shard import ShardSpec, shard_main  # noqa: F401

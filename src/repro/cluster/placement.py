@@ -1,0 +1,104 @@
+"""Consistent-hash placement of rooms onto shards.
+
+The router must send every member of one room to the *same* shard —
+members only share the rendezvous name they agreed on out of band, so the
+name is the placement key (the shard then mints the random, unlinkable
+session token; docs/PROTOCOL.md).  A :class:`HashRing` maps each key to
+its owning shard with two properties the cluster leans on:
+
+* **stability** — adding or removing one shard moves only ``~1/N`` of the
+  keyspace (virtual nodes smooth the split), so a drain does not reshuffle
+  rooms living on healthy shards;
+* **deterministic failover order** — :meth:`HashRing.place` walks the ring
+  clockwise from the key's position, so when the primary owner is draining
+  or dead every router arrives at the *same* next-best shard (explicit
+  re-placement, not random retry), and when the primary comes back the key
+  returns home.
+
+Hashing is SHA-256, never Python's :func:`hash` — placement must agree
+across processes and runs regardless of ``PYTHONHASHSEED``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Iterable, List, Optional, Sequence, Set, Tuple
+
+
+def _hash(key: str) -> int:
+    return int.from_bytes(
+        hashlib.sha256(key.encode("utf-8")).digest()[:8], "big")
+
+
+class HashRing:
+    """Consistent-hash ring over opaque shard ids.
+
+    ``replicas`` virtual nodes per shard keep the keyspace split even for
+    small clusters (two shards at 64 vnodes land within a few percent of
+    50/50 for uniform keys).
+    """
+
+    def __init__(self, replicas: int = 64) -> None:
+        if replicas < 1:
+            raise ValueError("replicas must be >= 1")
+        self.replicas = replicas
+        self._ring: List[Tuple[int, object]] = []   # (point, shard_id), sorted
+        self._nodes: Set[object] = set()
+
+    @property
+    def nodes(self) -> Set[object]:
+        return set(self._nodes)
+
+    def add(self, node: object) -> None:
+        if node in self._nodes:
+            return
+        self._nodes.add(node)
+        for replica in range(self.replicas):
+            point = _hash(f"{node}#{replica}")
+            bisect.insort(self._ring, (point, node))
+
+    def remove(self, node: object) -> None:
+        if node not in self._nodes:
+            return
+        self._nodes.discard(node)
+        self._ring = [(p, n) for p, n in self._ring if n != node]
+
+    def preference(self, key: str) -> List[object]:
+        """Every shard in failover order for ``key``: the primary owner
+        first, then each distinct next shard walking clockwise.  This is
+        the order a router tries shards in when earlier ones are draining
+        or dead — identical on every router for the same membership."""
+        if not self._ring:
+            return []
+        order: List[object] = []
+        start = bisect.bisect_right(self._ring, (_hash(key), object()))
+        for offset in range(len(self._ring)):
+            node = self._ring[(start + offset) % len(self._ring)][1]
+            if node not in order:
+                order.append(node)
+                if len(order) == len(self._nodes):
+                    break
+        return order
+
+    def place(self, key: str,
+              only: Optional[Iterable[object]] = None) -> Optional[object]:
+        """The shard that owns ``key`` — restricted to ``only`` (the live
+        set) when given, by walking the preference order until a member of
+        ``only`` appears.  ``None`` when no candidate exists."""
+        allowed = None if only is None else set(only)
+        for node in self.preference(key):
+            if allowed is None or node in allowed:
+                return node
+        return None
+
+    def spread(self, keys: Sequence[str]) -> dict:
+        """shard id -> how many of ``keys`` it owns (diagnostics/tests)."""
+        counts: dict = {}
+        for key in keys:
+            owner = self.place(key)
+            counts[owner] = counts.get(owner, 0) + 1
+        return counts
+
+
+__all__ = ["HashRing"]

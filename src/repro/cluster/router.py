@@ -1,0 +1,425 @@
+"""Front-door router: one listening socket, N shard workers behind it.
+
+Clients speak the unchanged rendezvous protocol to the router's port.
+The router frame-reads exactly *one* message per connection — the opening
+HELLO (or STATUS) — places the room onto a shard via consistent hashing
+(:mod:`repro.cluster.placement`), replays the HELLO to the shard, and
+then degrades into a transparent byte pump: every subsequent frame
+(WELCOME, ROOM_READY, BROADCAST/DELIVER, DONE, ABORT) crosses the router
+unparsed and uncounted.  The handshake therefore runs against the shard's
+:class:`~repro.service.server.RendezvousServer` byte-for-byte as if the
+client had dialled it directly — which is why per-party E1/E2 counter
+books and session keys are identical to the single-process service (the
+cluster parity test's claim).
+
+Failure semantics (why clients never hang):
+
+* placement only considers UP shards; a draining or dead shard is
+  re-placed around by walking the ring's preference order — every router
+  instance independently reaches the same next-best shard;
+* no live shard -> typed ``BUSY("no-live-shards")`` — the client backs
+  off and retries within its deadline;
+* a shard dying mid-room surfaces to its clients as EOF/ABORT, which the
+  client classifies as retryable (:mod:`repro.service.client`), and its
+  supervision-pipe EOF removes it from placement on the same loop tick,
+  so the retry lands on a surviving shard;
+* drain: the draining shard's own server sheds new HELLOs with
+  ``BUSY("draining")`` and aborts unfilled rooms with the retryable
+  ``server-shutdown`` reason — the rejoin re-enters the router and is
+  re-placed.  Re-queuing is thus client-driven: the router stays
+  stateless about rooms, every room lives on exactly one shard.
+
+Aggregated STATUS: shards push their full status snapshot with every
+heartbeat; a STATUS query to the router merges the freshest snapshot of
+every non-dead shard — room counts and outcome tallies summed, ``svc:*``
+counters summed, histograms merged bucket-by-bucket (exact, because
+summaries carry raw bucket counts) — plus the router's own
+``svc-cluster:*`` counters and per-shard health lines.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro import metrics
+from repro.cluster.health import DEAD, HealthMonitor
+from repro.cluster.placement import HashRing
+from repro.cluster.shard import ShardSpec
+from repro.errors import EncodingError, FrameError, ProtocolError
+from repro.obs import logging as obslog
+from repro.service import framing, protocol
+
+_log = obslog.get_logger("repro.cluster.router")
+
+_PUMP_CHUNK = 1 << 16
+
+
+@dataclass
+class ClusterConfig:
+    """Tunables for one router + its shard fleet."""
+
+    host: str = "127.0.0.1"
+    port: int = 0                     # 0 = ephemeral (read .port after start)
+    shards: int = 2
+    #: Virtual nodes per shard on the placement ring.
+    ring_replicas: int = 64
+    #: Per-shard admission ceiling (open rooms); ``None`` = unlimited.
+    max_rooms_per_shard: Optional[int] = None
+    heartbeat_interval: float = 0.25
+    #: Mark a shard dead after this long without a heartbeat (the wedged-
+    #: worker backstop; hard death is caught instantly via pipe EOF).
+    stale_after: float = 2.0
+    shard_start_timeout: float = 30.0
+    #: How long a fresh connection may sit silent before its first frame.
+    first_frame_timeout: float = 30.0
+    drain_timeout: float = 5.0        # per-shard grace for active rooms
+    max_frame: int = framing.DEFAULT_MAX_FRAME
+    # Propagated into every ShardSpec:
+    room_fill_timeout: float = 30.0
+    handshake_timeout: float = 60.0
+    idle_timeout: float = 60.0
+    #: Per-shard deterministic token seeds (parity tests); ``None`` uses
+    #: ``secrets`` everywhere.  Length must equal ``shards`` when given.
+    token_seeds: Optional[List[int]] = None
+
+
+class ClusterRouter:
+    """The cluster front door.
+
+    Usage::
+
+        async with ClusterRouter(ClusterConfig(shards=2)) as router:
+            ... clients connect to router.port ...
+
+    or explicit ``await router.start()`` / ``await router.shutdown()``.
+    """
+
+    def __init__(self, config: Optional[ClusterConfig] = None) -> None:
+        self.config = config or ClusterConfig()
+        if self.config.shards < 1:
+            raise ValueError("a cluster needs at least one shard")
+        seeds = self.config.token_seeds
+        if seeds is not None and len(seeds) != self.config.shards:
+            raise ValueError("token_seeds length must equal shards")
+        self.monitor: Optional[HealthMonitor] = None
+        self.ring = HashRing(replicas=self.config.ring_replicas)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sweep_task: Optional[asyncio.Task] = None
+        self._splices: set = set()
+        self._accepting = False
+        self._started = 0.0
+
+    # Lifecycle --------------------------------------------------------------
+
+    def _specs(self) -> List[ShardSpec]:
+        cfg = self.config
+        return [
+            ShardSpec(
+                shard_id=i,
+                host=cfg.host,
+                room_fill_timeout=cfg.room_fill_timeout,
+                handshake_timeout=cfg.handshake_timeout,
+                idle_timeout=cfg.idle_timeout,
+                drain_timeout=cfg.drain_timeout,
+                max_rooms=cfg.max_rooms_per_shard,
+                token_seed=(cfg.token_seeds[i]
+                            if cfg.token_seeds is not None else None),
+                heartbeat_interval=cfg.heartbeat_interval)
+            for i in range(cfg.shards)
+        ]
+
+    async def start(self) -> "ClusterRouter":
+        self.monitor = HealthMonitor(self._specs(),
+                                     stale_after=self.config.stale_after)
+        await self.monitor.start()
+        await self.monitor.wait_up(self.config.shard_start_timeout)
+        for shard_id in self.monitor.handles:
+            self.ring.add(shard_id)
+        self._server = await asyncio.start_server(
+            self._handle, self.config.host, self.config.port)
+        self._sweep_task = asyncio.ensure_future(self._sweep_loop())
+        self._accepting = True
+        self._started = time.perf_counter()
+        obslog.log_event(_log, "router-start", port=self.port,
+                         shards=self.config.shards)
+        return self
+
+    async def __aenter__(self) -> "ClusterRouter":
+        return await self.start()
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    @property
+    def port(self) -> int:
+        assert self._server is not None, "router not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        assert self._server is not None, "router not started"
+        await self._server.serve_forever()
+
+    async def shutdown(self, drain: bool = True) -> None:
+        self._accepting = False
+        if self._sweep_task is not None:
+            self._sweep_task.cancel()
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self.monitor is not None:
+            await self.monitor.stop(
+                drain=drain,
+                drain_timeout=self.config.drain_timeout + 5.0)
+        for task in list(self._splices):
+            task.cancel()
+        if self._splices:
+            await asyncio.gather(*self._splices, return_exceptions=True)
+
+    # Failure injection / operations -----------------------------------------
+
+    def kill_shard(self, shard_id: int) -> None:
+        """SIGKILL one shard and remove it from placement immediately."""
+        assert self.monitor is not None
+        self.monitor.kill(shard_id)
+
+    def drain_shard(self, shard_id: int) -> None:
+        """Gracefully drain one shard: no new placements, active rooms get
+        the drain window, unfilled rooms abort retryably."""
+        assert self.monitor is not None
+        self.monitor.drain(shard_id)
+
+    async def _sweep_loop(self) -> None:
+        try:
+            while True:
+                await asyncio.sleep(self.config.heartbeat_interval)
+                self.monitor.sweep()
+        except asyncio.CancelledError:
+            pass
+
+    # Accept path ------------------------------------------------------------
+
+    async def _handle(self, reader: asyncio.StreamReader,
+                      writer: asyncio.StreamWriter) -> None:
+        """One client connection.  Every exit path writes a typed frame or
+        closes cleanly — a router bug must never strand a client (the
+        kill-one-shard acceptance criterion)."""
+        self._splices.add(asyncio.current_task())
+        metrics.bump("svc-cluster:accepts")
+        try:
+            try:
+                blob = await asyncio.wait_for(
+                    framing.read_frame(reader, self.config.max_frame),
+                    self.config.first_frame_timeout)
+            except (asyncio.TimeoutError, FrameError,
+                    ConnectionError, OSError):
+                return
+            if blob is None:
+                return
+            try:
+                message = protocol.decode_message(blob)
+            except (EncodingError, ProtocolError):
+                metrics.bump("svc-cluster:protocol-errors")
+                await self._best_effort(
+                    writer, protocol.Error(reason="malformed first frame"))
+                return
+            if isinstance(message, protocol.Status):
+                metrics.bump("svc-cluster:status-queries")
+                await self._best_effort(writer, protocol.StatusReply(
+                    body=json.dumps(self.status(), sort_keys=True)))
+                return
+            if not isinstance(message, protocol.Hello):
+                metrics.bump("svc-cluster:protocol-errors")
+                await self._best_effort(writer, protocol.Error(
+                    reason=f"expected HELLO, got {type(message).__name__}"))
+                return
+            if not self._accepting:
+                await self._best_effort(
+                    writer, protocol.Busy(reason="draining"))
+                return
+            await self._place_and_splice(message, blob, reader, writer)
+        except asyncio.CancelledError:
+            pass
+        finally:
+            try:
+                writer.close()
+            except Exception:
+                pass
+            self._splices.discard(asyncio.current_task())
+
+    async def _best_effort(self, writer: asyncio.StreamWriter,
+                           message) -> None:
+        try:
+            writer.write(framing.encode_frame(
+                protocol.encode_message(message)))
+            await writer.drain()
+        except (ConnectionError, OSError):
+            pass
+
+    async def _place_and_splice(self, hello: protocol.Hello, blob: bytes,
+                                reader: asyncio.StreamReader,
+                                writer: asyncio.StreamWriter) -> None:
+        """Choose a shard for the room, replay the HELLO, then pump bytes
+        both ways until either side hangs up."""
+        preferred = self.ring.place(hello.room)
+        tried: set = set()
+        while True:
+            live = {h.shard_id for h in self.monitor.live()}
+            shard_id = self.ring.place(hello.room, only=live - tried)
+            if shard_id is None:
+                metrics.bump("svc-cluster:no-live-shards")
+                obslog.log_event(_log, "no-live-shards")
+                await self._best_effort(
+                    writer, protocol.Busy(reason="no-live-shards"))
+                return
+            handle = self.monitor.handles[shard_id]
+            try:
+                shard_reader, shard_writer = await asyncio.open_connection(
+                    handle.spec.host, handle.port)
+                break
+            except OSError:
+                # Died between heartbeat and dial: record it, walk on.
+                tried.add(shard_id)
+                self.monitor.mark_dead(handle, why="connect-refused")
+        with metrics.scope(handle.spec.scope):
+            metrics.bump("svc-cluster:placements")
+            if shard_id != preferred:
+                # The ring's primary owner was draining/dead — explicit
+                # re-placement onto the next shard in preference order.
+                metrics.bump("svc-cluster:replacements")
+        obslog.log_event(_log, "placed", shard=shard_id,
+                         replaced=shard_id != preferred)
+        try:
+            shard_writer.write(framing.encode_frame(blob))
+            await shard_writer.drain()
+            await asyncio.gather(
+                self._pump(reader, shard_writer),
+                self._pump(shard_reader, writer))
+        except (ConnectionError, OSError):
+            pass
+        finally:
+            for w in (shard_writer, writer):
+                try:
+                    w.close()
+                except Exception:
+                    pass
+
+    @staticmethod
+    async def _pump(src: asyncio.StreamReader,
+                    dst: asyncio.StreamWriter) -> None:
+        """Raw one-direction byte pump.  Deliberately frame- and metrics-
+        blind: parsing here would double-count messages the shard already
+        counts, corrupting the E1/E2 books the parity test pins."""
+        try:
+            while True:
+                chunk = await src.read(_PUMP_CHUNK)
+                if not chunk:
+                    break
+                dst.write(chunk)
+                await dst.drain()
+        except (ConnectionError, OSError, asyncio.CancelledError):
+            return
+        finally:
+            # Half-close so in-flight frames in the other direction still
+            # deliver (DONE then EOF must not cut off a peer's DELIVER).
+            try:
+                if dst.can_write_eof():
+                    dst.write_eof()
+                else:
+                    dst.close()
+            except (OSError, RuntimeError):
+                pass
+
+    # Introspection ----------------------------------------------------------
+
+    def status(self) -> Dict[str, object]:
+        """The aggregated cluster snapshot a STATUS query returns."""
+        assert self.monitor is not None
+        rooms = {"filling": 0, "active": 0, "closed": 0}
+        outcomes: Dict[str, int] = {}
+        counters: Dict[str, int] = {}
+        connections = 0
+        open_rooms = 0
+        histogram_parts: Dict[str, List[dict]] = {}
+        shard_lines: Dict[str, object] = {}
+        for shard_id in sorted(self.monitor.handles):
+            handle = self.monitor.handles[shard_id]
+            shard_lines[str(shard_id)] = handle.summary()
+            snapshot = handle.last_status
+            if handle.state == DEAD or not snapshot:
+                continue       # stale books of a dead shard would mislead
+            for state, count in (snapshot.get("rooms") or {}).items():
+                rooms[state] = rooms.get(state, 0) + count
+            for outcome, count in (snapshot.get("outcomes") or {}).items():
+                outcomes[outcome] = outcomes.get(outcome, 0) + count
+            for name, value in (snapshot.get("counters") or {}).items():
+                counters[name] = counters.get(name, 0) + value
+            connections += snapshot.get("connections", 0)
+            admission = snapshot.get("admission") or {}
+            open_rooms += admission.get("open_rooms", 0)
+            for name, summary in (snapshot.get("histograms") or {}).items():
+                histogram_parts.setdefault(name, []).append(summary)
+        recorder = metrics.current_recorder()
+        own = {name: value
+               for name, value in sorted(recorder.total().extra.items())
+               if name.startswith("svc-cluster:")}
+        counters.update(own)
+        return {
+            "cluster": {
+                "shards": len(self.monitor.handles),
+                "states": self.monitor.states(),
+                "accepting": self._accepting,
+                "router_uptime_s": round(
+                    time.perf_counter() - self._started, 3)
+                    if self._started else 0.0,
+            },
+            "rooms": rooms,
+            "open_rooms": open_rooms,
+            "connections": connections,
+            "outcomes": outcomes,
+            "counters": counters,
+            "histograms": {
+                name: merged
+                for name, parts in sorted(histogram_parts.items())
+                if (merged := merge_histogram_summaries(name, parts))
+                is not None
+            },
+            "shards": shard_lines,
+        }
+
+
+def merge_histogram_summaries(name: str,
+                              summaries: List[dict]) -> Optional[dict]:
+    """Merge per-shard histogram summaries into one — exact, not an
+    approximation, because summaries carry the raw bucket counts: the
+    merged distribution is what one histogram would hold had every
+    observation landed in it (docs/OBSERVABILITY.md)."""
+    merged: Optional[metrics.Histogram] = None
+    bounds: List[float] = []
+    for summary in summaries:
+        buckets = summary.get("buckets") or []
+        these = [b["le"] for b in buckets if b["le"] is not None]
+        if merged is None:
+            if not these:
+                continue
+            bounds = these
+            merged = metrics.Histogram(name, bounds)
+        if [b["le"] for b in buckets if b["le"] is not None] != bounds:
+            continue           # incompatible bounds: refuse to fake a merge
+        for i, bucket in enumerate(buckets):
+            merged.counts[i] += bucket["count"]
+        merged.total += summary.get("count", 0)
+        merged.sum += summary.get("sum", 0.0)
+        for attr, pick in (("min", min), ("max", max)):
+            value = summary.get(attr)
+            if value is not None:
+                current = getattr(merged, attr)
+                setattr(merged, attr,
+                        value if current is None else pick(current, value))
+    return merged.summary() if merged is not None else None
+
+
+__all__ = ["ClusterConfig", "ClusterRouter", "merge_histogram_summaries"]

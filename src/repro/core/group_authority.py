@@ -35,6 +35,7 @@ from repro.errors import (
     EncodingError,
     MembershipError,
     ParameterError,
+    RevocationError,
     TracingError,
 )
 from repro.gsig import acjt, kty
@@ -177,7 +178,10 @@ class GroupAuthority:
         """GCD.RemoveUser: CGKD.Leave + GSIG.Revoke, update posted encrypted
         under the *new* group key so the leaver cannot read it."""
         if user_id in self._crl:
-            raise MembershipError(f"{user_id} already revoked")
+            # RevocationError subclasses MembershipError, matching what
+            # gsig.acjt / gsig.kty raise for the same double-revoke —
+            # callers catching MembershipError keep working.
+            raise RevocationError(f"{user_id} already revoked")
         with obs.span("cgkd:rekey", op="revoke"):
             rekey = self._cgkd.leave(user_id)
         gsig_update = self._gsig.revoke(user_id)

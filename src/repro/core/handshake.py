@@ -77,6 +77,11 @@ class HandshakeOutcome:
 
     index: int
     success: bool
+    #: For ``success=False`` outcomes from a networked transport: the
+    #: failure was environmental (overload shed, lost transport, expired
+    #: deadline) rather than a protocol verdict — a later attempt may
+    #: succeed.  Always ``False`` for in-process engine outcomes.
+    retryable: bool = False
     confirmed_peers: Set[int] = field(default_factory=set)
     session_key: Optional[bytes] = None
     transcript: Optional[HandshakeTranscript] = None

@@ -25,6 +25,7 @@ the protocol messages themselves embed).
 """
 
 from repro.service.client import (  # noqa: F401
+    Backoff,
     ClientConfig,
     join_room,
     query_status,

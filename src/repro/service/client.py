@@ -9,11 +9,19 @@ sent/received in scope ``hs:<i>``) are identical across the synchronous
 engine, the simulator, and this transport — asserted by the
 engine-equivalence tests.
 
-Failure handling: connect retries with exponential backoff + jitter, an
-overall deadline, and explicit failed :class:`~repro.core.handshake.
-HandshakeOutcome` results on room abort, connection loss, or timeout —
-a client never hangs and never raises out of :func:`join_room` for
-protocol-level failures.
+Failure handling: connect retries with exponential backoff + jitter —
+capped at ``backoff_max`` and clamped to the remaining overall
+``deadline`` so a retry can never sleep past it (:class:`Backoff`) — and
+explicit failed :class:`~repro.core.handshake.HandshakeOutcome` results on
+room abort, connection loss, or timeout — a client never hangs and never
+raises out of :func:`join_room` for protocol-level failures.  Transient
+conditions — a typed BUSY shed (admission control / drain), a
+``server-shutdown`` abort, or the transport vanishing before the room
+activated — are *retried in place*: the client backs off and re-sends
+HELLO within the deadline, which is what lets a cluster router re-place
+the room onto a live shard.  Failed outcomes carry
+``retryable=True`` when the failure was environmental (overload, lost
+transport, expired deadline) rather than a protocol verdict.
 
 Observability (docs/OBSERVABILITY.md): connect attempts and handshakes
 are span-traced (``connect`` / ``handshake`` with ``transport="socket"``),
@@ -59,12 +67,76 @@ class ClientConfig:
     connect_retries: int = 4
     backoff_base: float = 0.05     # first retry delay, seconds
     backoff_factor: float = 2.0
+    backoff_max: float = 2.0       # ceiling for one backoff delay (pre-jitter)
     backoff_jitter: float = 0.5    # uniform extra fraction of the delay
     deadline: float = 30.0         # overall cap: connect -> outcome
     #: Run device crypto steps on the accel bridge instead of the event
     #: loop.  Counts stay identical (the step runs under the same metric
     #: scope with the caller's recorder pinned); only the thread changes.
     offload: bool = False
+
+
+class Backoff:
+    """Capped exponential backoff with jitter, clamped to a deadline.
+
+    The bare delay progresses ``base, base*factor, ...`` but never exceeds
+    ``maximum`` (the historical bug: ``delay *= factor`` grew unbounded).
+    Jitter then adds a uniform extra fraction *on top* of the capped delay
+    (de-synchronizing retry herds — the ceiling on one sleep is therefore
+    ``maximum * (1 + jitter)``), and finally the sleep is clamped to the
+    time remaining until ``deadline_at`` so a retry can never sleep past
+    the caller's overall deadline.
+
+    Pure bookkeeping over caller-supplied clocks — :meth:`next_delay`
+    takes ``now`` explicitly, so the schedule is unit-testable with a fake
+    clock and works against ``loop.time()`` or ``time.monotonic()`` alike.
+    """
+
+    def __init__(self, base: float, factor: float, maximum: float,
+                 jitter: float = 0.0,
+                 rng: Optional[random.Random] = None,
+                 deadline_at: Optional[float] = None) -> None:
+        self.factor = factor
+        self.maximum = maximum
+        self.jitter = jitter
+        self.rng = rng
+        self.deadline_at = deadline_at
+        self._next = min(base, maximum)
+
+    def next_delay(self, now: float) -> Optional[float]:
+        """The next sleep in seconds, or ``None`` when ``deadline_at`` has
+        already passed (the caller should stop retrying, not sleep)."""
+        delay = self._next
+        self._next = min(self._next * self.factor, self.maximum)
+        if self.rng is not None and self.jitter:
+            delay *= 1.0 + self.jitter * self.rng.random()
+        if self.deadline_at is not None:
+            remaining = self.deadline_at - now
+            if remaining <= 0.0:
+                return None
+            delay = min(delay, remaining)
+        return delay
+
+
+class _SessionRetry(Exception):
+    """Internal signal: this join attempt hit a *transient* condition (BUSY
+    shed, draining server, transport vanished before the room activated)
+    — back off and re-send HELLO within the deadline."""
+
+    def __init__(self, counter: str, reason: str) -> None:
+        super().__init__(reason)
+        self.counter = counter      # svc-client:<counter> metric to bump
+        self.reason = reason
+
+
+#: Abort reasons the client answers by rejoining (the room's host is going
+#: away; a fresh HELLO reaches a live server / gets re-placed by a router).
+_RETRYABLE_ABORTS = frozenset({"server-shutdown"})
+
+#: Abort reasons that yield a terminal outcome for *this* call but are
+#: environmental, so the outcome is flagged ``retryable=True`` for the
+#: caller: nobody showed up — peers may well arrive on a later attempt.
+_RETRYABLE_OUTCOME_ABORTS = frozenset({"fill-timeout"})
 
 
 class _DeviceLink:
@@ -90,32 +162,49 @@ class _DeviceLink:
         self.outbox.append(frame)
 
 
-async def _connect(config: ClientConfig, rng: random.Random):
-    """Open the TCP connection, retrying with backoff + jitter."""
-    delay = config.backoff_base
+def _session_backoff(config: ClientConfig, rng: random.Random,
+                     deadline_at: Optional[float]) -> Backoff:
+    return Backoff(config.backoff_base, config.backoff_factor,
+                   config.backoff_max, config.backoff_jitter, rng,
+                   deadline_at)
+
+
+async def _connect(config: ClientConfig, rng: random.Random,
+                   deadline_at: Optional[float] = None):
+    """Open the TCP connection, retrying with capped backoff + jitter.
+
+    Each sleep is clamped to the time remaining until ``deadline_at`` (an
+    ``loop.time()`` instant); once the deadline has passed, retrying stops
+    early with :class:`~repro.errors.TransportError` instead of sleeping
+    past the caller's overall deadline."""
+    loop = asyncio.get_running_loop()
+    backoff = _session_backoff(config, rng, deadline_at)
     last_error: Optional[Exception] = None
+    attempts = 0
     with obs.span("connect") as span:
         for attempt in range(config.connect_retries + 1):
+            attempts = attempt + 1
             try:
                 streams = await asyncio.open_connection(
                     config.host, config.port)
-                span.end(attempts=attempt + 1)
+                span.end(attempts=attempts)
                 return streams
             except OSError as exc:
                 last_error = exc
                 if attempt == config.connect_retries:
                     break
+                delay = backoff.next_delay(loop.time())
+                if delay is None:        # deadline exhausted: stop early
+                    break
                 metrics.bump("svc-client:retries")
-                obslog.log_event(_log, "connect-retry", attempt=attempt + 1,
+                obslog.log_event(_log, "connect-retry", attempt=attempts,
                                  delay_s=round(delay, 4),
                                  error=type(exc).__name__)
-                await asyncio.sleep(
-                    delay * (1.0 + config.backoff_jitter * rng.random()))
-                delay *= config.backoff_factor
-        span.end(attempts=config.connect_retries + 1, failed=True)
+                await asyncio.sleep(delay)
+        span.end(attempts=attempts, failed=True)
     raise TransportError(
         f"could not connect to {config.host}:{config.port} after "
-        f"{config.connect_retries + 1} attempts: {last_error}")
+        f"{attempts} attempts: {last_error}")
 
 
 async def join_room(member, config: ClientConfig,
@@ -130,37 +219,80 @@ async def join_room(member, config: ClientConfig,
     assignment).  Only programming errors escape as exceptions.
     ``joined`` (if given) is set once the server has assigned an index —
     :func:`run_room` uses it to make join order deterministic.
+
+    Transient failures (BUSY shed, draining server, transport vanished
+    before the room activated) are retried in place with capped backoff
+    until the deadline; failed outcomes carry ``retryable=True`` when the
+    failure was environmental rather than a protocol verdict.
     """
     rng = rng if rng is not None else random.Random()
-    state = {"index": -1, "joined": joined}
+    state = {"index": -1, "joined": joined, "retryable": False}
+    deadline_at = asyncio.get_running_loop().time() + config.deadline
     try:
         return await asyncio.wait_for(
-            _join(member, config, policy, rng, state), config.deadline)
+            _join_with_retries(member, config, policy, rng, state,
+                               deadline_at),
+            config.deadline)
     except asyncio.TimeoutError:
         metrics.bump("svc-client:deadline-expired")
+        state["retryable"] = True
     except (TransportError, ConnectionError, OSError,
             EncodingError, asyncio.IncompleteReadError):
         metrics.bump("svc-client:transport-failures")
-    return HandshakeOutcome(index=state["index"], success=False)
+        state["retryable"] = True
+    return HandshakeOutcome(index=state["index"], success=False,
+                            retryable=state["retryable"])
+
+
+async def _join_with_retries(member, config: ClientConfig,
+                             policy: Optional[HandshakePolicy],
+                             rng: random.Random, state: dict,
+                             deadline_at: float) -> HandshakeOutcome:
+    """Run join attempts until one concludes, backing off on transient
+    shed/drain/vanish signals.  The overall ``wait_for`` in
+    :func:`join_room` still caps the whole loop; the backoff's deadline
+    clamp just makes the last sleep end *at* the deadline instead of
+    overshooting it."""
+    loop = asyncio.get_running_loop()
+    backoff = _session_backoff(config, rng, deadline_at)
+    while True:
+        try:
+            return await _join(member, config, policy, rng, state,
+                               deadline_at)
+        except _SessionRetry as retry:
+            metrics.bump(f"svc-client:{retry.counter}")
+            obslog.log_event(_log, "session-retry", counter=retry.counter,
+                             retry_reason=retry.reason)
+            state["index"] = -1        # any prior index died with its room
+            delay = backoff.next_delay(loop.time())
+            if delay is None:
+                state["retryable"] = True
+                return HandshakeOutcome(index=-1, success=False,
+                                        retryable=True)
+            await asyncio.sleep(delay)
 
 
 async def _join(member, config: ClientConfig,
                 policy: Optional[HandshakePolicy],
-                rng: random.Random, state: dict) -> HandshakeOutcome:
-    reader, writer = await _connect(config, rng)
+                rng: random.Random, state: dict,
+                deadline_at: Optional[float] = None) -> HandshakeOutcome:
+    state["retryable"] = False
+    reader, writer = await _connect(config, rng, deadline_at)
     msg_ids = itertools.count(1)
     try:
         await _send(writer, protocol.Hello(room=config.room, m=config.m),
                     config.max_frame)
-        welcome = await _expect(reader, config, protocol.Welcome)
+        welcome = await _expect(reader, config, protocol.Welcome, state)
         if welcome is None:
-            return HandshakeOutcome(index=-1, success=False)
+            return HandshakeOutcome(index=-1, success=False,
+                                    retryable=state["retryable"])
         state["index"] = welcome.index
         if state.get("joined") is not None:
             state["joined"].set()
-        ready = await _expect(reader, config, protocol.RoomReady)
+        ready = await _expect(reader, config, protocol.RoomReady, state)
         if ready is None:
-            return HandshakeOutcome(index=welcome.index, success=False)
+            return HandshakeOutcome(index=welcome.index, success=False,
+                                    retryable=state["retryable"])
 
         plan = SessionPlan(
             session_id=ready.token,
@@ -182,7 +314,12 @@ async def _join(member, config: ClientConfig,
 
             while device.outcome is None:
                 blob = await framing.read_frame(reader, config.max_frame)
-                if blob is None:    # server closed: room died under us
+                if blob is None:
+                    # Server closed mid-handshake: the room died under us.
+                    # Environmental, so the outcome is flagged retryable —
+                    # but we do NOT rejoin in place: the peers saw the same
+                    # loss and this room's membership is gone for good.
+                    state["retryable"] = True
                     break
                 message = protocol.decode_message(blob)
                 if isinstance(message, protocol.Deliver):
@@ -204,6 +341,10 @@ async def _join(member, config: ClientConfig,
                     obslog.log_event(_log, "room-abort",
                                      party=welcome.index, token=ready.token,
                                      abort_reason=message.reason)
+                    if message.reason in _RETRYABLE_ABORTS:
+                        raise _SessionRetry("rejoin-retries", message.reason)
+                    state["retryable"] = (
+                        message.reason in _RETRYABLE_OUTCOME_ABORTS)
                     break
                 elif isinstance(message, protocol.Error):
                     metrics.bump("svc-client:server-errors")
@@ -220,8 +361,9 @@ async def _join(member, config: ClientConfig,
                 await _send(writer, protocol.Done(), config.max_frame)
             except (ConnectionError, OSError):
                 pass        # outcome already decided; DONE is best-effort
-        outcome = device.outcome or HandshakeOutcome(index=device.index,
-                                                     success=False)
+        outcome = device.outcome or HandshakeOutcome(
+            index=device.index, success=False,
+            retryable=state["retryable"])
         obslog.log_event(_log, "outcome", party=welcome.index,
                          token=ready.token, success=outcome.success,
                          latency_s=round(
@@ -273,17 +415,31 @@ async def _send(writer: asyncio.StreamWriter, message,
 
 
 async def _expect(reader: asyncio.StreamReader, config: ClientConfig,
-                  expected_type):
-    """Read the next control message; ``None`` if the session ended first
-    (EOF, ABORT, ERROR) — the caller reports a failed outcome."""
+                  expected_type, state: dict):
+    """Read the next control message; ``None`` if the session ended
+    terminally first (ABORT, ERROR) — the caller reports a failed outcome,
+    marked retryable via ``state`` when the abort was environmental.
+    Transient endings — a BUSY shed, a draining server's abort, or the
+    server vanishing before the room activated — raise
+    :class:`_SessionRetry` so the join loop backs off and re-HELLOs."""
     while True:
         blob = await framing.read_frame(reader, config.max_frame)
         if blob is None:
-            return None
+            # EOF before the room activated: the host went away between
+            # accepting us and filling the room (shard death, restart).
+            raise _SessionRetry("rejoin-retries", "server-vanished")
         message = protocol.decode_message(blob)
         if isinstance(message, expected_type):
             return message
-        if isinstance(message, (protocol.Abort, protocol.Error)):
+        if isinstance(message, protocol.Busy):
+            raise _SessionRetry("busy-retries", message.reason)
+        if isinstance(message, protocol.Abort):
+            metrics.bump("svc-client:room-aborts")
+            if message.reason in _RETRYABLE_ABORTS:
+                raise _SessionRetry("rejoin-retries", message.reason)
+            state["retryable"] = message.reason in _RETRYABLE_OUTCOME_ABORTS
+            return None
+        if isinstance(message, protocol.Error):
             metrics.bump("svc-client:room-aborts")
             return None
         raise ProtocolError(

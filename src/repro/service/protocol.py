@@ -17,6 +17,10 @@ Session flow::
                                        mirroring the anonymous channel)
     C -> S   DONE()                    handshake concluded locally
     S -> C   ABORT(reason)             room torn down (timeout, lost peer)
+    S -> C   BUSY(reason)              overload shed: the server (or the
+                                       cluster shard behind a router) cannot
+                                       host a new room right now; transient
+                                       — the client retries with backoff
     both     ERROR(reason)             protocol violation; connection drops
 
 Introspection (one-shot, in place of HELLO)::
@@ -96,6 +100,17 @@ class Abort:
 
 
 @dataclass(frozen=True)
+class Busy:
+    """Typed overload shed (admission control / drain): unlike ERROR this
+    is *retryable* — the client backs off and re-sends HELLO, and a cluster
+    router will re-place the room if the shard is draining or dead."""
+
+    reason: str
+
+    KIND = "svc/busy"
+
+
+@dataclass(frozen=True)
 class Error:
     reason: str
 
@@ -117,7 +132,7 @@ class StatusReply:
 _REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {
     cls.KIND: (cls, tuple(cls.__dataclass_fields__))  # type: ignore[attr-defined]
     for cls in (Hello, Welcome, RoomReady, Broadcast, Deliver, Done, Abort,
-                Error, Status, StatusReply)
+                Busy, Error, Status, StatusReply)
 }
 
 _FIELD_TYPES = {"room": str, "reason": str, "token": str, "m": int,
@@ -167,6 +182,6 @@ def payload_kind(payload: object) -> str:
 
 __all__ = [
     "Hello", "Welcome", "RoomReady", "Broadcast", "Deliver", "Done",
-    "Abort", "Error", "Status", "StatusReply",
+    "Abort", "Busy", "Error", "Status", "StatusReply",
     "encode_message", "decode_message", "payload_kind",
 ]

@@ -72,6 +72,13 @@ class ServerConfig:
     send_queue_limit: int = 64        # frames buffered per connection
     drain_timeout: float = 5.0        # shutdown grace for active rooms
     max_room_size: int = 64
+    #: Admission ceiling over *open* (filling + active) rooms.  A HELLO
+    #: that would open a room beyond the ceiling is shed with a typed
+    #: BUSY frame — a transient, retryable condition the client answers
+    #: with backoff (and a cluster router answers with re-placement).
+    #: ``None`` disables shedding.  Joining an already-filling room is
+    #: always admitted: the room charged its slot when it opened.
+    max_rooms: Optional[int] = None
     #: Move frame codec work (fan-out encodes, large-frame decodes) onto
     #: the accel bridge threads so the event loop stays responsive while
     #: relaying Phase III payloads.  Counting is unchanged: frames are
@@ -361,6 +368,7 @@ class RendezvousServer:
         self._conn_ids = itertools.count(1)
         self._accepting = False
         self._started = 0.0
+        self._open_rooms = 0           # filling + active (admission control)
 
     # Lifecycle ------------------------------------------------------------
 
@@ -449,6 +457,8 @@ class RendezvousServer:
             "rooms": {"filling": states[_Room.FILLING],
                       "active": states[_Room.ACTIVE],
                       "closed": states[_Room.CLOSED]},
+            "admission": {"open_rooms": self._open_rooms,
+                          "max_rooms": self.config.max_rooms},
             "outcomes": outcomes,
             "send_queues": {"total_depth": sum(depths),
                             "max_depth": max(depths, default=0)},
@@ -536,12 +546,27 @@ class RendezvousServer:
             raise ProtocolError(
                 f"room size {hello.m} outside [2, {self.config.max_room_size}]")
         if not self._accepting:
-            raise ProtocolError("server is draining")
+            # Draining is transient, not a protocol violation: shed with a
+            # retryable BUSY so the client backs off (and, behind a cluster
+            # router, gets re-placed onto a live shard).
+            metrics.bump("svc:busy-sheds")
+            obslog.log_event(_log, "busy-shed", conn=conn.conn_id,
+                             busy_reason="draining")
+            await conn.send(protocol.Busy(reason="draining"))
+            return
         room = self._filling.get(hello.room)
         if room is None:
+            if (self.config.max_rooms is not None
+                    and self._open_rooms >= self.config.max_rooms):
+                metrics.bump("svc:busy-sheds")
+                obslog.log_event(_log, "busy-shed", conn=conn.conn_id,
+                                 busy_reason="at-capacity")
+                await conn.send(protocol.Busy(reason="at-capacity"))
+                return
             room = _Room(self, hello.room, hello.m, self._new_token())
             self._filling[hello.room] = room
             self._rooms[room.token] = room
+            self._open_rooms += 1
             metrics.bump("svc:rooms-opened")
             asyncio.get_running_loop().call_later(
                 self.config.room_fill_timeout, self._fill_timeout, room)
@@ -578,3 +603,4 @@ class RendezvousServer:
 
     def _room_closed(self, room: _Room) -> None:
         self._filling.pop(room.name, None)
+        self._open_rooms = max(0, self._open_rooms - 1)

@@ -1,0 +1,114 @@
+"""Unit tests for the consistent-hash placement ring."""
+
+import pytest
+
+from repro.cluster.placement import HashRing
+
+
+def _ring(n, replicas=64):
+    ring = HashRing(replicas=replicas)
+    for i in range(n):
+        ring.add(i)
+    return ring
+
+
+KEYS = [f"room-{i}" for i in range(500)]
+
+
+class TestDeterminism:
+    def test_same_key_same_shard(self):
+        ring = _ring(4)
+        assert all(ring.place(k) == ring.place(k) for k in KEYS)
+
+    def test_independent_rings_agree(self):
+        """Two routers (or a restarted one) must place identically — the
+        reason hashing is SHA-256 and never PYTHONHASHSEED-dependent."""
+        a, b = _ring(4), _ring(4)
+        assert [a.place(k) for k in KEYS] == [b.place(k) for k in KEYS]
+
+    def test_insertion_order_irrelevant(self):
+        a = HashRing()
+        for i in (0, 1, 2, 3):
+            a.add(i)
+        b = HashRing()
+        for i in (3, 1, 0, 2):
+            b.add(i)
+        assert [a.place(k) for k in KEYS] == [b.place(k) for k in KEYS]
+
+
+class TestSpread:
+    def test_two_shards_roughly_even(self):
+        counts = _ring(2).spread(KEYS)
+        assert set(counts) == {0, 1}
+        # Virtual nodes keep a 2-shard split within a loose band; a gross
+        # imbalance would mean vnode hashing broke.
+        assert min(counts.values()) > len(KEYS) * 0.25
+
+    def test_every_shard_owns_something(self):
+        counts = _ring(5).spread(KEYS)
+        assert set(counts) == set(range(5))
+
+
+class TestStability:
+    def test_removal_moves_only_the_lost_shards_keys(self):
+        """Consistent hashing's contract: dropping one shard re-homes its
+        keys and *only* its keys."""
+        ring = _ring(4)
+        before = {k: ring.place(k) for k in KEYS}
+        ring.remove(2)
+        after = {k: ring.place(k) for k in KEYS}
+        for key in KEYS:
+            if before[key] != 2:
+                assert after[key] == before[key]
+            else:
+                assert after[key] != 2
+
+    def test_readding_restores_ownership(self):
+        ring = _ring(4)
+        before = {k: ring.place(k) for k in KEYS}
+        ring.remove(1)
+        ring.add(1)
+        assert {k: ring.place(k) for k in KEYS} == before
+
+
+class TestFailover:
+    def test_place_only_skips_excluded(self):
+        ring = _ring(3)
+        for key in KEYS[:100]:
+            owner = ring.place(key)
+            fallback = ring.place(key, only=set(range(3)) - {owner})
+            assert fallback is not None and fallback != owner
+
+    def test_fallback_follows_preference_order(self):
+        """Explicit re-placement: the shard chosen when the primary is
+        down is the *next* entry of the preference list, so every router
+        lands on the same one."""
+        ring = _ring(4)
+        for key in KEYS[:100]:
+            order = ring.preference(key)
+            assert order[0] == ring.place(key)
+            assert ring.place(key, only=set(order[1:])) == order[1]
+
+    def test_no_candidates_yields_none(self):
+        ring = _ring(2)
+        assert ring.place("x", only=set()) is None
+        assert HashRing().place("x") is None
+
+    def test_preference_lists_every_shard_once(self):
+        ring = _ring(5)
+        for key in KEYS[:50]:
+            order = ring.preference(key)
+            assert sorted(order) == list(range(5))
+
+
+class TestValidation:
+    def test_replicas_must_be_positive(self):
+        with pytest.raises(ValueError):
+            HashRing(replicas=0)
+
+    def test_double_add_remove_are_idempotent(self):
+        ring = _ring(2)
+        ring.add(0)
+        placements = [ring.place(k) for k in KEYS[:50]]
+        ring.remove(7)               # never present: no-op
+        assert [ring.place(k) for k in KEYS[:50]] == placements

@@ -1,0 +1,51 @@
+"""Regression: double revoke raises RevocationError, not bare
+MembershipError.
+
+`GroupAuthority.remove_user` used to raise `MembershipError` for a
+second revocation of the same user while the gsig layers (`acjt.revoke`,
+`kty.revoke`) raise `RevocationError` for the identical condition — a
+caller distinguishing "unknown member" from "already revoked" got
+different exception types depending on which layer noticed first.
+`RevocationError` subclasses `MembershipError`, so pre-existing handlers
+keep working.
+"""
+
+import random
+
+import pytest
+
+from repro.core.scheme1 import create_scheme1
+from repro.errors import MembershipError, RevocationError
+
+
+@pytest.fixture(scope="module")
+def small_world():
+    rng = random.Random(8118)
+    framework = create_scheme1("revoc-regress", rng=rng)
+    members = [framework.admit_member(f"u{i}", rng) for i in range(2)]
+    return framework, members
+
+
+def test_double_revoke_raises_revocation_error(small_world):
+    framework, _ = small_world
+    framework.remove_user("u1")
+    with pytest.raises(RevocationError):
+        framework.remove_user("u1")
+
+
+def test_revocation_error_still_satisfies_membership_handlers(small_world):
+    """Callers that caught MembershipError before the fix must keep
+    working — the subclass relationship is the compatibility contract."""
+    framework, _ = small_world
+    with pytest.raises(MembershipError):
+        framework.remove_user("u1")      # already revoked by the test above
+    assert issubclass(RevocationError, MembershipError)
+
+
+def test_unknown_user_remains_membership_error(small_world):
+    """Only the *double revoke* was reclassified; removing a user that
+    was never admitted is still a plain membership failure."""
+    framework, _ = small_world
+    with pytest.raises(MembershipError) as excinfo:
+        framework.remove_user("never-admitted")
+    assert not isinstance(excinfo.value, RevocationError)

@@ -1,0 +1,130 @@
+"""Backoff schedule unit tests (fake clock) and BUSY admission retries.
+
+The :class:`~repro.service.client.Backoff` regression being pinned: the
+old ``_connect`` loop did ``delay *= factor`` with no ceiling, so a long
+outage produced minute-scale sleeps, and nothing clamped a sleep to the
+caller's overall deadline — a retry could sleep *past* the deadline it
+was supposed to respect.  ``next_delay`` takes ``now`` explicitly, so the
+whole schedule is testable without sleeping.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import metrics
+from repro.core.scheme1 import scheme1_policy
+from repro.service import (
+    Backoff,
+    ClientConfig,
+    RendezvousServer,
+    ServerConfig,
+    join_room,
+)
+
+TEST_CAP = 60.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+class TestBackoffSchedule:
+    def test_exponential_up_to_cap_then_flat(self):
+        backoff = Backoff(base=0.05, factor=2.0, maximum=0.4)
+        delays = [backoff.next_delay(now=0.0) for _ in range(6)]
+        assert delays == pytest.approx([0.05, 0.1, 0.2, 0.4, 0.4, 0.4])
+
+    def test_cap_holds_forever(self):
+        """The historical bug: growth was unbounded.  After any number of
+        steps the bare delay never exceeds the ceiling."""
+        backoff = Backoff(base=0.01, factor=3.0, maximum=1.5)
+        for _ in range(200):
+            assert backoff.next_delay(now=0.0) <= 1.5
+
+    def test_base_above_maximum_is_clamped_immediately(self):
+        backoff = Backoff(base=5.0, factor=2.0, maximum=1.0)
+        assert backoff.next_delay(now=0.0) == pytest.approx(1.0)
+
+    def test_jitter_adds_bounded_fraction_on_top_of_cap(self):
+        backoff = Backoff(base=0.4, factor=2.0, maximum=0.4, jitter=0.5,
+                          rng=random.Random(11))
+        for _ in range(100):
+            delay = backoff.next_delay(now=0.0)
+            assert 0.4 <= delay <= 0.4 * 1.5
+
+    def test_jitter_zero_without_rng(self):
+        backoff = Backoff(base=0.1, factor=2.0, maximum=0.4, jitter=0.5)
+        assert backoff.next_delay(now=0.0) == pytest.approx(0.1)
+
+
+class TestDeadlineClamp:
+    def test_sleep_clamped_to_remaining_deadline(self):
+        backoff = Backoff(base=0.5, factor=2.0, maximum=8.0,
+                          deadline_at=10.0)
+        backoff.next_delay(now=0.0)               # 0.5
+        backoff.next_delay(now=1.0)               # 1.0
+        assert backoff.next_delay(now=9.8) == pytest.approx(0.2)
+
+    def test_expired_deadline_returns_none_not_a_sleep(self):
+        backoff = Backoff(base=0.5, factor=2.0, maximum=8.0,
+                          deadline_at=10.0)
+        assert backoff.next_delay(now=10.0) is None
+        assert backoff.next_delay(now=11.0) is None
+
+    def test_clamp_applies_after_jitter(self):
+        """Jitter can only shrink toward the deadline, never overshoot:
+        the clamp is the last step of the computation."""
+        backoff = Backoff(base=4.0, factor=2.0, maximum=4.0, jitter=1.0,
+                          rng=random.Random(3), deadline_at=1.0)
+        for now in (0.0, 0.25, 0.5, 0.75, 0.99):
+            delay = backoff.next_delay(now)
+            assert delay is not None and delay <= 1.0 - now + 1e-9
+
+    def test_no_deadline_means_no_clamp(self):
+        backoff = Backoff(base=2.0, factor=2.0, maximum=2.0)
+        assert backoff.next_delay(now=1e9) == pytest.approx(2.0)
+
+
+class TestBusyAdmission:
+    def test_full_server_sheds_then_admits(self, scheme1_world):
+        """Satellite acceptance: a server at its ``max_rooms`` ceiling
+        sheds new rooms with BUSY; the shed clients back off, re-HELLO,
+        and are admitted once the slot frees — nobody fails, nobody
+        hangs."""
+        names = sorted(scheme1_world.members)[:2]
+        members = scheme1_world.lineup(*names)
+        policy = scheme1_policy()
+
+        async def scenario():
+            config = ServerConfig(max_rooms=1)
+            async with RendezvousServer(config) as server:
+                holder_cfg = ClientConfig(port=server.port,
+                                          room="slot-holder")
+                joined = asyncio.Event()
+                first = asyncio.ensure_future(join_room(
+                    members[0], holder_cfg, policy, random.Random(1),
+                    joined=joined))
+                await joined.wait()     # room open: the one slot is taken
+                shed_cfg = ClientConfig(port=server.port, room="queued",
+                                        backoff_base=0.05, backoff_max=0.2)
+                shed = [asyncio.ensure_future(join_room(
+                            member, shed_cfg, policy, random.Random(10 + i)))
+                        for i, member in enumerate(members)]
+                # Let the shed clients hit BUSY at least once before the
+                # slot frees up.
+                await asyncio.sleep(0.4)
+                second = asyncio.ensure_future(join_room(
+                    members[1], holder_cfg, policy, random.Random(2)))
+                return await asyncio.gather(first, second, *shed)
+
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            outcomes = _run(scenario())
+        assert all(o.success for o in outcomes)
+        extra = recorder.total().extra
+        assert extra.get("svc:busy-sheds", 0) >= 1
+        assert extra.get("svc-client:busy-retries", 0) >= 1

@@ -1,0 +1,98 @@
+"""Revoked-member handshakes end-to-end over real sockets.
+
+After ``remove_user`` the revoked party holds a stale group key and a
+revoked credential: over the wire it degrades into a decoy participant
+(the runner swallows its key-derivation failure rather than leaking the
+revocation through timing/behaviour), so the whole room's handshake fails
+— and the failure is a *crypto verdict*, not an environmental error, so
+outcomes are terminal (``retryable=False``).  The surviving members still
+handshake successfully among themselves.  Both facts must hold on the
+single-process server and on a 2-shard cluster (the routed path must not
+change any verdict).
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.core.scheme1 import create_scheme1, scheme1_policy
+from repro.service import ClientConfig, RendezvousServer, ServerConfig, run_room
+
+TEST_CAP = 120.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+@pytest.fixture(scope="module")
+def revoked_world():
+    """A private 3-member group with one member revoked — session worlds
+    are read-only (conftest), membership mutation needs its own."""
+    rng = random.Random(7117)
+    framework = create_scheme1("bureau", rng=rng)
+    members = {name: framework.admit_member(name, rng)
+               for name in ("ann", "ben", "cal")}
+    framework.remove_user("cal")
+    return framework, members
+
+
+def _assert_revoked_semantics(revoked_outcomes, survivor_outcomes):
+    # The room including the revoked member fails for everyone...
+    assert not any(o.success for o in revoked_outcomes)
+    # ...as a terminal protocol verdict, not a retryable transport blip.
+    assert not any(o.retryable for o in revoked_outcomes)
+    # The survivors alone still succeed and share one key.
+    assert all(o.success for o in survivor_outcomes)
+    keys = {o.session_key for o in survivor_outcomes}
+    assert len(keys) == 1 and None not in keys
+
+
+class TestSingleProcessServer:
+    def test_revoked_member_breaks_room_survivors_succeed(self, revoked_world):
+        _, members = revoked_world
+        policy = scheme1_policy()
+
+        async def scenario():
+            async with RendezvousServer(ServerConfig()) as server:
+                revoked = await run_room(
+                    [members["ann"], members["ben"], members["cal"]],
+                    ClientConfig(port=server.port, room="with-revoked"),
+                    policy)
+                survivors = await run_room(
+                    [members["ann"], members["ben"]],
+                    ClientConfig(port=server.port, room="survivors"),
+                    policy)
+            # After shutdown's drain every DONE frame is processed.
+            return revoked, survivors, server.room_outcomes()
+
+        revoked, survivors, rooms = _run(scenario())
+        _assert_revoked_semantics(revoked, survivors)
+        # Both rooms ran to completion: the revoked member's failure is a
+        # handshake verdict, not a room abort.
+        assert sorted(rooms.values()) == ["completed", "completed"]
+
+
+class TestTwoShardCluster:
+    def test_revoked_member_breaks_room_survivors_succeed(self, revoked_world):
+        _, members = revoked_world
+        policy = scheme1_policy()
+
+        async def scenario():
+            async with ClusterRouter(ClusterConfig(shards=2)) as router:
+                revoked = await run_room(
+                    [members["ann"], members["ben"], members["cal"]],
+                    ClientConfig(port=router.port, room="with-revoked"),
+                    policy)
+                survivors = await run_room(
+                    [members["ann"], members["ben"]],
+                    ClientConfig(port=router.port, room="survivors"),
+                    policy)
+                return revoked, survivors
+
+        revoked, survivors = _run(scenario())
+        _assert_revoked_semantics(revoked, survivors)
