@@ -1,21 +1,32 @@
-"""Accel sweep — baseline vs fixed-base precompute vs process pool.
+"""Accel sweep — baseline vs fixed-base precompute vs batch vs pool.
 
-Three configurations of the same seeded handshake, m ∈ {2, 4, 8}:
+Four configurations of the same seeded handshake, m ∈ {2, 4, 8}:
 
 * ``baseline``   — accel disabled: plain ``pow`` everywhere, inline.
-* ``precompute`` — accel enabled: fixed-base tables + Shamir/Straus
-  multi-exp, still inline on one core.
-* ``pooled``     — accel enabled *and* Phase III fanned out over the
-  :mod:`repro.accel.pool` worker processes.
+* ``precompute`` — accel enabled, batching off: fixed-base tables only,
+  inline on one core.
+* ``batched``    — accel enabled with room-scale batch verification
+  (:mod:`repro.accel.batch`): one ScanCache deduplicates the Phase III
+  decrypt/verify scan across parties, still inline on one core.
+* ``pooled``     — accel + batching *and* Phase III fanned out over the
+  :mod:`repro.accel.pool` worker processes (scans ship as one chunk per
+  worker).
 
 The **counter-parity guard** is the heart of the benchmark and is always
-asserted, on any machine: all three configurations must produce
+asserted, on any machine: all four configurations must produce
 bit-identical session keys and transcripts and identical per-party E1
 (modexp) / E2 (message) counts — acceleration that changes the books is
 a bug, not a speedup.  The ≥1.5× pooled-vs-inline wall-clock bar for
 m=8 is asserted only on a multi-core runner (a single-core container
 cannot parallelise anything); the JSON artifact records whether the bar
 was enforced via ``speedup_asserted``.
+
+The **batched verify scan** leg isolates the m=8 Phase III verification
+matrix (every member checks every other member's signature) and times it
+sequential vs batched.  Its ≥1.3× bar is asserted *unconditionally*:
+the win is algebraic (8·7 verifications collapse to 8 distinct ones),
+not a function of core count, and the verdict matrices must be
+identical.
 
 Artifacts: ``results/accel_sweep.txt`` (table) and ``BENCH_accel.json``
 at the repo root (CI uploads it; see .github/workflows/ci.yml).
@@ -28,6 +39,7 @@ import time
 
 from _tables import emit
 from repro import accel, metrics
+from repro.accel import batch
 from repro.core.handshake import run_handshake
 from repro.core.scheme1 import scheme1_policy
 
@@ -36,6 +48,7 @@ SEED = 52000
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_accel.json")
 SPEEDUP_BAR = 1.5
+SCAN_SPEEDUP_BAR = 1.3
 
 
 def _seeded_rngs(m):
@@ -70,22 +83,59 @@ def _fingerprint(outcomes, snapshot):
 
 def _mode_run(members, mode):
     if mode == "baseline":
-        accel.disable()
+        accel.configure(enabled=False)
         return _run_once(members, pool=None)
-    accel.enable()
     if mode == "precompute":
+        accel.configure(enabled=True, batch=False)
+        return _run_once(members, pool=None)
+    accel.configure(enabled=True, batch=True)
+    if mode == "batched":
         return _run_once(members, pool=None)
     return _run_once(members, pool=accel.get_pool())
 
 
+def _scan_items(members):
+    """One signed publication per member, as the Phase III scan sees it."""
+    rng = random.Random(SEED + 700)
+    items = []
+    for i, member in enumerate(members):
+        message = f"scan:{i}".encode()
+        items.append((message, member.gsig_sign(message, rng)))
+    return items
+
+
+def _batched_scan_leg(members):
+    """Time the m-party verify matrix sequential vs batched (one core).
+
+    Both legs run with accel enabled so fixed-base tables are identical;
+    the only difference is the room-scale ScanCache."""
+    accel.configure(enabled=True, batch=True)
+    items = _scan_items(members)
+    batch.verify_room(members, items)            # warm the tables
+
+    started = time.perf_counter()
+    sequential = batch.verify_room(members, items)
+    wall_sequential = time.perf_counter() - started
+
+    started = time.perf_counter()
+    batched = batch.verify_room(members, items, cache=batch.ScanCache())
+    wall_batched = time.perf_counter() - started
+
+    assert batched == sequential, "batched scan changed a verdict"
+    assert all(v is True for i, row in enumerate(sequential)
+               for j, v in enumerate(row) if i != j)
+    return wall_sequential, wall_batched
+
+
 def test_accel_sweep(benchmark, bench_scheme1):
-    modes = ("baseline", "precompute", "pooled")
+    modes = ("baseline", "precompute", "batched", "pooled")
     results = {}
+    scan_walls = {}
     try:
         # Warm-up outside the timed region: fixed-base tables build on
         # first use and the process pool forks lazily — one-time costs
         # that would otherwise be billed to whichever mode runs first.
-        accel.enable()
+        accel.configure(enabled=True, batch=True)
         warm = bench_scheme1.members[:2]
         _run_once(warm, pool=None)
         _run_once(warm, pool=accel.get_pool())
@@ -95,20 +145,21 @@ def test_accel_sweep(benchmark, bench_scheme1):
                 members = bench_scheme1.members[:m]
                 results[m] = {mode: _mode_run(members, mode)
                               for mode in modes}
+            scan_walls["sequential"], scan_walls["batched"] = \
+                _batched_scan_leg(bench_scheme1.members[:8])
 
         benchmark.pedantic(run, rounds=1, iterations=1)
     finally:
         accel.shutdown_pool()
-        accel.disable()
+        accel.configure(enabled=False, batch=True)
 
     # Counter-parity guard (always on): identical outputs and books.
     for m in SWEEP:
         prints = {mode: _fingerprint(outcomes, snap)
                   for mode, (outcomes, snap, _) in results[m].items()}
-        assert prints["baseline"] == prints["precompute"], \
-            f"m={m}: precompute changed outputs or counters"
-        assert prints["baseline"] == prints["pooled"], \
-            f"m={m}: pool changed outputs or counters"
+        for mode in modes[1:]:
+            assert prints["baseline"] == prints[mode], \
+                f"m={m}: {mode} changed outputs or counters"
 
     cpus = os.cpu_count() or 1
     walls = {m: {mode: results[m][mode][2] for mode in modes} for m in SWEEP}
@@ -119,6 +170,12 @@ def test_accel_sweep(benchmark, bench_scheme1):
             f"pooled m=8 handshake only {speedup_m8:.2f}x faster than "
             f"inline on {cpus} cores (bar: {SPEEDUP_BAR}x)")
 
+    # The batched-scan bar holds on any machine: the saving is algebraic.
+    scan_speedup_m8 = scan_walls["sequential"] / scan_walls["batched"]
+    assert scan_speedup_m8 >= SCAN_SPEEDUP_BAR, (
+        f"batched m=8 verify scan only {scan_speedup_m8:.2f}x faster than "
+        f"sequential (bar: {SCAN_SPEEDUP_BAR}x)")
+
     rows = []
     for m in SWEEP:
         snap = results[m]["pooled"][1]
@@ -127,14 +184,17 @@ def test_accel_sweep(benchmark, bench_scheme1):
             m, e1,
             f"{walls[m]['baseline']:.3f}",
             f"{walls[m]['precompute']:.3f}",
+            f"{walls[m]['batched']:.3f}",
             f"{walls[m]['pooled']:.3f}",
             f"{walls[m]['precompute'] / walls[m]['pooled']:.2f}x",
         ))
     emit(
         "accel_sweep",
-        f"Accel: baseline vs precompute vs pooled ({cpus} CPUs; "
-        f"counters bit-identical across all modes)",
-        ("m", "E1/party", "base(s)", "pre(s)", "pool(s)", "pool-speedup"),
+        f"Accel: baseline vs precompute vs batched vs pooled ({cpus} CPUs; "
+        f"counters bit-identical across all modes; m=8 scan "
+        f"{scan_speedup_m8:.2f}x batched)",
+        ("m", "E1/party", "base(s)", "pre(s)", "batch(s)", "pool(s)",
+         "pool-speedup"),
         rows,
     )
 
@@ -145,10 +205,15 @@ def test_accel_sweep(benchmark, bench_scheme1):
                 "m": m,
                 "wall_baseline_s": round(walls[m]["baseline"], 6),
                 "wall_precompute_s": round(walls[m]["precompute"], 6),
+                "wall_batched_s": round(walls[m]["batched"], 6),
                 "wall_pooled_s": round(walls[m]["pooled"], 6),
                 "modexp_per_party": results[m]["pooled"][1]["hs:0"].modexp,
                 "pool_tasks": results[m]["pooled"][1]["total"].extra.get(
                     "accel:pool-tasks", 0),
+                "batch_chunks": results[m]["pooled"][1]["total"].extra.get(
+                    "accel:batch-chunks", 0),
+                "batch_scan_hits": results[m]["batched"][1]["total"].extra.get(
+                    "accel:batch-scan-hit", 0),
                 "fb_hits": results[m]["pooled"][1]["total"].extra.get(
                     "accel:fb-hit", 0),
             }
@@ -158,6 +223,10 @@ def test_accel_sweep(benchmark, bench_scheme1):
         "speedup_pooled_vs_inline_m8": round(speedup_m8, 4),
         "speedup_bar": SPEEDUP_BAR,
         "speedup_asserted": speedup_asserted,
+        "scan_wall_sequential_m8_s": round(scan_walls["sequential"], 6),
+        "scan_wall_batched_m8_s": round(scan_walls["batched"], 6),
+        "speedup_batched_scan_m8": round(scan_speedup_m8, 4),
+        "scan_speedup_bar": SCAN_SPEEDUP_BAR,
     }
     with open(JSON_PATH, "w") as handle:
         json.dump(doc, handle, indent=2, sort_keys=True)

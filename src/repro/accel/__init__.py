@@ -3,9 +3,10 @@
 Three layers, all behaviour-preserving (see docs/PERFORMANCE.md):
 
 1. **Algorithmic** (:mod:`repro.accel.fixed_base`,
-   :mod:`repro.accel.multi_exp`) — fixed-base windowed precomputation
-   for long-lived bases and Shamir/Straus simultaneous
-   multi-exponentiation for ACJT's multi-term products.
+   :mod:`repro.accel.multi_exp`, :mod:`repro.accel.batch`) — fixed-base
+   windowed precomputation for long-lived bases, term-by-term
+   multi-exponentiation that routes through those tables, and
+   room-scale batch verification of Phase III signature scans.
 2. **Parallel** (:mod:`repro.accel.pool`) — a ``ProcessPoolExecutor``
    worker pool with batch submit (``sign_many`` / ``verify_many`` /
    ``modexp_many``) and counter replay into the caller's books.
@@ -27,16 +28,22 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from repro.accel import bridge, fixed_base, state
-from repro.accel.fixed_base import FixedBaseTable, lookup_pow, register_base
+from repro.accel.fixed_base import (FixedBaseTable, lookup_pow,
+                                    register_base, unregister_base)
 from repro.accel.multi_exp import multi_exp
 from repro.accel.pool import WorkerPool
 from repro.crypto import modmath as _modmath
+from repro.accel import batch  # noqa: E402  (needs fixed_base/state above)
+from repro.accel.batch import ScanCache, batch_verify, verify_room
 
 _modmath._install_accel_pow(lookup_pow)
 
 __all__ = [
     "FixedBaseTable",
+    "ScanCache",
     "WorkerPool",
+    "batch",
+    "batch_verify",
     "bridge",
     "configure",
     "disable",
@@ -48,6 +55,8 @@ __all__ = [
     "reset",
     "shutdown_pool",
     "stats",
+    "unregister_base",
+    "verify_room",
 ]
 
 _POOL: Optional[WorkerPool] = None
@@ -56,10 +65,12 @@ _POOL: Optional[WorkerPool] = None
 def configure(enabled: Optional[bool] = None, *,
               window: Optional[int] = None,
               cache_size: Optional[int] = None,
-              workers: Optional[int] = None) -> Dict[str, object]:
+              workers: Optional[int] = None,
+              batch: Optional[bool] = None) -> Dict[str, object]:
     """Set any subset of the subsystem switches; returns the snapshot."""
     snap = state.configure(enabled=enabled, window=window,
-                           cache_size=cache_size, workers=workers)
+                           cache_size=cache_size, workers=workers,
+                           batch=batch)
     if cache_size is not None:
         fixed_base.configure_cache(cache_size)
     return snap
@@ -106,6 +117,7 @@ def stats() -> Dict[str, object]:
         "enabled": snap["enabled"],
         "window": snap["window"],
         "workers": snap["workers"],
+        "batch": snap["batch"],
         "fixed_base": fixed_base.stats(),
         "pool": dict(_POOL.stats, workers=_POOL.workers,
                      usable=_POOL.usable) if _POOL is not None else None,

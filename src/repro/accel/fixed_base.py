@@ -87,30 +87,42 @@ class FixedBaseTable:
             return 0
         needed = (max(exponent.bit_length(), 1)
                   + self.window - 1) // self.window
+        # Hold the lock only to guarantee enough rows exist.  Rows are
+        # append-only and never mutated in place, so indices < needed
+        # stay valid under concurrent growth — the windowed evaluation
+        # itself runs lock-free and threads sharing a table (the bridge
+        # offload, chunked scans) no longer serialize per exponentiation.
         with self._lock:
             if needed > len(self.rows):
                 self._grow(needed)
             rows = self.rows
-            mask = (1 << self.window) - 1
-            result = 1
-            j = 0
-            e = exponent
-            while e:
-                digit = e & mask
-                if digit:
-                    result = (result * rows[j][digit]) % mod
-                e >>= self.window
-                j += 1
-            return result % mod
+        mask = (1 << self.window) - 1
+        result = 1
+        j = 0
+        e = exponent
+        while e:
+            digit = e & mask
+            if digit:
+                result = (result * rows[j][digit]) % mod
+            e >>= self.window
+            j += 1
+        return result % mod
 
 
 class TableCache:
-    """Bounded LRU of :class:`FixedBaseTable`, with hit/miss accounting."""
+    """Bounded LRU of :class:`FixedBaseTable`, with hit/miss accounting.
+
+    Construction is **single-flight** per key: the first thread to miss
+    builds the table outside the cache lock (big-int multiplies can be
+    slow) while later arrivals wait on a per-key event instead of paying
+    the full ``mults`` precompute for a table that would be thrown away.
+    """
 
     def __init__(self, capacity: int) -> None:
         self._lock = threading.Lock()
         self._capacity = max(1, capacity)
         self._tables: "OrderedDict[Key, FixedBaseTable]" = OrderedDict()
+        self._building: Dict[Key, threading.Event] = {}
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -124,24 +136,48 @@ class TableCache:
 
     def lookup(self, key: Key) -> Tuple[FixedBaseTable, bool]:
         """Get-or-build the table for ``key``; returns ``(table, hit)``.
-        LRU order is touch-on-use."""
-        with self._lock:
-            table = self._tables.get(key)
-            if table is not None:
-                self._tables.move_to_end(key)
-                self.hits += 1
-                return table, True
-            self.misses += 1
-        # Build outside the cache lock (big-int multiplies can be slow);
-        # a racing builder is harmless — last writer wins, values agree.
-        table = FixedBaseTable(key[0], key[1])
+        LRU order is touch-on-use; waiters on an in-flight build count as
+        hits (they pay no precompute)."""
+        while True:
+            with self._lock:
+                table = self._tables.get(key)
+                if table is not None:
+                    self._tables.move_to_end(key)
+                    self.hits += 1
+                    return table, True
+                pending = self._building.get(key)
+                if pending is None:
+                    done = self._building[key] = threading.Event()
+                    self.misses += 1
+                    break
+            # Someone else is already building this table — wait, then
+            # re-check (it may even have been evicted again by then).
+            pending.wait()
+        try:
+            table = FixedBaseTable(key[0], key[1])
+        except BaseException:
+            with self._lock:
+                self._building.pop(key, None)
+            done.set()
+            raise
         with self._lock:
             self._tables[key] = table
             self._tables.move_to_end(key)
             while len(self._tables) > self._capacity:
                 self._tables.popitem(last=False)
                 self.evictions += 1
+            self._building.pop(key, None)
+        done.set()
         return table, False
+
+    def discard(self, key: Key) -> bool:
+        """Drop one entry (registry eviction / unregistration); counted as
+        an eviction when the key was present."""
+        with self._lock:
+            if self._tables.pop(key, None) is not None:
+                self.evictions += 1
+                return True
+            return False
 
     def __len__(self) -> int:
         with self._lock:
@@ -186,11 +222,30 @@ def register_base(base: int, modulus: int) -> None:
     if modulus <= 1:
         return
     key = (base % modulus, modulus)
+    evicted = []
     with _REG_LOCK:
         _REGISTERED[key] = None
         _REGISTERED.move_to_end(key)
         while len(_REGISTERED) > _registry_capacity():
-            _REGISTERED.popitem(last=False)
+            evicted.append(_REGISTERED.popitem(last=False)[0])
+    # A key that left the registry can never be served by lookup_pow
+    # again — drop its table too, or it would pin cache capacity forever.
+    for old in evicted:
+        _CACHE.discard(old)
+
+
+def unregister_base(base: int, modulus: int) -> None:
+    """Forget a base and drop its table — e.g. an accumulator value made
+    obsolete by an epoch change (see :mod:`repro.accel.batch`)."""
+    if modulus <= 1:
+        return
+    key = (base % modulus, modulus)
+    with _REG_LOCK:
+        present = key in _REGISTERED
+        if present:
+            del _REGISTERED[key]
+    if present:
+        _CACHE.discard(key)
 
 
 def is_registered(base: int, modulus: int) -> bool:

@@ -1,21 +1,31 @@
-"""Shamir/Straus simultaneous multi-exponentiation (layer 1b).
+"""Multi-term modular exponentiation with fixed-base splitting (layer 1b).
 
 ACJT signing and verification are dominated by multi-term products of
 the form ``b1^e1 * b2^e2 * ... (mod n)`` (the ``d1..d8`` commitment and
-reconstruction values).  Computing the terms independently costs one
-full square-and-multiply ladder *per term*; the Shamir/Straus trick
-shares one ladder across a group of terms: precompute the ``2^k``
-subset products of the bases, then do one squaring per exponent bit and
-at most one multiply per bit — roughly ``k``× fewer squarings for a
-``k``-term product.
+reconstruction values).  Most of those terms raise *long-lived* bases —
+the group public key and Pedersen bases, the accumulator value — to the
+very largest exponents (the ``s3``/``s_z`` responses run to ~6x the
+modulus size), which is exactly what :mod:`repro.accel.fixed_base`
+windowed tables are good at: one multiply per non-zero window digit, no
+squarings.  The enabled path therefore splits each product by base:
+registered bases evaluate through their shared table, everything else
+(the per-signature ``T``-values, which only carry the short challenge
+and ``s1_hat`` exponents) falls back to builtin ``pow``.
+
+An earlier revision ran a pure-Python Shamir/Straus shared ladder here.
+Profiling showed it *loses* to CPython's C ``pow`` on the mixed exponent
+sizes these products actually contain — the shared squarings are Python
+big-int multiplies, and the shortest exponent pads up to the longest —
+so the ladder is gone; the split evaluation above is what made accel-on
+finally beat accel-off on one core.
 
 Accounting contract (the E1 invariant): a ``k``-term call charges
 exactly ``k`` modexps — the number of :func:`repro.crypto.modmath.mexp`
-calls it replaces — whether or not the shared-ladder evaluation is
-enabled.  Negative exponents are normalized per-pair through
+calls it replaces — whether or not acceleration is enabled.  Negative
+exponents are normalized per-pair through
 :func:`repro.crypto.modmath.inverse`, mirroring what each replaced
-``mexp`` would have done, so the new ``inversions`` extra counter is
-also independent of the accel switch.
+``mexp`` would have done, so the ``inversions`` extra counter is also
+independent of the accel switch.
 """
 
 from __future__ import annotations
@@ -23,11 +33,12 @@ from __future__ import annotations
 from typing import Iterable, List, Tuple
 
 from repro import metrics
-from repro.accel import state
+from repro.accel import fixed_base, state
 from repro.crypto.modmath import inverse
 
-#: Terms per shared ladder: 2^4 = 16 subset products is the sweet spot
-#: for the 3-4 term products ACJT produces (table cost ~ 2^k multiplies).
+#: Historical term-group width of the retired shared-ladder evaluation;
+#: kept as the canonical "how many terms does one ACJT d-value carry"
+#: sizing constant (tests and strategies still reference it).
 GROUP_SIZE = 4
 
 
@@ -36,8 +47,8 @@ def multi_exp(pairs: Iterable[Tuple[int, int]], modulus: int) -> int:
     ``len(pairs)`` modular exponentiations.
 
     Bit-identical to the naive per-term product for any input; the
-    Shamir/Straus evaluation only changes *how* the same residue is
-    reached, and only runs while :mod:`repro.accel` is enabled.
+    fixed-base split only changes *how* the same residue is reached, and
+    only runs while :mod:`repro.accel` is enabled.
     """
     if modulus <= 0:
         raise ValueError("modulus must be positive")
@@ -52,37 +63,15 @@ def multi_exp(pairs: Iterable[Tuple[int, int]], modulus: int) -> int:
     metrics.count_modexp(len(terms))
     if modulus == 1:
         return 0
-    if not state.is_enabled() or len(terms) == 1:
+    if not state.is_enabled():
         result = 1
         for base, exponent in terms:
             result = (result * pow(base, exponent, modulus)) % modulus
         return result
     result = 1
-    for start in range(0, len(terms), GROUP_SIZE):
-        chunk = _shamir(terms[start:start + GROUP_SIZE], modulus)
-        result = (result * chunk) % modulus
-    return result
-
-
-def _shamir(terms: List[Tuple[int, int]], modulus: int) -> int:
-    """One shared square-and-multiply ladder over ``terms`` (≤ GROUP_SIZE)."""
-    if len(terms) == 1:
-        return pow(terms[0][0], terms[0][1], modulus)
-    k = len(terms)
-    # table[mask] = product of bases[i] for each set bit i of mask.
-    table = [1] * (1 << k)
-    for i, (base, _) in enumerate(terms):
-        bit = 1 << i
-        for mask in range(bit, bit << 1):
-            table[mask] = (table[mask ^ bit] * base) % modulus
-    bits = max(exponent.bit_length() for _, exponent in terms)
-    result = 1
-    for pos in range(bits - 1, -1, -1):
-        result = (result * result) % modulus
-        mask = 0
-        for i, (_, exponent) in enumerate(terms):
-            if (exponent >> pos) & 1:
-                mask |= 1 << i
-        if mask:
-            result = (result * table[mask]) % modulus
+    for base, exponent in terms:
+        power = fixed_base.lookup_pow(base, exponent, modulus)
+        if power is None:
+            power = pow(base, exponent, modulus)
+        result = (result * power) % modulus
     return result

@@ -48,22 +48,16 @@ def _worker_init(enabled: bool, window: int) -> None:
 
 
 def _call_counted(fn: Callable, args: Tuple) -> Tuple[Any, Dict[str, int]]:
-    """Execute ``fn(*args)`` under a fresh recorder; return the result plus
-    the non-zero counter totals it accrued (wall time excluded — worker
-    wall clock overlaps the parent's and must not be double-booked)."""
-    rec = metrics.Recorder()
-    with metrics.using(rec):
+    """Execute ``fn(*args)`` under a fresh detached recorder; return the
+    result plus the non-zero counter totals it accrued (wall time excluded
+    — worker wall clock overlaps the parent's and must not be
+    double-booked).  ``detached`` (not ``using``) matters for the inline
+    fallback: run under the caller's open scopes, a bare recorder swap
+    would still leak charges into those scopes' counters and the replay
+    would then double-book them."""
+    with metrics.detached() as rec:
         result = fn(*args)
-    totals = rec.total()
-    counts: Dict[str, int] = {}
-    for name in metrics.REPLAY_FIELDS:
-        value = getattr(totals, name)
-        if value:
-            counts[name] = value
-    for name, value in totals.extra.items():
-        if value:
-            counts[name] = counts.get(name, 0) + value
-    return result, counts
+    return result, metrics.replayable_totals(rec)
 
 
 # --- picklable task bodies (must be module-level for process transport) ---

@@ -25,14 +25,19 @@ _WINDOW = 5
 _CACHE_SIZE = 64
 #: Worker count for pools/bridges; ``None`` means "ask os.cpu_count()".
 _WORKERS: Optional[int] = None
+#: Room-scale batch verification (:mod:`repro.accel.batch`).  On by
+#: default but only effective while the subsystem itself is enabled, so
+#: the accel-off books stay untouched.
+_BATCH = True
 
 
 def configure(enabled: Optional[bool] = None,
               window: Optional[int] = None,
               cache_size: Optional[int] = None,
-              workers: Optional[int] = None) -> Dict[str, object]:
+              workers: Optional[int] = None,
+              batch: Optional[bool] = None) -> Dict[str, object]:
     """Update any subset of the switches; returns the resulting snapshot."""
-    global _ENABLED, _WINDOW, _CACHE_SIZE, _WORKERS
+    global _ENABLED, _WINDOW, _CACHE_SIZE, _WORKERS, _BATCH
     with _LOCK:
         if enabled is not None:
             _ENABLED = bool(enabled)
@@ -48,6 +53,8 @@ def configure(enabled: Optional[bool] = None,
             if int(workers) < 1:
                 raise ValueError("workers must be >= 1")
             _WORKERS = int(workers)
+        if batch is not None:
+            _BATCH = bool(batch)
         return snapshot()
 
 
@@ -58,6 +65,7 @@ def snapshot() -> Dict[str, object]:
             "window": _WINDOW,
             "cache_size": _CACHE_SIZE,
             "workers": _WORKERS,
+            "batch": _BATCH,
         }
 
 
@@ -71,6 +79,12 @@ def disable() -> None:
 
 def is_enabled() -> bool:
     return _ENABLED
+
+
+def batch_enabled() -> bool:
+    """True when room-scale batch verification should run: the subsystem
+    is on *and* the batch switch has not been turned off."""
+    return _ENABLED and _BATCH
 
 
 def window() -> int:

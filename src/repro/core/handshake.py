@@ -37,6 +37,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro import metrics
+from repro.accel import batch as accel_batch
+from repro.accel import state as accel_state
 from repro.obs import spans as obs
 from repro.core import wire
 from repro.core.transcript import HandshakeEntry, HandshakeTranscript, signed_message
@@ -398,6 +400,9 @@ def _phase3_full(parties: List[_PartyRuntime], policy: HandshakePolicy,
     # Pool mode: the verification scans (m-1 signature verifies per party)
     # also fan out.  The distinction shield is derived once, parent-side,
     # under the party's scope — exactly where the inline path charges it.
+    # ``entries`` deliberately stays out of the job tuples: with batching
+    # on, the chunked transport pickles the room once per worker instead
+    # of once per party (O(m) instead of O(m^2) IPC bytes).
     scans: Dict[int, Tuple[Optional[int], Set[int], Dict[int, int]]] = {}
     if pool is not None:
         jobs, job_parties, shields = [], [], []
@@ -409,26 +414,36 @@ def _phase3_full(parties: List[_PartyRuntime], policy: HandshakePolicy,
                 shield = (party.member.distinction_shield(sid)
                           if policy.self_distinction else None)
             jobs.append((party.member, party.k_prime, sid,
-                         entries, set(party.valid_tags), party.index,
+                         set(party.valid_tags), party.index,
                          shield, policy.self_distinction))
             job_parties.append(party)
             shields.append(shield)
         if jobs:
-            results = pool.run_batch(
-                _conclude_scan, jobs,
-                scopes=[p.scope() for p in job_parties],
-            )
+            if accel_state.batch_enabled():
+                results = _pooled_scan_chunked(pool, entries, jobs,
+                                               job_parties)
+            else:
+                results = pool.run_batch(
+                    _conclude_scan,
+                    [job[:3] + (entries,) + job[3:] for job in jobs],
+                    scopes=[p.scope() for p in job_parties],
+                )
             for party, shield, (confirmed, tags_by_peer) in zip(
                     job_parties, shields, results):
                 scans[party.index] = (shield, confirmed, tags_by_peer)
 
+    # Inline mode: one room-wide ScanCache deduplicates the decrypt and
+    # verify work across parties (each distinct signature is checked
+    # once; every party's books still record the full scan via replay).
+    scan_cache = (accel_batch.ScanCache()
+                  if pool is None and accel_state.batch_enabled() else None)
     outcomes: List[HandshakeOutcome] = []
     for party in parties:
         with metrics.scope(party.scope()), \
                 obs.span("phase3:conclude", party=party.index):
             outcomes.append(
                 _conclude(party, entries, publications, policy, all_indices,
-                          scans.get(party.index))
+                          scans.get(party.index), cache=scan_cache)
             )
     return outcomes
 
@@ -487,6 +502,7 @@ def _phase3_payload_task(member, k_prime: bytes, sid: bytes,
     """Worker-side payload build: reconstructs the party rng from its
     state and hands the advanced state back, so the parent can continue
     the sequence exactly where inline execution would have."""
+    accel_batch.warm_member(member)
     rng = random.Random()
     rng.setstate(rng_state)
     is_decoy, theta, delta = _phase3_payload(
@@ -495,27 +511,58 @@ def _phase3_payload_task(member, k_prime: bytes, sid: bytes,
     return is_decoy, theta, delta, rng.getstate()
 
 
+def _try_decrypt(k_prime: bytes, theta: bytes) -> Optional[bytes]:
+    """Decrypt-or-None, so the result is cacheable as a plain value."""
+    try:
+        return symmetric.decrypt(k_prime, theta)
+    except DecryptionError:
+        return None
+
+
 def _conclude_scan(member, k_prime: bytes, sid: bytes, entries,
                    valid_tags: Set[int], own_index: int,
                    shield: Optional[int], want_tags: bool,
-                   ) -> Tuple[Set[int], Dict[int, int]]:
+                   cache=None) -> Tuple[Set[int], Dict[int, int]]:
     """The verification loop of Phase III conclude: which peers published
     a decryptable theta carrying a valid group signature.  Module-level
-    and argument-complete so the worker pool can run it per party."""
+    and argument-complete so the worker pool can run it per party.
+
+    ``cache`` (a :class:`repro.accel.batch.ScanCache`) shares decrypt and
+    verify results across the parties of one room: same-group parties
+    hold equal ``k_prime`` and equal verification contexts, so each
+    distinct theta/signature is processed once and the recorded counters
+    are replayed for everyone else.  Members without a
+    ``verification_context`` (adversarial stand-ins) verify uncached —
+    their verdicts may legitimately differ from everyone else's."""
     confirmed: Set[int] = set()
     tags_by_peer: Dict[int, int] = {}
+    context = None
+    if cache is not None:
+        context_fn = getattr(member, "verification_context", None)
+        context = context_fn() if context_fn is not None else None
     for entry in entries:
         if entry.index == own_index:
             continue
         metrics.count_message_received()
         if entry.index not in valid_tags:
             continue
-        try:
-            blob = symmetric.decrypt(k_prime, entry.theta)
-        except DecryptionError:
+        if cache is None:
+            blob = _try_decrypt(k_prime, entry.theta)
+        else:
+            blob = cache.compute(
+                ("dec", k_prime, entry.theta),
+                lambda k=k_prime, t=entry.theta: _try_decrypt(k, t))
+        if blob is None:
             continue
         message = signed_message(sid, entry.delta)
-        if not member.gsig_verify(message, blob, expected_shield=shield):
+        if cache is None or context is None:
+            ok = member.gsig_verify(message, blob, expected_shield=shield)
+        else:
+            ok = cache.compute(
+                ("ver", context, shield, message, blob),
+                lambda m=message, b=blob: member.gsig_verify(
+                    m, b, expected_shield=shield))
+        if not ok:
             continue
         if want_tags:
             signature = wire.signature_from_bytes(blob)
@@ -524,10 +571,59 @@ def _conclude_scan(member, k_prime: bytes, sid: bytes, entries,
     return confirmed, tags_by_peer
 
 
+def _scan_chunk_task(entries, jobs):
+    """Worker-side chunk of conclude scans: several parties' loops over
+    one pickled copy of the room's entries, sharing one
+    :class:`~repro.accel.batch.ScanCache`.
+
+    Each party's scan runs under its own detached recorder so the parent
+    can replay its counts into the right scope; the shared cache means
+    a chunk does each distinct decrypt/verify once while every party's
+    replayed books still show the full per-party cost."""
+    out = []
+    for (member, k_prime, sid, valid_tags, own_index,
+         shield, want_tags) in jobs:
+        accel_batch.warm_member(member)
+    cache = accel_batch.ScanCache()
+    for (member, k_prime, sid, valid_tags, own_index,
+         shield, want_tags) in jobs:
+        with metrics.detached() as rec:
+            result = _conclude_scan(member, k_prime, sid, entries,
+                                    valid_tags, own_index, shield,
+                                    want_tags, cache=cache)
+        out.append((result, metrics.replayable_totals(rec)))
+    return out
+
+
+def _pooled_scan_chunked(pool, entries, jobs, job_parties):
+    """Ship the conclude scans as one contiguous chunk per worker
+    (instead of one task per party), then replay each party's recorded
+    counters under its own scope.  Transport cost drops from m pickles
+    of the m-entry room to ``min(workers, m)``."""
+    count = max(1, min(pool.workers, len(jobs)))
+    base, extra = divmod(len(jobs), count)
+    chunks, start = [], 0
+    for i in range(count):
+        size = base + (1 if i < extra else 0)
+        if size:
+            chunks.append(jobs[start:start + size])
+            start += size
+    metrics.bump("accel:batch-chunks", len(chunks))
+    chunk_results = pool.run_batch(
+        _scan_chunk_task, [(entries, chunk) for chunk in chunks])
+    flat = [item for chunk in chunk_results for item in chunk]
+    results = []
+    for party, (result, counts) in zip(job_parties, flat):
+        with metrics.scope(party.scope()):
+            metrics.replay(counts)
+        results.append(result)
+    return results
+
+
 def _conclude(party: _PartyRuntime, entries, publications,
               policy: HandshakePolicy, all_indices: Set[int],
               scan: Optional[Tuple[Optional[int], Set[int], Dict[int, int]]] = None,
-              ) -> HandshakeOutcome:
+              cache=None) -> HandshakeOutcome:
     outcome = HandshakeOutcome(index=party.index, success=False,
                                k_prime=party.k_prime)
     if party.dgka.acc:
@@ -547,7 +643,7 @@ def _conclude(party: _PartyRuntime, entries, publications,
                   if policy.self_distinction else None)
         confirmed, tags_by_peer = _conclude_scan(
             member, party.k_prime, sid, entries, party.valid_tags,
-            party.index, shield, policy.self_distinction,
+            party.index, shield, policy.self_distinction, cache=cache,
         )
 
     outcome.confirmed_peers = confirmed

@@ -116,6 +116,29 @@ class GcdMember:
                 raise ParameterError("unknown credential type")
             return wire.signature_to_bytes(signature)
 
+    def gsig_view(self):
+        """This member's verification view of the system state: the
+        accumulator value (ACJT) or the CRL (KTY)."""
+        if isinstance(self.credential, acjt.AcjtCredential):
+            return acjt.AcjtMemberView(
+                acc_value=self.credential.acc_value,
+                acc_epoch=self.credential.acc_epoch,
+            )
+        if isinstance(self.credential, kty.KtyCredential):
+            return self.credential.member_view()
+        raise ParameterError("unknown credential type")
+
+    def verification_context(self):
+        """Hashable fingerprint of everything :meth:`gsig_verify`'s
+        verdict depends on besides ``(message, blob, expected_shield)``.
+
+        Two members with equal contexts return the same verdict for the
+        same arguments, which is what lets the room-scale batch scan in
+        :mod:`repro.accel.batch` verify each distinct signature once and
+        share the answer."""
+        pk = self.info.gsig_public_key
+        return (type(self.credential).__name__, pk, self.gsig_view())
+
     def gsig_verify(self, message: bytes, blob: bytes,
                     expected_shield: Optional[int] = None) -> bool:
         """Verify a peer's serialized signature with this member's own view
@@ -132,16 +155,11 @@ class GcdMember:
                     return False
                 if expected_shield is not None:
                     return False
-                view = acjt.AcjtMemberView(
-                    acc_value=self.credential.acc_value,
-                    acc_epoch=self.credential.acc_epoch,
-                )
-                return acjt.verify(pk, message, signature, view)
+                return acjt.verify(pk, message, signature, self.gsig_view())
             if isinstance(self.credential, kty.KtyCredential):
                 if not isinstance(signature, kty.KtySignature):
                     return False
-                return kty.verify(pk, message, signature,
-                                  self.credential.member_view(),
+                return kty.verify(pk, message, signature, self.gsig_view(),
                                   expected_shield=expected_shield)
             return False
 

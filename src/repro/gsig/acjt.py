@@ -34,7 +34,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
-from repro.accel.fixed_base import register_base
+from repro.accel.fixed_base import register_base, unregister_base
 from repro.accel.multi_exp import multi_exp
 from repro.crypto import hashing
 from repro.crypto.accumulator import (
@@ -200,6 +200,9 @@ def finish_join(pk: AcjtPublicKey, user_id: str, x: int,
         raise VerificationError("manager issued an invalid ACJT certificate")
     if not pk.lengths.e_low < response.e < pk.lengths.e_high:
         raise VerificationError("certificate prime outside Gamma")
+    # The accumulator value is a fixed base for the whole epoch (it
+    # anchors d6 in every Verify) — warm it for the accel tables.
+    register_base(response.acc_value, pk.n)
     return AcjtCredential(
         public_key=pk,
         user_id=user_id,
@@ -375,14 +378,18 @@ class AcjtCredential(GroupMemberCredential):
     revoked: bool = False
 
     def apply_update(self, update: StateUpdate) -> None:
-        """Fig. 3 Update: refresh the accumulator witness."""
+        """Fig. 3 Update: refresh the accumulator witness.
+
+        Also rotates the warm-rejoin verification material: the old
+        accumulator value's fixed-base table can never serve a current
+        verification again (epoch mismatch rejects first), so it is
+        dropped and the new value registered in its place."""
         n = self.public_key.n
         if update.kind == "join":
             added = update.payload["added_e"]
             if added != self.e:
                 self.witness = update_witness_after_add(self.witness, added, n)
-            self.acc_value = update.payload["acc_value"]
-            self.acc_epoch = update.epoch
+            new_value = update.payload["acc_value"]
         elif update.kind == "revoke":
             deleted = update.payload["deleted_e"]
             new_value = update.payload["acc_value"]
@@ -392,10 +399,13 @@ class AcjtCredential(GroupMemberCredential):
                 self.witness = update_witness_after_delete(
                     self.witness, self.e, deleted, new_value, n
                 )
-            self.acc_value = new_value
-            self.acc_epoch = update.epoch
         else:
             raise ParameterError(f"unknown update kind {update.kind!r}")
+        if new_value != self.acc_value:
+            unregister_base(self.acc_value, n)
+            register_base(new_value, n)
+        self.acc_value = new_value
+        self.acc_epoch = update.epoch
 
     def witness_is_current(self) -> bool:
         public = AccumulatorPublic(self.public_key.n, self.acc_value, self.acc_epoch)
@@ -473,11 +483,14 @@ class AcjtCredential(GroupMemberCredential):
 # ---------------------------------------------------------------------------
 
 
-def verify(pk: AcjtPublicKey, message: bytes, signature: AcjtSignature,
-           member_view: AcjtMemberView) -> bool:
-    """Verify an ACJT signature against the member's current system view."""
+def spk_structural_ok(pk: AcjtPublicKey, signature: AcjtSignature,
+                      member_view: AcjtMemberView) -> bool:
+    """The cheap Verify prechecks, in their exact original order: epoch
+    match, response-interval checks, and range/coprimality of the group
+    elements.  Shared by :func:`verify` and the room-scale batch path in
+    :mod:`repro.accel.batch`."""
     lengths = pk.lengths
-    n = signature_n = pk.n
+    n = pk.n
     eps, k = lengths.epsilon, lengths.k
     two_lp = 2 * lengths.lp
 
@@ -493,46 +506,72 @@ def verify(pk: AcjtPublicKey, message: bytes, signature: AcjtSignature,
         return False
     for value in (signature.t1, signature.t2, signature.t3,
                   signature.c_e, signature.c_u, signature.c_r):
-        if not 1 <= value < signature_n or math.gcd(value, signature_n) != 1:
+        if not 1 <= value < n or math.gcd(value, n) != 1:
             return False
+    return True
 
+
+def spk_d_terms(pk: AcjtPublicKey, signature: AcjtSignature,
+                member_view: AcjtMemberView,
+                ) -> Tuple[Tuple[Tuple[int, int], ...], ...]:
+    """The eight SPK reconstruction equations as ``(base, exponent)``
+    term tuples: ``d_i = prod(base**exp) mod n`` for each tuple, in
+    challenge-hash order.
+
+    Exposed (rather than inlined in :func:`verify`) so
+    :mod:`repro.accel.batch` can evaluate a whole room's signatures with
+    shared fixed-base tables — note how every large exponent
+    (``s3``/``s_z``/``s_w3``, ``s2_hat``) attaches to a *fixed* base
+    (``a, y, g, h, ped_g, ped_h``, the accumulator value) while the
+    per-signature bases only carry the short ``c`` and ``s1_hat``.
+    """
     c = signature.challenge
+    lengths = pk.lengths
     s1_hat = signature.s1 - c * (1 << lengths.gamma1)
     s2_hat = signature.s2 - c * (1 << lengths.lambda1)
-
-    d1 = multi_exp(
+    return (
         ((pk.a0, c), (signature.t1, s1_hat),
-         (pk.a, -s2_hat), (pk.y, -signature.s3)), n
-    )
-    d2 = multi_exp(((signature.t2, s1_hat), (pk.g, -signature.s3)), n)
-    d3 = multi_exp(((signature.t2, c), (pk.g, signature.s4)), n)
-    d4 = multi_exp(
-        ((signature.t3, c), (pk.g, s1_hat), (pk.h, signature.s4)), n
-    )
-    d5 = multi_exp(
+         (pk.a, -s2_hat), (pk.y, -signature.s3)),
+        ((signature.t2, s1_hat), (pk.g, -signature.s3)),
+        ((signature.t2, c), (pk.g, signature.s4)),
+        ((signature.t3, c), (pk.g, s1_hat), (pk.h, signature.s4)),
         ((signature.c_e, c), (pk.ped_g, s1_hat),
-         (pk.ped_h, signature.s_r1)), n
-    )
-    d6 = multi_exp(
+         (pk.ped_h, signature.s_r1)),
         ((member_view.acc_value, c), (signature.c_u, s1_hat),
-         (pk.ped_h, -signature.s_z)), n
-    )
-    d7 = multi_exp(
+         (pk.ped_h, -signature.s_z)),
         ((signature.c_r, c), (pk.ped_g, signature.s_r2),
-         (pk.ped_h, signature.s_r3)), n
-    )
-    d8 = multi_exp(
+         (pk.ped_h, signature.s_r3)),
         ((signature.c_r, s1_hat), (pk.ped_g, -signature.s_z),
-         (pk.ped_h, -signature.s_w3)), n
+         (pk.ped_h, -signature.s_w3)),
     )
 
-    expected = _spk_challenge(
-        pk, member_view.acc_value, message,
+
+def spk_challenge(pk: AcjtPublicKey, acc_value: int, message: bytes,
+                  signature: AcjtSignature,
+                  d_values: Tuple[int, ...]) -> int:
+    """Recompute the Fiat-Shamir challenge for ``signature`` given its
+    reconstructed ``d`` values."""
+    return _spk_challenge(
+        pk, acc_value, message,
         signature.t1, signature.t2, signature.t3,
         signature.c_e, signature.c_u, signature.c_r,
-        (d1, d2, d3, d4, d5, d6, d7, d8),
+        d_values,
     )
-    return expected == c
+
+
+def verify(pk: AcjtPublicKey, message: bytes, signature: AcjtSignature,
+           member_view: AcjtMemberView) -> bool:
+    """Verify an ACJT signature against the member's current system view."""
+    if not spk_structural_ok(pk, signature, member_view):
+        return False
+    n = pk.n
+    d_values = tuple(
+        multi_exp(terms, n)
+        for terms in spk_d_terms(pk, signature, member_view)
+    )
+    expected = spk_challenge(pk, member_view.acc_value, message,
+                             signature, d_values)
+    return expected == signature.challenge
 
 
 class AcjtScheme(GroupSignatureScheme):

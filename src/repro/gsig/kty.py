@@ -41,6 +41,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Optional, Sequence, Tuple
 
+from repro.accel.fixed_base import register_base
 from repro.crypto import hashing
 from repro.crypto.modmath import (
     int_in_symmetric_range,
@@ -235,6 +236,11 @@ class KtyManager(GroupSignatureManager):
             n=self._group.n, lengths=self._lengths,
             a=a, a0=a0, b=b, g=g, h=h, y=y,
         )
+        # Long-lived bases for repro.accel's fixed-base tables (the ACJT
+        # manager has done this since the accel layer landed; the KTY
+        # verifier exponentiates a, b, g, h, y just as hard).
+        for base in (a, a0, b, g, h, y):
+            register_base(base, self._group.n)
         self._members: Dict[str, _MemberRecord] = {}
         self._by_big_a: Dict[int, str] = {}
         self._revoked_tags: set = set()
@@ -456,14 +462,11 @@ class KtyCredential(GroupMemberCredential):
 # ---------------------------------------------------------------------------
 
 
-def verify(pk: KtyPublicKey, message: bytes, signature: KtySignature,
-           member_view: KtyMemberView,
-           expected_shield: Optional[int] = None) -> bool:
-    """Verify a KTY signature against the member's view (CRL).
-
-    ``expected_shield`` — in self-distinction mode, the common T7 the
-    session imposes; a signature with any other T7 is rejected.
-    """
+def spk_structural_ok(pk: KtyPublicKey, signature: KtySignature,
+                      expected_shield: Optional[int] = None) -> bool:
+    """The cheap Verify prechecks, in their exact original order: shield
+    match, response-interval checks, and range/coprimality of the seven
+    T values.  Shared by :func:`verify` and :mod:`repro.accel.batch`."""
     lengths = pk.lengths
     n = pk.n
     eps, k_len = lengths.epsilon, lengths.k
@@ -487,52 +490,96 @@ def verify(pk: KtyPublicKey, message: bytes, signature: KtySignature,
                   signature.t5, signature.t6, signature.t7):
         if not 1 <= value < n or math.gcd(value, n) != 1:
             return False
+    return True
 
+
+def spk_d_groups(pk: KtyPublicKey, signature: KtySignature,
+                 ) -> Tuple[Tuple[Tuple[Tuple[int, int], ...],
+                                  Tuple[Tuple[int, int], ...]], ...]:
+    """The seven SPK reconstruction equations as ``(numerator_terms,
+    denominator_terms)`` pairs of ``(base, exponent)`` tuples, in
+    challenge-hash order: ``d_i = prod(num) * inverse(prod(den))``.
+
+    The split (rather than folding denominators into negative exponents)
+    preserves the verifier's exact operation pattern — one ``inverse``
+    per non-empty denominator *product*, not per term — which is what
+    keeps the ``inversions`` counter identical however the equations are
+    evaluated (see :func:`eval_d_group`)."""
     c = signature.challenge
+    lengths = pk.lengths
     se_hat = signature.s_e - c * (1 << lengths.gamma1)
     sx_hat = signature.s_x - c * (1 << lengths.lambda1)
     sxt_hat = signature.s_xt - c * (1 << lengths.lambda1)
+    return (
+        (((pk.a0, c), (signature.t1, se_hat)),
+         ((pk.a, sx_hat), (pk.b, sxt_hat), (pk.y, signature.s_z))),
+        (((signature.t2, se_hat),), ((pk.g, signature.s_z),)),
+        (((signature.t2, c), (pk.g, signature.s_w)), ()),
+        (((signature.t3, c), (pk.g, se_hat), (pk.h, signature.s_w)), ()),
+        (((signature.t5, c), (pk.g, signature.s_k)), ()),
+        (((signature.t4, c), (signature.t5, sx_hat)), ()),
+        (((signature.t6, c), (signature.t7, sxt_hat)), ()),
+    )
 
-    d1 = (
-        mexp(pk.a0, c, n)
-        * mexp(signature.t1, se_hat, n)
-        * inverse(
-            (
-                mexp(pk.a, sx_hat, n)
-                * mexp(pk.b, sxt_hat, n)
-                * mexp(pk.y, signature.s_z, n)
-            ) % n,
-            n,
-        )
-    ) % n
-    d2 = (
-        mexp(signature.t2, se_hat, n)
-        * inverse(mexp(pk.g, signature.s_z, n), n)
-    ) % n
-    d3 = (mexp(signature.t2, c, n) * mexp(pk.g, signature.s_w, n)) % n
-    d4 = (
-        mexp(signature.t3, c, n)
-        * mexp(pk.g, se_hat, n)
-        * mexp(pk.h, signature.s_w, n)
-    ) % n
-    d5 = (mexp(signature.t5, c, n) * mexp(pk.g, signature.s_k, n)) % n
-    d6 = (mexp(signature.t4, c, n) * mexp(signature.t5, sx_hat, n)) % n
-    d7 = (mexp(signature.t6, c, n) * mexp(signature.t7, sxt_hat, n)) % n
 
-    expected = _spk_challenge(
+def eval_d_group(group: Tuple[Tuple[Tuple[int, int], ...],
+                              Tuple[Tuple[int, int], ...]], n: int) -> int:
+    """Evaluate one :func:`spk_d_groups` pair with the verifier's exact
+    operation pattern: one ``mexp`` per term (negative exponents handled
+    inside ``mexp``, as before), one ``inverse`` per non-empty
+    denominator product."""
+    numerator, denominator = group
+    value = 1
+    for base, exponent in numerator:
+        value = (value * mexp(base, exponent, n)) % n
+    if denominator:
+        product = 1
+        for base, exponent in denominator:
+            product = (product * mexp(base, exponent, n)) % n
+        value = (value * inverse(product, n)) % n
+    return value
+
+
+def spk_challenge(pk: KtyPublicKey, message: bytes, signature: KtySignature,
+                  d_values: Tuple[int, ...]) -> int:
+    """Recompute the Fiat-Shamir challenge for ``signature`` given its
+    reconstructed ``d`` values."""
+    return _spk_challenge(
         pk, message,
         (signature.t1, signature.t2, signature.t3, signature.t4,
          signature.t5, signature.t6, signature.t7),
-        (d1, d2, d3, d4, d5, d6, d7),
+        d_values,
     )
-    if expected != c:
-        return False
 
-    # CRL check (KTY implicit tracing): reject revoked tracing trapdoors.
+
+def crl_ok(pk: KtyPublicKey, signature: KtySignature,
+           member_view: KtyMemberView) -> bool:
+    """CRL check (KTY implicit tracing): reject revoked tracing
+    trapdoors — ``T4 == T5^x`` exposes a revoked signer."""
     for tag in member_view.revoked_tags:
-        if mexp(signature.t5, tag, n) == signature.t4:
+        if mexp(signature.t5, tag, pk.n) == signature.t4:
             return False
     return True
+
+
+def verify(pk: KtyPublicKey, message: bytes, signature: KtySignature,
+           member_view: KtyMemberView,
+           expected_shield: Optional[int] = None) -> bool:
+    """Verify a KTY signature against the member's view (CRL).
+
+    ``expected_shield`` — in self-distinction mode, the common T7 the
+    session imposes; a signature with any other T7 is rejected.
+    """
+    if not spk_structural_ok(pk, signature, expected_shield):
+        return False
+    n = pk.n
+    d_values = tuple(
+        eval_d_group(group, n) for group in spk_d_groups(pk, signature)
+    )
+    expected = spk_challenge(pk, message, signature, d_values)
+    if expected != signature.challenge:
+        return False
+    return crl_ok(pk, signature, member_view)
 
 
 @dataclass(frozen=True)

@@ -479,6 +479,29 @@ def using(recorder: Recorder) -> Iterator[Recorder]:
         _RECORDER.reset(token)
 
 
+@contextlib.contextmanager
+def detached(recorder: Optional[Recorder] = None) -> Iterator[Recorder]:
+    """Pin a fresh recorder *and* an empty scope stack for the extent.
+
+    :func:`using` alone does not isolate a measurement: frames already on
+    the scope stack keep charging their counter objects — which belong to
+    the *outer* recorder — through :func:`_charged`.  A record-here,
+    replay-there block (the worker-pool inline fallback, the batch-scan
+    memo) run inline under active scopes would therefore charge those
+    scopes twice: once by leak-through, once by the replay.  Detaching
+    clears the stack too, so the block's counts land only in the fresh
+    recorder; the caller replays them wherever they belong.
+    """
+    rec = recorder if recorder is not None else Recorder()
+    stack_token = _STACK.set(())
+    rec_token = _RECORDER.set(rec)
+    try:
+        yield rec
+    finally:
+        _RECORDER.reset(rec_token)
+        _STACK.reset(stack_token)
+
+
 def reset() -> None:
     """Drop all counters, scopes and events (benchmarks call this between
     runs).  Scopes still open keep charging their (now detached) counter
@@ -624,6 +647,23 @@ def bump(name: str, amount: int = 1) -> None:
     with rec._lock:
         for c in _charged():
             c.bump(name, amount)
+
+
+def replayable_totals(recorder: Recorder) -> Dict[str, int]:
+    """The non-zero totals of ``recorder`` as a flat dict :func:`replay`
+    accepts: fixed :data:`REPLAY_FIELDS` plus ``extra`` counters, wall
+    time excluded.  The record-elsewhere/replay-here half of the worker
+    pool and batch-scan protocols."""
+    totals = recorder.total()
+    counts: Dict[str, int] = {}
+    for name in REPLAY_FIELDS:
+        value = getattr(totals, name)
+        if value:
+            counts[name] = value
+    for name, value in totals.extra.items():
+        if value:
+            counts[name] = counts.get(name, 0) + value
+    return counts
 
 
 def replay(counts: Dict[str, int]) -> None:

@@ -1,0 +1,307 @@
+"""Room-scale batch verification: acceptance-set and counter parity.
+
+The contract of :mod:`repro.accel.batch` is exact: ``batch_verify``
+accepts precisely the signatures the sequential ``verify`` accepts —
+for valid rooms, forged signature fields, stale accumulator epochs, and
+tampered messages — and the guarded counter books are identical, with
+cache reuse visible only through the new ``accel:batch-*`` extras.
+"""
+
+import random
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import accel, metrics
+from repro.accel import batch, fixed_base, state
+from repro.core.handshake import run_handshake
+from repro.core.scheme1 import scheme1_policy
+from repro.errors import ParameterError
+from repro.gsig import acjt, kty
+
+ACJT_ACTIONS = ("valid", "forge-t1", "forge-challenge", "forge-s1",
+                "wrong-epoch", "tamper-message")
+KTY_ACTIONS = ("valid", "forge-t1", "forge-challenge", "forge-se",
+               "tamper-message")
+
+
+@pytest.fixture(autouse=True)
+def _clean_accel_state():
+    state.configure(enabled=False, window=5, cache_size=64, batch=True)
+    fixed_base.clear()
+    fixed_base.configure_cache(64)
+    yield
+    state.configure(enabled=False, window=5, cache_size=64, batch=True)
+    fixed_base.clear()
+    fixed_base.configure_cache(64)
+
+
+@pytest.fixture(scope="module")
+def acjt_room(acjt_world):
+    """Three pre-signed (message, signature) pairs plus the verifier view
+    (signing dominates runtime; tampering per example is cheap)."""
+    rng = random.Random(7321)
+    pk = acjt_world.manager.public_key
+    view = acjt_world.manager.member_view()
+    items = []
+    for name in ("alice", "bob", "carol"):
+        message = f"room:{name}".encode()
+        items.append((message,
+                      acjt_world.credentials[name].sign(message, rng)))
+    return pk, view, items
+
+
+@pytest.fixture(scope="module")
+def kty_room(kty_world):
+    rng = random.Random(7322)
+    pk = kty_world.manager.public_key
+    view = kty_world.manager.member_view()
+    items = []
+    for name in ("alice", "bob", "carol"):
+        message = f"room:{name}".encode()
+        items.append((message,
+                      kty_world.credentials[name].sign(message, rng)))
+    return pk, view, items
+
+
+def _tamper_acjt(pk, message, signature, action):
+    if action == "forge-t1":
+        return message, replace(signature, t1=(signature.t1 * 2) % pk.n)
+    if action == "forge-challenge":
+        return message, replace(signature, challenge=signature.challenge ^ 1)
+    if action == "forge-s1":
+        return message, replace(signature, s1=signature.s1 + 1)
+    if action == "wrong-epoch":
+        return message, replace(signature, acc_epoch=signature.acc_epoch + 1)
+    if action == "tamper-message":
+        return message + b"!", signature
+    return message, signature
+
+
+def _tamper_kty(pk, message, signature, action):
+    if action == "forge-t1":
+        return message, replace(signature, t1=(signature.t1 * 2) % pk.n)
+    if action == "forge-challenge":
+        return message, replace(signature, challenge=signature.challenge ^ 1)
+    if action == "forge-se":
+        return message, replace(signature, s_e=signature.s_e + 1)
+    if action == "tamper-message":
+        return message + b"!", signature
+    return message, signature
+
+
+def _books(recorder):
+    """Guarded totals: everything except wall time and accel:* extras."""
+    return {k: v for k, v in recorder.total().as_dict().items()
+            if k != "wall_time" and not k.startswith("accel:")}
+
+
+class TestAcceptanceSetParity:
+    @given(data=st.data())
+    @settings(max_examples=25, deadline=None)
+    def test_acjt_batch_accepts_exactly_the_sequential_set(
+            self, acjt_room, data):
+        pk, view, room = acjt_room
+        actions = [data.draw(st.sampled_from(ACJT_ACTIONS), label=f"a{i}")
+                   for i in range(len(room))]
+        items = [_tamper_acjt(pk, message, signature, action)
+                 for (message, signature), action in zip(room, actions)]
+        if data.draw(st.booleans(), label="duplicate"):
+            items.append(items[0])       # exercise the dedup path
+            actions.append(actions[0])
+        state.configure(enabled=False)
+        sequential = batch.batch_verify(pk, items, view)
+        state.configure(enabled=True, batch=True)
+        try:
+            batched = batch.batch_verify(pk, items, view)
+        finally:
+            state.configure(enabled=False)
+        assert batched == sequential
+        assert sequential == [action == "valid" for action in actions]
+
+    @given(data=st.data())
+    @settings(max_examples=15, deadline=None)
+    def test_kty_batch_accepts_exactly_the_sequential_set(
+            self, kty_room, data):
+        pk, view, room = kty_room
+        actions = [data.draw(st.sampled_from(KTY_ACTIONS), label=f"a{i}")
+                   for i in range(len(room))]
+        items = [_tamper_kty(pk, message, signature, action)
+                 for (message, signature), action in zip(room, actions)]
+        state.configure(enabled=False)
+        sequential = batch.batch_verify(pk, items, view)
+        state.configure(enabled=True, batch=True)
+        try:
+            batched = batch.batch_verify(pk, items, view)
+        finally:
+            state.configure(enabled=False)
+        assert batched == sequential
+        assert sequential == [action == "valid" for action in actions]
+
+    def test_unknown_key_type_rejected(self):
+        with pytest.raises(ParameterError):
+            batch.batch_verify(object(), [], None)
+
+    def test_acjt_shield_rejected(self, acjt_room):
+        pk, view, room = acjt_room
+        with pytest.raises(ParameterError):
+            batch.batch_verify(pk, room, view, expected_shield=1)
+
+
+class TestCounterParity:
+    def test_batched_books_equal_sequential_books(self, acjt_room):
+        pk, view, room = acjt_room
+        items = list(room) + [room[0], room[1]]     # two duplicates
+        rec_seq = metrics.Recorder()
+        state.configure(enabled=False)
+        with metrics.using(rec_seq):
+            sequential = batch.batch_verify(pk, items, view)
+        rec_bat = metrics.Recorder()
+        state.configure(enabled=True, batch=True)
+        try:
+            with metrics.using(rec_bat):
+                batched = batch.batch_verify(pk, items, view)
+        finally:
+            state.configure(enabled=False)
+        assert batched == sequential
+        assert _books(rec_bat) == _books(rec_seq)
+        extras = rec_bat.total().extra
+        assert extras.get("accel:batch-scan-miss") == len(room)
+        assert extras.get("accel:batch-scan-hit") == 2
+        assert extras.get("accel:batch-fallback", 0) == 0
+        assert extras.get("accel:batch-divergence", 0) == 0
+
+    def test_forgery_falls_back_without_divergence(self, acjt_room):
+        pk, view, room = acjt_room
+        message, signature = room[0]
+        forged = replace(signature, challenge=signature.challenge ^ 1)
+        rec = metrics.Recorder()
+        state.configure(enabled=True, batch=True)
+        try:
+            with metrics.using(rec):
+                verdicts = batch.batch_verify(
+                    pk, [(message, forged)], view)
+        finally:
+            state.configure(enabled=False)
+        assert verdicts == [False]
+        extras = rec.total().extra
+        assert extras.get("accel:batch-fallback") == 1
+        assert extras.get("accel:batch-divergence", 0) == 0
+
+    def test_batch_switch_off_disables_caching(self, acjt_room):
+        pk, view, room = acjt_room
+        rec = metrics.Recorder()
+        state.configure(enabled=True, batch=False)
+        try:
+            with metrics.using(rec):
+                batch.batch_verify(pk, list(room) + [room[0]], view)
+        finally:
+            state.configure(enabled=False)
+        extras = rec.total().extra
+        assert "accel:batch-scan-hit" not in extras
+        assert "accel:batch-scan-miss" not in extras
+
+
+class TestVerifyRoom:
+    def test_room_scan_matches_per_member_verdicts(self, scheme1_world):
+        members = scheme1_world.lineup("alice", "bob", "carol")
+        rng = random.Random(990)
+        items = []
+        for i, member in enumerate(members):
+            message = f"sid:{i}".encode()
+            items.append((message, member.gsig_sign(message, rng)))
+        # Forge one blob: flip a byte so its signature fails to parse or
+        # verify — every honest scanner must reject it identically.
+        message, blob = items[1]
+        items[1] = (message, blob[:-1] + bytes([blob[-1] ^ 1]))
+
+        rec_seq = metrics.Recorder()
+        state.configure(enabled=False)
+        with metrics.using(rec_seq):
+            sequential = batch.verify_room(members, items)
+        rec_bat = metrics.Recorder()
+        state.configure(enabled=True, batch=True)
+        try:
+            with metrics.using(rec_bat):
+                batched = batch.verify_room(members, items,
+                                            cache=batch.ScanCache())
+        finally:
+            state.configure(enabled=False)
+        assert batched == sequential
+        assert [row[1] for i, row in enumerate(sequential) if i != 1] == \
+               [False, False]
+        assert _books(rec_bat) == _books(rec_seq)
+        # m members x (m-1) checks, only m distinct (context, blob) pairs.
+        extras = rec_bat.total().extra
+        assert extras.get("accel:batch-scan-miss") == len(items)
+        assert extras.get("accel:batch-scan-hit") == \
+            len(members) * (len(members) - 1) - len(items)
+
+
+class TestHandshakeIntegration:
+    M = 4
+
+    def _run(self, world):
+        names = sorted(world.members)[:self.M]
+        members = world.lineup(*names)
+        rngs = [random.Random(61000 + i) for i in range(self.M)]
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            outcomes = run_handshake(members, scheme1_policy(), rngs=rngs)
+        return outcomes, rec
+
+    def _comparable(self, rec):
+        books = {}
+        for scope, counters in rec.snapshot().items():
+            books[scope] = {k: v for k, v in counters.as_dict().items()
+                            if k != "wall_time"
+                            and not k.startswith("accel:")}
+        return books
+
+    def test_inline_batched_handshake_is_byte_identical(self, service_world):
+        state.configure(enabled=False)
+        plain_outcomes, plain_rec = self._run(service_world)
+        assert all(o.success for o in plain_outcomes)
+        state.configure(enabled=True, batch=True)
+        try:
+            batched_outcomes, batched_rec = self._run(service_world)
+        finally:
+            state.configure(enabled=False)
+        assert [o.session_key for o in plain_outcomes] == \
+               [o.session_key for o in batched_outcomes]
+        assert [o.transcript.entries for o in plain_outcomes] == \
+               [o.transcript.entries for o in batched_outcomes]
+        assert [o.confirmed_peers for o in plain_outcomes] == \
+               [o.confirmed_peers for o in batched_outcomes]
+        assert self._comparable(plain_rec) == self._comparable(batched_rec)
+        # The room really was deduplicated: every party past the first
+        # reused the shared decrypt+verify results.
+        extras = batched_rec.total().extra
+        assert extras.get("accel:batch-scan-hit", 0) > 0
+
+    def test_pooled_unbatched_scan_still_matches_inline(self, service_world):
+        """The legacy one-task-per-party pool scan (batch off) remains a
+        supported configuration and stays byte-identical."""
+        state.configure(enabled=False)
+        inline_outcomes, inline_rec = self._run(service_world)
+        accel.configure(enabled=True, batch=False)
+        try:
+            pool = accel.get_pool(workers=2)
+            names = sorted(service_world.members)[:self.M]
+            members = service_world.lineup(*names)
+            rngs = [random.Random(61000 + i) for i in range(self.M)]
+            rec = metrics.Recorder()
+            with metrics.using(rec):
+                pooled_outcomes = run_handshake(
+                    members, scheme1_policy(), rngs=rngs, pool=pool)
+        finally:
+            accel.shutdown_pool()
+            accel.configure(enabled=False, batch=True)
+        assert [o.session_key for o in inline_outcomes] == \
+               [o.session_key for o in pooled_outcomes]
+        assert self._comparable(inline_rec) == self._comparable(rec)
+        extras = rec.total().extra
+        assert extras.get("accel:pool-tasks", 0) == 2 * self.M
+        assert "accel:batch-chunks" not in extras

@@ -7,6 +7,9 @@ lazy-row-growth path).  The LRU cache and the mexp hook get behavioural
 tests on top.
 """
 
+import threading
+import time
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -143,3 +146,125 @@ class TestLookupHook:
             mexp(5, 100, 7919)
             mexp(5, 200, 7919)
         assert rec.total().modexp == 2
+
+
+class _LockProbeRow(list):
+    """A digit row that records whether the table lock was held at each
+    access during evaluation."""
+
+    def __init__(self, row, lock, observations):
+        super().__init__(row)
+        self._lock = lock
+        self._observations = observations
+
+    def __getitem__(self, index):
+        self._observations.append(self._lock.locked())
+        return super().__getitem__(index)
+
+
+class TestEvaluationConcurrency:
+    def test_evaluation_runs_outside_the_table_lock(self):
+        """Regression: ``pow`` used to hold ``_lock`` for the whole
+        windowed evaluation, serializing every thread sharing a table.
+        Now the lock guards only row growth — every row access during
+        evaluation must see it released."""
+        table = FixedBaseTable(3, 7919, window=4)
+        table.pow(1 << 200)          # grow all needed rows up front
+        observations = []
+        table.rows = [_LockProbeRow(row, table._lock, observations)
+                      for row in table.rows]
+        assert table.pow((1 << 200) - 5) == pow(3, (1 << 200) - 5, 7919)
+        assert observations                  # the probe actually fired
+        assert not any(observations)         # lock never held mid-evaluation
+
+    def test_concurrent_pow_with_growth_is_correct(self):
+        """Rows are append-only, so threads may evaluate while another
+        thread grows the table; results must stay exact throughout."""
+        modulus = (1 << 61) - 1
+        table = FixedBaseTable(3, modulus, window=3)
+        exponents = [(1 << (40 * i)) + i for i in range(1, 9)]
+        expected = {e: pow(3, e, modulus) for e in exponents}
+        failures = []
+
+        def worker(exponent):
+            for _ in range(5):
+                if table.pow(exponent) != expected[exponent]:
+                    failures.append(exponent)
+
+        threads = [threading.Thread(target=worker, args=(e,))
+                   for e in exponents]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not failures
+
+
+class TestSingleFlight:
+    def test_concurrent_lookups_build_exactly_once(self, monkeypatch):
+        """Regression: a miss used to be invisible to other threads until
+        the finished table landed in the cache, so a thundering herd all
+        paid the full precompute for the same key."""
+        real_table = fixed_base.FixedBaseTable
+        builds = []
+        started = threading.Event()
+        release = threading.Event()
+
+        class SlowTable(real_table):
+            def __init__(self, base, modulus, window=None):
+                builds.append(threading.get_ident())
+                started.set()
+                release.wait(timeout=10)
+                super().__init__(base, modulus, window)
+
+        monkeypatch.setattr(fixed_base, "FixedBaseTable", SlowTable)
+        cache = TableCache(4)
+        results = []
+
+        def lookup():
+            results.append(cache.lookup((3, 7919)))
+
+        threads = [threading.Thread(target=lookup) for _ in range(6)]
+        for t in threads:
+            t.start()
+        assert started.wait(timeout=10)
+        time.sleep(0.2)              # let the other threads pile up
+        release.set()
+        for t in threads:
+            t.join(timeout=10)
+        assert len(builds) == 1
+        assert len(results) == 6
+        tables = {id(table) for table, _ in results}
+        assert len(tables) == 1
+        stats = cache.stats()
+        assert stats["misses"] == 1
+        assert stats["hits"] == 5
+
+
+class TestRegistryLifecycle:
+    def test_registry_eviction_drops_cached_table(self):
+        """Regression: a registration pushed out of the bounded registry
+        used to leave its table pinned in the cache (unreachable via
+        ``lookup_pow`` but still occupying LRU capacity)."""
+        state.configure(enabled=True, cache_size=1)
+        fixed_base.configure_cache(8)    # roomy cache; registry cap is 4
+        fixed_base.register_base(3, 7919)
+        assert fixed_base.lookup_pow(3, 100, 7919) == pow(3, 100, 7919)
+        assert fixed_base.stats()["tables"] == 1
+        for base in (5, 6, 7, 11):       # push (3, 7919) out
+            fixed_base.register_base(base, 7919)
+        assert not fixed_base.is_registered(3, 7919)
+        assert fixed_base.stats()["tables"] == 0
+
+    def test_unregister_drops_registration_and_table(self):
+        state.configure(enabled=True)
+        fixed_base.register_base(3, 7919)
+        fixed_base.lookup_pow(3, 100, 7919)
+        fixed_base.unregister_base(3, 7919)
+        assert not fixed_base.is_registered(3, 7919)
+        assert fixed_base.stats()["tables"] == 0
+        assert fixed_base.lookup_pow(3, 100, 7919) is None
+
+    def test_unregister_unknown_base_is_a_noop(self):
+        fixed_base.unregister_base(999, 7919)
+        fixed_base.unregister_base(2, 1)     # degenerate modulus

@@ -73,9 +73,11 @@ class TestPoolParity:
         # Identical books, scope by scope.
         assert _comparable(inline_snap) == _comparable(pooled_snap)
 
-        # The pool really ran: payload + scan jobs for every party.
+        # The pool really ran: a payload job per party, plus the scan
+        # shipped as one chunk per worker (batching is on by default).
         extras = pooled_snap["total"].extra
-        assert extras.get("accel:pool-tasks", 0) == 2 * M
+        assert extras.get("accel:pool-tasks", 0) == M + min(2, M)
+        assert extras.get("accel:batch-chunks", 0) == min(2, M)
 
     def test_same_seeds_reproduce_across_pooled_runs(self, service_world):
         accel.enable()
