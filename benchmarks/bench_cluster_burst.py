@@ -16,6 +16,12 @@ Three legs, same seeded rooms (m=2) throughout:
   non-retryable casualties, zero hangs — and the router keeps answering
   aggregated STATUS afterwards.
 
+Each room runs through :func:`repro.load.run_timed_room`, which stamps
+arrival / first-WELCOME / admission / completion instants relative to the
+leg's epoch into the same per-room schema the open-loop driver
+(``benchmarks/bench_load.py``) emits — so closed-loop burst latencies and
+open-loop sustained-load latencies are directly comparable, room by room.
+
 Artifacts: ``results/cluster_burst.txt`` (table) and ``BENCH_cluster.json``
 at the repo root (CI uploads it; see .github/workflows/ci.yml).
 """
@@ -29,12 +35,12 @@ from _tables import emit
 from repro import metrics
 from repro.cluster import ClusterConfig, ClusterRouter
 from repro.core.scheme1 import scheme1_policy
+from repro.load import HandshakeModel, run_timed_room
 from repro.service import (
     ClientConfig,
     RendezvousServer,
     ServerConfig,
     query_status,
-    run_room,
 )
 
 ROOMS = 12
@@ -43,35 +49,32 @@ SHARDS = 2
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 JSON_PATH = os.path.join(REPO_ROOT, "BENCH_cluster.json")
 
+#: Validates every completed room's books (modexp/message counts exact,
+#: bytes within tolerance) — strictly stronger than the old per-party
+#: message-profile assertion, and shared with the open-loop harness.
+MODEL = HandshakeModel("1")
 
-async def _one_room(port, members, policy, label, deadline=120.0):
-    """One room under its own Recorder; returns (outcomes, latency, books
-    are asserted here so cross-room/cross-shard interference can't hide)."""
-    recorder = metrics.Recorder()
-    with metrics.using(recorder):
-        config = ClientConfig(port=port, room=label, deadline=deadline,
-                              backoff_base=0.05, backoff_max=0.5)
-        started = time.perf_counter()
-        outcomes = await run_room(members, config, policy)
-        latency = time.perf_counter() - started
-    if all(o.success for o in outcomes):
-        snapshot = recorder.snapshot()
-        for i in range(len(members)):
-            counters = snapshot[f"hs:{i}"]
-            assert counters.messages_sent == 4, \
-                f"{label}: party {i} sent {counters.messages_sent} != 4"
-            assert counters.messages_received == 4 * (len(members) - 1), \
-                f"{label}: party {i} received {counters.messages_received}"
-    return outcomes, latency
+
+async def _one_room(port, members, policy, label, *, epoch, deadline=120.0):
+    """One room via run_timed_room: isolated Recorder, lifecycle
+    timestamps, and model-validated books (so cross-room/cross-shard
+    interference can't hide)."""
+    config = ClientConfig(port=port, room=label, deadline=deadline,
+                          backoff_base=0.05, backoff_max=0.5)
+    result = await run_timed_room(members, config, policy, epoch=epoch,
+                                  model=MODEL)
+    assert not result.mismatches, \
+        f"{label}: books diverge from the model: {result.mismatches}"
+    return result
 
 
 async def _burst(port, members, policy, prefix, deadline=120.0):
+    epoch = time.perf_counter()
     jobs = [_one_room(port, members, policy, f"{prefix}-{i}",
-                      deadline=deadline)
+                      epoch=epoch, deadline=deadline)
             for i in range(ROOMS)]
-    started = time.perf_counter()
     results = await asyncio.gather(*jobs)
-    wall = time.perf_counter() - started
+    wall = time.perf_counter() - epoch
     return results, wall
 
 
@@ -79,8 +82,8 @@ async def _single_leg(members, policy):
     async with RendezvousServer(ServerConfig(handshake_timeout=120.0)) \
             as server:
         results, wall = await _burst(server.port, members, policy, "single")
-    assert all(o.success for outcomes, _ in results for o in outcomes)
-    return wall
+    assert all(r.outcome == "completed" for r in results)
+    return results, wall
 
 
 async def _cluster_leg(members, policy):
@@ -90,9 +93,9 @@ async def _cluster_leg(members, policy):
         results, wall = await _burst(router.port, members, policy, "cluster")
         await asyncio.sleep(0.4)     # let heartbeats carry the final books
         status = await query_status("127.0.0.1", router.port)
-    assert all(o.success for outcomes, _ in results for o in outcomes)
+    assert all(r.outcome == "completed" for r in results)
     assert status["outcomes"].get("completed", 0) == ROOMS
-    return wall, status
+    return results, wall, status
 
 
 async def _failover_leg(members, policy):
@@ -101,9 +104,10 @@ async def _failover_leg(members, policy):
     recorder = metrics.Recorder()
     with metrics.using(recorder):
         async with ClusterRouter(config) as router:
+            epoch = time.perf_counter()
             jobs = [asyncio.ensure_future(_one_room(
                         router.port, members, policy, f"failover-{i}",
-                        deadline=30.0))
+                        epoch=epoch, deadline=30.0))
                     for i in range(ROOMS)]
             await asyncio.sleep(0.15)          # burst underway on both shards
             started = time.perf_counter()
@@ -111,10 +115,9 @@ async def _failover_leg(members, policy):
             results = await asyncio.gather(*jobs)
             wall = time.perf_counter() - started
             status = await query_status("127.0.0.1", router.port)
-    flat = [o for outcomes, _ in results for o in outcomes]
-    successes = sum(o.success for o in flat)
-    retryable = sum((not o.success) and o.retryable for o in flat)
-    casualties = sum((not o.success) and (not o.retryable) for o in flat)
+    successes = sum(r.successes for r in results)
+    retryable = sum(r.retryable_failures for r in results)
+    casualties = sum(r.nonretryable_failures for r in results)
     assert casualties == 0, \
         f"{casualties} outcomes were neither success nor retryable"
     assert status["cluster"]["states"].get("dead") == [0]
@@ -126,6 +129,7 @@ async def _failover_leg(members, policy):
         "replacements": recorder.total().extra.get(
             "svc-cluster:replacements", 0),
         "shard_states": status["cluster"]["states"],
+        "rooms": [r.as_dict() for r in results],
     }
 
 
@@ -135,9 +139,14 @@ def test_cluster_burst(benchmark, bench_scheme1):
     report = {}
 
     def run():
-        report["single_wall_s"] = asyncio.run(_single_leg(members, policy))
-        cluster_wall, status = asyncio.run(_cluster_leg(members, policy))
+        single_rooms, single_wall = asyncio.run(
+            _single_leg(members, policy))
+        report["single_wall_s"] = single_wall
+        report["single_rooms"] = single_rooms
+        cluster_rooms, cluster_wall, status = asyncio.run(
+            _cluster_leg(members, policy))
         report["cluster_wall_s"] = cluster_wall
+        report["cluster_rooms"] = cluster_rooms
         report["cluster_status"] = status
         report["failover"] = asyncio.run(_failover_leg(members, policy))
 
@@ -178,7 +187,11 @@ def test_cluster_burst(benchmark, bench_scheme1):
         "cluster_wall_s": round(cluster_wall, 6),
         "cluster_overhead_x": round(cluster_wall / single_wall, 4),
         "rooms_per_shard": shard_rooms,
-        "message_profile": "asserted (4 sent, 4*(m-1) received per party)",
+        "books_model": "validated per room against repro.load.model "
+                       "(modexp/message counts exact, bytes within "
+                       "tolerance)",
+        "single_rooms": [r.as_dict() for r in report["single_rooms"]],
+        "cluster_rooms": [r.as_dict() for r in report["cluster_rooms"]],
         "failover": failover,
     }
     with open(JSON_PATH, "w") as handle:

@@ -1,0 +1,143 @@
+"""Open-loop load — sustained arrivals and deliberate overload.
+
+Every other bench here is closed-loop: the next room waits for the last,
+so the relay never feels pressure.  This one drives the 2-shard cluster
+with ``repro.load``'s open-loop generator — rooms arrive on a seeded
+Poisson clock whether or not earlier rooms have finished — and asserts
+the capacity-model contract on top of the SLO numbers:
+
+* ``poisson``  — sustained arrivals at a rate this box can absorb: every
+  room completes, the driver reports sustained throughput and
+  admission/e2e latency percentiles, the relay-side merged
+  ``svc:relay-latency`` percentiles ride along from aggregated STATUS,
+  and every completed room's books match the symbolic model
+  (modexp/message counts **exactly**, bytes within tolerance).
+* ``overload`` — the same generator pushed past a deliberately tiny
+  admission ceiling (``max_rooms_per_shard=1``): the cluster must shed
+  with retryable BUSY frames (nonzero per-reason shed counters in merged
+  STATUS), clients must retry or fail *retryably* — zero non-retryable
+  casualties, zero hangs — and the books of whatever completed must
+  still match the model exactly.
+
+Model-vs-measured count drift fails the bench (and the CI ``load-smoke``
+job): the closed forms in ``repro.load.model`` are the repo's executable
+statement of the paper's O(m) cost claims.
+
+Artifacts: ``results/load.txt`` (table) and ``BENCH_load.json`` at the
+repo root (CI uploads it; see .github/workflows/ci.yml).
+"""
+
+import asyncio
+import json
+import os
+
+from _tables import emit
+from repro import metrics
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.core.scheme1 import scheme1_policy
+from repro.load import LoadConfig, RoomMix, build_report, run_open_loop
+from repro.service import query_status
+
+SHARDS = 2
+POISSON_RATE = 1.5          # rooms/s this 1-CPU box sustains with margin
+POISSON_DURATION = 8.0
+OVERLOAD_RATE = 8.0         # far beyond a 2-room admission ceiling
+OVERLOAD_DURATION = 2.0
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_load.json")
+
+
+async def _leg(members, policy, load, *, max_rooms_per_shard=None):
+    """One open-loop run against a fresh 2-shard cluster; returns the
+    full SLO/capacity report document."""
+    config = ClusterConfig(shards=SHARDS, heartbeat_interval=0.1,
+                           handshake_timeout=60.0,
+                           max_rooms_per_shard=max_rooms_per_shard)
+    async with ClusterRouter(config) as router:
+        run_config = LoadConfig(**{**load.__dict__, "port": router.port})
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            results = await run_open_loop(run_config, members, policy)
+        await asyncio.sleep(0.4)     # let heartbeats carry the final books
+        status = await query_status("127.0.0.1", router.port)
+    return build_report(run_config, results, status=status,
+                        recorder=recorder, shards=SHARDS,
+                        max_rooms_per_shard=max_rooms_per_shard)
+
+
+async def _poisson_leg(members, policy):
+    doc = await _leg(members, policy, LoadConfig(
+        rate=POISSON_RATE, duration=POISSON_DURATION,
+        mix=RoomMix.parse("2:0.8,3:0.2"), seed=2005,
+        deadline=20.0, drain_grace=10.0))
+    achieved = doc["achieved"]
+    assert achieved["completed"] > 0 and achieved["failed"] == 0, achieved
+    assert achieved["throughput_rooms_per_s"] > 0
+    assert doc["slo"]["load:e2e-latency"]["count"] == achieved["completed"]
+    assert doc["model"]["counts_exact"], doc["model"]["mismatches"]
+    return doc
+
+
+async def _overload_leg(members, policy):
+    doc = await _leg(members, policy, LoadConfig(
+        rate=OVERLOAD_RATE, duration=OVERLOAD_DURATION,
+        mix=RoomMix.single(2), seed=2006,
+        deadline=12.0, drain_grace=8.0),
+        max_rooms_per_shard=1)
+    achieved = doc["achieved"]
+    # Admission control, not collapse: sheds happened, nothing died
+    # non-retryably, nothing hung (run_open_loop's drain is bounded).
+    assert doc["relay"]["shed_total"] > 0, \
+        "overload produced no BUSY sheds — ceiling not exercised"
+    assert achieved["failed"] == 0, achieved
+    assert doc["model"]["counts_exact"], doc["model"]["mismatches"]
+    return doc
+
+
+def _row(leg, doc):
+    achieved = doc["achieved"]
+    e2e = doc["slo"].get("load:e2e-latency") or {}
+    return (
+        leg,
+        f"{doc['offered']['rate_rooms_per_s']:g}",
+        f"{achieved['throughput_rooms_per_s']:g}",
+        f"{achieved['completed']}/{achieved['retryable']}",
+        f"{e2e.get('p99', 0):.3f}" if e2e.get("count") else "-",
+        str(doc["relay"]["shed_total"]),
+    )
+
+
+def test_open_loop_load(benchmark, bench_scheme1):
+    members = bench_scheme1.members
+    policy = scheme1_policy()
+    report = {}
+
+    def run():
+        report["poisson"] = asyncio.run(_poisson_leg(members, policy))
+        report["overload"] = asyncio.run(_overload_leg(members, policy))
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    poisson = report["poisson"]
+    overload = report["overload"]
+    emit(
+        "load",
+        f"Open-loop load on a {SHARDS}-shard cluster: sustained poisson "
+        f"vs overload past max_rooms_per_shard=1 (books model-validated "
+        f"per room)",
+        ("leg", "offered r/s", "achieved r/s", "done/retry",
+         "e2e p99(s)", "sheds"),
+        [_row("poisson", poisson), _row("overload", overload)],
+    )
+
+    doc = {
+        "shards": SHARDS,
+        "model_backend": poisson["model"]["backend"],
+        "counts_exact": (poisson["model"]["counts_exact"]
+                         and overload["model"]["counts_exact"]),
+        "poisson": poisson,
+        "overload": overload,
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -26,6 +26,11 @@ Subcommands:
   rendezvous server and print its live telemetry snapshot.
 * ``cluster-status`` — the same query against a cluster router, rendered
   with the per-shard health table and the merged cross-shard telemetry.
+* ``load`` — open-loop load run (``repro.load``): spawn handshake rooms
+  on a Poisson or bursty arrival clock against a rendezvous relay (a
+  self-hosted server/cluster by default, or ``--port`` for a running
+  one), validate every completed room's books against the symbolic
+  capacity model, and print the SLO + capacity report.
 * ``join`` — run handshake participant(s) against a rendezvous server.
   With ``--index`` one party joins from this process (run m processes
   with the same ``--seed`` to handshake across processes: group creation
@@ -397,6 +402,84 @@ def _join(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _load(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from repro.load import (LoadConfig, RoomMix, build_report,
+                            format_report, run_open_loop)
+    from repro.service import query_status
+
+    offload = _apply_accel(args)
+    try:
+        mix = RoomMix.parse(args.mix)
+    except ValueError as exc:
+        print(f"!! bad --mix: {exc}", file=sys.stderr)
+        return 1
+    rng = random.Random(args.seed)
+    if args.scheme == "2":
+        framework = create_scheme2("load-group", rng=rng)
+        policy = scheme2_policy()
+    else:
+        framework = create_scheme1("load-group", rng=rng)
+        policy = scheme1_policy()
+    members = [framework.admit_member(f"user-{i}", rng)
+               for i in range(mix.max_m)]
+    config = LoadConfig(
+        host=args.host, port=args.port, rate=args.rate,
+        duration=args.duration, process=args.process,
+        burst_factor=args.burst_factor, on_fraction=args.on_fraction,
+        cycle=args.cycle, mix=mix, scheme=args.scheme, seed=args.seed,
+        deadline=args.deadline, validate=not args.no_validate)
+
+    async def _run(port: int, shards: int) -> int:
+        run_config = LoadConfig(**{**config.__dict__, "port": port})
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            results = await run_open_loop(run_config, members, policy)
+        try:
+            status = await query_status(args.host, port, timeout=5.0)
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            status = None
+        doc = build_report(run_config, results, status=status,
+                           recorder=recorder, shards=max(shards, 1),
+                           max_rooms_per_shard=args.max_rooms)
+        print(format_report(doc))
+        if args.json:
+            with open(args.json, "w") as handle:
+                _json.dump(doc, handle, indent=2, sort_keys=True)
+            print(f"wrote report JSON to {args.json}")
+        counts_ok = doc["model"]["counts_exact"] or args.no_validate
+        return 0 if counts_ok else 1
+
+    async def main() -> int:
+        if args.port:
+            # Target a relay someone else is running.
+            return await _run(args.port, args.shards)
+        if args.shards > 0:
+            from repro.cluster import ClusterConfig, ClusterRouter
+
+            cluster_config = ClusterConfig(
+                host=args.host, port=0, shards=args.shards,
+                max_rooms_per_shard=args.max_rooms)
+            router = await ClusterRouter(cluster_config).start()
+            print(f"self-hosted cluster: {args.shards} shards behind "
+                  f"port {router.port}")
+            try:
+                return await _run(router.port, args.shards)
+            finally:
+                await router.shutdown()
+        from repro.service import RendezvousServer, ServerConfig
+
+        server_config = ServerConfig(host=args.host, port=0,
+                                     max_rooms=args.max_rooms,
+                                     offload=offload)
+        async with RendezvousServer(server_config) as server:
+            print(f"self-hosted rendezvous server on port {server.port}")
+            return await _run(server.port, 1)
+
+    return asyncio.run(main())
+
+
 def _status(args: argparse.Namespace) -> int:
     import json as _json
 
@@ -595,6 +678,51 @@ def main(argv=None) -> int:
                             "shed with a retryable BUSY frame")
     _add_accel_flags(serve)
 
+    load = sub.add_parser(
+        "load", help="open-loop load run with symbolic-model validation "
+                     "and an SLO/capacity report")
+    load.add_argument("--host", default="127.0.0.1")
+    load.add_argument("--port", type=int, default=0,
+                      help="target a relay already running on PORT "
+                           "(default: 0 = self-host one for the run)")
+    load.add_argument("--rate", type=float, default=2.0, metavar="R",
+                      help="mean arrival rate, rooms/second (default: 2)")
+    load.add_argument("--duration", type=float, default=10.0, metavar="S",
+                      help="arrival-generation window, seconds "
+                           "(default: 10)")
+    load.add_argument("--process", choices=("poisson", "bursty"),
+                      default="poisson",
+                      help="arrival process (default: poisson)")
+    load.add_argument("--burst-factor", type=float, default=4.0,
+                      help="bursty: ON-state rate as a multiple of the "
+                           "mean rate (default: 4)")
+    load.add_argument("--on-fraction", type=float, default=0.3,
+                      help="bursty: fraction of time in the ON state "
+                           "(default: 0.3)")
+    load.add_argument("--cycle", type=float, default=2.0,
+                      help="bursty: mean ON+OFF cycle length, seconds "
+                           "(default: 2)")
+    load.add_argument("--mix", default="2:1", metavar="M:W,...",
+                      help="room-size mix as size:weight pairs, e.g. "
+                           "'2:0.7,3:0.2,8:0.1' (default: all m=2)")
+    load.add_argument("--shards", type=int, default=0, metavar="N",
+                      help="self-host a cluster with N shards "
+                           "(default: 0 = single server; ignored with "
+                           "--port)")
+    load.add_argument("--max-rooms", type=int, default=None, metavar="R",
+                      help="admission ceiling for the self-hosted relay "
+                           "(per shard when clustered)")
+    load.add_argument("--scheme", choices=("1", "2"), default="1")
+    load.add_argument("--seed", type=int, default=2005)
+    load.add_argument("--deadline", type=float, default=30.0,
+                      help="per-party client deadline, seconds "
+                           "(default: 30)")
+    load.add_argument("--no-validate", action="store_true",
+                      help="skip per-room model validation")
+    load.add_argument("--json", metavar="PATH",
+                      help="write the full report document as JSON")
+    _add_accel_flags(load)
+
     join = sub.add_parser(
         "join", help="join a handshake room on a rendezvous server")
     join.add_argument("--host", default="127.0.0.1")
@@ -642,6 +770,10 @@ def main(argv=None) -> int:
         return _trace(args)
     if args.command == "serve":
         return _serve(args)
+    if args.command == "load":
+        if args.rate <= 0 or args.duration <= 0:
+            load.error("--rate and --duration must be positive")
+        return _load(args)
     if args.command == "status":
         return _status(args)
     if args.command == "cluster-status":

@@ -237,6 +237,8 @@ class ClusterRouter:
                     reason=f"expected HELLO, got {type(message).__name__}"))
                 return
             if not self._accepting:
+                metrics.bump("svc-cluster:busy-sheds")
+                metrics.bump("svc-cluster:busy:draining")
                 await self._best_effort(
                     writer, protocol.Busy(reason="draining"))
                 return
@@ -271,6 +273,8 @@ class ClusterRouter:
             shard_id = self.ring.place(hello.room, only=live - tried)
             if shard_id is None:
                 metrics.bump("svc-cluster:no-live-shards")
+                metrics.bump("svc-cluster:busy-sheds")
+                metrics.bump("svc-cluster:busy:no-live-shards")
                 obslog.log_event(_log, "no-live-shards")
                 await self._best_effort(
                     writer, protocol.Busy(reason="no-live-shards"))
@@ -413,6 +417,7 @@ def merge_histogram_summaries(name: str,
             merged.counts[i] += bucket["count"]
         merged.total += summary.get("count", 0)
         merged.sum += summary.get("sum", 0.0)
+        merged.clamped += summary.get("clamped", 0)
         for attr, pick in (("min", min), ("max", max)):
             value = summary.get(attr)
             if value is not None:

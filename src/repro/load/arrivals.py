@@ -1,0 +1,243 @@
+"""Arrival processes and the room-size mix for the open-loop driver.
+
+An arrival process turns a target mean rate into a concrete, *seeded*
+schedule of absolute arrival offsets — the same seed always yields the
+same schedule, so a load run is reproducible and two legs of a benchmark
+can offer byte-identical traffic.  Two shapes are provided:
+
+* :class:`PoissonProcess` — memoryless arrivals (exponential gaps), the
+  classic open-loop reference load;
+* :class:`OnOffProcess` — a two-state Markov-modulated Poisson process
+  (MMPP): bursts of elevated rate separated by quiet periods, the shape
+  flash crowds and mobile wake-ups actually have.  State holding times
+  are exponential, so the process stays Markovian and its *mean* rate is
+  still the configured one.
+
+Room sizes are drawn per arrival from a :class:`RoomMix` — a weighted
+distribution over ``m`` (e.g. ``2:0.7,3:0.2,8:0.1``), parsed from the
+CLI string form and sampled with the same seeded RNG discipline.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
+
+
+class ArrivalProcess:
+    """Base: a seeded generator of absolute arrival offsets (seconds)."""
+
+    #: Short name used by the CLI / report ("poisson", "bursty").
+    kind = "abstract"
+
+    def times(self, duration: float) -> Iterator[float]:
+        """Yield strictly increasing arrival offsets in ``[0, duration)``.
+
+        Exhausting the iterator and calling again continues the stream —
+        callers wanting a fresh schedule construct a fresh process."""
+        raise NotImplementedError
+
+    def describe(self) -> Dict[str, object]:
+        """JSON-able parameters for the report."""
+        raise NotImplementedError
+
+
+class PoissonProcess(ArrivalProcess):
+    """Homogeneous Poisson arrivals at ``rate`` per second."""
+
+    kind = "poisson"
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        self.rate = float(rate)
+        self.rng = rng
+
+    def times(self, duration: float) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += self.rng.expovariate(self.rate)
+            if t >= duration:
+                return
+            yield t
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": self.kind, "rate": self.rate}
+
+
+class OnOffProcess(ArrivalProcess):
+    """Two-state MMPP: Poisson at ``rate_on`` during bursts, ``rate_off``
+    between them; exponential state holding times ``mean_on`` /
+    ``mean_off`` seconds.
+
+    The long-run mean rate is
+    ``(rate_on * mean_on + rate_off * mean_off) / (mean_on + mean_off)``;
+    :meth:`from_mean` solves for ``rate_off`` given a target mean and a
+    burst factor, clamping at zero (a sufficiently violent burst factor
+    means silence between bursts — the clamp raises the realised mean
+    slightly above the target, which :meth:`describe` reports honestly).
+    """
+
+    kind = "bursty"
+
+    def __init__(self, rate_on: float, rate_off: float, mean_on: float,
+                 mean_off: float, rng: random.Random) -> None:
+        if rate_on <= 0 or rate_off < 0:
+            raise ValueError("rate_on must be positive, rate_off >= 0")
+        if mean_on <= 0 or mean_off <= 0:
+            raise ValueError("state holding times must be positive")
+        self.rate_on = float(rate_on)
+        self.rate_off = float(rate_off)
+        self.mean_on = float(mean_on)
+        self.mean_off = float(mean_off)
+        self.rng = rng
+
+    @classmethod
+    def from_mean(cls, rate: float, rng: random.Random, *,
+                  burst_factor: float = 4.0, on_fraction: float = 0.3,
+                  cycle: float = 2.0) -> "OnOffProcess":
+        """Build an on-off process with long-run mean ``rate``.
+
+        ``burst_factor`` scales the ON-state rate relative to the mean;
+        ``on_fraction`` is the fraction of time spent bursting; ``cycle``
+        the mean ON+OFF period length in seconds."""
+        if rate <= 0:
+            raise ValueError("arrival rate must be positive")
+        if not 0 < on_fraction < 1:
+            raise ValueError("on_fraction must be in (0, 1)")
+        if burst_factor < 1:
+            raise ValueError("burst_factor must be >= 1")
+        rate_on = rate * burst_factor
+        # Solve mean = on_fraction*rate_on + (1-on_fraction)*rate_off.
+        rate_off = max(
+            0.0, (rate - on_fraction * rate_on) / (1.0 - on_fraction))
+        return cls(rate_on, rate_off, cycle * on_fraction,
+                   cycle * (1.0 - on_fraction), rng)
+
+    @property
+    def mean_rate(self) -> float:
+        span = self.mean_on + self.mean_off
+        return (self.rate_on * self.mean_on
+                + self.rate_off * self.mean_off) / span
+
+    def times(self, duration: float) -> Iterator[float]:
+        t = 0.0
+        on = True          # start bursting: short runs still see a burst
+        state_ends = self.rng.expovariate(1.0 / self.mean_on)
+        while t < duration:
+            rate = self.rate_on if on else self.rate_off
+            # Candidate next arrival under the current state's rate; a
+            # zero-rate (silent) state never produces one.
+            candidate = (t + self.rng.expovariate(rate) if rate > 0.0
+                         else float("inf"))
+            if candidate < state_ends:
+                t = candidate
+                if t < duration:
+                    yield t
+                continue
+            # The candidate fell beyond this state: discard it, jump to
+            # the boundary and redraw under the next state's rate.  Exact
+            # because the exponential is memoryless — conditioned on "no
+            # arrival before the boundary", the residual wait restarts.
+            t = state_ends
+            on = not on
+            mean = self.mean_on if on else self.mean_off
+            state_ends = t + self.rng.expovariate(1.0 / mean)
+
+    def describe(self) -> Dict[str, object]:
+        return {"kind": self.kind, "rate_on": self.rate_on,
+                "rate_off": self.rate_off, "mean_on_s": self.mean_on,
+                "mean_off_s": self.mean_off,
+                "mean_rate": round(self.mean_rate, 6)}
+
+
+def make_process(kind: str, rate: float, rng: random.Random, *,
+                 burst_factor: float = 4.0, on_fraction: float = 0.3,
+                 cycle: float = 2.0) -> ArrivalProcess:
+    """Factory the CLI and benchmarks share (``poisson`` | ``bursty``)."""
+    if kind == "poisson":
+        return PoissonProcess(rate, rng)
+    if kind == "bursty":
+        return OnOffProcess.from_mean(rate, rng, burst_factor=burst_factor,
+                                      on_fraction=on_fraction, cycle=cycle)
+    raise ValueError(f"unknown arrival process {kind!r} "
+                     f"(expected 'poisson' or 'bursty')")
+
+
+@dataclass(frozen=True)
+class RoomMix:
+    """Weighted distribution over room sizes ``m``.
+
+    ``entries`` is a sorted tuple of ``(m, weight)`` with positive
+    weights; weights need not sum to 1 (they are normalised on sampling).
+    """
+
+    entries: Tuple[Tuple[int, float], ...]
+
+    def __post_init__(self) -> None:
+        if not self.entries:
+            raise ValueError("a room mix needs at least one entry")
+        for m, weight in self.entries:
+            if m < 2:
+                raise ValueError(f"room size {m} < 2 cannot handshake")
+            if weight <= 0:
+                raise ValueError(f"weight for m={m} must be positive")
+
+    @classmethod
+    def parse(cls, text: str) -> "RoomMix":
+        """Parse the CLI form ``"2:0.7,3:0.2,8:0.1"`` (or just ``"4"``
+        for a single-size mix)."""
+        entries: Dict[int, float] = {}
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            if ":" in part:
+                m_text, _, w_text = part.partition(":")
+            else:
+                m_text, w_text = part, "1"
+            try:
+                m, weight = int(m_text), float(w_text)
+            except ValueError as exc:
+                raise ValueError(f"bad mix entry {part!r}: {exc}") from None
+            entries[m] = entries.get(m, 0.0) + weight
+        return cls(tuple(sorted(entries.items())))
+
+    @classmethod
+    def single(cls, m: int) -> "RoomMix":
+        return cls(((m, 1.0),))
+
+    @property
+    def sizes(self) -> List[int]:
+        return [m for m, _ in self.entries]
+
+    @property
+    def max_m(self) -> int:
+        return max(self.sizes)
+
+    def mean_m(self) -> float:
+        total = sum(w for _, w in self.entries)
+        return sum(m * w for m, w in self.entries) / total
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one room size (seeded by the caller's RNG)."""
+        total = sum(w for _, w in self.entries)
+        point = rng.random() * total
+        acc = 0.0
+        for m, weight in self.entries:
+            acc += weight
+            if point <= acc:
+                return m
+        return self.entries[-1][0]
+
+    def describe(self) -> Dict[str, float]:
+        total = sum(w for _, w in self.entries)
+        return {str(m): round(w / total, 6) for m, w in self.entries}
+
+    def __str__(self) -> str:
+        return ",".join(f"{m}:{w:g}" for m, w in self.entries)
+
+
+__all__ = ["ArrivalProcess", "PoissonProcess", "OnOffProcess", "RoomMix",
+           "make_process"]

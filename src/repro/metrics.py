@@ -194,10 +194,18 @@ class Histogram:
     linearly inside a bucket; the overflow bucket reports the observed
     maximum (the honest answer when the tail is unbounded).
 
+    Samples beyond the last bound also increment ``clamped``, exposed in
+    :meth:`summary`: interpolation has no resolution out there (the whole
+    overflow bucket collapses onto the observed max), so a nonzero
+    ``clamped`` is the signal that tail percentiles (p99 under open-loop
+    overload, typically) are clamped estimates and the bounds need to be
+    widened before trusting them.
+
     Not locked itself — the owning :class:`Recorder` serializes access.
     """
 
-    __slots__ = ("name", "bounds", "counts", "total", "sum", "min", "max")
+    __slots__ = ("name", "bounds", "counts", "total", "sum", "min", "max",
+                 "clamped")
 
     def __init__(self, name: str, bounds: Sequence[float]) -> None:
         if not bounds or list(bounds) != sorted(bounds):
@@ -210,6 +218,7 @@ class Histogram:
         self.sum = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        self.clamped = 0
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -218,6 +227,8 @@ class Histogram:
         self.sum += value
         self.min = value if self.min is None else min(self.min, value)
         self.max = value if self.max is None else max(self.max, value)
+        if value > self.bounds[-1]:
+            self.clamped += 1
 
     def percentile(self, fraction: float) -> float:
         """Estimated value at ``fraction`` (0..1) of the distribution.
@@ -252,6 +263,7 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p90": self.percentile(0.90),
             "p99": self.percentile(0.99),
+            "clamped": self.clamped,
             "buckets": [
                 {"le": b, "count": c}
                 for b, c in zip(self.bounds, self.counts)
@@ -265,6 +277,7 @@ class Histogram:
         clone.sum = self.sum
         clone.min = self.min
         clone.max = self.max
+        clone.clamped = self.clamped
         return clone
 
 

@@ -550,6 +550,7 @@ class RendezvousServer:
             # retryable BUSY so the client backs off (and, behind a cluster
             # router, gets re-placed onto a live shard).
             metrics.bump("svc:busy-sheds")
+            metrics.bump("svc:busy:draining")
             obslog.log_event(_log, "busy-shed", conn=conn.conn_id,
                              busy_reason="draining")
             await conn.send(protocol.Busy(reason="draining"))
@@ -559,6 +560,7 @@ class RendezvousServer:
             if (self.config.max_rooms is not None
                     and self._open_rooms >= self.config.max_rooms):
                 metrics.bump("svc:busy-sheds")
+                metrics.bump("svc:busy:at-capacity")
                 obslog.log_event(_log, "busy-shed", conn=conn.conn_id,
                                  busy_reason="at-capacity")
                 await conn.send(protocol.Busy(reason="at-capacity"))

@@ -1,0 +1,91 @@
+"""Property test: merging per-shard histogram summaries is exact.
+
+``merge_histogram_summaries`` claims the merged distribution is what one
+histogram would hold had every observation landed in it — not an
+approximation.  Hypothesis checks that claim over arbitrary samples,
+arbitrary shard partitions, and arbitrary summary orderings:
+
+* **order-insensitive** — any permutation of the shard summaries merges
+  to the same document;
+* **equals the single recorder** — count, buckets, extrema, clamped and
+  the derived percentiles match a reference histogram that observed the
+  union of the samples directly.  ``sum``/``mean`` are float folds whose
+  grouping differs between the two paths, so those compare approximately
+  (and everything derived from them does not exist: percentiles read
+  only buckets + extrema).
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.router import merge_histogram_summaries
+from repro.metrics import Histogram
+
+#: Deliberately narrow bounds so generated samples exercise every bucket
+#: including overflow (values above 1.0 -> clamped).
+BOUNDS = (0.001, 0.01, 0.1, 1.0)
+
+_samples = st.lists(
+    st.floats(min_value=0.0, max_value=10.0,
+              allow_nan=False, allow_infinity=False),
+    max_size=60)
+
+
+def _shard_summaries(samples, parts, rng):
+    shards = [Histogram("svc:relay-latency", BOUNDS)
+              for _ in range(parts)]
+    for value in samples:
+        shards[rng.randrange(parts)].observe(value)
+    summaries = [h.summary() for h in shards]
+    rng.shuffle(summaries)
+    return summaries
+
+
+@settings(max_examples=80, deadline=None)
+@given(samples=_samples, parts=st.integers(1, 5),
+       seed=st.integers(0, 2**16))
+def test_merge_equals_single_recorder(samples, parts, seed):
+    rng = random.Random(seed)
+    summaries = _shard_summaries(samples, parts, rng)
+    merged = merge_histogram_summaries("svc:relay-latency", summaries)
+
+    reference = Histogram("svc:relay-latency", BOUNDS)
+    for value in samples:
+        reference.observe(value)
+    want = reference.summary()
+
+    assert merged is not None
+    # Exact fields: integer counts and extrema that are picked, not
+    # accumulated, so shard partitioning cannot perturb them.
+    for field in ("count", "min", "max", "clamped", "buckets"):
+        assert merged[field] == want[field], field
+    # Percentiles read only buckets + extrema, so they merge exactly too.
+    for field in ("p50", "p90", "p99"):
+        assert merged[field] == want[field], field
+    # Float folds: same values, different grouping.
+    assert merged["sum"] == pytest.approx(want["sum"])
+    assert merged["mean"] == pytest.approx(want["mean"])
+
+
+@settings(max_examples=40, deadline=None)
+@given(samples=_samples, parts=st.integers(2, 5),
+       seed=st.integers(0, 2**16))
+def test_merge_is_order_insensitive(samples, parts, seed):
+    rng = random.Random(seed)
+    summaries = _shard_summaries(samples, parts, rng)
+    forward = merge_histogram_summaries("h", list(summaries))
+    backward = merge_histogram_summaries("h", list(reversed(summaries)))
+    assert forward is not None and backward is not None
+    for field in ("count", "min", "max", "clamped", "buckets",
+                  "p50", "p90", "p99"):
+        assert forward[field] == backward[field], field
+    assert forward["sum"] == pytest.approx(backward["sum"])
+
+
+def test_merge_of_nothing_is_none():
+    assert merge_histogram_summaries("h", []) is None
+    # Summaries with no buckets (malformed shard line) are skipped.
+    assert merge_histogram_summaries("h", [{"count": 3}]) is None

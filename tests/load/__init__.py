@@ -1,0 +1,1 @@
+"""Tests for the repro.load open-loop harness and capacity model."""

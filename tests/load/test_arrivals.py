@@ -1,0 +1,137 @@
+"""Arrival processes: determinism, rate fidelity, and the room mix."""
+
+import random
+
+import pytest
+
+from repro.load.arrivals import (
+    OnOffProcess,
+    PoissonProcess,
+    RoomMix,
+    make_process,
+)
+
+
+def _times(process, duration):
+    return list(process.times(duration))
+
+
+class TestPoisson:
+    def test_same_seed_same_schedule(self):
+        a = _times(PoissonProcess(3.0, random.Random(5)), 20.0)
+        b = _times(PoissonProcess(3.0, random.Random(5)), 20.0)
+        assert a == b and a
+
+    def test_times_strictly_increasing_within_window(self):
+        times = _times(PoissonProcess(5.0, random.Random(1)), 10.0)
+        assert times == sorted(times)
+        assert len(times) == len(set(times))
+        assert all(0.0 < t < 10.0 for t in times)
+
+    def test_empirical_rate_matches(self):
+        # 50/s for 200s -> ~10k arrivals; the sample mean of an
+        # exponential at n=10k sits well inside +/-5%.
+        times = _times(PoissonProcess(50.0, random.Random(7)), 200.0)
+        assert len(times) == pytest.approx(50.0 * 200.0, rel=0.05)
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ValueError):
+            PoissonProcess(0.0, random.Random(0))
+
+
+class TestOnOff:
+    def test_from_mean_preserves_mean_rate(self):
+        process = OnOffProcess.from_mean(
+            4.0, random.Random(0), burst_factor=2.0, on_fraction=0.3)
+        assert process.mean_rate == pytest.approx(4.0)
+        assert process.rate_on == pytest.approx(8.0)
+
+    def test_clamped_off_rate_reported_honestly(self):
+        # burst_factor 4 at on_fraction 0.3 wants a negative OFF rate;
+        # the clamp silences the OFF state and raises the realised mean.
+        process = OnOffProcess.from_mean(
+            2.0, random.Random(0), burst_factor=4.0, on_fraction=0.3)
+        assert process.rate_off == 0.0
+        assert process.mean_rate > 2.0
+        assert process.describe()["mean_rate"] == pytest.approx(
+            process.mean_rate, rel=1e-6)
+
+    def test_same_seed_same_schedule(self):
+        make = lambda: OnOffProcess.from_mean(  # noqa: E731
+            5.0, random.Random(11), burst_factor=2.0, on_fraction=0.4)
+        assert _times(make(), 30.0) == _times(make(), 30.0)
+
+    def test_empirical_rate_matches_mean(self):
+        process = OnOffProcess.from_mean(
+            20.0, random.Random(3), burst_factor=2.0, on_fraction=0.3,
+            cycle=2.0)
+        times = _times(process, 400.0)
+        assert all(0.0 < t < 400.0 for t in times)
+        assert times == sorted(times)
+        assert len(times) == pytest.approx(20.0 * 400.0, rel=0.1)
+
+    def test_silent_off_state_still_terminates(self):
+        process = OnOffProcess(10.0, 0.0, 0.5, 0.5, random.Random(9))
+        times = _times(process, 20.0)
+        assert times and all(0.0 < t < 20.0 for t in times)
+
+    def test_parameter_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ValueError):
+            OnOffProcess(0.0, 1.0, 1.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            OnOffProcess(1.0, 1.0, 0.0, 1.0, rng)
+        with pytest.raises(ValueError):
+            OnOffProcess.from_mean(1.0, rng, on_fraction=1.0)
+        with pytest.raises(ValueError):
+            OnOffProcess.from_mean(1.0, rng, burst_factor=0.5)
+
+
+class TestFactory:
+    def test_kinds(self):
+        rng = random.Random(0)
+        assert isinstance(make_process("poisson", 1.0, rng), PoissonProcess)
+        assert isinstance(make_process("bursty", 1.0, rng), OnOffProcess)
+        with pytest.raises(ValueError):
+            make_process("fractal", 1.0, rng)
+
+
+class TestRoomMix:
+    def test_parse_weighted(self):
+        mix = RoomMix.parse("2:0.7,3:0.2,8:0.1")
+        assert mix.sizes == [2, 3, 8]
+        assert mix.max_m == 8
+        assert mix.mean_m() == pytest.approx(2.8)
+
+    def test_parse_bare_size_and_duplicates(self):
+        assert RoomMix.parse("4").entries == ((4, 1.0),)
+        # Duplicate sizes accumulate weight rather than clobbering.
+        assert RoomMix.parse("2:1,2:2").entries == ((2, 3.0),)
+
+    def test_str_roundtrips_through_parse(self):
+        mix = RoomMix.parse("2:0.5,5:0.5")
+        assert RoomMix.parse(str(mix)) == mix
+
+    def test_describe_normalises(self):
+        mix = RoomMix.parse("2:3,4:1")
+        assert mix.describe() == {"2": 0.75, "4": 0.25}
+
+    def test_sample_is_seeded_and_respects_weights(self):
+        mix = RoomMix.parse("2:0.9,8:0.1")
+        draws = [mix.sample(random.Random(42)) for _ in range(5)]
+        assert len(set(draws)) == 1        # same fresh seed, same draw
+        rng = random.Random(6)
+        counts = {2: 0, 8: 0}
+        for _ in range(2000):
+            counts[mix.sample(rng)] += 1
+        assert counts[2] / 2000 == pytest.approx(0.9, abs=0.05)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RoomMix.parse("1:1")           # m < 2 cannot handshake
+        with pytest.raises(ValueError):
+            RoomMix.parse("2:0")           # non-positive weight
+        with pytest.raises(ValueError):
+            RoomMix.parse("two:1")
+        with pytest.raises(ValueError):
+            RoomMix.parse("")

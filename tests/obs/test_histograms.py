@@ -78,6 +78,31 @@ class TestPercentiles:
         assert clone.total == 1 and h.total == 2
 
 
+class TestClamped:
+    def test_overflow_samples_increment_clamped(self):
+        # Beyond the last bound, percentile interpolation collapses onto
+        # the observed max; ``clamped`` counts how many samples live out
+        # there so tail percentiles can be flagged as estimates.
+        h = Histogram("h", (1.0, 2.0))
+        for v in (0.5, 1.5, 3.0, 9.0):
+            h.observe(v)
+        assert h.clamped == 2
+        assert h.summary()["clamped"] == 2
+
+    def test_boundary_value_is_not_clamped(self):
+        # Upper-inclusive buckets: the last bound itself still resolves.
+        h = Histogram("h", (1.0, 2.0))
+        h.observe(2.0)
+        assert h.clamped == 0 and h.summary()["clamped"] == 0
+
+    def test_copy_carries_clamped(self):
+        h = Histogram("h", (1.0,))
+        h.observe(5.0)
+        clone = h.copy()
+        h.observe(6.0)
+        assert clone.clamped == 1 and h.clamped == 2
+
+
 class TestRecorderIntegration:
     def test_observe_creates_and_reuses(self):
         rec = metrics.Recorder()
