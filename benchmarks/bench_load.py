@@ -36,6 +36,7 @@ from repro import metrics
 from repro.cluster import ClusterConfig, ClusterRouter
 from repro.core.scheme1 import scheme1_policy
 from repro.load import LoadConfig, RoomMix, build_report, run_open_loop
+from repro.obs.telemetry import StatusSampler
 from repro.service import query_status
 
 SHARDS = 2
@@ -49,20 +50,30 @@ JSON_PATH = os.path.join(REPO_ROOT, "BENCH_load.json")
 
 async def _leg(members, policy, load, *, max_rooms_per_shard=None):
     """One open-loop run against a fresh 2-shard cluster; returns the
-    full SLO/capacity report document."""
+    full SLO/capacity report document (with its sampled timeline
+    section — the bench's STATUS sampler runs throughout the leg)."""
     config = ClusterConfig(shards=SHARDS, heartbeat_interval=0.1,
                            handshake_timeout=60.0,
                            max_rooms_per_shard=max_rooms_per_shard)
     async with ClusterRouter(config) as router:
         run_config = LoadConfig(**{**load.__dict__, "port": router.port})
         recorder = metrics.Recorder()
+        # Started outside ``using(recorder)``: the sampler's own STATUS
+        # queries must not bleed into the driver's books.
+        sampler = StatusSampler("127.0.0.1", router.port, interval=0.5,
+                                client_recorder=recorder)
+        sampler_task = asyncio.ensure_future(sampler.run())
         with metrics.using(recorder):
             results = await run_open_loop(run_config, members, policy)
         await asyncio.sleep(0.4)     # let heartbeats carry the final books
+        await sampler.stop(sampler_task)
         status = await query_status("127.0.0.1", router.port)
+    timeline = (sampler.series.timeline_doc()
+                if len(sampler.series) > 1 else None)
     return build_report(run_config, results, status=status,
                         recorder=recorder, shards=SHARDS,
-                        max_rooms_per_shard=max_rooms_per_shard)
+                        max_rooms_per_shard=max_rooms_per_shard,
+                        timeline=timeline)
 
 
 async def _poisson_leg(members, policy):
@@ -75,6 +86,9 @@ async def _poisson_leg(members, policy):
     assert achieved["throughput_rooms_per_s"] > 0
     assert doc["slo"]["load:e2e-latency"]["count"] == achieved["completed"]
     assert doc["model"]["counts_exact"], doc["model"]["mismatches"]
+    # The sampled timeline rode along: an 8s leg at 0.5s sampling has
+    # real per-interval rates in the report document.
+    assert doc.get("timeline") and doc["timeline"]["intervals"]
     return doc
 
 

@@ -11,13 +11,18 @@ Subcommands:
   observability tables (the measured form of the paper's O(m) claims);
   ``--format json|csv|table`` selects the stdout rendering and
   ``--percentiles`` adds latency/burst histogram summaries; optionally
-  export JSON/CSV artifacts or the trace-event stream.  Exits nonzero if
+  export JSON/CSV artifacts or the trace-event stream; ``--from PATH``
+  renders the tables from a previously exported snapshot instead (one
+  line + nonzero exit on a missing/empty file).  Exits nonzero if
   any same-group handshake in the sweep fails.
 * ``trace`` — run one fully traced handshake (engine, simulator, or a
   loopback socket room) and render the span timeline as an ASCII Gantt;
   ``--out`` writes a Chrome ``trace_event`` JSON loadable in Perfetto
-  (https://ui.perfetto.dev) and ``--jsonl`` a span log.  Exits nonzero
-  if the handshake fails.
+  (https://ui.perfetto.dev) and ``--jsonl`` a span log; ``--cluster``
+  runs the room against a self-hosted multi-process cluster and merges
+  client, router and shard spans into one cross-process trace;
+  ``--in PATH`` re-renders a previously exported span log.  Exits
+  nonzero if the handshake fails (or the input file is missing/empty).
 * ``serve`` — run the asyncio rendezvous server (an untrusted relay for
   handshake rooms) until interrupted; with ``--shards N`` run the
   multi-process cluster instead (a front-door router consistent-hashing
@@ -26,11 +31,18 @@ Subcommands:
   rendezvous server and print its live telemetry snapshot.
 * ``cluster-status`` — the same query against a cluster router, rendered
   with the per-shard health table and the merged cross-shard telemetry.
+* ``top`` — live ASCII dashboard over a running relay/router: periodic
+  STATUS samples folded into rooms/s, sheds/s per reason, retry rate and
+  relay p50/p99 over time (``repro.obs.telemetry``); ``--prom DIR``
+  additionally writes one Prometheus text-exposition file per sample.
 * ``load`` — open-loop load run (``repro.load``): spawn handshake rooms
   on a Poisson or bursty arrival clock against a rendezvous relay (a
   self-hosted server/cluster by default, or ``--port`` for a running
   one), validate every completed room's books against the symbolic
-  capacity model, and print the SLO + capacity report.
+  capacity model, and print the SLO + capacity report; ``--trace PATH``
+  records the run into one merged Perfetto-loadable trace (client,
+  router and per-shard lanes) and adds a timeline section to the report,
+  ``--prom DIR`` writes Prometheus samples alongside.
 * ``join`` — run handshake participant(s) against a rendezvous server.
   With ``--index`` one party joins from this process (run m processes
   with the same ``--seed`` to handshake across processes: group creation
@@ -166,7 +178,51 @@ def _demo(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def _stats_from(args: argparse.Namespace) -> int:
+    """Render the tables from a previously exported metrics JSON snapshot
+    (``repro stats --json PATH`` output) instead of re-running anything."""
+    import json as _json
+
+    try:
+        with open(args.from_path) as handle:
+            text = handle.read()
+        if not text.strip():
+            raise ValueError("empty file")
+        doc = _json.loads(text)
+        scopes = doc.get("scopes") if isinstance(doc, dict) else None
+        if not isinstance(scopes, dict) or not scopes:
+            raise ValueError("no 'scopes' section — not a metrics export")
+    except (OSError, ValueError) as exc:
+        print(f"!! cannot load metrics from {args.from_path}: {exc}",
+              file=sys.stderr)
+        return 1
+    fields = ("modexp", "messages_sent", "messages_received",
+              "bytes_sent", "bytes_received", "wall_time")
+    names = sorted(s for s in scopes if s != "total")
+    if "total" in scopes:
+        names.append("total")
+    rows = [[name] + [str(scopes[name].get(f, 0) or 0) for f in fields]
+            for name in names]
+    header = ["scope", *fields]
+    widths = [max(len(header[i]), *(len(r[i]) for r in rows))
+              for i in range(len(header))]
+    print(f"metrics from {args.from_path}")
+    print("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print("  ".join(c.rjust(w) if i else c.ljust(w)
+                        for i, (c, w) in enumerate(zip(row, widths))))
+    for name, summary in sorted((doc.get("histograms") or {}).items()):
+        if summary.get("count"):
+            print(f"{name}: count={summary['count']} "
+                  f"p50={summary.get('p50', 0):.6g} "
+                  f"p99={summary.get('p99', 0):.6g} "
+                  f"max={summary.get('max', 0):.6g}")
+    return 0
+
+
 def _stats(args: argparse.Namespace) -> int:
+    if args.from_path:
+        return _stats_from(args)
     _apply_accel(args)
     rng = random.Random(args.seed)
     if args.scheme == "2":
@@ -247,6 +303,21 @@ def _stats(args: argparse.Namespace) -> int:
 def _trace(args: argparse.Namespace) -> int:
     from repro.obs import export as obs_export
 
+    if args.infile:
+        # Re-render a previously exported span log — no handshake run.
+        from repro.obs import telemetry
+        try:
+            spans = telemetry.load_spans_jsonl(args.infile)
+        except (OSError, ValueError) as exc:
+            print(f"!! cannot load spans from {args.infile}: {exc}",
+                  file=sys.stderr)
+            return 1
+        print(obs_export.render_gantt(
+            spans, width=args.width,
+            title=f"spans from {args.infile} ({len(spans)} spans)"))
+        return 0
+    if args.cluster:
+        return _trace_cluster(args)
     rng = random.Random(args.seed)
     if args.scheme == "2":
         framework = create_scheme2("trace-group", rng=rng)
@@ -291,6 +362,86 @@ def _trace(args: argparse.Namespace) -> int:
               f"(load it at https://ui.perfetto.dev)")
     if args.jsonl:
         obs_export.export_spans_jsonl(args.jsonl, spans)
+        print(f"wrote span log to {args.jsonl}")
+    if not ok:
+        print("\n!! handshake failed", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _trace_cluster(args: argparse.Namespace) -> int:
+    """One traced room against a self-hosted cluster: client, router and
+    shard spans stitched into one trace (``repro trace --cluster``)."""
+    from repro.cluster import ClusterConfig, ClusterRouter
+    from repro.load.generator import run_timed_room
+    from repro.obs import telemetry
+    from repro.service import ClientConfig
+
+    rng = random.Random(args.seed)
+    if args.scheme == "2":
+        framework = create_scheme2("trace-group", rng=rng)
+        policy = scheme2_policy()
+    else:
+        framework = create_scheme1("trace-group", rng=rng)
+        policy = scheme1_policy()
+    shards = args.shards if args.shards > 0 else 2
+    print(f"building scheme-{args.scheme} group with {args.m} members "
+          f"(seed {args.seed}); self-hosting a {shards}-shard cluster …")
+    members = [framework.admit_member(f"user-{i}", rng)
+               for i in range(args.m)]
+
+    metrics.reset()
+    metrics.enable_tracing()        # router placement spans land here
+
+    async def run():
+        config = ClusterConfig(host="127.0.0.1", port=0, shards=shards,
+                               trace=True)
+        router = await ClusterRouter(config).start()
+        try:
+            client = ClientConfig(port=router.port, room="trace-room",
+                                  m=args.m)
+            result = await run_timed_room(members, client, policy)
+            # Shard spans travel on the heartbeat channel — give the last
+            # batch a couple of beats to arrive before collecting.
+            await asyncio.sleep(3 * config.heartbeat_interval)
+            return result, router.shipped_spans()
+        finally:
+            await router.shutdown()
+
+    result, shipped = asyncio.run(run())
+    ok = result.outcome == "completed"
+    sources = [
+        {"label": "client", "epoch": result.span_epoch,
+         "spans": result.spans},
+        {"label": "router", "epoch": metrics.current_recorder().epoch,
+         "spans": telemetry.span_dicts(metrics.spans())},
+    ]
+    for shard_id, batch in sorted(shipped.items()):
+        if batch["spans"]:
+            sources.append({"label": f"shard:{shard_id}",
+                            "epoch": batch["epoch"],
+                            "spans": batch["spans"]})
+    print()
+    print(telemetry.render_cluster_gantt(
+        sources, width=args.width,
+        title=f"cluster handshake, m={args.m}, {shards} shards, "
+              f"trace={result.trace_id or '-'}, outcome={result.outcome}"))
+    if args.out:
+        telemetry.export_merged_trace(args.out, sources)
+        print(f"\nwrote merged cluster trace to {args.out} "
+              f"(load it at https://ui.perfetto.dev — one lane per "
+              f"process, search the trace id to follow the room)")
+    if args.jsonl:
+        import json as _json
+
+        from repro.obs.export import _arg
+        with open(args.jsonl, "w") as handle:
+            for source in sources:
+                for row in telemetry.span_dicts(source["spans"]):
+                    handle.write(_json.dumps(
+                        {"lane": source["label"],
+                         **{k: _arg(v) for k, v in row.items()}},
+                        sort_keys=True) + "\n")
         print(f"wrote span log to {args.jsonl}")
     if not ok:
         print("\n!! handshake failed", file=sys.stderr)
@@ -431,19 +582,68 @@ def _load(args: argparse.Namespace) -> int:
         cycle=args.cycle, mix=mix, scheme=args.scheme, seed=args.seed,
         deadline=args.deadline, validate=not args.no_validate)
 
-    async def _run(port: int, shards: int) -> int:
+    tracing = bool(args.trace)
+    sampling = tracing or bool(args.prom)
+
+    async def _run(port: int, shards: int, router=None) -> int:
+        from repro.obs import telemetry
+
         run_config = LoadConfig(**{**config.__dict__, "port": port})
         recorder = metrics.Recorder()
+        recorder.tracing = tracing    # per-room recorders inherit this
+        sampler = sampler_task = None
+        if sampling:
+            # The sampler runs outside the driver recorder's context so
+            # its STATUS queries never touch the driver's books.
+            sampler = telemetry.StatusSampler(
+                args.host, port, interval=args.sample_interval,
+                client_recorder=recorder, prom_dir=args.prom)
+            sampler_task = asyncio.ensure_future(sampler.run())
         with metrics.using(recorder):
             results = await run_open_loop(run_config, members, policy)
+        if sampler is not None:
+            await sampler.stop(sampler_task)
         try:
             status = await query_status(args.host, port, timeout=5.0)
         except (ConnectionError, OSError, asyncio.TimeoutError):
             status = None
+        timeline = (sampler.series.timeline_doc()
+                    if sampler is not None and len(sampler.series) > 1
+                    else None)
         doc = build_report(run_config, results, status=status,
                            recorder=recorder, shards=max(shards, 1),
-                           max_rooms_per_shard=args.max_rooms)
+                           max_rooms_per_shard=args.max_rooms,
+                           timeline=timeline)
         print(format_report(doc))
+        if args.prom and sampler is not None:
+            print(f"wrote {len(sampler.series)} Prometheus samples "
+                  f"to {args.prom}/")
+        if args.trace:
+            if router is not None:
+                # Give the shards' last heartbeat batches time to land.
+                await asyncio.sleep(
+                    3 * router.config.heartbeat_interval)
+            sources = [{"label": "client", "epoch": r.span_epoch,
+                        "spans": r.spans}
+                       for r in results if r.spans]
+            own = telemetry.span_dicts(metrics.spans())
+            if own:
+                sources.append({
+                    "label": "router" if router is not None else "relay",
+                    "epoch": metrics.current_recorder().epoch,
+                    "spans": own})
+            if router is not None:
+                for shard_id, batch in sorted(
+                        router.shipped_spans().items()):
+                    if batch["spans"]:
+                        sources.append({"label": f"shard:{shard_id}",
+                                        "epoch": batch["epoch"],
+                                        "spans": batch["spans"]})
+            telemetry.export_merged_trace(args.trace, sources)
+            spans_n = sum(len(s["spans"]) for s in sources)
+            print(f"wrote merged trace to {args.trace} "
+                  f"({len(sources)} sources, {spans_n} spans — load it "
+                  f"at https://ui.perfetto.dev)")
         if args.json:
             with open(args.json, "w") as handle:
                 _json.dump(doc, handle, indent=2, sort_keys=True)
@@ -452,6 +652,11 @@ def _load(args: argparse.Namespace) -> int:
         return 0 if counts_ok else 1
 
     async def main() -> int:
+        if tracing:
+            # The self-hosted relay/router runs on this thread's ambient
+            # recorder; enabling tracing here is what makes its placement
+            # / room spans land somewhere collectable.
+            metrics.enable_tracing()
         if args.port:
             # Target a relay someone else is running.
             return await _run(args.port, args.shards)
@@ -460,12 +665,13 @@ def _load(args: argparse.Namespace) -> int:
 
             cluster_config = ClusterConfig(
                 host=args.host, port=0, shards=args.shards,
-                max_rooms_per_shard=args.max_rooms)
+                max_rooms_per_shard=args.max_rooms,
+                trace=tracing)
             router = await ClusterRouter(cluster_config).start()
             print(f"self-hosted cluster: {args.shards} shards behind "
                   f"port {router.port}")
             try:
-                return await _run(router.port, args.shards)
+                return await _run(router.port, args.shards, router=router)
             finally:
                 await router.shutdown()
         from repro.service import RendezvousServer, ServerConfig
@@ -478,6 +684,41 @@ def _load(args: argparse.Namespace) -> int:
             return await _run(server.port, 1)
 
     return asyncio.run(main())
+
+
+def _top(args: argparse.Namespace) -> int:
+    """Live ASCII dashboard over a running relay/router's STATUS."""
+    from repro.obs.telemetry import StatusSampler, render_top
+
+    async def run() -> int:
+        sampler = StatusSampler(args.host, args.port,
+                                interval=args.interval,
+                                prom_dir=args.prom)
+        taken = 0
+        while args.samples is None or taken < args.samples:
+            sample = await sampler.sample_once()
+            taken += 1
+            if sample is None and not len(sampler.series):
+                print(f"!! cannot reach {args.host}:{args.port} "
+                      f"(is a relay running there?)", file=sys.stderr)
+                return 1
+            frame = render_top(sampler.series, rows=args.rows,
+                               title=f"repro top — {args.host}:{args.port} "
+                                     f"every {args.interval:g}s")
+            if args.samples is None:
+                # Interactive: redraw in place (clear screen + home).
+                print("\x1b[2J\x1b[H" + frame, flush=True)
+            else:
+                print(frame, flush=True)
+            if args.samples is None or taken < args.samples:
+                await asyncio.sleep(args.interval)
+        return 0
+
+    try:
+        return asyncio.run(run())
+    except KeyboardInterrupt:
+        print()
+        return 0
 
 
 def _status(args: argparse.Namespace) -> int:
@@ -639,6 +880,11 @@ def main(argv=None) -> int:
                        help="write the final snapshot as JSON")
     stats.add_argument("--csv", metavar="PATH",
                        help="write the final snapshot as CSV")
+    stats.add_argument("--from", dest="from_path", metavar="PATH",
+                       help="render tables from a previously exported "
+                            "metrics JSON snapshot instead of running "
+                            "anything (nonzero exit on a missing or "
+                            "empty file)")
     _add_accel_flags(stats)
 
     trace = sub.add_parser(
@@ -660,6 +906,17 @@ def main(argv=None) -> int:
                             "(load at https://ui.perfetto.dev)")
     trace.add_argument("--jsonl", metavar="PATH",
                        help="write finished spans as JSON lines")
+    trace.add_argument("--cluster", action="store_true",
+                       help="run the room against a self-hosted "
+                            "multi-process cluster and merge client, "
+                            "router and shard spans into one trace")
+    trace.add_argument("--shards", type=int, default=2, metavar="N",
+                       help="shard count for --cluster (default: 2)")
+    trace.add_argument("--in", dest="infile", metavar="PATH",
+                       help="render a previously exported span log "
+                            "(--jsonl output) instead of running a "
+                            "handshake (nonzero exit on a missing or "
+                            "empty file)")
 
     serve = sub.add_parser(
         "serve", help="run the rendezvous server (untrusted relay) "
@@ -721,6 +978,20 @@ def main(argv=None) -> int:
                       help="skip per-room model validation")
     load.add_argument("--json", metavar="PATH",
                       help="write the full report document as JSON")
+    load.add_argument("--trace", metavar="PATH",
+                      help="trace the run and write one merged "
+                           "Perfetto-loadable Chrome trace: client, "
+                           "router and per-shard lanes, one trace id "
+                           "per room")
+    load.add_argument("--prom", metavar="DIR",
+                      help="sample STATUS during the run and write one "
+                           "Prometheus text-exposition file per sample "
+                           "into DIR")
+    load.add_argument("--sample-interval", type=float, default=0.5,
+                      metavar="S",
+                      help="STATUS sampling interval for --trace/--prom "
+                           "and the report's timeline section "
+                           "(default: 0.5)")
     _add_accel_flags(load)
 
     join = sub.add_parser(
@@ -749,6 +1020,23 @@ def main(argv=None) -> int:
     status.add_argument("--json", action="store_true",
                         help="print the raw JSON snapshot")
 
+    top = sub.add_parser(
+        "top", help="live ASCII dashboard over a running relay/router: "
+                    "rooms/s, sheds/s, retry rate and relay percentiles "
+                    "derived from periodic STATUS samples")
+    top.add_argument("--host", default="127.0.0.1")
+    top.add_argument("--port", type=int, default=7045)
+    top.add_argument("--interval", type=float, default=1.0, metavar="S",
+                     help="sampling interval, seconds (default: 1)")
+    top.add_argument("--samples", type=int, default=None, metavar="N",
+                     help="take N samples then exit (default: run until "
+                          "interrupted; N is what CI uses)")
+    top.add_argument("--rows", type=int, default=12,
+                     help="rate rows to show per frame (default: 12)")
+    top.add_argument("--prom", metavar="DIR",
+                     help="also write one Prometheus text file per sample "
+                          "into DIR")
+
     cstatus = sub.add_parser(
         "cluster-status",
         help="query a running cluster router: per-shard health plus the "
@@ -776,6 +1064,10 @@ def main(argv=None) -> int:
         return _load(args)
     if args.command == "status":
         return _status(args)
+    if args.command == "top":
+        if args.interval <= 0:
+            top.error("--interval must be positive")
+        return _top(args)
     if args.command == "cluster-status":
         return _cluster_status(args)
     if args.command == "join":

@@ -38,6 +38,10 @@ UP = "up"
 DRAINING = "draining"
 DEAD = "dead"
 
+#: Per-shard cap on retained shipped spans — a long tracing run keeps the
+#: newest spans rather than growing without bound.
+SPAN_KEEP = 20000
+
 
 class ShardHandle:
     """One supervised worker: process + parent pipe end + liveness state."""
@@ -49,6 +53,10 @@ class ShardHandle:
         self.port: Optional[int] = None
         self.last_heartbeat = 0.0          # time.monotonic() of last signal
         self.last_status: Dict[str, object] = {}
+        #: Spans the worker shipped over the pipe (tracing runs only);
+        #: bounded — the oldest are dropped past ``SPAN_KEEP``.
+        self.shipped_spans: List[dict] = []
+        self.span_epoch: Optional[float] = None
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.conn = None                   # parent end of the pipe
         self.up_event: Optional[asyncio.Event] = None
@@ -163,6 +171,14 @@ class HealthMonitor:
             handle.last_status = message[2]
             with metrics.scope(handle.spec.scope):
                 metrics.bump("svc-cluster:heartbeats")
+        elif kind == "spans":
+            batch = message[2]
+            handle.span_epoch = batch.get("epoch")
+            handle.shipped_spans.extend(batch.get("spans") or [])
+            if len(handle.shipped_spans) > SPAN_KEEP:
+                del handle.shipped_spans[:-SPAN_KEEP]
+            with metrics.scope(handle.spec.scope):
+                metrics.bump("svc-cluster:span-batches")
         elif kind == "draining":
             if handle.state != DEAD:
                 handle.state = DRAINING

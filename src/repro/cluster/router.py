@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import asyncio
 import json
+import math
 import time
 from dataclasses import dataclass
 from typing import Dict, List, Optional
@@ -51,6 +52,7 @@ from repro.cluster.placement import HashRing
 from repro.cluster.shard import ShardSpec
 from repro.errors import EncodingError, FrameError, ProtocolError
 from repro.obs import logging as obslog
+from repro.obs import spans as obs
 from repro.service import framing, protocol
 
 _log = obslog.get_logger("repro.cluster.router")
@@ -85,6 +87,10 @@ class ClusterConfig:
     #: Per-shard deterministic token seeds (parity tests); ``None`` uses
     #: ``secrets`` everywhere.  Length must equal ``shards`` when given.
     token_seeds: Optional[List[int]] = None
+    #: Enable span tracing cluster-wide: the router records placement
+    #: spans and every shard ships its finished spans back over the
+    #: heartbeat pipe for the merged trace (:mod:`repro.obs.telemetry`).
+    trace: bool = False
 
 
 class ClusterRouter:
@@ -128,7 +134,8 @@ class ClusterRouter:
                 max_rooms=cfg.max_rooms_per_shard,
                 token_seed=(cfg.token_seeds[i]
                             if cfg.token_seeds is not None else None),
-                heartbeat_interval=cfg.heartbeat_interval)
+                heartbeat_interval=cfg.heartbeat_interval,
+                trace=cfg.trace)
             for i in range(cfg.shards)
         ]
 
@@ -294,6 +301,13 @@ class ClusterRouter:
                 # The ring's primary owner was draining/dead — explicit
                 # re-placement onto the next shard in preference order.
                 metrics.bump("svc-cluster:replacements")
+        # Placement span under the client's trace context: after a shard
+        # death the rejoin's span lands in the *same* trace with
+        # ``replaced=True`` — the failover is visible as one trace.
+        obs.start_span("place", parent=None,
+                       trace=obs.valid_trace(hello.trace),
+                       shard=shard_id,
+                       replaced=shard_id != preferred).end()
         obslog.log_event(_log, "placed", shard=shard_id,
                          replaced=shard_id != preferred)
         try:
@@ -338,6 +352,18 @@ class ClusterRouter:
                 pass
 
     # Introspection ----------------------------------------------------------
+
+    def shipped_spans(self) -> Dict[int, Dict[str, object]]:
+        """Per-shard span batches received over the heartbeat pipe so far:
+        ``{shard_id: {"epoch": float|None, "spans": [dict, ...]}}`` — the
+        shard lanes of a merged cluster trace
+        (:func:`repro.obs.telemetry.merge_chrome_trace`)."""
+        assert self.monitor is not None
+        return {
+            shard_id: {"epoch": handle.span_epoch,
+                       "spans": list(handle.shipped_spans)}
+            for shard_id, handle in sorted(self.monitor.handles.items())
+        }
 
     def status(self) -> Dict[str, object]:
         """The aggregated cluster snapshot a STATUS query returns."""
@@ -403,6 +429,7 @@ def merge_histogram_summaries(name: str,
     observation landed in it (docs/OBSERVABILITY.md)."""
     merged: Optional[metrics.Histogram] = None
     bounds: List[float] = []
+    part_sums: List[float] = []
     for summary in summaries:
         buckets = summary.get("buckets") or []
         these = [b["le"] for b in buckets if b["le"] is not None]
@@ -416,7 +443,7 @@ def merge_histogram_summaries(name: str,
         for i, bucket in enumerate(buckets):
             merged.counts[i] += bucket["count"]
         merged.total += summary.get("count", 0)
-        merged.sum += summary.get("sum", 0.0)
+        part_sums.append(summary.get("sum", 0.0))
         merged.clamped += summary.get("clamped", 0)
         for attr, pick in (("min", min), ("max", max)):
             value = summary.get(attr)
@@ -424,7 +451,13 @@ def merge_histogram_summaries(name: str,
                 current = getattr(merged, attr)
                 setattr(merged, attr,
                         value if current is None else pick(current, value))
-    return merged.summary() if merged is not None else None
+    if merged is None:
+        return None
+    # fsum, not +=: exact rounding makes the merged sum (and hence mean)
+    # independent of shard enumeration order — pinned by the
+    # order-insensitivity property test.
+    merged.sum = math.fsum(part_sums)
+    return merged.summary()
 
 
 __all__ = ["ClusterConfig", "ClusterRouter", "merge_histogram_summaries"]

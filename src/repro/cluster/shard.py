@@ -15,6 +15,9 @@ Supervision protocol (pickled tuples on the pipe; parent side in
   ``("hb", shard_id, status_dict)`` every ``heartbeat_interval`` seconds
   carrying the server's full :meth:`status` snapshot (the router merges
   these into the aggregated cluster STATUS — no extra query path);
+  ``("spans", shard_id, {"epoch", "spans"})`` batches of finished spans
+  when tracing is on (drained each beat plus a final flush — the raw
+  material of the merged cluster trace, :mod:`repro.obs.telemetry`);
   ``("draining", shard_id)`` when a drain begins and
   ``("down", shard_id)`` after a clean shutdown.
 * parent -> child: ``("drain",)`` — stop accepting, give active rooms the
@@ -55,6 +58,10 @@ class ShardSpec:
     #: Seed for deterministic room tokens (parity tests); ``None`` = secrets.
     token_seed: Optional[int] = None
     heartbeat_interval: float = 0.25
+    #: Enable span tracing in the worker.  Finished spans are batched to
+    #: the parent over the supervision pipe (``("spans", ...)`` messages,
+    #: drained by the heartbeat loop) for the merged cluster trace.
+    trace: bool = False
 
     @property
     def scope(self) -> str:
@@ -66,6 +73,7 @@ def shard_main(spec: ShardSpec, conn) -> None:
     """Process entry point (must stay importable at module top level for
     the ``spawn`` bootstrap).  ``conn`` is the child end of the pipe."""
     recorder = metrics.Recorder()
+    recorder.tracing = spec.trace
     with metrics.using(recorder):
         try:
             asyncio.run(_shard_async(spec, conn))
@@ -137,9 +145,31 @@ async def _heartbeat_loop(spec: ShardSpec, conn, server) -> None:
     try:
         while True:
             _send_safe(conn, ("hb", spec.shard_id, server.status()))
+            _ship_spans(spec, conn)
             await asyncio.sleep(spec.heartbeat_interval)
     except asyncio.CancelledError:
         pass
+    finally:
+        # Final flush so spans finished after the last beat still reach
+        # the parent before the worker exits (drain path).
+        _ship_spans(spec, conn)
+
+
+def _ship_spans(spec: ShardSpec, conn) -> None:
+    """Drain finished spans to the parent as plain dicts.  Draining keeps
+    the worker's span store bounded for arbitrarily long runs; shipping
+    nothing when tracing is off keeps the pipe traffic byte-identical to
+    the pre-telemetry protocol."""
+    recorder = metrics.current_recorder()
+    if not recorder.tracing:
+        return
+    drained = recorder.drain_spans()
+    if not drained:
+        return
+    _send_safe(conn, ("spans", spec.shard_id, {
+        "epoch": recorder.epoch,
+        "spans": [span.as_dict() for span in drained],
+    }))
 
 
 __all__ = ["ShardSpec", "shard_main"]

@@ -38,6 +38,7 @@ from repro.core.handshake import HandshakePolicy
 from repro.load.arrivals import ArrivalProcess, RoomMix, make_process
 from repro.load.model import HandshakeModel
 from repro.obs import logging as obslog
+from repro.obs import spans as obs
 from repro.service import framing
 from repro.service.client import ClientConfig, join_room
 
@@ -86,6 +87,15 @@ class RoomResult:
     books: Dict[str, Dict[str, object]]   # per-scope counter dicts
     counters: Dict[str, int]              # room-level svc-client:* totals
     mismatches: List[str] = field(default_factory=list)
+    #: Trace context all this room's members sent in HELLO (tracing runs
+    #: only) — the id that stitches client, router and shard spans into
+    #: one trace in the merged Chrome trace.
+    trace_id: Optional[str] = None
+    #: This room's client-side finished spans (dict form) + their
+    #: recorder epoch; stay off ``as_dict()`` — they are trace material,
+    #: not SLO schema.
+    spans: List[dict] = field(default_factory=list)
+    span_epoch: Optional[float] = None
 
     @property
     def admission_latency_s(self) -> Optional[float]:
@@ -117,6 +127,7 @@ class RoomResult:
             "retryable_failures": self.retryable_failures,
             "nonretryable_failures": self.nonretryable_failures,
             "mismatches": list(self.mismatches),
+            "trace_id": self.trace_id,
         }
 
 
@@ -150,6 +161,14 @@ async def run_timed_room(members: Sequence[object], config: ClientConfig,
     m = len(members)
     cfg = ClientConfig(**{**config.__dict__, "m": m})
     recorder = metrics.Recorder()
+    # Tracing is inherited from the caller (the load driver / bench): one
+    # trace id per *room*, minted here — not per member — so all m
+    # members send the same context and the server-side room joins it.
+    recorder.tracing = metrics.current_recorder().tracing
+    trace_id: Optional[str] = None
+    if recorder.tracing:
+        trace_id = obs.valid_trace(cfg.trace) or obs.mint_trace_id()
+        cfg = ClientConfig(**{**cfg.__dict__, "trace": trace_id})
     welcome_times: List[float] = []
 
     async def _one(index: int) -> object:
@@ -196,7 +215,10 @@ async def run_timed_room(members: Sequence[object], config: ClientConfig,
         completed_s=completed_s if outcome == "completed" else None,
         outcome=outcome, successes=successes,
         retryable_failures=retryable, nonretryable_failures=casualties,
-        books=books, counters=counters, mismatches=mismatches)
+        books=books, counters=counters, mismatches=mismatches,
+        trace_id=trace_id,
+        spans=[span.as_dict() for span in recorder.drain_spans()],
+        span_epoch=recorder.epoch if recorder.tracing else None)
 
 
 async def run_open_loop(config: LoadConfig, members: Sequence[object],

@@ -47,8 +47,16 @@ def build_report(config: LoadConfig, results: Sequence[RoomResult],
                  recorder: Optional[metrics.Recorder] = None,
                  shards: int = 1,
                  max_rooms_per_shard: Optional[int] = None,
-                 cores: int = 1) -> Dict[str, object]:
-    """Assemble the SLO report document for one finished run."""
+                 cores: int = 1,
+                 timeline: Optional[Mapping[str, object]] = None,
+                 ) -> Dict[str, object]:
+    """Assemble the SLO report document for one finished run.
+
+    ``timeline`` (optional) is a
+    :meth:`repro.obs.telemetry.TimeSeries.timeline_doc` built from STATUS
+    samples taken *during* the run — per-interval rooms/s, sheds/s,
+    retry rate and relay percentiles, answering where inside the run the
+    tail latency went rather than only what it averaged."""
     recorder = recorder if recorder is not None else \
         metrics.current_recorder()
     totals = recorder.total()
@@ -139,6 +147,8 @@ def build_report(config: LoadConfig, results: Sequence[RoomResult],
         "capacity": capacity,
         "rooms": [r.as_dict() for r in results],
     }
+    if timeline is not None:
+        doc["timeline"] = dict(timeline)
     return doc
 
 
@@ -218,7 +228,47 @@ def format_report(doc: Mapping[str, object]) -> str:
         lines.append(
             f"capacity: ~{capacity['capacity_rooms_per_s']:g} rooms/s "
             f"({'; '.join(bounds)} bound)")
+    lines.extend(_format_timeline(doc.get("timeline")))
     return "\n".join(lines)
+
+
+#: Rendered timeline rows are capped — the JSON document keeps them all.
+_TIMELINE_ROWS = 12
+
+
+def _format_timeline(timeline: Optional[Mapping[str, object]]) -> List[str]:
+    """The report's timeline section: one row per sampling interval."""
+    if not timeline or not timeline.get("intervals"):
+        return []
+    intervals = list(timeline["intervals"])
+    lines = [
+        "timeline (sampled during the run)",
+        "---------------------------------",
+        (f"{'t(s)':>7}  {'rooms/s':>8}  {'sheds/s':>8}  {'retry/s':>8}  "
+         f"{'relay p50':>10}  {'relay p99':>10}  {'active':>6}"),
+    ]
+    step = max(1, -(-len(intervals) // _TIMELINE_ROWS))   # ceil-div stride
+    shown = intervals[::step]
+    if intervals[-1] not in shown:
+        shown.append(intervals[-1])
+    for row in shown:
+        p50 = (f"{row['relay_p50_s'] * 1e3:.2f}ms"
+               if row.get("relay_p50_s") is not None else "-")
+        p99 = (f"{row['relay_p99_s'] * 1e3:.2f}ms"
+               if row.get("relay_p99_s") is not None else "-")
+        lines.append(
+            f"{row['t']:7.1f}  {row['rooms_per_s']:8.2f}  "
+            f"{row['shed_per_s_total']:8.2f}  {row['retries_per_s']:8.2f}  "
+            f"{p50:>10}  {p99:>10}  {row['active_rooms']:6d}")
+    if len(shown) < len(intervals):
+        lines.append(f"({len(intervals)} intervals sampled, "
+                     f"showing every {step}th)")
+    peak = timeline.get("peak_rooms_per_s")
+    worst = timeline.get("worst_relay_p99_s")
+    lines.append(
+        f"peak    : {peak:g} rooms/s; worst relay p99 "
+        + (f"{worst * 1e3:.2f}ms" if worst is not None else "n/a"))
+    return lines
 
 
 __all__ = ["build_report", "format_report", "BUSY_COUNTERS"]

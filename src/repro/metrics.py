@@ -399,6 +399,17 @@ class Recorder:
         with self._lock:
             return list(self._spans)
 
+    def drain_spans(self) -> List[object]:
+        """Remove and return every finished span — the shipping half of
+        cross-process telemetry (:mod:`repro.obs.telemetry`): a shard's
+        heartbeat loop drains its recorder and sends the batch over the
+        supervision pipe, so the span store stays bounded however long
+        the worker lives."""
+        with self._lock:
+            drained = self._spans
+            self._spans = []
+            return drained
+
     @property
     def epoch(self) -> float:
         """``time.perf_counter()`` value all ts fields are relative to."""

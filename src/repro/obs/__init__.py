@@ -11,7 +11,12 @@ in the current :class:`~repro.metrics.Recorder`):
   ``python -m repro trace`` CLI renders (:mod:`repro.obs.export`);
 * :func:`get_logger` / :func:`log_event` / :func:`configure_logging` —
   JSON log lines with mandatory anonymity redaction
-  (:mod:`repro.obs.logging`).
+  (:mod:`repro.obs.logging`);
+* :func:`merge_chrome_trace` / :class:`TimeSeries` /
+  :class:`StatusSampler` / :func:`prometheus_exposition` — the
+  cross-process half: merged cluster traces from shipped span batches,
+  STATUS time series with derived rates, the ``repro top`` dashboard and
+  Prometheus text exposition (:mod:`repro.obs.telemetry`).
 
 Recording is gated by the metrics tracing switch: wrap work in
 ``with metrics.tracing():`` (or call ``metrics.enable_tracing()``) and
@@ -41,15 +46,31 @@ from repro.obs.spans import (
     Span,
     current_span,
     finished_spans,
+    mint_trace_id,
     span,
     start_span,
+    valid_trace,
+)
+from repro.obs.telemetry import (
+    StatusSampler,
+    TimeSeries,
+    export_merged_trace,
+    load_spans_jsonl,
+    merge_chrome_trace,
+    prometheus_exposition,
+    render_cluster_gantt,
+    render_top,
+    write_prometheus_sample,
 )
 
 __all__ = [
     "Span", "NOOP_SPAN", "span", "start_span", "current_span",
-    "finished_spans",
+    "finished_spans", "mint_trace_id", "valid_trace",
     "chrome_trace", "export_chrome_trace", "spans_jsonl",
     "export_spans_jsonl", "render_gantt",
+    "merge_chrome_trace", "export_merged_trace", "load_spans_jsonl",
+    "render_cluster_gantt", "TimeSeries", "StatusSampler",
+    "prometheus_exposition", "write_prometheus_sample", "render_top",
     "JsonFormatter", "RedactionFilter", "get_logger", "log_event",
     "redact_fields", "configure_logging", "unconfigure_logging",
 ]

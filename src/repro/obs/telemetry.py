@@ -1,0 +1,595 @@
+"""Cluster-wide telemetry: merged traces, time series, Prometheus export.
+
+PR 3's spans and STATUS stop at the process boundary; this module is the
+cross-process half (docs/OBSERVABILITY.md):
+
+* **merged traces** — :func:`merge_chrome_trace` folds span batches from
+  many processes (load-driver clients, the router, every shard worker)
+  into one Perfetto-loadable Chrome ``trace_event`` document with one
+  lane per process.  Each source carries its recorder's ``epoch`` (a
+  ``time.perf_counter()`` instant — CLOCK_MONOTONIC on Linux, so epochs
+  from different processes on one machine share a clock) and all spans
+  are re-based onto the earliest epoch.  Spans of one room share one
+  ``trace_id`` across every lane — the trace-context propagated in the
+  HELLO frame (:mod:`repro.obs.spans`).
+* **time series** — :class:`TimeSeries` is a ring buffer of aggregated
+  STATUS snapshots; :meth:`TimeSeries.rates` derives per-interval deltas
+  (rooms/s, sheds/s per reason, retry rate, interval-exact relay
+  p50/p99 from bucket-count differences).  :class:`StatusSampler` polls
+  a running relay on an interval and can write one Prometheus
+  text-exposition file per sample.
+* **dashboards** — :func:`render_top` is the ``python -m repro top``
+  frame; :func:`render_cluster_gantt` the per-process ASCII timeline of
+  ``python -m repro trace --cluster``.
+
+Everything here consumes only what STATUS and span exports already
+honour: aggregates, random room tokens, roster indices — never member
+identifiers, payload bytes, or key material (the redaction leak-scan
+tests cover shipped span batches and Prometheus output too).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from collections import deque
+from types import SimpleNamespace
+from typing import Deque, Dict, Iterable, List, Mapping, Optional, Sequence
+
+from repro import metrics
+from repro.obs.export import _arg
+from repro.obs.spans import Span, mint_trace_id, valid_trace  # noqa: F401
+
+_PID = 1
+
+#: Per-reason shed counters a time series tracks (superset of the load
+#: report's; unseen names simply stay at rate 0).
+SHED_COUNTERS = (
+    "svc:busy:at-capacity",
+    "svc:busy:draining",
+    "svc-cluster:busy:draining",
+    "svc-cluster:busy:no-live-shards",
+)
+
+#: Driver-side retry counters folded into the retry rate when the sampler
+#: is given client books (the relay cannot see client retries).
+RETRY_COUNTERS = (
+    "svc-client:retries",
+    "svc-client:busy-retries",
+    "svc-client:rejoin-retries",
+)
+
+_RELAY_HISTOGRAM = "svc:relay-latency"
+
+
+# ---------------------------------------------------------------------------
+# Span normalization + merged Chrome traces.
+# ---------------------------------------------------------------------------
+
+
+def span_dicts(spans: Iterable[object]) -> List[dict]:
+    """Normalise a mixed batch (live :class:`Span` objects or already-
+    shipped ``as_dict`` rows) to plain dicts — the only form that crosses
+    a process boundary."""
+    out: List[dict] = []
+    for item in spans:
+        if isinstance(item, dict):
+            out.append(item)
+        elif isinstance(item, Span):
+            out.append(item.as_dict())
+    return out
+
+
+def _span_attrs(row: Mapping[str, object]) -> Dict[str, object]:
+    return {key[5:]: value for key, value in row.items()
+            if key.startswith("attr.")}
+
+
+def merge_chrome_trace(sources: Sequence[Mapping[str, object]],
+                       ) -> Dict[str, object]:
+    """Build one Chrome ``trace_event`` document from per-process span
+    batches.
+
+    Each source is ``{"label": str, "epoch": float | None,
+    "spans": [...]}`` (spans as dicts or live :class:`Span` objects).
+    Sources sharing a label share a lane; all timestamps are re-based
+    onto the earliest epoch so one room's client, router and shard spans
+    line up on a single axis.  ``trace_id`` rides along in every event's
+    args — Perfetto's search then selects a whole room across lanes."""
+    epochs = [s.get("epoch") for s in sources
+              if isinstance(s.get("epoch"), (int, float))]
+    t0 = min(epochs) if epochs else 0.0
+    lanes: Dict[str, int] = {}
+
+    def tid_for(label: str) -> int:
+        if label not in lanes:
+            lanes[label] = len(lanes) + 1
+        return lanes[label]
+
+    events: List[Dict[str, object]] = []
+    for source in sources:
+        label = str(source.get("label") or "?")
+        epoch = source.get("epoch")
+        base = (epoch - t0) if isinstance(epoch, (int, float)) else 0.0
+        for row in span_dicts(source.get("spans") or []):
+            dur = row.get("dur")
+            ts = row.get("ts")
+            if dur is None or not isinstance(ts, (int, float)):
+                continue
+            args = {str(k): _arg(v) for k, v in
+                    sorted(_span_attrs(row).items())}
+            if row.get("trace_id"):
+                args["trace_id"] = _arg(row["trace_id"])
+            events.append({
+                "ph": "X",
+                "name": str(row.get("name", "?")),
+                "cat": "span",
+                "ts": round((base + ts) * 1e6, 3),
+                "dur": round(float(dur) * 1e6, 3),
+                "pid": _PID,
+                "tid": tid_for(label),
+                "args": args,
+            })
+    events.sort(key=lambda e: e["ts"])
+    metadata: List[Dict[str, object]] = [{
+        "ph": "M", "name": "process_name", "pid": _PID, "tid": 0,
+        "args": {"name": "repro-cluster"},
+    }]
+    for label, tid in sorted(lanes.items(), key=lambda kv: kv[1]):
+        metadata.append({
+            "ph": "M", "name": "thread_name", "pid": _PID, "tid": tid,
+            "args": {"name": label},
+        })
+    return {"traceEvents": metadata + events, "displayTimeUnit": "ms"}
+
+
+def export_merged_trace(path: str,
+                        sources: Sequence[Mapping[str, object]]) -> None:
+    with open(path, "w") as handle:
+        json.dump(merge_chrome_trace(sources), handle,
+                  indent=None, separators=(",", ":"))
+        handle.write("\n")
+
+
+def load_spans_jsonl(path: str) -> List[object]:
+    """Read a span log written by ``export_spans_jsonl`` back into
+    Gantt-renderable span stand-ins.  Raises ``ValueError`` on an empty
+    file or malformed lines, ``OSError`` when the file is missing — the
+    CLI turns both into a one-line nonzero exit."""
+    rows: List[object] = []
+    with open(path) as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"line {lineno}: not JSON ({exc})") from exc
+            if not isinstance(row, dict) or "name" not in row:
+                raise ValueError(f"line {lineno}: not a span record")
+            rows.append(_pseudo_span(row))
+    if not rows:
+        raise ValueError("no spans in file")
+    return rows
+
+
+def _pseudo_span(row: Mapping[str, object]) -> object:
+    """A dict span as the duck type ``render_gantt``/``_lane`` expect."""
+    ts = float(row.get("ts") or 0.0)
+    dur = row.get("dur")
+    dur = float(dur) if dur is not None else None
+    return SimpleNamespace(
+        name=str(row.get("name", "?")),
+        span_id=row.get("span_id"),
+        parent_id=row.get("parent_id"),
+        trace_id=row.get("trace_id"),
+        ts=ts, dur=dur,
+        ts_end=None if dur is None else ts + dur,
+        tid=str(row.get("tid", "?")),
+        attrs=_span_attrs(row))
+
+
+def render_cluster_gantt(sources: Sequence[Mapping[str, object]], *,
+                         width: int = 60,
+                         title: str = "cluster timeline") -> str:
+    """Per-process ASCII Gantt over merged sources: one lane per source
+    label, one shared time axis (epochs aligned as in
+    :func:`merge_chrome_trace`), trace id shown per span so cross-lane
+    membership is readable without Perfetto."""
+    epochs = [s.get("epoch") for s in sources
+              if isinstance(s.get("epoch"), (int, float))]
+    t0 = min(epochs) if epochs else 0.0
+    rows: List[tuple] = []
+    for source in sources:
+        label = str(source.get("label") or "?")
+        epoch = source.get("epoch")
+        base = (epoch - t0) if isinstance(epoch, (int, float)) else 0.0
+        for row in span_dicts(source.get("spans") or []):
+            if row.get("dur") is None:
+                continue
+            rows.append((label, str(row.get("name", "?")),
+                         base + float(row["ts"]), float(row["dur"]),
+                         str(row.get("trace_id") or "-")[:8]))
+    if not rows:
+        return f"{title}\n(no spans recorded — enable tracing first)"
+    start = min(r[2] for r in rows)
+    end = max(r[2] + r[3] for r in rows)
+    extent = max(end - start, 1e-9)
+    rows.sort(key=lambda r: (r[0], r[2]))
+    lane_w = max(len("lane"), max(len(r[0]) for r in rows))
+    name_w = max(len("span"), max(len(r[1]) for r in rows))
+    header = (f"{'lane'.ljust(lane_w)}  {'span'.ljust(name_w)}  trace     "
+              f"{'start(ms)':>9}  {'dur(ms)':>9}  "
+              f"|0 {'-' * max(0, width - 14)} {extent * 1e3:.1f}ms|")
+    lines = [title, "=" * len(title), header]
+    last_lane = None
+    for lane, name, ts, dur, trace in rows:
+        left = int((ts - start) / extent * width)
+        length = max(1, round(dur / extent * width))
+        length = min(length, width - left) or 1
+        bar = (" " * left + "#" * length).ljust(width)
+        shown = lane if lane != last_lane else ""
+        last_lane = lane
+        lines.append(f"{shown.ljust(lane_w)}  {name.ljust(name_w)}  "
+                     f"{trace:<8}  {(ts - start) * 1e3:9.3f}  "
+                     f"{dur * 1e3:9.3f}  |{bar}|")
+    return "\n".join(lines)
+
+
+# ---------------------------------------------------------------------------
+# Time series over aggregated STATUS.
+# ---------------------------------------------------------------------------
+
+
+def _counter(status: Mapping[str, object], name: str) -> int:
+    counters = status.get("counters") or {}
+    return int(counters.get(name, 0))
+
+
+def _completed(status: Mapping[str, object]) -> int:
+    outcomes = status.get("outcomes") or {}
+    return int(outcomes.get("completed", 0))
+
+
+def _delta_histogram(older: Optional[Mapping[str, object]],
+                     newer: Optional[Mapping[str, object]],
+                     ) -> Optional[metrics.Histogram]:
+    """The distribution observed *between* two summaries of one cumulative
+    histogram: bucket-count differences (exact — summaries carry raw
+    buckets).  Interval extrema are unknowable from cumulative summaries,
+    so the newer snapshot's extrema bound the interpolation — honest in
+    the same way the overflow bucket is: percentiles never leave what was
+    actually observed."""
+    if not newer or not newer.get("buckets"):
+        return None
+    bounds = [b["le"] for b in newer["buckets"] if b["le"] is not None]
+    if not bounds:
+        return None
+    hist = metrics.Histogram(_RELAY_HISTOGRAM, bounds)
+    old_counts = [b["count"] for b in (older or {}).get("buckets") or []]
+    if older and [b["le"] for b in older.get("buckets", [])
+                  if b["le"] is not None] != bounds:
+        old_counts = []            # bounds changed mid-run: treat as fresh
+    for i, bucket in enumerate(newer["buckets"]):
+        prev = old_counts[i] if i < len(old_counts) else 0
+        hist.counts[i] = max(0, int(bucket["count"]) - int(prev))
+    hist.total = sum(hist.counts)
+    if hist.total == 0:
+        return None
+    hist.sum = float(newer.get("sum") or 0.0) - float(
+        (older or {}).get("sum") or 0.0)
+    hist.clamped = max(0, int(newer.get("clamped") or 0)
+                       - int((older or {}).get("clamped") or 0))
+    hist.min = newer.get("min")
+    hist.max = newer.get("max")
+    return hist
+
+
+class TimeSeries:
+    """Ring buffer of (timestamp, STATUS snapshot, optional client
+    counters); derives per-interval rates between consecutive samples.
+
+    Works against both a single server's STATUS document and a cluster
+    router's merged one — the fields read (``rooms``, ``outcomes``,
+    ``counters``, ``histograms``) are common to both shapes."""
+
+    def __init__(self, capacity: int = 720) -> None:
+        self.samples: Deque[dict] = deque(maxlen=capacity)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def add(self, status: Mapping[str, object], *,
+            at: Optional[float] = None,
+            client_counters: Optional[Mapping[str, int]] = None) -> dict:
+        sample = {
+            "t": time.monotonic() if at is None else at,
+            "status": status,
+            "client": dict(client_counters) if client_counters else {},
+        }
+        self.samples.append(sample)
+        return sample
+
+    @property
+    def latest(self) -> Optional[dict]:
+        return self.samples[-1] if self.samples else None
+
+    def rates(self) -> List[dict]:
+        """One row per interval between consecutive samples."""
+        rows: List[dict] = []
+        samples = list(self.samples)
+        for older, newer in zip(samples, samples[1:]):
+            dt = newer["t"] - older["t"]
+            if dt <= 0:
+                continue
+            old_s, new_s = older["status"], newer["status"]
+            sheds = {}
+            for name in SHED_COUNTERS:
+                delta = _counter(new_s, name) - _counter(old_s, name)
+                if delta > 0:
+                    sheds[name] = round(delta / dt, 4)
+            retries = 0
+            for name in RETRY_COUNTERS:
+                retries += (int(newer["client"].get(name, 0))
+                            - int(older["client"].get(name, 0)))
+            relay = _delta_histogram(
+                (old_s.get("histograms") or {}).get(_RELAY_HISTOGRAM),
+                (new_s.get("histograms") or {}).get(_RELAY_HISTOGRAM))
+            rooms = new_s.get("rooms") or {}
+            rows.append({
+                "t": round(newer["t"] - samples[0]["t"], 3),
+                "dt": round(dt, 4),
+                "rooms_per_s": round(
+                    max(0, _completed(new_s) - _completed(old_s)) / dt, 4),
+                "sheds_per_s": sheds,
+                "shed_per_s_total": round(sum(sheds.values()), 4),
+                "retries_per_s": round(max(0, retries) / dt, 4),
+                "relay_p50_s": (round(relay.percentile(0.50), 6)
+                                if relay else None),
+                "relay_p99_s": (round(relay.percentile(0.99), 6)
+                                if relay else None),
+                "relay_n": relay.total if relay else 0,
+                "active_rooms": int(rooms.get("active", 0)),
+                "filling_rooms": int(rooms.get("filling", 0)),
+                "connections": int(new_s.get("connections", 0)),
+            })
+        return rows
+
+    def timeline_doc(self) -> Dict[str, object]:
+        """The SLO report's timeline section: per-interval rates plus a
+        peak summary."""
+        rows = self.rates()
+        peak_rooms = max((r["rooms_per_s"] for r in rows), default=0.0)
+        peak_sheds = max((r["shed_per_s_total"] for r in rows), default=0.0)
+        worst_p99 = max((r["relay_p99_s"] for r in rows
+                         if r["relay_p99_s"] is not None), default=None)
+        return {
+            "samples": len(self.samples),
+            "intervals": rows,
+            "peak_rooms_per_s": peak_rooms,
+            "peak_sheds_per_s": peak_sheds,
+            "worst_relay_p99_s": worst_p99,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Prometheus text exposition.
+# ---------------------------------------------------------------------------
+
+
+def _prom_escape(value: str) -> str:
+    return (value.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n"))
+
+
+def prometheus_exposition(status: Mapping[str, object], *,
+                          timestamp: Optional[float] = None) -> str:
+    """Render one STATUS snapshot (server or merged cluster) in the
+    Prometheus text exposition format.
+
+    Metric names (all documented in docs/OBSERVABILITY.md): gauges
+    ``repro_rooms{state=...}``, ``repro_open_rooms``,
+    ``repro_connections``, ``repro_up``; counters
+    ``repro_outcomes_total{outcome=...}`` and
+    ``repro_counter_total{name=...}`` (raw ``svc:*`` names as label
+    values); histograms ``repro_latency_seconds{histogram=...}`` with
+    cumulative ``_bucket`` lines per Prometheus convention.  Only
+    aggregates appear — the anonymity rule holds for scrapes too."""
+    lines: List[str] = []
+
+    def emit(line: str) -> None:
+        lines.append(line)
+
+    emit("# HELP repro_up Relay answered the STATUS query.")
+    emit("# TYPE repro_up gauge")
+    emit("repro_up 1")
+    rooms = status.get("rooms") or {}
+    emit("# HELP repro_rooms Rooms by lifecycle state.")
+    emit("# TYPE repro_rooms gauge")
+    for state in ("filling", "active", "closed"):
+        emit(f'repro_rooms{{state="{state}"}} {int(rooms.get(state, 0))}')
+    open_rooms = status.get("open_rooms")
+    if open_rooms is None:
+        open_rooms = (status.get("admission") or {}).get("open_rooms", 0)
+    emit("# HELP repro_open_rooms Open (filling+active) rooms.")
+    emit("# TYPE repro_open_rooms gauge")
+    emit(f"repro_open_rooms {int(open_rooms or 0)}")
+    emit("# HELP repro_connections Live client connections.")
+    emit("# TYPE repro_connections gauge")
+    emit(f"repro_connections {int(status.get('connections', 0))}")
+    emit("# HELP repro_outcomes_total Closed rooms by outcome.")
+    emit("# TYPE repro_outcomes_total counter")
+    for outcome, count in sorted((status.get("outcomes") or {}).items()):
+        emit(f'repro_outcomes_total{{outcome="{_prom_escape(str(outcome))}"}}'
+             f' {int(count)}')
+    emit("# HELP repro_counter_total Service counters (raw names).")
+    emit("# TYPE repro_counter_total counter")
+    for name, value in sorted((status.get("counters") or {}).items()):
+        emit(f'repro_counter_total{{name="{_prom_escape(str(name))}"}}'
+             f' {int(value)}')
+    hists = status.get("histograms") or {}
+    if hists:
+        emit("# HELP repro_latency_seconds Relay-side distributions.")
+        emit("# TYPE repro_latency_seconds histogram")
+    for name in sorted(hists):
+        summary = hists[name] or {}
+        label = _prom_escape(str(name))
+        cumulative = 0
+        for bucket in summary.get("buckets") or []:
+            cumulative += int(bucket.get("count", 0))
+            le = ("+Inf" if bucket.get("le") is None
+                  else format(bucket["le"], "g"))
+            emit(f'repro_latency_seconds_bucket{{histogram="{label}",'
+                 f'le="{le}"}} {cumulative}')
+        emit(f'repro_latency_seconds_sum{{histogram="{label}"}} '
+             f'{float(summary.get("sum") or 0.0):.9g}')
+        emit(f'repro_latency_seconds_count{{histogram="{label}"}} '
+             f'{int(summary.get("count") or 0)}')
+    if timestamp is not None:
+        emit(f"# repro_sample_unix_seconds {timestamp:.3f}")
+    return "\n".join(lines) + "\n"
+
+
+def write_prometheus_sample(directory: str, seq: int,
+                            status: Mapping[str, object], *,
+                            timestamp: Optional[float] = None) -> str:
+    """Write one numbered ``.prom`` sample file; returns its path."""
+    os.makedirs(directory, exist_ok=True)
+    path = os.path.join(directory, f"repro-{seq:06d}.prom")
+    with open(path, "w") as handle:
+        handle.write(prometheus_exposition(status, timestamp=timestamp))
+    return path
+
+
+# ---------------------------------------------------------------------------
+# Sampler + dashboard.
+# ---------------------------------------------------------------------------
+
+
+class StatusSampler:
+    """Poll a relay's STATUS on an interval into a :class:`TimeSeries`.
+
+    ``client_recorder`` (optional) is sampled at the same instants for
+    the driver-side retry counters.  ``prom_dir`` (optional) gets one
+    Prometheus text file per sample.  Run it as a task next to a load
+    driver::
+
+        sampler = StatusSampler(host, port, interval=0.5)
+        task = asyncio.ensure_future(sampler.run())
+        ... drive load ...
+        await sampler.stop(task)
+    """
+
+    def __init__(self, host: str, port: int, *, interval: float = 1.0,
+                 series: Optional[TimeSeries] = None,
+                 client_recorder: Optional[metrics.Recorder] = None,
+                 prom_dir: Optional[str] = None) -> None:
+        self.host = host
+        self.port = port
+        self.interval = interval
+        self.series = series if series is not None else TimeSeries()
+        self.client_recorder = client_recorder
+        self.prom_dir = prom_dir
+        self.errors = 0
+        self._seq = 0
+
+    async def sample_once(self) -> Optional[dict]:
+        import asyncio
+
+        from repro.service.client import query_status
+        try:
+            status = await query_status(self.host, self.port,
+                                        timeout=max(2.0, self.interval * 4))
+        except (ConnectionError, OSError, asyncio.TimeoutError):
+            self.errors += 1
+            return None
+        client = None
+        if self.client_recorder is not None:
+            extra = self.client_recorder.total().extra
+            client = {name: extra.get(name, 0) for name in RETRY_COUNTERS}
+        sample = self.series.add(status, client_counters=client)
+        if self.prom_dir is not None:
+            self._seq += 1
+            write_prometheus_sample(self.prom_dir, self._seq, status,
+                                    timestamp=time.time())
+        return sample
+
+    async def run(self) -> None:
+        """Sample forever (cancel the task, or use :meth:`stop`)."""
+        import asyncio
+        try:
+            while True:
+                await self.sample_once()
+                await asyncio.sleep(self.interval)
+        except asyncio.CancelledError:
+            pass
+
+    async def stop(self, task) -> None:
+        """Take one final sample (the run's end state), then cancel."""
+        import asyncio
+        task.cancel()
+        try:
+            await task
+        except asyncio.CancelledError:
+            pass
+        await self.sample_once()
+
+
+def render_top(series: TimeSeries, *, rows: int = 12,
+               title: str = "repro top") -> str:
+    """One ASCII dashboard frame over the sampled series (the
+    ``python -m repro top`` renderer)."""
+    latest = series.latest
+    if latest is None:
+        return f"{title}\n(no samples yet)"
+    status = latest["status"]
+    rooms = status.get("rooms") or {}
+    cluster = status.get("cluster") or {}
+    head = [title, "=" * len(title)]
+    if cluster:
+        states = cluster.get("states") or {}
+        head.append(
+            f"cluster: {cluster.get('shards', 0)} shards "
+            f"({', '.join(f'{s}:{ids}' for s, ids in sorted(states.items()))})"
+            f"  accepting={cluster.get('accepting')}")
+    head.append(
+        f"rooms: {rooms.get('filling', 0)} filling / "
+        f"{rooms.get('active', 0)} active / {rooms.get('closed', 0)} closed"
+        f"   connections={status.get('connections', 0)}"
+        f"   samples={len(series)}")
+    rate_rows = series.rates()[-rows:]
+    if not rate_rows:
+        head.append("(one more sample needed for rates)")
+        return "\n".join(head)
+    header = (f"{'t(s)':>7}  {'rooms/s':>8}  {'sheds/s':>8}  "
+              f"{'retry/s':>8}  {'relay p50':>10}  {'relay p99':>10}  "
+              f"{'active':>6}")
+    lines = head + [header, "-" * len(header)]
+    for row in rate_rows:
+        p50 = (f"{row['relay_p50_s'] * 1e3:.2f}ms"
+               if row["relay_p50_s"] is not None else "-")
+        p99 = (f"{row['relay_p99_s'] * 1e3:.2f}ms"
+               if row["relay_p99_s"] is not None else "-")
+        lines.append(
+            f"{row['t']:7.1f}  {row['rooms_per_s']:8.2f}  "
+            f"{row['shed_per_s_total']:8.2f}  {row['retries_per_s']:8.2f}  "
+            f"{p50:>10}  {p99:>10}  {row['active_rooms']:6d}")
+    sheds = rate_rows[-1]["sheds_per_s"]
+    if sheds:
+        lines.append("sheds: " + ", ".join(
+            f"{name.split(':')[-1]}={rate:g}/s"
+            for name, rate in sorted(sheds.items())))
+    return "\n".join(lines)
+
+
+__all__ = [
+    "SHED_COUNTERS", "RETRY_COUNTERS",
+    "span_dicts", "merge_chrome_trace", "export_merged_trace",
+    "load_spans_jsonl", "render_cluster_gantt",
+    "TimeSeries", "StatusSampler",
+    "prometheus_exposition", "write_prometheus_sample",
+    "render_top",
+    "mint_trace_id", "valid_trace",
+]

@@ -74,6 +74,12 @@ class ClientConfig:
     #: loop.  Counts stay identical (the step runs under the same metric
     #: scope with the caller's recorder pinned); only the thread changes.
     offload: bool = False
+    #: Trace context to send in HELLO (16 hex chars, repro.obs.spans).
+    #: ``None`` = mint one automatically when the caller's recorder is
+    #: tracing, else send no context.  The context is computed once per
+    #: :func:`join_room` call and reused across in-place rejoin retries,
+    #: so a room re-placed after shard death stays one trace.
+    trace: Optional[str] = None
 
 
 class Backoff:
@@ -170,7 +176,8 @@ def _session_backoff(config: ClientConfig, rng: random.Random,
 
 
 async def _connect(config: ClientConfig, rng: random.Random,
-                   deadline_at: Optional[float] = None):
+                   deadline_at: Optional[float] = None,
+                   trace: Optional[str] = None):
     """Open the TCP connection, retrying with capped backoff + jitter.
 
     Each sleep is clamped to the time remaining until ``deadline_at`` (an
@@ -181,7 +188,7 @@ async def _connect(config: ClientConfig, rng: random.Random,
     backoff = _session_backoff(config, rng, deadline_at)
     last_error: Optional[Exception] = None
     attempts = 0
-    with obs.span("connect") as span:
+    with obs.span("connect", trace=trace) as span:
         for attempt in range(config.connect_retries + 1):
             attempts = attempt + 1
             try:
@@ -226,7 +233,14 @@ async def join_room(member, config: ClientConfig,
     failure was environmental rather than a protocol verdict.
     """
     rng = rng if rng is not None else random.Random()
-    state = {"index": -1, "joined": joined, "retryable": False}
+    # One trace context for the whole call — including rejoin retries, so
+    # a room re-placed across shard death remains a single trace.  Minted
+    # from ``secrets`` (never the seeded rng) only when tracing is on.
+    trace_ctx = obs.valid_trace(config.trace) or ""
+    if not trace_ctx and metrics.current_recorder().tracing:
+        trace_ctx = obs.mint_trace_id()
+    state = {"index": -1, "joined": joined, "retryable": False,
+             "trace": trace_ctx}
     deadline_at = asyncio.get_running_loop().time() + config.deadline
     try:
         return await asyncio.wait_for(
@@ -277,10 +291,13 @@ async def _join(member, config: ClientConfig,
                 rng: random.Random, state: dict,
                 deadline_at: Optional[float] = None) -> HandshakeOutcome:
     state["retryable"] = False
-    reader, writer = await _connect(config, rng, deadline_at)
+    trace_ctx = state.get("trace") or ""
+    reader, writer = await _connect(config, rng, deadline_at,
+                                    trace=trace_ctx or None)
     msg_ids = itertools.count(1)
     try:
-        await _send(writer, protocol.Hello(room=config.room, m=config.m),
+        await _send(writer, protocol.Hello(room=config.room, m=config.m,
+                                           trace=trace_ctx),
                     config.max_frame)
         welcome = await _expect(reader, config, protocol.Welcome, state)
         if welcome is None:
@@ -302,8 +319,9 @@ async def _join(member, config: ClientConfig,
                                  policy, rng)
         device.attached(link)
         hs_started = time.perf_counter()
-        with obs.span("handshake", m=welcome.m, transport="socket",
-                      party=welcome.index, token=ready.token):
+        with obs.span("handshake", trace=trace_ctx or None, m=welcome.m,
+                      transport="socket", party=welcome.index,
+                      token=ready.token):
             if config.offload:
                 await accel_bridge.run(device.start,
                                        scope=device.metrics_scope)

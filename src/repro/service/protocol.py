@@ -7,7 +7,15 @@ the codec's malformed-input rejection covers control traffic too.
 
 Session flow::
 
-    C -> S   HELLO(room, m)            join rendezvous point ``room``
+    C -> S   HELLO(room, m, trace)     join rendezvous point ``room``;
+                                       ``trace`` is an optional compact
+                                       trace context (16 hex chars, see
+                                       repro.obs.spans) — the server
+                                       parents the room's spans under it
+                                       so one room is one trace across
+                                       processes; "" means "no context"
+                                       and a malformed value is ignored,
+                                       never an error
     S -> C   WELCOME(room, index, m)   assigned participant index
     S -> C   ROOM_READY(room, token, m)   all m joined; ``token`` is the
                                        random, unlinkable session id
@@ -51,6 +59,9 @@ from repro.errors import ProtocolError
 class Hello:
     room: str
     m: int
+    #: Optional trace context (defaulted so ``Hello(room, m)`` keeps
+    #: working); carries only a random id — never identity material.
+    trace: str = ""
 
     KIND = "svc/hello"
 
@@ -136,7 +147,7 @@ _REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {
 }
 
 _FIELD_TYPES = {"room": str, "reason": str, "token": str, "m": int,
-                "index": int, "body": str}
+                "index": int, "body": str, "trace": str}
 
 
 def encode_message(message) -> bytes:

@@ -176,7 +176,7 @@ class _Room:
     FILLING, ACTIVE, CLOSED = "filling", "active", "closed"
 
     def __init__(self, server: "RendezvousServer", name: str, m: int,
-                 token: str) -> None:
+                 token: str, trace: Optional[str] = None) -> None:
         self.server = server
         self.name = name
         self.m = m
@@ -190,8 +190,10 @@ class _Room:
         self.finished = asyncio.Event()
         self.opened_at = time.perf_counter()
         # Lifecycle spans (fill -> relay under one root); identified by
-        # the unlinkable token only — never the rendezvous name.
-        self._span_root = obs.start_span("room", parent=None,
+        # the unlinkable token only — never the rendezvous name.  The
+        # root adopts the opening member's trace context, so the room's
+        # server-side spans join the client's trace across the wire.
+        self._span_root = obs.start_span("room", parent=None, trace=trace,
                                          token=token, m=m)
         self._span_stage = obs.start_span("room:fill",
                                           parent=self._span_root,
@@ -565,7 +567,11 @@ class RendezvousServer:
                                  busy_reason="at-capacity")
                 await conn.send(protocol.Busy(reason="at-capacity"))
                 return
-            room = _Room(self, hello.room, hello.m, self._new_token())
+            # The opening member's trace context (if any) becomes the
+            # room trace; later members' contexts are ignored — one room,
+            # one trace.  Lenient: malformed contexts mean "no context".
+            room = _Room(self, hello.room, hello.m, self._new_token(),
+                         trace=obs.valid_trace(hello.trace))
             self._filling[hello.room] = room
             self._rooms[room.token] = room
             self._open_rooms += 1

@@ -1,0 +1,103 @@
+"""Cluster telemetry overhead guard (CI satellite).
+
+PR 3 proved spans are observationally free inside one process; this is
+the cluster-wide restatement now that telemetry crosses processes: with
+trace propagation, span shipping *and* a live STATUS sampler all on, a
+seeded 3-party room routed through a 2-shard cluster produces per-party
+(modexp, sent, received) books and session keys byte-identical to the
+same run with every telemetry feature off.  A regression here means
+instrumentation leaked into protocol logic — or into the seeded RNG
+streams (trace ids must come from :mod:`secrets`, never
+:mod:`random`)."""
+
+import asyncio
+import random
+
+from repro import metrics
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.core.scheme1 import scheme1_policy
+from repro.obs import telemetry
+from repro.service import ClientConfig, run_room
+
+TEST_CAP = 120.0
+M = 3
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+def _per_party(recorder):
+    snap = recorder.snapshot()
+    return [
+        (snap[f"hs:{i}"].modexp,
+         snap[f"hs:{i}"].messages_sent,
+         snap[f"hs:{i}"].messages_received)
+        for i in range(M)
+    ]
+
+
+def _leg(scheme1_world, telemetry_on, prom_dir=None):
+    """One seeded cluster room; with ``telemetry_on`` the full stack is
+    live: shard tracing + span shipping, client trace minting, and a
+    StatusSampler polling (and optionally writing Prometheus files)
+    throughout the room's lifetime."""
+    members = scheme1_world.lineup(*sorted(scheme1_world.members)[:M])
+    policy = scheme1_policy()
+    config = ClusterConfig(shards=2, token_seeds=[4242, 4242],
+                           heartbeat_interval=0.1, trace=telemetry_on)
+    rngs = [random.Random(9100 + i) for i in range(M)]
+
+    recorder = metrics.Recorder()
+    recorder.tracing = telemetry_on
+
+    async def scenario():
+        async with ClusterRouter(config) as router:
+            sampler = sampler_task = None
+            if telemetry_on:
+                sampler = telemetry.StatusSampler(
+                    "127.0.0.1", router.port, interval=0.1,
+                    client_recorder=recorder, prom_dir=prom_dir)
+                sampler_task = asyncio.ensure_future(sampler.run())
+            cfg = ClientConfig(port=router.port, room="freeness", m=M)
+            outcomes = await run_room(members, cfg, policy, rngs=rngs)
+            shipped = {}
+            if telemetry_on:
+                await asyncio.sleep(3 * config.heartbeat_interval)
+                await sampler.stop(sampler_task)
+                shipped = router.shipped_spans()
+            return outcomes, shipped, sampler
+
+    with metrics.using(recorder):
+        outcomes, shipped, sampler = _run(scenario())
+    assert all(o.success for o in outcomes)
+    keys = [o.session_key for o in outcomes]
+    return _per_party(recorder), keys, recorder, shipped, sampler
+
+
+def test_full_telemetry_stack_is_observationally_free(scheme1_world,
+                                                      tmp_path):
+    books_off, keys_off, rec_off, shipped_off, _ = _leg(
+        scheme1_world, telemetry_on=False)
+    books_on, keys_on, rec_on, shipped_on, sampler = _leg(
+        scheme1_world, telemetry_on=True, prom_dir=str(tmp_path))
+
+    # The freeness theorem, cluster-wide: identical books ...
+    assert books_on == books_off
+    # ... and byte-identical session keys (same seeds, same keys).
+    assert None not in keys_off
+    assert keys_on == keys_off
+
+    # The on-leg really exercised the whole stack — this guard must not
+    # pass vacuously.
+    assert any(batch.get("spans") for batch in shipped_on.values())
+    assert sampler is not None and len(sampler.series) >= 2
+    assert list(tmp_path.glob("repro-*.prom"))
+
+    # And the off-leg really was silent: no spans recorded locally, none
+    # shipped over the heartbeat channel.
+    assert rec_off.spans() == []
+    assert shipped_off == {}
+    assert rec_off.total().extra.get("svc-cluster:span-batches", 0) == 0

@@ -193,3 +193,103 @@ class TestJoin:
         code = cli.main(["join", "--port", str(port), "-m", "2",
                          "--seed", "11", "--deadline", "10"])
         assert code == 1
+
+
+class TestTraceFromFile:
+    """Satellite: ``repro trace --in`` on bad input fails fast with a
+    one-line message, and renders offline span logs when they're good."""
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        code = cli.main(["trace", "--in", str(tmp_path / "nope.jsonl")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot load spans" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("")
+        assert cli.main(["trace", "--in", str(path)]) == 1
+        assert "no spans" in capsys.readouterr().err
+
+    def test_malformed_line_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("this is not json\n")
+        assert cli.main(["trace", "--in", str(path)]) == 1
+        assert "line 1" in capsys.readouterr().err
+
+    def test_good_span_log_renders_gantt(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "spans.jsonl"
+        rows = [
+            {"name": "handshake", "span_id": 1, "parent_id": None,
+             "trace_id": "ab" * 8, "ts": 0.0, "dur": 0.2, "tid": "t"},
+            {"name": "phase:I", "span_id": 2, "parent_id": 1,
+             "trace_id": "ab" * 8, "ts": 0.01, "dur": 0.05, "tid": "t"},
+        ]
+        path.write_text("".join(json.dumps(r) + "\n" for r in rows))
+        assert cli.main(["trace", "--in", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "handshake" in out and "phase:I" in out and "#" in out
+
+
+class TestStatsFromFile:
+    """Satellite: ``repro stats --from`` re-renders an exported snapshot
+    and fails fast on missing/empty/non-metrics files."""
+
+    def test_missing_file_exits_nonzero(self, tmp_path, capsys):
+        code = cli.main(["stats", "--from", str(tmp_path / "nope.json")])
+        assert code == 1
+        err = capsys.readouterr().err
+        assert "cannot load metrics" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_empty_file_exits_nonzero(self, tmp_path, capsys):
+        path = tmp_path / "empty.json"
+        path.write_text("")
+        assert cli.main(["stats", "--from", str(path)]) == 1
+        assert "empty file" in capsys.readouterr().err
+
+    def test_wrong_document_exits_nonzero(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "odd.json"
+        path.write_text(json.dumps({"rooms": 3}))
+        assert cli.main(["stats", "--from", str(path)]) == 1
+        assert "scopes" in capsys.readouterr().err
+
+    def test_good_snapshot_renders_tables(self, tmp_path, capsys):
+        import json
+        path = tmp_path / "metrics.json"
+        path.write_text(json.dumps({
+            "scopes": {
+                "hs:0": {"modexp": 5, "messages_sent": 4,
+                         "messages_received": 8},
+                "total": {"modexp": 5, "messages_sent": 4,
+                          "messages_received": 8},
+            },
+            "histograms": {"hs:latency": {
+                "count": 1, "p50": 0.1, "p99": 0.2, "max": 0.3}},
+        }))
+        assert cli.main(["stats", "--from", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "hs:0" in out and "total" in out
+        assert "hs:latency" in out and "p99" in out
+
+
+class TestTop:
+    def test_no_server_exits_nonzero(self, capsys):
+        probe = __import__("socket").socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        code = cli.main(["top", "--port", str(port), "--samples", "1",
+                         "--interval", "0.1"])
+        assert code == 1
+        assert "cannot reach" in capsys.readouterr().err
+
+    def test_nonpositive_interval_rejected(self, capsys):
+        import pytest
+        with pytest.raises(SystemExit) as err:
+            cli.main(["top", "--interval", "0"])
+        assert err.value.code == 2
+        assert "--interval must be positive" in capsys.readouterr().err

@@ -49,7 +49,20 @@ class TestRejection:
 
     def test_field_type_mismatch(self):
         with pytest.raises(ProtocolError, match="wrong type"):
-            protocol.decode_message(wire.dumps(("svc/hello", "lobby", "three")))
+            protocol.decode_message(
+                wire.dumps(("svc/hello", "lobby", "three", "")))
+
+    def test_trace_type_mismatch(self):
+        with pytest.raises(ProtocolError, match="wrong type"):
+            protocol.decode_message(
+                wire.dumps(("svc/hello", "lobby", 3, 42)))
+
+    def test_pre_trace_hello_arity_rejected(self):
+        # The codec is strict: all in-repo components share it, so the
+        # HELLO arity change (trace context) is atomic — old two-field
+        # frames are a protocol error, not a silent default.
+        with pytest.raises(ProtocolError, match="arity"):
+            protocol.decode_message(wire.dumps(("svc/hello", "lobby", 3)))
 
     def test_encode_rejects_foreign_object(self):
         with pytest.raises(ProtocolError, match="not a service message"):
