@@ -1,0 +1,233 @@
+"""Revocation churn bench — batched epochs vs sequential, lazy refresh.
+
+Four legs, all verdicts on **exact counted books** (never wall-clock):
+
+* ``books``  — one manager, k revocations, measured twice at the GSIG
+  layer: k sequential ``revoke`` calls vs one ``revoke_batch``.  The
+  manager must pay exactly k vs exactly 1 trapdoor modexps, a surviving
+  member exactly 2k vs exactly 2 witness-update modexps, and both
+  survivors' witnesses must verify.  Measured counts must equal the
+  closed forms in :mod:`repro.revocation.model` — drift fails the bench.
+* ``lazy``   — a member admitted through the :class:`RevocationService`
+  sleeps through >= 10 real sealed epochs (joins interleaved with
+  revocation batches), then refreshes: the delta-log replay must cost at
+  most 3 modexps and yield a witness ``verify_witness`` accepts; a
+  second sleeper past the horizon must get a valid manager-reissued
+  witness.
+* ``tiers``  — counter-only churn simulation at 1e4 / 1e5 / 1e6 members
+  (the closed forms just validated, multiplied out): batched must beat
+  sequential on total modexps at every tier.
+* ``guard``  — a post-churn handshake's per-party books must match the
+  symbolic capacity model exactly (same E1/E2 numbers as the seed):
+  revocation machinery must not perturb the handshake hot path.
+
+Artifacts: ``results/revocation.txt`` and ``BENCH_revocation.json`` at
+the repo root (CI's revocation-smoke job uploads and asserts on it).
+"""
+
+import json
+import os
+import random
+
+from _tables import emit
+from repro import metrics
+from repro.core.framework import GcdFramework
+from repro.gsig.acjt import AcjtManager
+from repro.load.model import HandshakeModel
+from repro.revocation import RevocationService
+from repro.revocation.model import (
+    ChurnSpec,
+    manager_modexps,
+    member_update_modexps,
+    simulate_churn,
+)
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_revocation.json")
+
+K = 6                # revocations per measured epoch
+LAZY_ROUNDS = 5      # churn rounds slept through (3 epochs each: 2 joins
+                     # + 1 sealed revocation batch => 15 missed epochs)
+SEED = 90
+
+
+def _measured(fn) -> int:
+    """Run ``fn`` under a detached recorder; return its modexp total."""
+    with metrics.detached() as recorder:
+        fn()
+    return recorder.total().modexp
+
+
+def _revocation_books(seed: int, batched: bool):
+    """One population, K revocations; exact manager and survivor books."""
+    rng = random.Random(seed)
+    manager = AcjtManager("tiny", rng)
+    survivor, _ = manager.join("survivor", rng)
+    doomed = [f"d{i}" for i in range(K)]
+    for uid in doomed:
+        credential, update = manager.join(uid, rng)
+        survivor.apply_update(update)
+    assert survivor.witness_is_current()
+
+    updates = []
+    if batched:
+        mgr_modexp = _measured(
+            lambda: updates.append(manager.revoke_batch(doomed)))
+    else:
+        mgr_modexp = _measured(
+            lambda: updates.extend(manager.revoke(uid) for uid in doomed))
+
+    def apply_all():
+        for update in updates:
+            survivor.apply_update(update)
+
+    member_modexp = _measured(apply_all)
+    assert survivor.witness_is_current(), "survivor witness broken"
+    return {
+        "manager_modexps": mgr_modexp,
+        "member_modexps": member_modexp,
+        "updates_broadcast": len(updates),
+        "witness_valid": survivor.witness_is_current(),
+    }
+
+
+def _lazy_leg(seed: int):
+    """Real sealed epochs at service level; sleeper refresh books."""
+    rng = random.Random(seed)
+    framework = GcdFramework.create("bench-rev", gsig_kind="acjt",
+                                    gsig_profile="tiny", rng=rng)
+    service = RevocationService(framework, horizon=10 * LAZY_ROUNDS,
+                                register=False)
+    for i in range(4):
+        service.admit(f"base{i}", rng)
+    sleeper = service.admit("sleeper", rng, enroll=False)
+    sleeper_epoch = sleeper.acc_epoch
+    for i in range(LAZY_ROUNDS):
+        service.admit(f"churn{i}", rng)
+        service.admit(f"keep{i}", rng)
+        service.revoke(f"churn{i}")
+        service.seal_epoch()
+    missed = service.epoch - sleeper_epoch
+    assert missed >= 10, f"only {missed} missed epochs staged"
+
+    results = {}
+    with metrics.detached() as recorder:
+        results["result"] = service.refresh(sleeper)
+    results["missed_epochs"] = missed
+    results["member_modexps"] = recorder.total().modexp
+    results["witness_valid"] = sleeper.witness_is_current()
+
+    # Past-horizon sleeper: manager-assisted reissue must also verify.
+    deep = service.admit("deep", rng, enroll=False)
+    for i in range(service.horizon + 2):
+        service.admit(f"wave{i}", rng)
+    with metrics.detached() as reissue_rec:
+        results["deep_result"] = service.refresh(deep)
+    results["deep_manager_modexps"] = reissue_rec.total().modexp
+    results["deep_witness_valid"] = deep.witness_is_current()
+    return results
+
+
+def _handshake_guard(seed: int):
+    """Per-party books of a post-churn handshake vs the symbolic model."""
+    rng = random.Random(seed)
+    framework = GcdFramework.create("bench-guard", gsig_kind="acjt",
+                                    gsig_profile="tiny", rng=rng)
+    service = RevocationService(framework, register=False)
+    for i in range(5):
+        service.admit(f"g{i}", rng)
+    service.revoke("g3")
+    service.revoke("g4")
+    service.seal_epoch()
+    m = 3
+    with metrics.detached():
+        outcomes = framework.handshake([f"g{i}" for i in range(m)], rng=rng)
+        snap = metrics.snapshot()
+    assert all(o.success for o in outcomes)
+    # Exact count fields only: the in-process sim transport never frames
+    # bytes, so the byte-tolerance clauses of validate_party don't apply.
+    predicted = HandshakeModel("1").per_party(m)
+    mismatches = []
+    for i in range(m):
+        c = snap.get(f"hs:{i}")
+        if c is None:
+            mismatches.append(f"no books for hs:{i}")
+            continue
+        for name in ("modexp", "messages_sent", "messages_received"):
+            measured = getattr(c, name)
+            if measured != predicted[name]:
+                mismatches.append(
+                    f"hs:{i}: {name} measured {measured} != "
+                    f"predicted {predicted[name]}")
+    return {"m": m, "per_party_predicted": predicted,
+            "mismatches": mismatches, "clean": not mismatches}
+
+
+def test_revocation_churn(benchmark):
+    doc = {}
+
+    def run():
+        doc["sequential"] = _revocation_books(SEED, batched=False)
+        doc["batched"] = _revocation_books(SEED, batched=True)
+        doc["k"] = K
+        doc["lazy"] = _lazy_leg(SEED + 1)
+        doc["guard"] = _handshake_guard(SEED + 2)
+        doc["tiers"] = {
+            f"1e{exp}": simulate_churn(ChurnSpec(
+                members=10 ** exp, epochs=24, revocations_per_epoch=50,
+                joins_per_epoch=25, sleepers=10 ** exp // 100, horizon=64,
+            ))
+            for exp in (4, 5, 6)
+        }
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    seq, bat, lazy = doc["sequential"], doc["batched"], doc["lazy"]
+
+    # The measured books must equal the closed forms EXACTLY.
+    assert seq["manager_modexps"] == manager_modexps(K, batched=False) == K
+    assert bat["manager_modexps"] == manager_modexps(K, batched=True) == 1
+    assert seq["member_modexps"] == member_update_modexps(0, K,
+                                                          coalesced=False)
+    assert bat["member_modexps"] == member_update_modexps(0, K,
+                                                          coalesced=True)
+    doc["model_match"] = True
+
+    # The acceptance bars: batched strictly beats sequential on manager
+    # modexps; a >=10-epoch lazy refresh costs <=3 modexps and verifies.
+    assert bat["manager_modexps"] < seq["manager_modexps"]
+    assert bat["witness_valid"] and seq["witness_valid"]
+    assert lazy["result"] == "replayed" and lazy["witness_valid"]
+    assert lazy["missed_epochs"] >= 10
+    assert lazy["member_modexps"] <= 3
+    assert lazy["deep_result"] == "reissued" and lazy["deep_witness_valid"]
+    assert doc["guard"]["clean"], doc["guard"]["mismatches"]
+    for tier in doc["tiers"].values():
+        assert (tier["batched"]["total_modexps"]
+                < tier["sequential"]["total_modexps"])
+    doc["batched_beats_sequential"] = True
+
+    with open(JSON_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+
+    rows = [
+        ("manager modexps (k=%d)" % K,
+         seq["manager_modexps"], bat["manager_modexps"]),
+        ("survivor modexps", seq["member_modexps"], bat["member_modexps"]),
+        ("rekey broadcasts", seq["updates_broadcast"],
+         bat["updates_broadcast"]),
+    ]
+    for name, tier in doc["tiers"].items():
+        rows.append((f"simulated total modexps @ {name}",
+                     tier["sequential"]["total_modexps"],
+                     tier["batched"]["total_modexps"]))
+    rows.append((f"lazy refresh ({lazy['missed_epochs']} missed epochs)",
+                 "-", f"{lazy['member_modexps']} modexps, "
+                      f"{lazy['result']}, witness ok"))
+    emit(
+        "revocation",
+        "Revocation: sequential vs batched-epoch witness maintenance "
+        "(exact counted modexps)",
+        ("cost", "sequential", "batched epoch"),
+        rows,
+    )

@@ -43,6 +43,16 @@ Subcommands:
   records the run into one merged Perfetto-loadable trace (client,
   router and per-shard lanes) and adds a timeline section to the report,
   ``--prom DIR`` writes Prometheus samples alongside.
+* ``revoke`` — seeded revocation-epoch demo: derive a group, queue the
+  named member(s), seal ONE batched epoch (one accumulator trapdoor
+  exponentiation + one CGKD rekey for the whole batch) and print the
+  exact books plus the before/after handshake verdicts.  Exits nonzero
+  if any verdict is wrong.
+* ``epoch`` — drive a churn run through ``repro.revocation``: joins and
+  sealed revocation batches per epoch, a sleeper that lazily refreshes
+  at the end (one coalesced witness update within the horizon), the
+  delta log tail, and the aggregate service stats the STATUS channel
+  surfaces.
 * ``join`` — run handshake participant(s) against a rendezvous server.
   With ``--index`` one party joins from this process (run m processes
   with the same ``--seed`` to handshake across processes: group creation
@@ -447,6 +457,133 @@ def _trace_cluster(args: argparse.Namespace) -> int:
         print("\n!! handshake failed", file=sys.stderr)
         return 1
     return 0
+
+
+# ---------------------------------------------------------------------------
+# Revocation subcommands.
+# ---------------------------------------------------------------------------
+
+
+def _revocation_world(args: argparse.Namespace):
+    from repro.core.framework import GcdFramework
+    from repro.revocation import RevocationService
+
+    rng = random.Random(args.seed)
+    framework = GcdFramework.create("cli-revocation", gsig_kind="acjt",
+                                    gsig_profile="tiny", rng=rng)
+    service = RevocationService(framework, horizon=args.horizon,
+                                register=False)
+    for i in range(args.members):
+        service.admit(f"user-{i}", rng)
+    return framework, service, rng
+
+
+def _revoke(args: argparse.Namespace) -> int:
+    rng_seed = args.seed
+    print(f"deriving ACJT group with {args.members} members "
+          f"(seed {rng_seed}) …")
+    framework, service, rng = _revocation_world(args)
+    roster = [f"user-{i}" for i in range(args.members)]
+    unknown = [u for u in args.users if u not in roster]
+    if unknown:
+        print(f"!! not in the group: {', '.join(unknown)} "
+              f"(roster: user-0 … user-{args.members - 1})", file=sys.stderr)
+        return 1
+    survivors = [u for u in roster if u not in args.users]
+    if len(survivors) < 2:
+        print("!! need at least two survivors for the post-epoch "
+              "handshake; revoke fewer members or raise --members",
+              file=sys.stderr)
+        return 1
+    ok = True
+
+    _banner(f"queueing {len(args.users)} revocation(s)")
+    for user in args.users:
+        pending = service.revoke(user)
+        print(f"  {user} queued ({pending} pending; still verifies "
+              f"until the epoch seals)")
+
+    _banner("sealing ONE batched epoch")
+    with metrics.detached() as recorder:
+        delta = service.seal_epoch()
+    seal_modexp = recorder.snapshot().get("rev:seal")
+    print(f"epoch {delta.epoch}: revoked {', '.join(delta.revoked_users)} "
+          f"with ONE trapdoor exponentiation + ONE CGKD rekey")
+    print(f"  sealed-epoch modexps (all parties): "
+          f"{seal_modexp.modexp if seal_modexp else 0}  "
+          f"(sequential would pay ~{len(args.users)}x at the manager)")
+
+    _banner("verdicts")
+    outcomes = framework.handshake(survivors[:3], rng=rng)
+    survivors_ok = all(o.success for o in outcomes)
+    print(f"survivors-only handshake succeeds: {survivors_ok}")
+    ok = ok and survivors_ok
+    mixed = framework.handshake(survivors[:2] + args.users[:1], rng=rng)
+    revoked_breaks = not any(o.success for o in mixed)
+    print(f"handshake including a revoked member fails: {revoked_breaks}")
+    ok = ok and revoked_breaks
+
+    stats = service.stats()
+    print(f"\nservice: epoch={stats['epoch']} pending={stats['pending']} "
+          f"epochs_sealed={stats['epochs_sealed']} "
+          f"revoked={stats['revoked']}")
+    return 0 if ok else 1
+
+
+def _epoch(args: argparse.Namespace) -> int:
+    from repro.revocation.model import ChurnSpec, simulate_churn
+
+    print(f"deriving ACJT group with {args.members} members "
+          f"(seed {args.seed}, horizon {args.horizon}) …")
+    framework, service, rng = _revocation_world(args)
+    ok = True
+
+    _banner(f"{args.epochs} churn epochs "
+            f"(1 join + 1 sealed revocation each)")
+    sleeper = service.admit("sleeper", rng, enroll=False)
+    slept_from = sleeper.acc_epoch
+    for i in range(args.epochs):
+        service.admit(f"churn-{i}", rng)
+        service.revoke(f"churn-{i}")
+        service.seal_epoch()
+    missed = service.epoch - slept_from
+    print(f"sleeper slept from epoch {slept_from} to {service.epoch} "
+          f"({missed} missed epochs)")
+
+    _banner("lazy refresh")
+    with metrics.detached() as recorder:
+        result = service.refresh(sleeper)
+    current = sleeper.witness_is_current()
+    print(f"refresh: {result}, {recorder.total().modexp} member modexps, "
+          f"witness current: {current}")
+    ok = ok and current and result in ("replayed", "reissued")
+
+    _banner("delta log (most recent epochs)")
+    for delta in service.delta_log()[-args.epochs:][-6:]:
+        change = (f"+{len(delta.added)} join(s)" if delta.added
+                  else f"-{len(delta.deleted)} revocation(s)")
+        print(f"  epoch {delta.epoch:>3}: {change}"
+              + (f" [{', '.join(delta.revoked_users)}]"
+                 if delta.revoked_users else ""))
+
+    stats = service.stats()
+    print(f"\nservice: epoch={stats['epoch']} pending={stats['pending']} "
+          f"epochs_sealed={stats['epochs_sealed']} "
+          f"revoked={stats['revoked']} log={stats['log_len']}/"
+          f"{stats['horizon']}")
+
+    if args.simulate:
+        _banner(f"projected books at {args.simulate:g} members "
+                f"(counter-only simulation)")
+        doc = simulate_churn(ChurnSpec(
+            members=int(args.simulate), epochs=args.epochs,
+            revocations_per_epoch=50, joins_per_epoch=25,
+            sleepers=int(args.simulate) // 100, horizon=args.horizon))
+        for leg in ("sequential", "batched"):
+            print(f"  {leg:<11} total modexps: "
+                  f"{doc[leg]['total_modexps']:,}")
+        print(f"  speedup: {doc['speedup_total']:.1f}x")
+    return 0 if ok else 1
 
 
 # ---------------------------------------------------------------------------
@@ -994,6 +1131,35 @@ def main(argv=None) -> int:
                            "(default: 0.5)")
     _add_accel_flags(load)
 
+    revoke = sub.add_parser(
+        "revoke", help="seeded demo of one batched revocation epoch: "
+                       "queue member(s), seal, print exact books and "
+                       "before/after handshake verdicts")
+    revoke.add_argument("users", nargs="+", metavar="USER",
+                        help="member(s) to revoke, e.g. user-3 user-4 "
+                             "(the seeded roster is user-0 … user-N)")
+    revoke.add_argument("--members", type=int, default=5, metavar="N",
+                        help="group size to derive (default: 5)")
+    revoke.add_argument("--seed", type=int, default=2005)
+    revoke.add_argument("--horizon", type=int, default=64,
+                        help="delta-log replay horizon (default: 64)")
+
+    epoch = sub.add_parser(
+        "epoch", help="drive churn epochs through the revocation service: "
+                      "sealed batches, a lazy sleeper refresh, the delta "
+                      "log and the service stats STATUS surfaces")
+    epoch.add_argument("--members", type=int, default=4, metavar="N",
+                       help="initial group size (default: 4)")
+    epoch.add_argument("--epochs", type=int, default=6, metavar="E",
+                       help="churn epochs to run (default: 6)")
+    epoch.add_argument("--seed", type=int, default=2005)
+    epoch.add_argument("--horizon", type=int, default=64,
+                       help="delta-log replay horizon (default: 64)")
+    epoch.add_argument("--simulate", type=float, default=None, metavar="N",
+                       help="also print projected sequential-vs-batched "
+                            "books for an N-member population (counter-"
+                            "only, e.g. --simulate 1e6)")
+
     join = sub.add_parser(
         "join", help="join a handshake room on a rendezvous server")
     join.add_argument("--host", default="127.0.0.1")
@@ -1062,6 +1228,15 @@ def main(argv=None) -> int:
         if args.rate <= 0 or args.duration <= 0:
             load.error("--rate and --duration must be positive")
         return _load(args)
+    if args.command == "revoke":
+        if args.members < 3:
+            revoke.error("--members must be >= 3 (two survivors must "
+                         "remain after the revocation)")
+        return _revoke(args)
+    if args.command == "epoch":
+        if args.epochs < 1:
+            epoch.error("--epochs must be >= 1")
+        return _epoch(args)
     if args.command == "status":
         return _status(args)
     if args.command == "top":

@@ -85,6 +85,14 @@ class GroupController(abc.ABC):
     def leave(self, user_id: str) -> RekeyMessage:
         """Remove/revoke ``user_id``; returns the broadcast rekey message."""
 
+    def leave_many(self, user_ids: List[str]) -> List[RekeyMessage]:
+        """Remove several members in one epoch where the scheme supports
+        it.  The default falls back to sequential :meth:`leave` calls (one
+        rekey broadcast per removal); tree schemes override this to replace
+        the *union* of the removed leaves' key paths once and emit a single
+        broadcast — the CGKD half of batched epoch revocation."""
+        return [self.leave(user_id) for user_id in user_ids]
+
 
 class MemberState(abc.ABC):
     """Member side of Fig. 4: holds K_U, processes Rekey."""

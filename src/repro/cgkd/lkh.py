@@ -181,6 +181,58 @@ class LkhController(GroupController):
         self._epoch += 1
         return RekeyMessage(self._epoch, "leave", tuple(deliveries))
 
+    def leave_many(self, user_ids: List[str]) -> List[RekeyMessage]:
+        """Batched Leave: remove every member in one epoch, replacing the
+        *union* of the removed leaves' ancestor paths exactly once.
+
+        k sequential leaves rekey up to k*log(n) nodes and broadcast k
+        messages; the batch rekeys |union of paths| <= k*log(n) nodes
+        (shared ancestors fresh-keyed once) in a single broadcast, which
+        is what lets a revocation epoch cost one CGKD rekey regardless of
+        how many members it removes.
+        """
+        ids = list(user_ids)
+        if not ids:
+            return []
+        if len(set(ids)) != len(ids):
+            raise MembershipError("duplicate user in batched leave")
+        for user_id in ids:
+            require_member(self._leaf_of, user_id)
+        removed: set = set()
+        for user_id in ids:
+            leaf = self._leaf_of.pop(user_id)
+            del self._user_at[leaf]
+            del self._keys[leaf]
+            removed.add(leaf)
+        ancestors: set = set()
+        for leaf in removed:
+            node = leaf // 2
+            while node >= 1:
+                ancestors.add(node)
+                node //= 2
+        deliveries: List[Tuple[int, int, bytes]] = []
+        # Bottom-up (deepest first) so a child key replaced earlier in the
+        # same pass encrypts its parent's delivery — the same single-pass
+        # decryption contract as _replace_path_keys.
+        for node in sorted(ancestors, key=lambda i: (-i.bit_length(), i)):
+            if not self._occupied(node):
+                self._keys.pop(node, None)
+                continue
+            new_key = fresh_key(self._rng)
+            for child in (2 * node, 2 * node + 1):
+                if child in removed:
+                    continue
+                child_key = self._keys.get(child)
+                if child_key is None:
+                    continue
+                deliveries.append(
+                    (node, child, symmetric.encrypt(child_key, new_key, self._rng))
+                )
+            self._keys[node] = new_key
+        self._epoch += 1
+        return [RekeyMessage(self._epoch, "leave", tuple(deliveries),
+                             header={"batch": len(ids)})]
+
 
 class LkhMember(MemberState):
     """Member state: leaf id plus the path keys."""

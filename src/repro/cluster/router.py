@@ -375,6 +375,7 @@ class ClusterRouter:
         open_rooms = 0
         histogram_parts: Dict[str, List[dict]] = {}
         shard_lines: Dict[str, object] = {}
+        revocation: Dict[str, int] = {}
         for shard_id in sorted(self.monitor.handles):
             handle = self.monitor.handles[shard_id]
             shard_lines[str(shard_id)] = handle.summary()
@@ -392,6 +393,12 @@ class ClusterRouter:
             open_rooms += admission.get("open_rooms", 0)
             for name, summary in (snapshot.get("histograms") or {}).items():
                 histogram_parts.setdefault(name, []).append(summary)
+            for name, value in (snapshot.get("revocation") or {}).items():
+                # epoch is a high-water mark per group; the counts sum.
+                if name == "epoch":
+                    revocation[name] = max(revocation.get(name, 0), value)
+                else:
+                    revocation[name] = revocation.get(name, 0) + value
         recorder = metrics.current_recorder()
         own = {name: value
                for name, value in sorted(recorder.total().extra.items())
@@ -418,6 +425,8 @@ class ClusterRouter:
                 is not None
             },
             "shards": shard_lines,
+            **({"revocation": revocation}
+               if revocation.get("services") else {}),
         }
 
 

@@ -83,6 +83,16 @@ class GcdFramework:
         self.authority.remove_user(user_id)
         self.update_all()
 
+    def remove_users(self, user_ids: Sequence[str]) -> None:
+        """Batched SHS.RemoveUser: one revocation epoch for the whole
+        batch (one CGKD rekey + one accumulator trapdoor exponentiation),
+        then propagate to the remaining members."""
+        for user_id in user_ids:
+            if user_id not in self._members:
+                raise MembershipError(f"unknown member {user_id}")
+        self.authority.remove_users(user_ids)
+        self.update_all()
+
     # SHS.Update ---------------------------------------------------------------------
 
     def update_all(self) -> None:

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro import metrics
 from repro.cgkd.base import GroupController, RekeyMessage, WelcomePackage
@@ -188,21 +188,56 @@ class GroupAuthority:
         self._crl.append(user_id)
         self._post_update("revoke", rekey, gsig_update)
 
+    def remove_users(self, user_ids: Sequence[str]) -> None:
+        """Batched GCD.RemoveUser: one revocation epoch.
+
+        One CGKD rekey (schemes that support it replace the union of the
+        removed key paths once) plus one batched GSIG revocation — a
+        single trapdoor exponentiation for the ACJT accumulator — instead
+        of k full sequential rekeys.  The epoch update is posted encrypted
+        under the new group key, so none of the leavers can read it; a
+        CGKD fallback that emits several rekey messages posts the
+        intermediate ones with an empty GSIG payload and attaches the
+        epoch update to the last (members only reach the final group key
+        after applying all of them)."""
+        ids = list(user_ids)
+        if not ids:
+            return
+        if len(set(ids)) != len(ids):
+            raise RevocationError("duplicate user in revocation batch")
+        for user_id in ids:
+            if user_id in self._crl:
+                raise RevocationError(f"{user_id} already revoked")
+        with obs.span("cgkd:rekey", op="revoke-batch"):
+            rekeys = self._cgkd.leave_many(ids)
+        gsig_update = self._gsig.revoke_batch(ids)
+        self._crl.extend(ids)
+        metrics.bump("rev:epochs-sealed")
+        metrics.bump("rev:revocations", len(ids))
+        for rekey in rekeys[:-1]:
+            self._post_update("epoch", rekey, None)
+        self._post_update("epoch", rekeys[-1], gsig_update)
+
     def _post_update(self, kind: str, rekey: RekeyMessage,
-                     gsig_update: StateUpdate) -> None:
-        try:
-            group_key = self._cgkd.group_key
-        except MembershipError:
-            # The group just became empty (last member revoked): nobody is
-            # left to read the update — encrypt under a throwaway key.
-            group_key = bytes(
-                self._rng.getrandbits(8) for _ in range(32)
+                     gsig_update: Optional[StateUpdate]) -> None:
+        if gsig_update is None:
+            # Intermediate rekey of a multi-message batch: nothing to
+            # deliver beyond the CGKD key material itself.
+            encrypted = b""
+        else:
+            try:
+                group_key = self._cgkd.group_key
+            except MembershipError:
+                # The group just became empty (last member revoked): nobody
+                # is left to read the update — encrypt under a throwaway key.
+                group_key = bytes(
+                    self._rng.getrandbits(8) for _ in range(32)
+                )
+            encrypted = symmetric.encrypt(
+                group_key,
+                wire.state_update_to_bytes(gsig_update),
+                self._rng,
             )
-        encrypted = symmetric.encrypt(
-            group_key,
-            wire.state_update_to_bytes(gsig_update),
-            self._rng,
-        )
         payload = wire.dumps((
             kind,
             rekey.epoch,

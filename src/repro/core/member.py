@@ -85,6 +85,11 @@ class GcdMember:
             if not accepted:
                 self.revoked = True
                 continue
+            if not encrypted:
+                # Intermediate rekey of a batched revocation epoch: only
+                # CGKD key material; the GSIG delta rides the final post.
+                applied += 1
+                continue
             try:
                 blob = symmetric.decrypt(self.cgkd.group_key, encrypted)
             except DecryptionError:

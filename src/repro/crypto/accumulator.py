@@ -29,7 +29,7 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional, Sequence
 
 from repro.crypto import hashing
 from repro.crypto.commitments import IntegerPedersenScheme
@@ -106,6 +106,40 @@ class Accumulator:
         del self._members[e]
         self._epoch += 1
 
+    def delete_batch(self, primes: Sequence[int]) -> None:
+        """Remove a whole revocation epoch's primes with ONE trapdoor
+        exponentiation: v' = v^{1/(e_1*...*e_k) mod p'q'}.
+
+        This is the manager side of batched epoch rekey — k sequential
+        :meth:`delete` calls cost k modexps, the batch costs exactly one
+        (plus one egcd for the inverted exponent), and the whole batch
+        advances the epoch counter by a single step so members can apply
+        one coalesced witness update per epoch.
+        """
+        batch = list(primes)
+        if not batch:
+            raise RevocationError("empty revocation batch")
+        if len(set(batch)) != len(batch):
+            raise RevocationError("duplicate prime in revocation batch")
+        for e in batch:
+            if e not in self._members:
+                raise RevocationError(f"{e} not accumulated")
+        product = math.prod(batch)
+        inv = self._group.invert_exponent(product)
+        self._value = self._group.exp(self._value, inv)
+        for e in batch:
+            del self._members[e]
+        self._epoch += 1
+
+    def issue_witness(self, e: int) -> int:
+        """Fresh witness for an accumulated prime via the trapdoor:
+        w = v^{1/e}.  One modexp regardless of how many epochs the member
+        slept through — the manager-assisted fallback of lazy refresh."""
+        if e not in self._members:
+            raise RevocationError(f"{e} not accumulated")
+        inv = self._group.invert_exponent(e)
+        return self._group.exp(self._value, inv)
+
     def _check_prime(self, e: int) -> None:
         if e < 3 or e % 2 == 0:
             raise ParameterError("accumulated values must be odd primes >= 3")
@@ -126,8 +160,11 @@ def verify_witness(public: AccumulatorPublic, witness: int, e: int) -> bool:
 
 
 def update_witness_after_add(witness: int, added_e: int, n: int) -> int:
-    """Member-side witness refresh after another prime was accumulated."""
-    return pow(witness, added_e, n)
+    """Member-side witness refresh after another prime was accumulated.
+
+    Counted through :func:`mexp` so the witness-maintenance books are as
+    honest as the handshake books (one modexp per missed addition)."""
+    return mexp(witness, added_e, n)
 
 
 def update_witness_after_delete(
@@ -136,13 +173,52 @@ def update_witness_after_delete(
     """Member-side witness refresh after ``deleted_e`` was removed.
 
     Uses Bezout: a*deleted_e + b*own_e = 1, then  w' = w^a * v'^b.
+    Exactly two counted modexps (negative Bezout coefficients route
+    through the counted inversion inside :func:`mexp`).
     """
     g, a, b = egcd(deleted_e, own_e)
     if g != 1:
         raise ParameterError("accumulated primes must be distinct (gcd != 1)")
-    part1 = pow(witness, a, n) if a >= 0 else pow(pow(witness, -1, n), -a, n)
-    part2 = pow(new_value, b, n) if b >= 0 else pow(pow(new_value, -1, n), -b, n)
-    return (part1 * part2) % n
+    return (mexp(witness, a, n) * mexp(new_value, b, n)) % n
+
+
+def update_witness_epoch(
+    witness: int,
+    own_e: int,
+    added: Iterable[int],
+    deleted: Iterable[int],
+    new_value: int,
+    n: int,
+) -> int:
+    """Coalesced member-side witness update across one or more epochs.
+
+    ``added``/``deleted`` are every prime accumulated/removed since this
+    witness was last current (own prime excluded from ``added``), and
+    ``new_value`` the accumulator value after all of them.  Let
+    P_A = prod(added) and P_D = prod(deleted); then
+
+        w1 = w^{P_A}                        (absorb the additions)
+        a*P_D + b*own_e = 1   (Bezout)      (batched deletion update)
+        w' = w1^a * new_value^b
+
+    Correct for any interleaving because  w1^e = v_old^{P_A} = v'^{P_D},
+    so  w'^e = v'^{a*P_D + b*e} = v'.  Cost: at most THREE counted
+    modexps + one egcd no matter how many epochs were missed — the
+    member-side half of the batched-epoch revocation cost model (a
+    sequential replay pays 1 modexp per add plus 2 per delete).
+    """
+    add_product = math.prod(added, start=1)
+    del_product = math.prod(deleted, start=1)
+    if del_product % own_e == 0:
+        raise ParameterError("cannot update a witness for a deleted prime")
+    if add_product != 1:
+        witness = mexp(witness, add_product, n)
+    if del_product == 1:
+        return witness
+    g, a, b = egcd(del_product, own_e)
+    if g != 1:
+        raise ParameterError("accumulated primes must be distinct (gcd != 1)")
+    return (mexp(witness, a, n) * mexp(new_value, b, n)) % n
 
 
 @dataclass(frozen=True)

@@ -32,8 +32,9 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterable, Optional, Sequence, Tuple
 
+from repro import metrics
 from repro.accel.fixed_base import register_base, unregister_base
 from repro.accel.multi_exp import multi_exp
 from repro.crypto import hashing
@@ -42,6 +43,7 @@ from repro.crypto.accumulator import (
     AccumulatorPublic,
     update_witness_after_add,
     update_witness_after_delete,
+    update_witness_epoch,
     verify_witness,
 )
 from repro.crypto.modmath import (
@@ -325,6 +327,46 @@ class AcjtManager(GroupSignatureManager):
             payload={"deleted_e": record.e, "acc_value": self._accumulator.value},
         )
 
+    def revoke_batch(self, user_ids: Sequence[str]) -> StateUpdate:
+        """Revoke a whole epoch's worth of members with ONE accumulator
+        trapdoor exponentiation (product of the deleted primes) and ONE
+        epoch bump.  Returns a ``kind="epoch"`` update carrying the full
+        delta so members apply a single coalesced witness update."""
+        ids = list(user_ids)
+        if not ids:
+            raise RevocationError("empty revocation batch")
+        if len(set(ids)) != len(ids):
+            raise RevocationError("duplicate user in revocation batch")
+        records = []
+        for user_id in ids:
+            record = self._members.get(user_id)
+            if record is None:
+                raise MembershipError(f"unknown member {user_id}")
+            if record.revoked:
+                raise RevocationError(f"{user_id} already revoked")
+            records.append(record)
+        primes = tuple(record.e for record in records)
+        self._accumulator.delete_batch(primes)
+        self._acc_history[self._accumulator.epoch] = self._accumulator.value
+        for record in records:
+            record.revoked = True
+        return StateUpdate(
+            epoch=self._accumulator.epoch,
+            kind="epoch",
+            payload={"deleted": primes, "acc_value": self._accumulator.value},
+        )
+
+    def fresh_witness(self, user_id: str) -> int:
+        """Manager-assisted witness reissue (lazy-refresh fallback): one
+        trapdoor modexp hands a returning member a current witness no
+        matter how many epochs it slept through."""
+        record = self._members.get(user_id)
+        if record is None:
+            raise MembershipError(f"unknown member {user_id}")
+        if record.revoked:
+            raise RevocationError(f"{user_id} has been revoked")
+        return self._accumulator.issue_witness(record.e)
+
     def open(self, message: bytes, signature: AcjtSignature) -> Optional[str]:
         """Recover the signer: A = T1 / T2^theta, then registry lookup.
 
@@ -380,10 +422,18 @@ class AcjtCredential(GroupMemberCredential):
     def apply_update(self, update: StateUpdate) -> None:
         """Fig. 3 Update: refresh the accumulator witness.
 
+        Idempotent against replays: board posts carry strictly increasing
+        accumulator epochs, so an update at or below this credential's
+        epoch has already been absorbed (e.g. by a lazy refresh that ran
+        ahead of the board cursor) and is skipped — re-applying a witness
+        update would corrupt the witness.
+
         Also rotates the warm-rejoin verification material: the old
         accumulator value's fixed-base table can never serve a current
         verification again (epoch mismatch rejects first), so it is
         dropped and the new value registered in its place."""
+        if update.epoch <= self.acc_epoch:
+            return
         n = self.public_key.n
         if update.kind == "join":
             added = update.payload["added_e"]
@@ -399,6 +449,16 @@ class AcjtCredential(GroupMemberCredential):
                 self.witness = update_witness_after_delete(
                     self.witness, self.e, deleted, new_value, n
                 )
+        elif update.kind == "epoch":
+            deleted = tuple(update.payload["deleted"])
+            new_value = update.payload["acc_value"]
+            metrics.bump("rev:delta-applies")
+            if self.e in deleted:
+                self.revoked = True
+            else:
+                self.witness = update_witness_epoch(
+                    self.witness, self.e, (), deleted, new_value, n
+                )
         else:
             raise ParameterError(f"unknown update kind {update.kind!r}")
         if new_value != self.acc_value:
@@ -406,6 +466,62 @@ class AcjtCredential(GroupMemberCredential):
             register_base(new_value, n)
         self.acc_value = new_value
         self.acc_epoch = update.epoch
+
+    def apply_epochs(self, deltas: Iterable) -> int:
+        """Lazy refresh: coalesce a replayed delta log into ONE witness
+        update and ONE warm-rejoin base rotation.
+
+        ``deltas`` is an epoch-ordered iterable of records with ``epoch``,
+        ``added``, ``deleted`` and ``acc_value`` attributes (the revocation
+        service's delta log).  Entries at or below the credential's epoch
+        are skipped.  Returns the number of epochs absorbed; costs at most
+        3 modexps + 1 egcd total (vs 1 modexp per missed add and 2 per
+        missed delete replayed one by one) and rotates the fixed-base
+        table once, not once per missed epoch."""
+        added: list = []
+        deleted: list = []
+        new_value = self.acc_value
+        last_epoch = self.acc_epoch
+        applied = 0
+        for delta in deltas:
+            if delta.epoch <= last_epoch:
+                continue
+            added.extend(e for e in delta.added if e != self.e)
+            deleted.extend(delta.deleted)
+            new_value = delta.acc_value
+            last_epoch = delta.epoch
+            applied += 1
+        if not applied:
+            return 0
+        n = self.public_key.n
+        metrics.bump("rev:lazy-epochs-coalesced", applied)
+        if self.e in deleted:
+            self.revoked = True
+        else:
+            self.witness = update_witness_epoch(
+                self.witness, self.e, added, deleted, new_value, n
+            )
+        if new_value != self.acc_value:
+            unregister_base(self.acc_value, n)
+            register_base(new_value, n)
+        self.acc_value = new_value
+        self.acc_epoch = last_epoch
+        return applied
+
+    def install_fresh_witness(self, witness: int, acc_value: int,
+                              acc_epoch: int) -> None:
+        """Adopt a manager-reissued witness (lazy-refresh fallback past the
+        delta-log horizon), rotating the warm-rejoin base exactly once."""
+        n = self.public_key.n
+        public = AccumulatorPublic(n, acc_value, acc_epoch)
+        if not verify_witness(public, witness, self.e):
+            raise VerificationError("reissued witness does not open the accumulator")
+        self.witness = witness
+        if acc_value != self.acc_value:
+            unregister_base(self.acc_value, n)
+            register_base(acc_value, n)
+        self.acc_value = acc_value
+        self.acc_epoch = acc_epoch
 
     def witness_is_current(self) -> bool:
         public = AccumulatorPublic(self.public_key.n, self.acc_value, self.acc_epoch)

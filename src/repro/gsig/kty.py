@@ -303,6 +303,32 @@ class KtyManager(GroupSignatureManager):
             epoch=self._epoch, kind="revoke", payload={"revoked_tag": record.x}
         )
 
+    def revoke_batch(self, user_ids: Sequence[str]) -> StateUpdate:
+        """Revoke several members in one epoch: the CRL analogue of the
+        accumulator's batched delete — one epoch bump, one update record
+        carrying every newly revoked tracing tag."""
+        ids = list(user_ids)
+        if not ids:
+            raise RevocationError("empty revocation batch")
+        if len(set(ids)) != len(ids):
+            raise RevocationError("duplicate user in revocation batch")
+        records = []
+        for user_id in ids:
+            record = self._members.get(user_id)
+            if record is None:
+                raise MembershipError(f"unknown member {user_id}")
+            if record.revoked:
+                raise RevocationError(f"{user_id} already revoked")
+            records.append(record)
+        tags = tuple(record.x for record in records)
+        for record in records:
+            record.revoked = True
+        self._revoked_tags.update(tags)
+        self._epoch += 1
+        return StateUpdate(
+            epoch=self._epoch, kind="epoch", payload={"revoked_tags": tags}
+        )
+
     def open(self, message: bytes, signature: KtySignature,
              member_view: Optional[KtyMemberView] = None) -> Optional[str]:
         """Open via the escrow pair: A = T1 / T2^theta."""
@@ -350,6 +376,8 @@ class KtyCredential(GroupMemberCredential):
     _revoked_tags: set = field(default_factory=set, repr=False)
 
     def apply_update(self, update: StateUpdate) -> None:
+        if update.epoch <= self.epoch:
+            return  # Stale replay (board posts carry increasing epochs).
         if update.kind == "join":
             pass  # No member-side state for joins in the KTY variant.
         elif update.kind == "revoke":
@@ -357,6 +385,11 @@ class KtyCredential(GroupMemberCredential):
             if tag == self.x:
                 self.revoked = True
             self._revoked_tags.add(tag)
+        elif update.kind == "epoch":
+            tags = tuple(update.payload["revoked_tags"])
+            if self.x in tags:
+                self.revoked = True
+            self._revoked_tags.update(tags)
         else:
             raise ParameterError(f"unknown update kind {update.kind!r}")
         self.epoch = update.epoch

@@ -559,6 +559,13 @@ def render_top(series: TimeSeries, *, rows: int = 12,
         f"{rooms.get('active', 0)} active / {rooms.get('closed', 0)} closed"
         f"   connections={status.get('connections', 0)}"
         f"   samples={len(series)}")
+    revocation = status.get("revocation") or {}
+    if revocation.get("services"):
+        head.append(
+            f"revocation: epoch={revocation.get('epoch', 0)} "
+            f"pending={revocation.get('pending', 0)} "
+            f"sealed={revocation.get('epochs_sealed', 0)} "
+            f"revoked={revocation.get('revoked', 0)}")
     rate_rows = series.rates()[-rows:]
     if not rate_rows:
         head.append("(one more sample needed for rates)")

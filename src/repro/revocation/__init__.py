@@ -1,0 +1,38 @@
+"""Epoch-based revocation service (repro.revocation).
+
+The paper's scheme 1 revokes through the CL dynamic accumulator, whose
+naive maintenance is the scaling wall for a large deployment: every
+revocation costs the manager a trapdoor exponentiation plus a full CGKD
+rekey, and every member a Bezout witness update *per revocation*.  This
+package batches revocations into **epochs**:
+
+* :class:`~repro.revocation.service.RevocationService` queues revocations
+  and seals them into one epoch — ONE accumulator trapdoor
+  exponentiation (product of the deleted primes) and ONE CGKD rekey for
+  the whole batch — while keeping a bounded delta log so members that
+  slept through epochs can catch up with a single coalesced witness
+  update (or a manager-assisted fresh witness past the horizon).
+* :mod:`~repro.revocation.model` is the exact witness-maintenance cost
+  model (sequential vs batched vs lazy, in counted modexps) with a
+  counter-only churn simulator for 1e4–1e6 member populations — the same
+  validate-against-real-books idiom as :mod:`repro.load.model`.
+
+Metrics: ``rev:*`` counters (docs/OBSERVABILITY.md) and the
+:func:`stats` snapshot embedded in service/cluster STATUS replies.
+"""
+
+from repro.revocation.service import (
+    EpochDelta,
+    RevocationService,
+    registered_services,
+    reset_registry,
+    stats,
+)
+
+__all__ = [
+    "EpochDelta",
+    "RevocationService",
+    "registered_services",
+    "reset_registry",
+    "stats",
+]

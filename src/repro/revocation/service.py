@@ -1,0 +1,302 @@
+"""The epoch-based revocation service.
+
+One :class:`RevocationService` fronts one ACJT-backed
+:class:`~repro.core.framework.GcdFramework`: admissions and revocations
+flow through it so it can keep a complete, bounded **delta log** — one
+:class:`EpochDelta` per accumulator epoch — which is what makes lazy
+witness refresh possible.
+
+Lifecycle of a revocation::
+
+    svc.revoke("u3")          # queued; the member still verifies
+    svc.revoke("u7")
+    svc.seal_epoch()          # ONE trapdoor modexp + ONE CGKD rekey
+                              # for the whole batch; delta logged and
+                              # broadcast to online members
+
+Sealing is where revocation takes effect — the queue-until-seal latency
+is the price of batching and is the deployment's epoch cadence to choose
+(docs/PERFORMANCE.md).  Joins post immediately, exactly as before; the
+service records their deltas so a replayed log is gap-free.
+
+Lazy refresh (:meth:`RevocationService.refresh`) brings a member that
+slept through ``E`` epochs current with a single coalesced witness
+update (at most 3 modexps + 1 egcd, via
+:meth:`~repro.gsig.acjt.AcjtCredential.apply_epochs`) when the log still
+covers its gap, and falls back to a manager-assisted fresh witness (one
+trapdoor modexp) past the horizon.  Either path rotates the accel
+warm-rejoin fixed-base table exactly once.
+
+A module registry mirrors :func:`repro.accel.stats`: services register
+on construction and :func:`stats` aggregates epoch / pending / revoked
+counts for the service STATUS channel and ``repro top``.
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro import metrics
+from repro.core.framework import GcdFramework
+from repro.core.member import GcdMember
+from repro.errors import ParameterError, RevocationError
+from repro.gsig.acjt import AcjtCredential, AcjtManager
+
+#: Default number of epoch deltas retained for replay; a member more than
+#: this many epochs behind gets a manager-reissued witness instead.
+DEFAULT_HORIZON = 64
+
+
+@dataclass(frozen=True)
+class EpochDelta:
+    """One accumulator epoch's worth of change — the compact record a
+    returning member replays (and online members receive piggybacked on
+    the CGKD rekey path as a ``kind="epoch"`` state update)."""
+
+    epoch: int                     # accumulator epoch AFTER this delta
+    added: Tuple[int, ...]         # primes accumulated (joins)
+    deleted: Tuple[int, ...]       # primes removed (sealed revocations)
+    acc_value: int                 # accumulator value after the delta
+    revoked_users: Tuple[str, ...] = ()
+
+
+class RevocationService:
+    """Queue revocations, seal them into batched epochs, refresh sleepers."""
+
+    def __init__(self, framework: GcdFramework, *,
+                 horizon: int = DEFAULT_HORIZON, name: Optional[str] = None,
+                 register: bool = True) -> None:
+        manager = framework.authority.gsig_manager
+        if not isinstance(manager, AcjtManager):
+            raise ParameterError(
+                "the revocation service needs the accumulator-backed ACJT "
+                "scheme (KTY revokes via the CRL; see KtyManager.revoke_batch)")
+        if horizon < 1:
+            raise ParameterError("horizon must be >= 1")
+        self._fw = framework
+        self._gsig: AcjtManager = manager
+        self._horizon = horizon
+        self._pending: List[str] = []
+        self._log: List[EpochDelta] = []
+        self._epochs_sealed = 0
+        self._revoked_total = 0
+        self.name = name or framework.group_id
+        if register:
+            _register(self)
+
+    # Introspection -----------------------------------------------------------
+
+    @property
+    def framework(self) -> GcdFramework:
+        return self._fw
+
+    @property
+    def horizon(self) -> int:
+        return self._horizon
+
+    @property
+    def epoch(self) -> int:
+        """The current accumulator epoch."""
+        return self._gsig.member_view().acc_epoch
+
+    def pending(self) -> Tuple[str, ...]:
+        return tuple(self._pending)
+
+    def delta_log(self) -> Tuple[EpochDelta, ...]:
+        return tuple(self._log)
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "epoch": self.epoch,
+            "pending": len(self._pending),
+            "epochs_sealed": self._epochs_sealed,
+            "revoked": self._revoked_total,
+            "log_len": len(self._log),
+            "horizon": self._horizon,
+        }
+
+    # Membership --------------------------------------------------------------
+
+    def admit(self, user_id: str, rng: Optional[random.Random] = None,
+              enroll: bool = True):
+        """Admit through the service so the join lands in the delta log.
+
+        ``enroll=True`` runs the full framework admission (board-polling
+        :class:`GcdMember` handle); ``enroll=False`` admits through the
+        authority (the join update is still posted for everyone else) but
+        returns the bare credential without a board-polling handle — how
+        tests and benches model a member that will sleep through epochs
+        instead of polling."""
+        if enroll:
+            result = self._fw.admit_member(user_id, rng)
+        else:
+            package = self._fw.authority.admit_member(user_id, rng)
+            result = package.gsig_credential
+            self._fw.update_all()
+        view = self._gsig.member_view()
+        e = self._gsig.certificate_prime(user_id)
+        self._record(EpochDelta(
+            epoch=view.acc_epoch, added=(e,), deleted=(),
+            acc_value=view.acc_value,
+        ))
+        return result
+
+    def revoke(self, user_id: str) -> int:
+        """Queue ``user_id`` for the next epoch; returns the pending count.
+
+        The member keeps verifying until :meth:`seal_epoch` — queue-until-
+        seal latency is the documented cost of batching."""
+        if not self._gsig.is_member(user_id):
+            raise RevocationError(f"unknown or already revoked member {user_id}")
+        if user_id in self._pending:
+            raise RevocationError(f"{user_id} already queued for revocation")
+        self._pending.append(user_id)
+        metrics.bump("rev:queued")
+        return len(self._pending)
+
+    def seal_epoch(self) -> Optional[EpochDelta]:
+        """Apply every queued revocation as ONE epoch.
+
+        One accumulator trapdoor exponentiation (product of the deleted
+        primes), one CGKD rekey, one broadcast epoch update — vs ``k``
+        of each sequentially.  Returns the sealed delta, or ``None`` when
+        nothing was pending (no epoch bump for an empty seal)."""
+        if not self._pending:
+            return None
+        ids, self._pending = self._pending, []
+        primes = tuple(self._gsig.certificate_prime(u) for u in ids)
+        # Through the authority, not the framework facade: a sealed batch
+        # may include members admitted without a board-polling handle.
+        with metrics.scope("rev:seal"):
+            self._fw.authority.remove_users(ids)
+            self._fw.update_all()
+        view = self._gsig.member_view()
+        delta = EpochDelta(
+            epoch=view.acc_epoch, added=(), deleted=primes,
+            acc_value=view.acc_value, revoked_users=tuple(ids),
+        )
+        self._record(delta)
+        self._epochs_sealed += 1
+        self._revoked_total += len(ids)
+        # k sequential revokes cost the manager k trapdoor modexps; the
+        # sealed epoch cost exactly one.
+        metrics.bump("rev:manager-modexp-saved", len(ids) - 1)
+        return delta
+
+    # Lazy refresh -------------------------------------------------------------
+
+    def refresh(self, member) -> str:
+        """Bring a sleeping member current.  Returns what happened:
+
+        * ``"current"``  — nothing to do;
+        * ``"replayed"`` — delta log replayed: one coalesced witness
+          update, ≤ 3 modexps however many epochs were missed;
+        * ``"reissued"`` — gap beyond the horizon (or log truncated):
+          manager-assisted fresh witness, one trapdoor modexp;
+        * ``"revoked"``  — the member itself was revoked while away.
+
+        Accepts an :class:`AcjtCredential` or a :class:`GcdMember` (whose
+        credential is refreshed in place).  Either path rotates the accel
+        warm-rejoin fixed-base table exactly once per refresh."""
+        credential = member.credential if isinstance(member, GcdMember) else member
+        if not isinstance(credential, AcjtCredential):
+            raise ParameterError("refresh needs an ACJT credential")
+        if credential.revoked:
+            return "revoked"
+        view = self._gsig.member_view()
+        if credential.acc_epoch >= view.acc_epoch:
+            return "current"
+        behind = [d for d in self._log if d.epoch > credential.acc_epoch]
+        gap_covered = (
+            behind
+            and behind[0].epoch == credential.acc_epoch + 1
+            and behind[-1].epoch == view.acc_epoch
+            and len(behind) <= self._horizon
+        )
+        if gap_covered:
+            credential.apply_epochs(behind)
+            metrics.bump("rev:lazy-replays")
+            if credential.revoked:
+                self._mark_member_revoked(member)
+                return "revoked"
+            return "replayed"
+        try:
+            witness = self._gsig.fresh_witness(credential.user_id)
+        except RevocationError:
+            credential.revoked = True
+            self._mark_member_revoked(member)
+            return "revoked"
+        credential.install_fresh_witness(witness, view.acc_value, view.acc_epoch)
+        metrics.bump("rev:fresh-witness")
+        return "reissued"
+
+    # Internals ----------------------------------------------------------------
+
+    @staticmethod
+    def _mark_member_revoked(member) -> None:
+        if isinstance(member, GcdMember):
+            member.revoked = True
+
+    def _record(self, delta: EpochDelta) -> None:
+        if self._log and delta.epoch <= self._log[-1].epoch:
+            raise ParameterError("delta log epochs must increase")
+        self._log.append(delta)
+        if len(self._log) > self._horizon:
+            del self._log[: len(self._log) - self._horizon]
+
+
+# ---------------------------------------------------------------------------
+# Module registry (the accel.stats() idiom): services register themselves so
+# the service/cluster STATUS channel and `repro top` can surface epoch and
+# pending-revocation counts without holding framework references.
+# ---------------------------------------------------------------------------
+
+_REG_LOCK = threading.Lock()
+_REGISTRY: List[RevocationService] = []
+
+
+def _register(service: RevocationService) -> None:
+    with _REG_LOCK:
+        _REGISTRY.append(service)
+
+
+def registered_services() -> Tuple[RevocationService, ...]:
+    with _REG_LOCK:
+        return tuple(_REGISTRY)
+
+
+def reset_registry() -> None:
+    """Drop all registered services (test isolation)."""
+    with _REG_LOCK:
+        _REGISTRY.clear()
+
+
+def stats() -> Dict[str, int]:
+    """Aggregate snapshot for STATUS embedding.
+
+    ``epoch`` is the max over registered services (each tracks its own
+    group); counts are sums.  All zeros when no service is registered —
+    the STATUS section is then omitted."""
+    out = {"services": 0, "epoch": 0, "pending": 0,
+           "epochs_sealed": 0, "revoked": 0}
+    for service in registered_services():
+        snap = service.stats()
+        out["services"] += 1
+        out["epoch"] = max(out["epoch"], snap["epoch"])
+        out["pending"] += snap["pending"]
+        out["epochs_sealed"] += snap["epochs_sealed"]
+        out["revoked"] += snap["revoked"]
+    return out
+
+
+__all__ = [
+    "DEFAULT_HORIZON",
+    "EpochDelta",
+    "RevocationService",
+    "registered_services",
+    "reset_registry",
+    "stats",
+]

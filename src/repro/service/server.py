@@ -48,7 +48,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro import accel, metrics
+from repro import accel, metrics, revocation
 from repro.accel import bridge as accel_bridge
 from repro.errors import EncodingError, ProtocolError
 from repro.obs import logging as obslog
@@ -448,9 +448,10 @@ class RendezvousServer:
         rec = metrics.current_recorder()
         counters = {name: value
                     for name, value in sorted(rec.total().extra.items())
-                    if name.startswith("svc:")}
+                    if name.startswith(("svc:", "rev:"))}
         histograms = {name: hist.summary()
                       for name, hist in sorted(rec.histograms().items())}
+        revocation_stats = revocation.stats()
         return {
             "uptime_s": round(time.perf_counter() - self._started, 3)
                         if self._started else 0.0,
@@ -468,6 +469,10 @@ class RendezvousServer:
             "counters": counters,
             "histograms": histograms,
             "accel": accel.stats(),
+            # Omitted entirely when no revocation service runs in-process
+            # (the common case for a pure relay).
+            **({"revocation": revocation_stats}
+               if revocation_stats["services"] else {}),
         }
 
     # Accept path ----------------------------------------------------------

@@ -1,0 +1,138 @@
+"""Mid-handshake revocation race on a 2-shard cluster.
+
+A member is revoked *between* Phase I and Phase III of its own handshake:
+the epoch seals after everyone derived k' from the pre-epoch group key
+but before the group signatures are produced.  The survivors' credentials
+absorb the epoch update, so at conclude time their verification view
+carries the new accumulator value — the stale-epoch signature fails the
+structural check and the room fails for everyone as a *crypto verdict*:
+``success=False``, ``retryable=False``, the room itself "completed" (no
+abort), and every party's message books show the full protocol ran.
+A post-epoch room among the survivors then succeeds normally.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import metrics
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.core.framework import GcdFramework
+from repro.core.scheme1 import scheme1_policy
+from repro.revocation import RevocationService
+from repro.service import ClientConfig, run_room
+
+TEST_CAP = 120.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+class _SealTrigger:
+    """Seals the pending epoch exactly once, at the first Phase III
+    signature of *any* party — the tightest race the protocol allows.
+    Every party's Phase I consumed the old group key before anyone can
+    reach Phase III (signing needs everyone's earlier broadcasts), so
+    the epoch lands between Phase I and Phase III no matter how the
+    event loop interleaves the parties.  Survivors then sign with the
+    new epoch while the revoked member's view stays stale, making the
+    all-parties-fail verdict schedule-independent."""
+
+    def __init__(self, service):
+        self._service = service
+        self.sealed = False
+
+    def fire(self):
+        if not self.sealed and self._service.pending():
+            self._service.seal_epoch()
+            self.sealed = True
+
+
+class _SealOnSign:
+    """Member proxy that pulls the shared trigger before signing."""
+
+    def __init__(self, member, trigger):
+        self._member = member
+        self._trigger = trigger
+
+    def __getattr__(self, name):
+        return getattr(self._member, name)
+
+    def gsig_sign(self, message, rng=None, shield=None):
+        self._trigger.fire()
+        return self._member.gsig_sign(message, rng, shield=shield)
+
+
+@pytest.fixture(scope="module")
+def race_world():
+    rng = random.Random(6060)
+    framework = GcdFramework.create("race", gsig_kind="acjt",
+                                    gsig_profile="tiny", rng=rng)
+    service = RevocationService(framework, register=False)
+    members = {name: service.admit(name, rng)
+               for name in ("ann", "ben", "mallory")}
+    return framework, service, members
+
+
+class TestMidHandshakeRevocation:
+    def test_race_fails_cleanly_on_two_shard_cluster(self, race_world):
+        _, service, members = race_world
+        policy = scheme1_policy()
+        service.revoke("mallory")
+        trigger = _SealTrigger(service)
+        lineup = [_SealOnSign(members[u], trigger)
+                  for u in ("ann", "ben", "mallory")]
+        m = len(lineup)
+
+        raced_rec = metrics.Recorder()
+        survivor_rec = metrics.Recorder()
+
+        async def scenario():
+            async with ClusterRouter(ClusterConfig(shards=2)) as router:
+                with metrics.using(raced_rec):
+                    raced = await run_room(
+                        lineup, ClientConfig(port=router.port, room="raced"),
+                        policy)
+                with metrics.using(survivor_rec):
+                    survivors = await run_room(
+                        [members["ann"], members["ben"]],
+                        ClientConfig(port=router.port, room="after"),
+                        policy)
+                return raced, survivors
+
+        raced, survivors = _run(scenario())
+
+        # The epoch really sealed mid-handshake.
+        assert trigger.sealed
+        assert service.pending() == ()
+        assert service.stats()["revoked"] == 1
+
+        # The raced room fails for everyone, as a terminal crypto verdict
+        # (typed outcome, not a retryable transport blip, not an abort).
+        assert all(not o.success for o in raced)
+        assert all(not o.retryable for o in raced)
+        assert all(o.session_key is None for o in raced)
+
+        # Books: the full protocol ran to conclusion in the raced room —
+        # every party still broadcast all 4 protocol messages and heard
+        # the other parties' — the failure is a verdict, not a hang.
+        snap = raced_rec.snapshot()
+        seal_books = snap.get("rev:seal")
+        assert seal_books is not None and seal_books.modexp >= 1
+        for i in range(m):
+            books = snap.get(f"hs:{i}")
+            assert books is not None, f"no books for hs:{i}"
+            assert books.messages_sent == 4
+            assert books.messages_received == 4 * (m - 1)
+
+        # Post-epoch, the survivors handshake normally: their witnesses
+        # tracked the sealed batch without any manager round-trip.
+        assert all(o.success for o in survivors)
+        keys = {o.session_key for o in survivors}
+        assert len(keys) == 1 and None not in keys
+        assert all(members[u].credential.witness_is_current()
+                   for u in ("ann", "ben"))

@@ -1,0 +1,232 @@
+"""Epoch-batch operations of the CL accumulator: delete_batch,
+issue_witness, and the coalesced update_witness_epoch.
+
+The headline property: a member that replays the epoch delta log —
+whether one coalesced update per epoch or one coalesced update for the
+whole window — ends with exactly the witness the manager would issue
+fresh from the trapdoor (unique in QR(n)), for random interleavings of
+join and revocation epochs.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import metrics
+from repro.crypto.accumulator import (
+    Accumulator,
+    update_witness_after_delete,
+    update_witness_epoch,
+    verify_witness,
+)
+from repro.crypto.params import acjt_profile
+from repro.crypto.primes import random_prime_in_interval
+from repro.crypto.rsa import RsaGroup
+from repro.errors import ParameterError, RevocationError
+
+LENGTHS = acjt_profile("tiny")
+
+
+@pytest.fixture(scope="module")
+def group():
+    return RsaGroup.from_precomputed(256)
+
+
+def _prime(rng, taken=()):
+    while True:
+        e = random_prime_in_interval(LENGTHS.e_low, LENGTHS.e_high, rng)
+        if e not in taken:
+            return e
+
+
+class TestDeleteBatch:
+    def test_matches_sequential_deletes(self, group, rng):
+        primes = []
+        acc_seq = Accumulator(group, random.Random(7))
+        acc_bat = Accumulator(group, random.Random(7))
+        assert acc_seq.value == acc_bat.value
+        for _ in range(4):
+            e = _prime(rng, primes)
+            primes.append(e)
+            acc_seq.add(e)
+            acc_bat.add(e)
+        doomed = primes[:3]
+        for e in doomed:
+            acc_seq.delete(e)
+        acc_bat.delete_batch(doomed)
+        assert acc_bat.value == acc_seq.value
+        assert len(acc_bat) == len(acc_seq) == 1
+
+    def test_single_epoch_bump(self, group, rng):
+        acc = Accumulator(group, rng)
+        primes = []
+        for _ in range(3):
+            e = _prime(rng, primes)
+            primes.append(e)
+            acc.add(e)
+        before = acc.epoch
+        acc.delete_batch(primes[:2])
+        assert acc.epoch == before + 1
+
+    def test_empty_batch_rejected(self, group, rng):
+        acc = Accumulator(group, rng)
+        with pytest.raises(RevocationError):
+            acc.delete_batch([])
+
+    def test_duplicate_in_batch_rejected(self, group, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        acc.add(e)
+        with pytest.raises(RevocationError):
+            acc.delete_batch([e, e])
+
+    def test_non_member_in_batch_rejected(self, group, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        acc.add(e)
+        with pytest.raises(RevocationError):
+            acc.delete_batch([e, _prime(rng, (e,))])
+        # Nothing was removed: the batch is all-or-nothing.
+        assert acc.contains(e)
+
+
+class TestIssueWitness:
+    def test_fresh_witness_verifies(self, group, rng):
+        acc = Accumulator(group, rng)
+        e = _prime(rng)
+        acc.add(e)
+        acc.add(_prime(rng, (e,)))
+        assert acc.verify_witness(acc.issue_witness(e), e)
+
+    def test_unknown_prime_rejected(self, group, rng):
+        acc = Accumulator(group, rng)
+        with pytest.raises(RevocationError):
+            acc.issue_witness(_prime(rng))
+
+
+class TestCoalescedUpdate:
+    def test_adds_only(self, group, rng):
+        acc = Accumulator(group, rng)
+        own = _prime(rng)
+        w = acc.add(own)
+        added = []
+        for _ in range(3):
+            e = _prime(rng, [own] + added)
+            added.append(e)
+            acc.add(e)
+        w = update_witness_epoch(w, own, added, (), acc.value, group.n)
+        assert acc.verify_witness(w, own)
+
+    def test_deletes_only(self, group, rng):
+        acc = Accumulator(group, rng)
+        own = _prime(rng)
+        others = []
+        for _ in range(3):
+            e = _prime(rng, [own] + others)
+            others.append(e)
+            acc.add(e)
+        w = acc.add(own)
+        acc.delete_batch(others)
+        w = update_witness_epoch(w, own, (), others, acc.value, group.n)
+        assert acc.verify_witness(w, own)
+
+    def test_own_prime_deleted_raises(self, group, rng):
+        own = _prime(rng)
+        with pytest.raises(ParameterError):
+            update_witness_epoch(3, own, (), (own,), 5, group.n)
+
+    def test_cost_at_most_three_modexps(self, group, rng):
+        """However much churn the window holds, the coalesced update pays
+        <= 3 counted modexps (1 for the adds, 2 for the Bezout pair)."""
+        acc = Accumulator(group, rng)
+        own = _prime(rng)
+        w = acc.add(own)
+        taken = [own]
+        added, deleted = [], []
+        for _ in range(6):
+            e = _prime(rng, taken)
+            taken.append(e)
+            added.append(e)
+            acc.add(e)
+        doomed = added[:4]
+        acc.delete_batch(doomed)
+        deleted.extend(doomed)
+        survivors = [e for e in added if e not in doomed]
+        with metrics.detached() as recorder:
+            w = update_witness_epoch(
+                w, own, survivors + doomed, deleted, acc.value, group.n
+            )
+        assert acc.verify_witness(w, own)
+        assert recorder.total().modexp <= 3
+
+    def test_matches_per_delete_replay(self, group, rng):
+        acc = Accumulator(group, rng)
+        own = _prime(rng)
+        w0 = acc.add(own)
+        others = []
+        for _ in range(2):
+            e = _prime(rng, [own] + others)
+            others.append(e)
+            acc.add(e)
+        w_seq = update_witness_epoch(w0, own, others, (), acc.value, group.n)
+        for e in others:
+            # Sequential replay needs the intermediate value per delete.
+            acc.delete(e)
+            w_seq = update_witness_after_delete(w_seq, own, e, acc.value, group.n)
+        coalesced = update_witness_epoch(
+            w0, own, others, others, acc.value, group.n
+        )
+        # Both are the unique e-th root of v in QR(n).
+        assert coalesced == w_seq
+        assert acc.verify_witness(coalesced, own)
+
+
+class TestEpochReplayProperty:
+    @given(st.lists(st.integers(min_value=0, max_value=3),
+                    min_size=1, max_size=8),
+           st.integers(min_value=0, max_value=999))
+    @settings(max_examples=8, deadline=None)
+    def test_replayed_log_equals_fresh_witness(self, ops, seed):
+        """Random interleaving of join epochs (op 0-2) and sealed
+        revocation epochs (op 3): a member replaying the delta log —
+        one coalesced update per epoch, OR one for the whole window —
+        ends with exactly the trapdoor-issued fresh witness."""
+        rng = random.Random(seed)
+        group = RsaGroup.from_precomputed(256)
+        acc = Accumulator(group, rng)
+        own = _prime(rng)
+        w_start = acc.add(own)
+        taken = [own]
+        pool = []          # revocable primes currently accumulated
+        log = []           # (added, deleted, value) per epoch
+        for op in ops:
+            if op == 3 and pool:
+                batch = pool[: min(2, len(pool))]
+                pool = pool[len(batch):]
+                acc.delete_batch(batch)
+                log.append(((), tuple(batch), acc.value))
+            else:
+                e = _prime(rng, taken)
+                taken.append(e)
+                pool.append(e)
+                acc.add(e)
+                log.append(((e,), (), acc.value))
+
+        # Per-epoch replay: one coalesced update per logged epoch.
+        w_replay = w_start
+        for added, deleted, value in log:
+            w_replay = update_witness_epoch(
+                w_replay, own, added, deleted, value, group.n
+            )
+        # Whole-window coalesce: one update for the entire gap.
+        all_added = tuple(e for added, _, _ in log for e in added)
+        all_deleted = tuple(e for _, deleted, _ in log for e in deleted)
+        w_coalesced = update_witness_epoch(
+            w_start, own, all_added, all_deleted, acc.value, group.n
+        )
+
+        fresh = acc.issue_witness(own)
+        assert w_replay == w_coalesced == fresh
+        assert verify_witness(acc.public(), fresh, own)

@@ -1,0 +1,103 @@
+"""Revocation state on the STATUS channel and the `repro top` frame.
+
+A relay colocated with a registered RevocationService embeds the
+aggregate epoch/pending snapshot in its STATUS reply (and its rev:*
+counters pass the svc: filter); a pure relay omits the section entirely.
+"""
+
+import asyncio
+import random
+
+import pytest
+
+from repro import metrics
+from repro.core.framework import GcdFramework
+from repro.obs.telemetry import TimeSeries, render_top
+from repro.revocation import RevocationService, reset_registry
+from repro.service import RendezvousServer, ServerConfig, query_status
+
+TEST_CAP = 60.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+@pytest.fixture(autouse=True)
+def _clean_registry():
+    reset_registry()
+    yield
+    reset_registry()
+
+
+class TestServerStatus:
+    def test_registered_service_surfaces_in_status(self, rng):
+        framework = GcdFramework.create("status-grp", gsig_kind="acjt",
+                                        gsig_profile="tiny", rng=rng)
+        service = RevocationService(framework, name="status-grp")
+        for name in ("a", "b", "c"):
+            service.admit(name, rng)
+        service.revoke("c")
+
+        async def scenario():
+            async with RendezvousServer(ServerConfig()) as server:
+                return await query_status("127.0.0.1", server.port)
+
+        with metrics.using(metrics.Recorder()):
+            status = _run(scenario())
+        section = status.get("revocation")
+        assert section is not None
+        assert section["services"] == 1
+        assert section["epoch"] == service.epoch
+        assert section["pending"] == 1
+        service.seal_epoch()
+        assert service.stats()["pending"] == 0
+
+    def test_rev_counters_pass_the_status_filter(self, rng):
+        framework = GcdFramework.create("ctr-grp", gsig_kind="acjt",
+                                        gsig_profile="tiny", rng=rng)
+        service = RevocationService(framework, register=False)
+
+        async def scenario():
+            async with RendezvousServer(ServerConfig()) as server:
+                for name in ("a", "b", "c"):
+                    service.admit(name, rng)
+                service.revoke("c")
+                service.seal_epoch()
+                return await query_status("127.0.0.1", server.port)
+
+        with metrics.using(metrics.Recorder()):
+            status = _run(scenario())
+        counters = status["counters"]
+        assert counters.get("rev:epochs-sealed") == 1
+        assert counters.get("rev:revocations") == 1
+
+    def test_pure_relay_omits_the_section(self):
+        async def scenario():
+            async with RendezvousServer(ServerConfig()) as server:
+                return await query_status("127.0.0.1", server.port)
+
+        with metrics.using(metrics.Recorder()):
+            status = _run(scenario())
+        assert "revocation" not in status
+
+
+class TestTopFrame:
+    def test_revocation_line_rendered_when_present(self):
+        series = TimeSeries()
+        status = {"rooms": {"filling": 0, "active": 0, "closed": 1},
+                  "connections": 0, "counters": {}, "outcomes": {},
+                  "revocation": {"services": 1, "epoch": 9, "pending": 2,
+                                 "epochs_sealed": 3, "revoked": 7}}
+        series.add(status)
+        frame = render_top(series)
+        assert "revocation: epoch=9 pending=2 sealed=3 revoked=7" in frame
+
+    def test_no_line_without_services(self):
+        series = TimeSeries()
+        series.add({"rooms": {}, "connections": 0, "counters": {},
+                    "outcomes": {}})
+        frame = render_top(series)
+        assert "revocation:" not in frame
