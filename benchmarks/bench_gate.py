@@ -1,0 +1,266 @@
+"""Live migration + gateway — drain as a move, measured against the shed.
+
+Three legs, same seeded rooms (m=2) throughout, all placed on shard 0 of
+a 2-shard cluster so a drain of shard 0 has to deal with every one:
+
+* ``migrate`` — each room is held mid-fill (first member joined), then
+  ``ClusterRouter.drain_shard(0)`` live-migrates the lot to shard 1;
+  the second members join afterwards and every room completes with
+  **zero** client retries of any kind — the PR's acceptance criterion.
+  ``svc-cluster:restore-latency`` (quiesce → re-spliced) is the
+  migration cost distribution.
+* ``shed`` — the legacy baseline: the same mid-fill setup, but the
+  drain goes straight to the worker (``monitor.drain``), which aborts
+  its filling rooms.  Every first member pays a rejoin retry — the
+  number the live migration drives to zero.
+* ``gateway`` — rooms spawned over HTTP (``POST /rooms``) against the
+  cluster while shard 0 is live-drained mid-burst: zero failed rooms,
+  zero full-handshake retries, ``/metrics`` parses as Prometheus
+  exposition, and ``gate:request-latency`` books every request.
+
+Artifacts: ``results/gate.txt`` (table) and ``BENCH_gate.json`` at the
+repo root (CI's ``gate-smoke`` job runs this and uploads it).
+"""
+
+import asyncio
+import json
+import os
+import random
+from dataclasses import replace
+
+from _tables import emit
+from repro import metrics
+from repro.cluster import ClusterConfig, ClusterRouter
+from repro.cluster.placement import HashRing
+from repro.core.scheme1 import scheme1_policy
+from repro.gate import GatewayConfig, HttpGateway
+from repro.service import ClientConfig, join_room
+
+ROOMS = 6
+SHARDS = 2
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+JSON_PATH = os.path.join(REPO_ROOT, "BENCH_gate.json")
+
+_RETRY_COUNTERS = ("svc-client:retries", "svc-client:busy-retries",
+                   "svc-client:rejoin-retries", "svc-client:room-aborts")
+
+
+def _rooms_on_shard(config, shard_id, prefix, count):
+    """First ``count`` room names the placement ring puts on ``shard_id``."""
+    ring = HashRing(replicas=config.ring_replicas)
+    for i in range(config.shards):
+        ring.add(i)
+    names, i = [], 0
+    while len(names) < count:
+        name = f"{prefix}-{i}"
+        if ring.place(name) == shard_id:
+            names.append(name)
+        i += 1
+    return names
+
+
+def _retries(recorder):
+    extra = recorder.total().extra
+    return {name: extra.get(name, 0) for name in _RETRY_COUNTERS}
+
+
+async def _drain_leg(members, policy, live):
+    """Mid-fill drain of shard 0 — live migration or the legacy shed."""
+    config = ClusterConfig(shards=SHARDS, heartbeat_interval=0.1)
+    prefix = "mig" if live else "shed"
+    names = _rooms_on_shard(config, 0, prefix, ROOMS)
+    loop = asyncio.get_running_loop()
+    async with ClusterRouter(config) as router:
+        cfg = ClientConfig(port=router.port, m=2, deadline=60.0,
+                           backoff_base=0.05, backoff_max=0.3)
+        firsts = []
+        for i, name in enumerate(names):
+            joined = asyncio.Event()
+            firsts.append(asyncio.ensure_future(join_room(
+                members[0], replace(cfg, room=name), policy,
+                random.Random(7000 + i), joined=joined)))
+            await joined.wait()
+        started = loop.time()
+        if live:
+            report = await router.drain_shard(0)
+        else:
+            router.monitor.drain(0)
+            report = None
+        drain_wall = loop.time() - started
+        seconds = [asyncio.ensure_future(join_room(
+            members[1], replace(cfg, room=name), policy,
+            random.Random(8000 + i)))
+            for i, name in enumerate(names)]
+        outcomes = await asyncio.gather(*firsts, *seconds)
+    return outcomes, report, drain_wall
+
+
+async def _http_request(port, method, path, body=None):
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = body if body is not None else b""
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: 127.0.0.1:{port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n")
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    code = int(header_blob.split(b"\r\n", 1)[0].decode().split(" ")[1])
+    return code, body_blob
+
+
+def _parse_prometheus(text):
+    """Every line is a comment or ``name{labels} value`` — or it isn't
+    Prometheus exposition.  Returns the sample count."""
+    samples = 0
+    for line in text.splitlines():
+        if not line or line.startswith("#"):
+            continue
+        name_part, _, value = line.rpartition(" ")
+        assert name_part, f"unparseable exposition line: {line!r}"
+        float(value)                       # raises if not a number
+        metric = name_part.split("{", 1)[0]
+        assert metric.replace("_", "").isalnum(), \
+            f"bad metric name in line: {line!r}"
+        samples += 1
+    assert samples > 0, "empty exposition"
+    return samples
+
+
+async def _gateway_leg(members, policy):
+    """Rooms over HTTP while shard 0 live-drains mid-burst."""
+    config = ClusterConfig(shards=SHARDS, heartbeat_interval=0.1)
+    names = _rooms_on_shard(config, 0, "gatebench", ROOMS)
+    async with ClusterRouter(config) as router:
+        gateway = await HttpGateway(
+            GatewayConfig(target_port=router.port, deadline=60.0),
+            members, policy).start()
+        try:
+            for name in names:
+                code, _ = await _http_request(
+                    gateway.port, "POST", "/rooms",
+                    json.dumps({"room": name, "m": 2}).encode())
+                assert code == 202, f"POST /rooms -> {code}"
+            # Drain shard 0 while the burst is in flight: anything still
+            # on it moves live; anything already done stays done.
+            report = await router.drain_shard(0)
+            pending = set(names)
+            states = {}
+            while pending:
+                await asyncio.sleep(0.05)
+                for name in list(pending):
+                    code, body = await _http_request(
+                        gateway.port, "GET", f"/rooms/{name}")
+                    assert code == 200
+                    doc = json.loads(body)
+                    if doc["state"] != "running":
+                        states[name] = doc
+                        pending.discard(name)
+            code, metrics_body = await _http_request(
+                gateway.port, "GET", "/metrics")
+            assert code == 200
+        finally:
+            await gateway.shutdown()
+    return states, report, metrics_body.decode()
+
+
+def test_gate_migration(benchmark, bench_scheme1):
+    members = bench_scheme1.members[:2]
+    policy = scheme1_policy()
+    report = {}
+
+    def run():
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            outcomes, drain, wall = asyncio.run(
+                asyncio.wait_for(_drain_leg(members, policy, live=True),
+                                 120.0))
+        report["migrate"] = (outcomes, drain, wall, rec)
+
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            outcomes, _, wall = asyncio.run(
+                asyncio.wait_for(_drain_leg(members, policy, live=False),
+                                 120.0))
+        report["shed"] = (outcomes, None, wall, rec)
+
+        rec = metrics.Recorder()
+        with metrics.using(rec):
+            states, drain, exposition = asyncio.run(
+                asyncio.wait_for(_gateway_leg(members, policy), 120.0))
+        report["gateway"] = (states, drain, exposition, rec)
+
+    benchmark.pedantic(run, rounds=1, iterations=1)
+
+    # --- migrate leg: every room moved, zero retries of any kind. ---
+    outcomes, drain, migrate_wall, rec = report["migrate"]
+    assert all(o.success for o in outcomes)
+    assert drain == {"migrated": ROOMS, "completed": 0, "failed": 0}
+    migrate_retries = _retries(rec)
+    assert all(v == 0 for v in migrate_retries.values()), migrate_retries
+    migrations = rec.total().extra.get("svc-cluster:migrations", 0)
+    assert migrations == ROOMS
+    restore = rec.histograms()["svc-cluster:restore-latency"]
+    assert restore.total == ROOMS
+
+    # --- shed leg: same drain, legacy path — the retries come back. ---
+    outcomes, _, shed_wall, rec = report["shed"]
+    assert all(o.success for o in outcomes)
+    shed_retries = _retries(rec)
+    assert shed_retries["svc-client:rejoin-retries"] >= ROOMS, shed_retries
+
+    # --- gateway leg: zero failed rooms, Prometheus parses. ---
+    states, gate_drain, exposition, rec = report["gateway"]
+    assert all(doc["state"] == "completed" for doc in states.values()), \
+        {k: v["state"] for k, v in states.items()}
+    assert all(doc["result"]["successes"] == 2 for doc in states.values())
+    gate_retries = _retries(rec)
+    assert gate_retries["svc-client:retries"] == 0, gate_retries
+    samples = _parse_prometheus(exposition)
+    latency = rec.histograms()["gate:request-latency"]
+    assert latency.total >= ROOMS + 1      # every POST/GET booked
+
+    rows = [
+        ("migrate", ROOMS, f"{migrate_wall:.3f}",
+         str(sum(migrate_retries.values())),
+         f"p99={restore.percentile(0.99) * 1000:.1f}ms"),
+        ("shed", ROOMS, f"{shed_wall:.3f}",
+         str(sum(shed_retries.values())), "-"),
+        ("gateway", ROOMS, "-", str(sum(gate_retries.values())),
+         f"{gate_drain['migrated']} migrated mid-burst"),
+    ]
+    emit(
+        "gate",
+        f"Drain as live migration vs legacy shed ({ROOMS} mid-fill rooms, "
+        f"m=2, {SHARDS} shards) + HTTP gateway burst under drain",
+        ("leg", "rooms", "drain wall(s)", "client retries", "notes"),
+        rows,
+    )
+
+    doc = {
+        "rooms": ROOMS,
+        "shards": SHARDS,
+        "migrate": {
+            "drain_report": drain,
+            "migrations": migrations,
+            "drain_wall_s": round(migrate_wall, 6),
+            "client_retries": migrate_retries,
+            "restore_latency": restore.summary(),
+        },
+        "shed_baseline": {
+            "drain_wall_s": round(shed_wall, 6),
+            "client_retries": shed_retries,
+        },
+        "gateway": {
+            "rooms": {name: s["state"] for name, s in states.items()},
+            "drain_report": gate_drain,
+            "client_retries": gate_retries,
+            "prometheus_samples": samples,
+            "request_latency": latency.summary(),
+        },
+    }
+    with open(JSON_PATH, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")

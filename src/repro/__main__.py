@@ -648,6 +648,45 @@ def _serve(args: argparse.Namespace) -> int:
         return 0
 
 
+def _gate(args: argparse.Namespace) -> int:
+    from repro.gate.http import GatewayConfig, HttpGateway, derive_members
+
+    async def main() -> int:
+        router = None
+        target_port = args.target_port
+        if target_port == 0:
+            from repro.cluster import ClusterConfig, ClusterRouter
+            router = await ClusterRouter(ClusterConfig(
+                host=args.host, shards=args.shards)).start()
+            target_port = router.port
+            print(f"cluster router on {args.host}:{target_port} "
+                  f"({args.shards} shards)")
+        members, policy = derive_members(args.scheme, args.seed, args.pool)
+        gateway = await HttpGateway(
+            GatewayConfig(host=args.host, port=args.port,
+                          target_host=args.host, target_port=target_port,
+                          deadline=args.deadline, seed=args.seed),
+            members, policy).start()
+        print(f"HTTP gateway on http://{args.host}:{gateway.port} — "
+              f"POST /rooms, GET /rooms/{{name}}, GET /status, "
+              f"GET /metrics (member pool: {args.pool})")
+        try:
+            await gateway.serve_forever()
+        except asyncio.CancelledError:
+            pass
+        finally:
+            await gateway.shutdown()
+            if router is not None:
+                await router.shutdown()
+        return 0
+
+    try:
+        return asyncio.run(main())
+    except KeyboardInterrupt:
+        print("\nshutting down")
+        return 0
+
+
 def _build_join_world(args: argparse.Namespace):
     rng = random.Random(args.seed)
     if args.scheme == "2":
@@ -1131,6 +1170,30 @@ def main(argv=None) -> int:
                            "(default: 0.5)")
     _add_accel_flags(load)
 
+    gate = sub.add_parser(
+        "gate", help="HTTP/JSON gateway in front of a relay: spawn rooms "
+                     "with POST /rooms, poll GET /rooms/{name}, scrape "
+                     "GET /metrics (Prometheus)")
+    gate.add_argument("--host", default="127.0.0.1")
+    gate.add_argument("--port", type=int, default=7080,
+                      help="gateway listen port (default: 7080; 0 = "
+                           "ephemeral)")
+    gate.add_argument("--target-port", type=int, default=0, metavar="P",
+                      help="front a relay/router already running on P "
+                           "(default: 0 = self-host a cluster)")
+    gate.add_argument("--shards", type=int, default=2, metavar="N",
+                      help="shard count for the self-hosted cluster "
+                           "(default: 2; ignored with --target-port)")
+    gate.add_argument("--pool", type=int, default=8, metavar="M",
+                      help="members enrolled in the gateway's seeded "
+                           "group — the ceiling on a room's m "
+                           "(default: 8)")
+    gate.add_argument("--scheme", choices=("1", "2"), default="1")
+    gate.add_argument("--seed", type=int, default=2005)
+    gate.add_argument("--deadline", type=float, default=30.0,
+                      help="per-party deadline for spawned rooms, "
+                           "seconds (default: 30)")
+
     revoke = sub.add_parser(
         "revoke", help="seeded demo of one batched revocation epoch: "
                        "queue member(s), seal, print exact books and "
@@ -1228,6 +1291,12 @@ def main(argv=None) -> int:
         if args.rate <= 0 or args.duration <= 0:
             load.error("--rate and --duration must be positive")
         return _load(args)
+    if args.command == "gate":
+        if args.pool < 2:
+            gate.error("--pool must be >= 2 (a room needs two parties)")
+        if args.target_port == 0 and args.shards < 1:
+            gate.error("--shards must be >= 1 when self-hosting")
+        return _gate(args)
     if args.command == "revoke":
         if args.members < 3:
             revoke.error("--members must be >= 3 (two survivors must "

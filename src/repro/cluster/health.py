@@ -51,7 +51,12 @@ class ShardHandle:
         self.shard_id = spec.shard_id
         self.state = STARTING
         self.port: Optional[int] = None
-        self.last_heartbeat = 0.0          # time.monotonic() of last signal
+        #: ``time.monotonic()`` of the last pipe signal.  Initialized to
+        #: *now*, not 0.0: the handle exists before the worker's first
+        #: beat, and a zero epoch would make ``heartbeat_age()`` report
+        #: enormous staleness — a slow-starting shard would be swept as
+        #: dead at spawn.  Creation counts as the first sign of life.
+        self.last_heartbeat = time.monotonic()
         self.last_status: Dict[str, object] = {}
         #: Spans the worker shipped over the pipe (tracing runs only);
         #: bounded — the oldest are dropped past ``SPAN_KEEP``.
@@ -60,14 +65,21 @@ class ShardHandle:
         self.process: Optional[multiprocessing.process.BaseProcess] = None
         self.conn = None                   # parent end of the pipe
         self.up_event: Optional[asyncio.Event] = None
+        #: Room checkpoints shipped up the pipe (live migration): latest
+        #: passive snapshot per token, plus the *final* exact snapshots a
+        #: drain produces — what the router re-places onto a peer shard.
+        self.checkpoints: Dict[str, dict] = {}
+        self.final_checkpoints: Dict[str, dict] = {}
+        self.checkpoint_event: Optional[asyncio.Event] = None
+        #: Restore acks (("restored", ...) pipe replies) keyed by token.
+        self.restore_acks: Dict[str, dict] = {}
+        self.restore_event: Optional[asyncio.Event] = None
 
     @property
     def alive(self) -> bool:
         return self.state in (UP, DRAINING)
 
     def heartbeat_age(self) -> float:
-        if not self.last_heartbeat:
-            return float("inf")
         return time.monotonic() - self.last_heartbeat
 
     def summary(self) -> Dict[str, object]:
@@ -76,11 +88,10 @@ class ShardHandle:
         rooms = self.last_status.get("rooms") if self.last_status else None
         admission = (self.last_status.get("admission")
                      if self.last_status else None)
-        age = self.heartbeat_age()
         return {
             "state": self.state,
             "port": self.port,
-            "heartbeat_age_s": round(age, 3) if age != float("inf") else None,
+            "heartbeat_age_s": round(self.heartbeat_age(), 3),
             "rooms": rooms,
             "admission": admission,
         }
@@ -104,6 +115,8 @@ class HealthMonitor:
         self._loop = asyncio.get_running_loop()
         for handle in self.handles.values():
             handle.up_event = asyncio.Event()
+            handle.checkpoint_event = asyncio.Event()
+            handle.restore_event = asyncio.Event()
             parent_conn, child_conn = self._ctx.Pipe()
             handle.conn = parent_conn
             handle.process = self._ctx.Process(
@@ -179,6 +192,25 @@ class HealthMonitor:
                 del handle.shipped_spans[:-SPAN_KEEP]
             with metrics.scope(handle.spec.scope):
                 metrics.bump("svc-cluster:span-batches")
+        elif kind == "ckpt":
+            body = message[2]
+            payload = body.get("checkpoint") or {}
+            token = payload.get("token")
+            if token:
+                handle.checkpoints[token] = payload
+                if body.get("final"):
+                    handle.final_checkpoints[token] = payload
+                    if handle.checkpoint_event is not None:
+                        handle.checkpoint_event.set()
+            with metrics.scope(handle.spec.scope):
+                metrics.bump("svc-cluster:checkpoints")
+        elif kind == "restored":
+            body = message[2]
+            token = body.get("token")
+            if token:
+                handle.restore_acks[str(token)] = body
+            if handle.restore_event is not None:
+                handle.restore_event.set()
         elif kind == "draining":
             if handle.state != DEAD:
                 handle.state = DRAINING
@@ -221,10 +253,48 @@ class HealthMonitor:
         except (BrokenPipeError, OSError, ValueError):
             self.mark_dead(handle, why="pipe-broken")
 
+    def mark_draining(self, shard_id: int) -> ShardHandle:
+        """Take one shard out of placement *without* telling it to shut
+        down — the first step of a live migration: the router quiesces
+        and re-places the shard's rooms itself, then issues the actual
+        drain command once they are gone."""
+        handle = self.handles[shard_id]
+        if handle.state == UP:
+            handle.state = DRAINING
+        return handle
+
+    async def restore_room(self, shard_id: int, payload: dict,
+                           timeout: float = 5.0) -> dict:
+        """Send one final room checkpoint to ``shard_id`` and await its
+        ("restored", ...) ack.  Returns the ack body — ``{"ok": False}``
+        with an ``error`` on timeout, shard death, or shard-side refusal
+        (version mismatch, collision)."""
+        handle = self.handles[shard_id]
+        token = str(payload.get("token") or "")
+        self._command(handle, ("restore", payload))
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + timeout
+        while token not in handle.restore_acks:
+            if handle.state == DEAD:
+                return {"token": token, "ok": False, "error": "shard-dead"}
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                return {"token": token, "ok": False, "error": "timeout"}
+            handle.restore_event.clear()
+            try:
+                await asyncio.wait_for(handle.restore_event.wait(), remaining)
+            except asyncio.TimeoutError:
+                pass
+        return handle.restore_acks.pop(token)
+
     def drain(self, shard_id: int) -> None:
         """Ask one shard to drain gracefully.  Marked DRAINING immediately
         — the placement layer must stop choosing it *before* the ack, or
-        a room could land on it inside the window."""
+        a room could land on it inside the window.
+
+        This is the *shed* path: the shard finishes (or aborts) its own
+        rooms.  :meth:`repro.cluster.router.ClusterRouter.drain_shard`
+        layers live migration on top, moving rooms to a peer first."""
         handle = self.handles[shard_id]
         if handle.state == DEAD:
             return

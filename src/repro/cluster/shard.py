@@ -18,11 +18,17 @@ Supervision protocol (pickled tuples on the pipe; parent side in
   ``("spans", shard_id, {"epoch", "spans"})`` batches of finished spans
   when tracing is on (drained each beat plus a final flush — the raw
   material of the merged cluster trace, :mod:`repro.obs.telemetry`);
+  ``("ckpt", shard_id, {"final", "checkpoint"})`` room checkpoints at
+  fill/phase barriers (``final=False``) and at drain-quiesce
+  (``final=True`` — the exact snapshot a live migration restores);
+  ``("restored", shard_id, {"token", "ok", ...})`` acking a restore;
   ``("draining", shard_id)`` when a drain begins and
   ``("down", shard_id)`` after a clean shutdown.
-* parent -> child: ``("drain",)`` — stop accepting, give active rooms the
-  drain window, abort stragglers, exit; ``("stop",)`` — immediate
-  shutdown.  Pipe EOF (parent died) is treated as ``("stop",)``.
+* parent -> child: ``("restore", checkpoint_payload)`` — restore a
+  migrated room (acked with ``("restored", ...)``); ``("drain",)`` —
+  stop accepting, give active rooms the drain window, abort stragglers,
+  exit; ``("stop",)`` — immediate shutdown.  Pipe EOF (parent died) is
+  treated as ``("stop",)``.
 
 Workers are started with the multiprocessing ``spawn`` context: a fresh
 interpreter, no inherited event loop or lock state — ``fork`` under a
@@ -38,6 +44,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro import metrics
+from repro.errors import ProtocolError
 from repro.service.server import RendezvousServer, ServerConfig
 
 
@@ -118,6 +125,14 @@ async def _shard_async(spec: ShardSpec, conn) -> None:
         token_rng=(random.Random(spec.token_seed)
                    if spec.token_seed is not None else None))
     server = await RendezvousServer(config).start()
+
+    def on_checkpoint(payload: dict, final: bool) -> None:
+        # Room checkpoints (fill / phase barriers / drain-quiesce) travel
+        # up the same pipe the heartbeats use.
+        _send_safe(conn, ("ckpt", spec.shard_id,
+                          {"final": final, "checkpoint": payload}))
+
+    server.on_checkpoint = on_checkpoint
     loop.add_reader(conn.fileno(), on_pipe_readable)
     _send_safe(conn, ("up", spec.shard_id, server.port))
     heartbeats = asyncio.ensure_future(_heartbeat_loop(spec, conn, server))
@@ -125,10 +140,20 @@ async def _shard_async(spec: ShardSpec, conn) -> None:
         while True:
             command = await commands.get()
             kind = command[0]
+            if kind == "restore":
+                _restore(spec, conn, server, command[1])
+                continue
             if kind in ("drain", "stop"):
                 break
     finally:
         heartbeats.cancel()
+        try:
+            # Run the loop's finally (its own span flush) to completion
+            # *now*: a flush scheduled after ("down",) would race the
+            # parent closing its pipe end and lose the final batch.
+            await heartbeats
+        except asyncio.CancelledError:
+            pass
         try:
             loop.remove_reader(conn.fileno())
         except (OSError, ValueError):
@@ -138,7 +163,28 @@ async def _shard_async(spec: ShardSpec, conn) -> None:
         await server.shutdown(drain=True)
     else:
         await server.shutdown(drain=False)
+    # Spans finished during shutdown (aborted rooms on the shed path,
+    # migrated rooms' roots) must beat ("down",) onto the pipe — the
+    # parent stops reading the moment it sees the shard go down.
+    _ship_spans(spec, conn)
     _send_safe(conn, ("down", spec.shard_id))
+
+
+def _restore(spec: ShardSpec, conn, server, payload) -> None:
+    """Restore one migrated room from its final checkpoint and ack the
+    router.  Refusals (version mismatch, collisions, junk payloads) are
+    acked with ``ok=False`` — the router falls back to the shed path for
+    that room rather than wedging the drain."""
+    token = payload.get("token") if isinstance(payload, dict) else None
+    try:
+        result = server.restore_room(payload)
+    except ProtocolError as exc:
+        metrics.bump("svc:restore-rejected")
+        _send_safe(conn, ("restored", spec.shard_id,
+                          {"token": token, "ok": False, "error": str(exc)}))
+        return
+    result["ok"] = True
+    _send_safe(conn, ("restored", spec.shard_id, result))
 
 
 async def _heartbeat_loop(spec: ShardSpec, conn, server) -> None:

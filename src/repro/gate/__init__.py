@@ -1,0 +1,21 @@
+"""repro.gate — checkpoint/restore live migration and the HTTP front door.
+
+The paper's rendezvous relay is an *untrusted message board*: it holds a
+roster, a FIFO of opaque payloads and phase bookkeeping — never secrets.
+This package exploits that property operationally:
+
+* :mod:`repro.gate.checkpoint` — versioned, serializable room snapshots
+  (taken at phase boundaries and, exactly, at drain time);
+* :mod:`repro.gate.http` — a thin stdlib-asyncio HTTP/JSON gateway in
+  front of a cluster router, for load balancers and non-Python clients.
+
+The migration protocol itself lives where the actors live: quiesce and
+restore in :mod:`repro.service.server`, orchestration in
+:mod:`repro.cluster.router` (docs/PROTOCOL.md, "Live migration").
+"""
+
+from repro.gate.checkpoint import CHECKPOINT_VERSION, RoomCheckpoint
+from repro.gate.http import GatewayConfig, HttpGateway
+
+__all__ = ["CHECKPOINT_VERSION", "RoomCheckpoint",
+           "GatewayConfig", "HttpGateway"]

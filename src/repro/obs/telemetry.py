@@ -408,7 +408,7 @@ def prometheus_exposition(status: Mapping[str, object], *,
     rooms = status.get("rooms") or {}
     emit("# HELP repro_rooms Rooms by lifecycle state.")
     emit("# TYPE repro_rooms gauge")
-    for state in ("filling", "active", "closed"):
+    for state in ("filling", "active", "closed", "restoring"):
         emit(f'repro_rooms{{state="{state}"}} {int(rooms.get(state, 0))}')
     open_rooms = status.get("open_rooms")
     if open_rooms is None:

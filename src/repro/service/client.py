@@ -25,7 +25,10 @@ transport, expired deadline) rather than a protocol verdict.
 
 Observability (docs/OBSERVABILITY.md): connect attempts and handshakes
 are span-traced (``connect`` / ``handshake`` with ``transport="socket"``),
-end-to-end latency feeds the ``hs:latency`` histogram, and lifecycle
+admission wait (call entry -> ROOM_READY, including connect retries and
+backoff sleeps) feeds ``svc-client:admission-wait`` and handshake latency
+(admission -> outcome) feeds ``hs:latency`` — both on the loop clock, the
+same clock the deadline machinery uses — and lifecycle
 events (retries, aborts, outcomes) go through the redacting structured
 logger — identified by roster index and random room token only.
 :func:`query_status` fetches the live telemetry snapshot a running relay
@@ -38,7 +41,6 @@ import asyncio
 import itertools
 import json
 import random
-import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Sequence
 
@@ -239,9 +241,10 @@ async def join_room(member, config: ClientConfig,
     trace_ctx = obs.valid_trace(config.trace) or ""
     if not trace_ctx and metrics.current_recorder().tracing:
         trace_ctx = obs.mint_trace_id()
+    loop = asyncio.get_running_loop()
     state = {"index": -1, "joined": joined, "retryable": False,
-             "trace": trace_ctx}
-    deadline_at = asyncio.get_running_loop().time() + config.deadline
+             "trace": trace_ctx, "started_at": loop.time()}
+    deadline_at = loop.time() + config.deadline
     try:
         return await asyncio.wait_for(
             _join_with_retries(member, config, policy, rng, state,
@@ -310,6 +313,13 @@ async def _join(member, config: ClientConfig,
         if ready is None:
             return HandshakeOutcome(index=welcome.index, success=False,
                                     retryable=state["retryable"])
+        loop = asyncio.get_running_loop()
+        # Admission wait: call entry -> ROOM_READY, on the *loop* clock —
+        # the same clock the deadline/backoff machinery runs on.  This is
+        # where connect retries, BUSY backoff sleeps and the wait for
+        # peers land, keeping them out of the handshake latency below.
+        metrics.observe("svc-client:admission-wait",
+                        loop.time() - state["started_at"])
 
         plan = SessionPlan(
             session_id=ready.token,
@@ -318,7 +328,10 @@ async def _join(member, config: ClientConfig,
         device = HandshakeDevice(f"device-{welcome.index}", member, plan,
                                  policy, rng)
         device.attached(link)
-        hs_started = time.perf_counter()
+        # Handshake latency starts at admission and is measured on the
+        # loop clock too: one consistent clock for the SLO report, and a
+        # re-HELLO resets it, so backoff sleeps never inflate hs:latency.
+        hs_started = loop.time()
         with obs.span("handshake", trace=trace_ctx or None, m=welcome.m,
                       transport="socket", party=welcome.index,
                       token=ready.token):
@@ -354,6 +367,14 @@ async def _join(member, config: ClientConfig,
                         with metrics.scope(device.metrics_scope):
                             _deliver_step(device, delivered, nbytes)
                     await _flush(writer, link)
+                elif isinstance(message, protocol.Migrated):
+                    # Live migration: the room moved to a peer shard and
+                    # resumes exactly where it stopped.  Informational —
+                    # same connection, same index, no crypto redone; keep
+                    # reading.
+                    metrics.bump("svc-client:migrations")
+                    obslog.log_event(_log, "room-migrated",
+                                     party=welcome.index, token=ready.token)
                 elif isinstance(message, protocol.Abort):
                     metrics.bump("svc-client:room-aborts")
                     obslog.log_event(_log, "room-abort",
@@ -373,7 +394,7 @@ async def _join(member, config: ClientConfig,
                     raise ProtocolError(
                         f"unexpected {type(message).__name__} from server")
 
-        metrics.observe("hs:latency", time.perf_counter() - hs_started)
+        metrics.observe("hs:latency", loop.time() - hs_started)
         if device.outcome is not None:
             try:
                 await _send(writer, protocol.Done(), config.max_frame)
@@ -384,8 +405,7 @@ async def _join(member, config: ClientConfig,
             retryable=state["retryable"])
         obslog.log_event(_log, "outcome", party=welcome.index,
                          token=ready.token, success=outcome.success,
-                         latency_s=round(
-                             time.perf_counter() - hs_started, 6))
+                         latency_s=round(loop.time() - hs_started, 6))
         return outcome
     finally:
         try:
@@ -449,6 +469,11 @@ async def _expect(reader: asyncio.StreamReader, config: ClientConfig,
         message = protocol.decode_message(blob)
         if isinstance(message, expected_type):
             return message
+        if isinstance(message, protocol.Migrated):
+            # The (still-filling) room moved to a peer shard; WELCOME /
+            # ROOM_READY will arrive from there over the same connection.
+            metrics.bump("svc-client:migrations")
+            continue
         if isinstance(message, protocol.Busy):
             raise _SessionRetry("busy-retries", message.reason)
         if isinstance(message, protocol.Abort):

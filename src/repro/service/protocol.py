@@ -29,7 +29,22 @@ Session flow::
                                        cluster shard behind a router) cannot
                                        host a new room right now; transient
                                        — the client retries with backoff
+    S -> C   MIGRATED(token)           live migration: the room moved to a
+                                       peer shard and resumes exactly where
+                                       it stopped — informational; the
+                                       client keeps its connection, index
+                                       and crypto state and just keeps
+                                       reading
     both     ERROR(reason)             protocol violation; connection drops
+
+Migration plumbing (router <-> shard only, never originated by clients;
+docs/PROTOCOL.md "Live migration")::
+
+    R -> S   QUIESCE()                 frame-boundary sentinel: no more
+                                       frames from this member until the
+                                       room moves
+    R -> S   ATTACH(token, index)      bind a fresh connection to roster
+                                       slot ``index`` of a restored room
 
 Introspection (one-shot, in place of HELLO)::
 
@@ -129,6 +144,46 @@ class Error:
 
 
 @dataclass(frozen=True)
+class Quiesce:
+    """Router -> shard sentinel, injected at a frame boundary on one
+    member connection when a drain-migration begins.  Receiving it tells
+    the shard "no further frames will arrive from this member until the
+    room moves"; once every live member of a room is quiesced the shard
+    finishes the FIFO, snapshots the room and ships the checkpoint.
+    Never sent by clients; a standalone server ignores it for roomless
+    connections."""
+
+    KIND = "svc/quiesce"
+
+
+@dataclass(frozen=True)
+class Attach:
+    """Router -> shard, in place of HELLO on a fresh connection: bind
+    this connection to roster slot ``index`` of the *restored* room
+    identified by ``token``.  The client behind the splice keeps its
+    original WELCOME/index — attach re-creates only the server side of
+    the pairing, which is why migration needs no re-HELLO."""
+
+    token: str
+    index: int
+
+    KIND = "svc/attach"
+
+
+@dataclass(frozen=True)
+class Migrated:
+    """Server/router -> client: your room moved to a peer shard; the
+    relay resumes exactly where it stopped.  Informational — the client
+    keeps its connection, keeps its roster index, re-runs no crypto, and
+    simply continues reading.  ``token`` names the (unchanged) session
+    token so logs line up across the hop."""
+
+    token: str
+
+    KIND = "svc/migrated"
+
+
+@dataclass(frozen=True)
 class Status:
     KIND = "svc/status"
 
@@ -143,7 +198,7 @@ class StatusReply:
 _REGISTRY: Dict[str, Tuple[Type, Tuple[str, ...]]] = {
     cls.KIND: (cls, tuple(cls.__dataclass_fields__))  # type: ignore[attr-defined]
     for cls in (Hello, Welcome, RoomReady, Broadcast, Deliver, Done, Abort,
-                Busy, Error, Status, StatusReply)
+                Busy, Error, Quiesce, Attach, Migrated, Status, StatusReply)
 }
 
 _FIELD_TYPES = {"room": str, "reason": str, "token": str, "m": int,
@@ -193,6 +248,7 @@ def payload_kind(payload: object) -> str:
 
 __all__ = [
     "Hello", "Welcome", "RoomReady", "Broadcast", "Deliver", "Done",
-    "Abort", "Busy", "Error", "Status", "StatusReply",
+    "Abort", "Busy", "Error", "Quiesce", "Attach", "Migrated",
+    "Status", "StatusReply",
     "encode_message", "decode_message", "payload_kind",
 ]

@@ -51,12 +51,36 @@ from typing import Dict, List, Optional
 from repro import accel, metrics, revocation
 from repro.accel import bridge as accel_bridge
 from repro.errors import EncodingError, ProtocolError
+from repro.gate import checkpoint as gate_checkpoint
+from repro.gate.checkpoint import RoomCheckpoint
 from repro.obs import logging as obslog
 from repro.obs import spans as obs
 from repro.service import framing, protocol
 from repro.service.faults import FaultInjector
 
 _log = obslog.get_logger("repro.service.server")
+
+#: Relay-queue sentinel: "every frame before this has been fanned out and
+#: no more are coming — snapshot the room now" (drain-migration quiesce).
+_QUIESCE = object()
+
+
+def _scope_counts(scope_name: str) -> Dict[str, int]:
+    """The replayable counter book of one scope — what a room checkpoint
+    ships so the cluster-aggregate books survive the donor shard's death
+    (:func:`repro.metrics.replay` on the restoring side)."""
+    counters = metrics.current_recorder().snapshot().get(scope_name)
+    if counters is None:
+        return {}
+    counts: Dict[str, int] = {}
+    for name in metrics.REPLAY_FIELDS:
+        value = getattr(counters, name, 0)
+        if value:
+            counts[name] = value
+    for name, value in counters.extra.items():
+        if value:
+            counts[name] = counts.get(name, 0) + value
+    return counts
 
 
 @dataclass
@@ -171,33 +195,61 @@ class _Connection:
 
 
 class _Room:
-    """One rendezvous room: roster, FIFO relay, lifecycle state."""
+    """One rendezvous room: roster, FIFO relay, lifecycle state.
 
-    FILLING, ACTIVE, CLOSED = "filling", "active", "closed"
+    Restored rooms (live migration, docs/PROTOCOL.md) pass through the
+    extra ``RESTORING`` state: the relay state came from a peer shard's
+    checkpoint, roster slots are ``None`` placeholders, and the room
+    resumes — relay loop, deadlines, FIFO — once every non-DONE member
+    has re-attached through the router's re-splice.
+    """
+
+    FILLING, ACTIVE, CLOSED, RESTORING = ("filling", "active", "closed",
+                                          "restoring")
 
     def __init__(self, server: "RendezvousServer", name: str, m: int,
-                 token: str, trace: Optional[str] = None) -> None:
+                 token: str, trace: Optional[str] = None,
+                 restored: bool = False) -> None:
         self.server = server
         self.name = name
         self.m = m
         self.token = token
+        self.trace = trace or ""
         self.state = self.FILLING
-        self.members: List[_Connection] = []
+        self.members: List[Optional[_Connection]] = []
         self.done: set = set()
         self.outcome: Optional[str] = None   # "completed" | abort reason
         self.queue: asyncio.Queue = asyncio.Queue()
         self.relay_task: Optional[asyncio.Task] = None
         self.finished = asyncio.Event()
         self.opened_at = time.perf_counter()
+        # Deadline bookkeeping lives on the room (not buried in closures)
+        # so a checkpoint can ship the *remaining* budget and a restore
+        # can re-arm it — a migrated room never gets a fresh clock.
+        self.fill_timer: Optional[asyncio.TimerHandle] = None
+        self.fill_deadline: Optional[float] = None
+        self.relay_deadline: Optional[float] = None
+        self.restore_timer: Optional[asyncio.TimerHandle] = None
+        # Phase progress: fanned-out count and last payload kind — the
+        # phase-barrier marker for passive checkpoints.
+        self.relayed = 0
+        self.phase_kind: Optional[str] = None
+        # Migration state: which members the router has quiesced, and the
+        # checkpointed lifecycle state a RESTORING room resumes into.
+        self.quiesced: set = set()
+        self.restore_state: Optional[str] = None
+        self._ship_requested = False
         # Lifecycle spans (fill -> relay under one root); identified by
         # the unlinkable token only — never the rendezvous name.  The
         # root adopts the opening member's trace context, so the room's
-        # server-side spans join the client's trace across the wire.
+        # server-side spans join the client's trace across the wire —
+        # and a restored room adopts the *checkpointed* context, keeping
+        # one trace across the migration hop.
         self._span_root = obs.start_span("room", parent=None, trace=trace,
                                          token=token, m=m)
-        self._span_stage = obs.start_span("room:fill",
-                                          parent=self._span_root,
-                                          token=token)
+        self._span_stage = obs.start_span(
+            "room:restore" if restored else "room:fill",
+            parent=self._span_root, token=token)
 
     @property
     def scope(self) -> str:
@@ -212,7 +264,15 @@ class _Room:
         conn.room = self
         return index
 
+    def cancel_fill_timer(self) -> None:
+        """Cancel the fill deadline; a queued-but-unfired callback is
+        suppressed too (TimerHandle.cancel covers the same-tick race)."""
+        if self.fill_timer is not None:
+            self.fill_timer.cancel()
+            self.fill_timer = None
+
     def activate(self) -> None:
+        self.cancel_fill_timer()
         self.state = self.ACTIVE
         metrics.bump("svc:rooms-active")
         self._span_stage.end()
@@ -221,10 +281,17 @@ class _Room:
                                           token=self.token)
         obslog.log_event(_log, "room-active", token=self.token, m=self.m,
                          fill_s=round(time.perf_counter() - self.opened_at, 6))
+        self.relay_deadline = (asyncio.get_running_loop().time()
+                               + self.server.config.handshake_timeout)
         for conn in self.members:
             conn.send_best_effort(
                 protocol.RoomReady(room=self.name, token=self.token, m=self.m))
         self.relay_task = asyncio.ensure_future(self._relay_loop())
+        # Fill is a phase boundary: ship a passive checkpoint (cluster
+        # shards only — standalone relays have nowhere to ship it).
+        if self.server.on_checkpoint is not None:
+            self.server._emit_checkpoint(self._build_checkpoint([]),
+                                         final=False)
 
     # Relay ----------------------------------------------------------------
 
@@ -233,20 +300,42 @@ class _Room:
 
     async def _relay_loop(self) -> None:
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.server.config.handshake_timeout
+        if self.relay_deadline is None:
+            self.relay_deadline = (loop.time()
+                                   + self.server.config.handshake_timeout)
         with metrics.scope(self.scope):
             while self.state == self.ACTIVE:
-                remaining = deadline - loop.time()
+                remaining = self.relay_deadline - loop.time()
                 if remaining <= 0:
                     metrics.bump("svc:handshake-timeouts")
                     self.abort("handshake-timeout")
                     return
                 try:
-                    sender, payload, enqueued = await asyncio.wait_for(
-                        self.queue.get(), remaining)
+                    item = await asyncio.wait_for(self.queue.get(), remaining)
+                    if item is _QUIESCE:
+                        # Every frame enqueued before the sentinel has been
+                        # fully fanned out — the exact point to snapshot.
+                        self._ship()
+                        return
+                    sender, payload, enqueued = item
+                    kind = protocol.payload_kind(payload)
+                    if (self.phase_kind is not None
+                            and kind != self.phase_kind
+                            and self.server.on_checkpoint is not None):
+                        # Phase barrier: the FIFO advanced to a new payload
+                        # kind.  Snapshot *before* fanning the new phase
+                        # out, with the in-hand frame back at the head of
+                        # the pending queue.
+                        pending = [(sender, payload)]
+                        pending.extend((s, p) for s, p, _ in
+                                       list(self.queue._queue))
+                        self.server._emit_checkpoint(
+                            self._build_checkpoint(pending), final=False)
+                    self.phase_kind = kind
                     await asyncio.wait_for(
                         self._fan_out(sender, payload),
-                        deadline - loop.time())
+                        self.relay_deadline - loop.time())
+                    self.relayed += 1
                     # Queue-to-fanned-out latency of one relayed frame:
                     # the relay's own contribution to handshake latency
                     # (includes injected fault delays — honestly).
@@ -268,6 +357,8 @@ class _Room:
         if action is not None and action.disconnect_sender:
             metrics.bump("room-disconnects")
             victim = self.members[sender]
+            if victim is None:
+                return
             victim.kick()
             # The victim's handler will observe the closed socket and
             # report the loss; abort proactively so survivors never wait
@@ -285,7 +376,7 @@ class _Room:
             frame = _encode_deliver(message)
         for _ in range(copies):
             for conn in self.members:
-                if conn.index == sender or conn.kicked:
+                if conn is None or conn.index == sender or conn.kicked:
                     continue
                 await conn.send_frame(frame)
             metrics.bump("room-relays")
@@ -298,11 +389,15 @@ class _Room:
         conn.done = True
         self.done.add(conn.index)
         if self.state == self.ACTIVE and len(self.done) == self.m:
-            self._finish("completed")
-            metrics.bump("svc:rooms-completed")
-            metrics.observe("svc:room-lifetime",
-                            time.perf_counter() - self.opened_at)
-            for member in self.members:
+            self._complete()
+
+    def _complete(self) -> None:
+        self._finish("completed")
+        metrics.bump("svc:rooms-completed")
+        metrics.observe("svc:room-lifetime",
+                        time.perf_counter() - self.opened_at)
+        for member in self.members:
+            if member is not None:
                 member.close()
 
     def member_lost(self, conn: _Connection) -> None:
@@ -311,7 +406,9 @@ class _Room:
         the member had already concluded."""
         if self.state == self.CLOSED or conn.done:
             return
-        self.abort("peer-disconnect" if self.state == self.ACTIVE
+        in_handshake = (self.state == self.ACTIVE
+                        or self.restore_state == gate_checkpoint.ACTIVE)
+        self.abort("peer-disconnect" if in_handshake
                    else "peer-left-while-filling")
 
     def abort(self, reason: str) -> None:
@@ -321,6 +418,8 @@ class _Room:
         metrics.bump("svc:rooms-aborted")
         metrics.bump(f"svc:abort:{reason}")
         for conn in self.members:
+            if conn is None:
+                continue
             if not conn.done and not conn.kicked:
                 metrics.bump("svc:abort-frames")
                 conn.send_best_effort(protocol.Abort(reason=reason))
@@ -329,6 +428,10 @@ class _Room:
     def _finish(self, outcome: str) -> None:
         self.state = self.CLOSED
         self.outcome = outcome
+        self.cancel_fill_timer()
+        if self.restore_timer is not None:
+            self.restore_timer.cancel()
+            self.restore_timer = None
         self._span_stage.end()
         self._span_root.end(outcome=outcome)
         obslog.log_event(_log, "room-closed", token=self.token,
@@ -339,6 +442,143 @@ class _Room:
         if self.relay_task is not None and self.relay_task is not asyncio.current_task():
             self.relay_task.cancel()
         self.finished.set()
+
+    # Migration: quiesce -> checkpoint -> ship -------------------------------
+
+    def quiesce(self, conn: _Connection) -> None:
+        """The router injected a QUIESCE sentinel on this member's
+        connection: no further frames will arrive from them until the
+        room moves.  Once every live member is quiesced, ship."""
+        if self.state == self.CLOSED or conn.index is None:
+            return
+        self.quiesced.add(conn.index)
+        self._maybe_ship()
+
+    def _maybe_ship(self) -> None:
+        if self.state == self.CLOSED or self._ship_requested:
+            return
+        live = [conn.index for conn in self.members
+                if conn is not None and not conn.done and not conn.kicked]
+        if not live or not all(index in self.quiesced for index in live):
+            return
+        self._ship_requested = True
+        if self.state == self.ACTIVE:
+            # Never snapshot mid-fan-out: let the relay loop finish
+            # everything already enqueued, then ship at the sentinel.
+            self.queue.put_nowait(_QUIESCE)
+        else:
+            self._ship()
+
+    def _ship(self) -> None:
+        """Snapshot the room into its final checkpoint and close it with
+        outcome "migrated".  Runs at a FIFO boundary: every frame before
+        this point has been fully fanned out."""
+        if self.state == self.CLOSED:
+            return
+        pending: List = []
+        while not self.queue.empty():
+            item = self.queue.get_nowait()
+            if item is not _QUIESCE:
+                pending.append((item[0], item[1]))
+        checkpoint = self._build_checkpoint(pending)
+        metrics.bump("svc:rooms-migrated-out")
+        self._finish("migrated")
+        self.server._emit_checkpoint(checkpoint, final=True)
+        for conn in self.members:
+            if conn is not None:
+                conn.close()
+
+    def _build_checkpoint(self, pending) -> RoomCheckpoint:
+        loop = asyncio.get_running_loop()
+        active = (self.state == self.ACTIVE
+                  or self.restore_state == gate_checkpoint.ACTIVE)
+        fill_remaining = handshake_remaining = None
+        if active:
+            handshake_remaining = (
+                max(self.relay_deadline - loop.time(), 0.0)
+                if self.relay_deadline is not None
+                else self.server.config.handshake_timeout)
+        else:
+            fill_remaining = (
+                max(self.fill_deadline - loop.time(), 0.0)
+                if self.fill_deadline is not None
+                else self.server.config.room_fill_timeout)
+        return RoomCheckpoint(
+            name=self.name, token=self.token, m=self.m,
+            state=gate_checkpoint.ACTIVE if active else gate_checkpoint.FILLING,
+            members=len(self.members), trace=self.trace,
+            done=tuple(sorted(self.done)), pending=tuple(pending),
+            fill_remaining_s=fill_remaining,
+            handshake_remaining_s=handshake_remaining,
+            relayed=self.relayed, phase_kind=self.phase_kind,
+            counters=_scope_counts(self.scope))
+
+    # Migration: restore -> attach -> resume ---------------------------------
+
+    def attach(self, conn: _Connection, index: int) -> None:
+        """Bind a re-spliced connection to roster slot ``index`` of this
+        restored room (router ATTACH, in place of HELLO)."""
+        if self.state != self.RESTORING:
+            raise ProtocolError("ATTACH to a room that is not restoring")
+        if not 0 <= index < len(self.members):
+            raise ProtocolError("ATTACH index outside restored roster")
+        if self.members[index] is not None:
+            raise ProtocolError("ATTACH to an occupied roster slot")
+        self.members[index] = conn
+        conn.index = index
+        conn.room = self
+        conn.done = index in self.done
+        metrics.bump("svc:attaches")
+        self._maybe_resume()
+
+    def _maybe_resume(self) -> None:
+        if self.state != self.RESTORING:
+            return
+        for index, conn in enumerate(self.members):
+            if conn is None and index not in self.done:
+                return   # a live member has not re-attached yet
+        self._resume()
+
+    def _resume(self) -> None:
+        """Every live member re-attached: pick up exactly where the donor
+        shard stopped — same token, same trace, same FIFO, same budget."""
+        if self.restore_state == gate_checkpoint.FILLING:
+            self.state = self.FILLING
+            self._span_stage.end()
+            self._span_stage = obs.start_span("room:fill",
+                                              parent=self._span_root,
+                                              token=self.token)
+            obslog.log_event(_log, "room-resumed", token=self.token,
+                             state=self.state, members=len(self.members))
+            if len(self.members) == self.m:
+                # Roster completed while we were still restoring (a new
+                # member HELLOed between restore and the last attach).
+                self.server._filling.pop(self.name, None)
+                self.activate()
+            return
+        if self.restore_timer is not None:
+            self.restore_timer.cancel()
+            self.restore_timer = None
+        self.state = self.ACTIVE
+        self._span_stage.end()
+        self._span_stage = obs.start_span("room:relay",
+                                          parent=self._span_root,
+                                          token=self.token)
+        obslog.log_event(_log, "room-resumed", token=self.token,
+                         state=self.state, relayed=self.relayed,
+                         pending=self.queue.qsize())
+        if len(self.done) == self.m:
+            # Every member had concluded before the move; close out.
+            self._complete()
+            return
+        self.relay_task = asyncio.ensure_future(self._relay_loop())
+
+    def _restore_timeout(self) -> None:
+        """Backstop for a restored active room whose members never all
+        re-attach: the checkpointed handshake budget still applies."""
+        if self.state == self.RESTORING:
+            metrics.bump("svc:handshake-timeouts")
+            self.abort("handshake-timeout")
 
 
 def _encode_deliver(message) -> bytes:
@@ -371,6 +611,11 @@ class RendezvousServer:
         self._accepting = False
         self._started = 0.0
         self._open_rooms = 0           # filling + active (admission control)
+        #: Cluster hook (set by the shard worker): called with
+        #: ``(checkpoint_payload, final)`` for every room checkpoint so it
+        #: can travel up the supervision pipe.  ``None`` (standalone
+        #: relays) disables passive checkpointing entirely.
+        self.on_checkpoint = None
 
     # Lifecycle ------------------------------------------------------------
 
@@ -435,11 +680,12 @@ class RendezvousServer:
         room counts by state keyed to random tokens' existence, queue
         depths, ``svc:*`` counters and histogram summaries.  No rendezvous
         names, member identifiers or payload bytes appear."""
-        states = {_Room.FILLING: 0, _Room.ACTIVE: 0, _Room.CLOSED: 0}
+        states = {_Room.FILLING: 0, _Room.ACTIVE: 0, _Room.CLOSED: 0,
+                  _Room.RESTORING: 0}
         relay_backlog = 0
         for room in self._rooms.values():
             states[room.state] += 1
-            if room.state == _Room.ACTIVE:
+            if room.state in (_Room.ACTIVE, _Room.RESTORING):
                 relay_backlog += room.queue.qsize()
         depths = [c.queue.qsize() for c in self._connections]
         outcomes: Dict[str, int] = {}
@@ -459,7 +705,8 @@ class RendezvousServer:
             "connections": len(self._connections),
             "rooms": {"filling": states[_Room.FILLING],
                       "active": states[_Room.ACTIVE],
-                      "closed": states[_Room.CLOSED]},
+                      "closed": states[_Room.CLOSED],
+                      "restoring": states[_Room.RESTORING]},
             "admission": {"open_rooms": self._open_rooms,
                           "max_rooms": self.config.max_rooms},
             "outcomes": outcomes,
@@ -547,6 +794,15 @@ class RendezvousServer:
             await conn.send(protocol.StatusReply(body=json.dumps(
                 self.status(), sort_keys=True)))
             return
+        if isinstance(hello, protocol.Attach):
+            # Router re-splice after a live migration: bind this fresh
+            # connection to its old roster slot in the restored room.
+            room = self._rooms.get(hello.token)
+            if room is None:
+                raise ProtocolError("ATTACH to an unknown room token")
+            room.attach(conn, hello.index)   # validates state and slot
+            await self._member_loop(conn, room)
+            return
         if not isinstance(hello, protocol.Hello):
             raise ProtocolError(f"expected HELLO, got {type(hello).__name__}")
         if not 2 <= hello.m <= self.config.max_room_size:
@@ -581,16 +837,31 @@ class RendezvousServer:
             self._rooms[room.token] = room
             self._open_rooms += 1
             metrics.bump("svc:rooms-opened")
-            asyncio.get_running_loop().call_later(
+            loop = asyncio.get_running_loop()
+            room.fill_deadline = loop.time() + self.config.room_fill_timeout
+            room.fill_timer = loop.call_later(
                 self.config.room_fill_timeout, self._fill_timeout, room)
         elif room.m != hello.m:
             raise ProtocolError(
                 f"room {hello.room!r} expects m={room.m}, not {hello.m}")
         index = room.add(conn)
-        await conn.send(protocol.Welcome(room=room.name, index=index, m=room.m))
-        if len(room.members) == room.m:
+        full = len(room.members) == room.m
+        if full:
+            # The m-th member has landed: kill the fill timer *before* the
+            # first await below.  A timer callback already queued for this
+            # very tick would otherwise fire in the WELCOME-send window and
+            # abort a room that did fill in time (cancel() suppresses it).
+            room.cancel_fill_timer()
             del self._filling[room.name]
-            room.activate()
+        await conn.send(protocol.Welcome(room=room.name, index=index, m=room.m))
+        if full:
+            if room.state == _Room.FILLING:
+                room.activate()
+            # else: the roster of a restored FILLING room completed while
+            # members were still re-attaching; _resume() activates it.
+        await self._member_loop(conn, room)
+
+    async def _member_loop(self, conn: _Connection, room: _Room) -> None:
         # Main read loop: relay broadcasts until the client signals DONE
         # and closes, or the room dies under us (closed socket -> except).
         while True:
@@ -598,11 +869,15 @@ class RendezvousServer:
             if message is None:
                 return
             if isinstance(message, protocol.Broadcast):
-                if room.state != _Room.ACTIVE:
+                # RESTORING rooms buffer broadcasts in the FIFO; the relay
+                # loop fans them out (in order) once the room resumes.
+                if room.state not in (_Room.ACTIVE, _Room.RESTORING):
                     raise ProtocolError("broadcast outside an active room")
                 await room.relay(conn.index, message.payload)
             elif isinstance(message, protocol.Done):
                 room.mark_done(conn)
+            elif isinstance(message, protocol.Quiesce):
+                room.quiesce(conn)
             elif isinstance(message, protocol.Hello):
                 raise ProtocolError("duplicate HELLO")
             else:
@@ -610,10 +885,79 @@ class RendezvousServer:
                     f"unexpected {type(message).__name__} from client")
 
     def _fill_timeout(self, room: _Room) -> None:
-        if room.state == _Room.FILLING:
+        if room.state == _Room.FILLING or (
+                room.state == _Room.RESTORING
+                and room.restore_state == gate_checkpoint.FILLING):
             metrics.bump("svc:fill-timeouts")
             room.abort("fill-timeout")
 
     def _room_closed(self, room: _Room) -> None:
         self._filling.pop(room.name, None)
         self._open_rooms = max(0, self._open_rooms - 1)
+
+    # Checkpoint / restore ---------------------------------------------------
+
+    def _emit_checkpoint(self, checkpoint: RoomCheckpoint,
+                         final: bool) -> None:
+        metrics.bump("svc:checkpoints")
+        if final:
+            metrics.bump("svc:checkpoints-final")
+        hook = self.on_checkpoint
+        if hook is not None:
+            hook(checkpoint.to_payload(), final)
+
+    def restore_room(self, payload: object) -> Dict[str, object]:
+        """Restore a room from a peer shard's final checkpoint.
+
+        Validates the versioned payload (:class:`ProtocolError` on
+        anything this node does not speak — see repro.gate.checkpoint),
+        rebuilds the room in ``RESTORING`` state with placeholder roster
+        slots, replays the donor's room-scope counter book so cluster
+        aggregates survive the donor's death, re-enqueues the pending
+        FIFO in order, and re-arms the *remaining* deadline budget.  The
+        room resumes when the router has ATTACHed every live member.
+        """
+        checkpoint = RoomCheckpoint.from_payload(payload)
+        if checkpoint.token in self._rooms:
+            raise ProtocolError("restore collides with an existing token")
+        if (checkpoint.state == gate_checkpoint.FILLING
+                and checkpoint.name in self._filling):
+            raise ProtocolError("restore collides with a filling room")
+        room = _Room(self, checkpoint.name, checkpoint.m, checkpoint.token,
+                     trace=checkpoint.trace or None, restored=True)
+        room.state = _Room.RESTORING
+        room.restore_state = checkpoint.state
+        room.members = [None] * checkpoint.members
+        room.done = set(checkpoint.done)
+        room.relayed = checkpoint.relayed
+        room.phase_kind = checkpoint.phase_kind
+        for sender, item in checkpoint.pending:
+            room.queue.put_nowait((sender, item, time.perf_counter()))
+        self._rooms[checkpoint.token] = room
+        self._open_rooms += 1
+        with metrics.scope(room.scope):
+            metrics.replay(checkpoint.counters)
+        metrics.bump("svc:rooms-migrated-in")
+        loop = asyncio.get_running_loop()
+        if checkpoint.state == gate_checkpoint.FILLING:
+            self._filling[checkpoint.name] = room
+            remaining = checkpoint.fill_remaining_s
+            if remaining is None:
+                remaining = self.config.room_fill_timeout
+            remaining = max(remaining, 0.05)
+            room.fill_deadline = loop.time() + remaining
+            room.fill_timer = loop.call_later(
+                remaining, self._fill_timeout, room)
+        else:
+            remaining = checkpoint.handshake_remaining_s
+            if remaining is None:
+                remaining = self.config.handshake_timeout
+            remaining = max(remaining, 0.05)
+            room.relay_deadline = loop.time() + remaining
+            room.restore_timer = loop.call_later(
+                remaining, room._restore_timeout)
+        obslog.log_event(_log, "room-restored", token=checkpoint.token,
+                         state=checkpoint.state, members=checkpoint.members,
+                         pending=len(checkpoint.pending))
+        return {"token": checkpoint.token, "state": checkpoint.state,
+                "members": checkpoint.members}

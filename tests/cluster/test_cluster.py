@@ -254,11 +254,12 @@ class TestFailover:
         assert status["cluster"]["states"].get("dead") == [0]
         assert status["cluster"]["states"].get("up") == [1]
 
-    def test_drain_shard_replaces_unfilled_rooms(self, scheme1_world):
-        """Graceful drain: the draining shard aborts its unfilled room
-        with the retryable ``server-shutdown`` reason; the waiting client
-        rejoins through the router and is re-placed onto the survivor,
-        where the room completes."""
+    def test_drain_shard_migrates_unfilled_room_live(self, scheme1_world):
+        """Graceful drain is a live migration: the half-filled room moves
+        to the survivor with its waiting member attached in place — the
+        client sees one MIGRATED frame, never an abort, never a retry.
+        The second member's later HELLO is re-placed onto the survivor
+        and lands in the *same* migrated room."""
         members = _lineup(scheme1_world, 2)
         policy = scheme1_policy()
         config = ClusterConfig(shards=2, heartbeat_interval=0.1)
@@ -273,21 +274,27 @@ class TestFailover:
                     members[0], cfg, policy, random.Random(1),
                     joined=joined))
                 await joined.wait()         # room filling on shard 0
-                router.drain_shard(0)
-                await asyncio.sleep(0.2)    # abort + rejoin in flight
+                report = await router.drain_shard(0)
                 second = asyncio.ensure_future(join_room(
                     members[1], cfg, policy, random.Random(2)))
                 outcomes = await asyncio.gather(first, second)
                 status = await query_status("127.0.0.1", router.port)
-                return outcomes, status
+                return outcomes, status, report
 
         recorder = metrics.Recorder()
         with metrics.using(recorder):
-            outcomes, status = _run(scenario())
+            outcomes, status, report = _run(scenario())
         assert all(o.success for o in outcomes)
-        # The rejoin crossed shards: placement recorded an explicit
+        assert report == {"migrated": 1, "completed": 0, "failed": 0}
+        extra = recorder.total().extra
+        # The waiting member was moved, not shed: one MIGRATED hop,
+        # zero client retries (the old shed path forced a rejoin).
+        assert extra.get("svc-client:migrations", 0) == 1
+        assert extra.get("svc-client:retries", 0) == 0
+        assert extra.get("svc-cluster:migrations", 0) == 1
+        # The second HELLO crossed shards: placement recorded an explicit
         # re-placement away from the (draining) primary owner.
-        assert recorder.total().extra.get("svc-cluster:replacements", 0) >= 1
+        assert extra.get("svc-cluster:replacements", 0) >= 1
         assert 0 not in status["cluster"]["states"].get("up", [])
 
     def test_no_live_shards_is_retryable_not_a_hang(self, scheme1_world):

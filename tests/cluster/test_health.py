@@ -1,0 +1,47 @@
+"""Unit tests for shard-liveness bookkeeping (no processes spawned).
+
+The regression pinned here: a :class:`ShardHandle` used to initialize
+``last_heartbeat`` to ``0.0``, so ``heartbeat_age()`` reported the full
+monotonic-clock epoch (hours) until the worker's *first* beat arrived —
+one sweep in that window marked a perfectly healthy, slow-starting shard
+DEAD at spawn.  Creation now counts as the first sign of life.
+"""
+
+import time
+
+from repro.cluster.health import DEAD, UP, HealthMonitor, ShardHandle
+from repro.cluster.shard import ShardSpec
+
+
+def _monitor(stale_after=0.5):
+    return HealthMonitor([ShardSpec(shard_id=0)], stale_after=stale_after)
+
+
+class TestDelayedFirstHeartbeat:
+    def test_fresh_handle_age_is_small_not_epochal(self):
+        handle = ShardHandle(ShardSpec(shard_id=7))
+        # Pre-fix this was ~time.monotonic() (the full clock epoch).
+        assert handle.heartbeat_age() < 0.5
+
+    def test_sweep_spares_a_shard_awaiting_its_first_beat(self):
+        """The delayed-first-heartbeat regression: a worker marked UP
+        whose first beat has not arrived yet must survive a sweep (its
+        creation time is recent), not be declared heartbeat-stale."""
+        monitor = _monitor(stale_after=0.5)
+        handle = monitor.handles[0]
+        handle.state = UP            # ("up", ...) seen, no ("hb", ...) yet
+        monitor.sweep()
+        assert handle.state == UP
+
+    def test_sweep_still_catches_a_genuinely_stale_shard(self):
+        monitor = _monitor(stale_after=0.5)
+        handle = monitor.handles[0]
+        handle.state = UP
+        handle.last_heartbeat = time.monotonic() - 1.0   # wedged worker
+        monitor.sweep()
+        assert handle.state == DEAD
+
+    def test_age_tracks_the_monotonic_clock(self):
+        handle = ShardHandle(ShardSpec(shard_id=0))
+        handle.last_heartbeat = time.monotonic() - 2.5
+        assert 2.4 < handle.heartbeat_age() < 3.5

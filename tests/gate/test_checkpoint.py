@@ -1,0 +1,96 @@
+"""Unit tests for the versioned room-checkpoint schema.
+
+The migration protocol's compatibility contract lives here: strict
+writers, forward-tolerant readers, and hard refusal of versions this
+node does not speak (restoring a half-understood snapshot would corrupt
+a live handshake).
+"""
+
+import pytest
+
+from repro.errors import ProtocolError
+from repro.gate.checkpoint import (
+    ACTIVE,
+    CHECKPOINT_VERSION,
+    FILLING,
+    RoomCheckpoint,
+)
+
+
+def _active_checkpoint(**overrides):
+    base = dict(
+        name="parity-room", token="tok-123", m=3, state=ACTIVE, members=3,
+        trace="0123456789abcdef0123456789abcdef",
+        done=(2,), pending=((0, "b64payload"), (1, "b64payload2")),
+        handshake_remaining_s=41.5, relayed=7, phase_kind="dgka",
+        counters={"svc:rooms-opened": 1, "svc:messages-relayed": 7})
+    base.update(overrides)
+    return RoomCheckpoint(**base)
+
+
+class TestRoundTrip:
+    def test_payload_round_trip_is_lossless(self):
+        checkpoint = _active_checkpoint()
+        restored = RoomCheckpoint.from_payload(checkpoint.to_payload())
+        assert restored == checkpoint
+
+    def test_filling_round_trip(self):
+        checkpoint = RoomCheckpoint(
+            name="half", token="tok-9", m=5, state=FILLING, members=2,
+            fill_remaining_s=12.25)
+        restored = RoomCheckpoint.from_payload(checkpoint.to_payload())
+        assert restored == checkpoint
+        assert restored.pending == ()
+        assert restored.handshake_remaining_s is None
+
+    def test_unknown_keys_are_ignored(self):
+        """Forward tolerance: a same-version payload with extra fields
+        (a newer writer being chatty) restores fine."""
+        payload = _active_checkpoint().to_payload()
+        payload["future_field"] = {"anything": True}
+        assert RoomCheckpoint.from_payload(payload) == _active_checkpoint()
+
+
+class TestRefusals:
+    @pytest.mark.parametrize("version", [0, CHECKPOINT_VERSION + 1, None, "1"])
+    def test_unknown_versions_are_refused(self, version):
+        payload = _active_checkpoint().to_payload()
+        payload["version"] = version
+        with pytest.raises(ProtocolError, match="version"):
+            RoomCheckpoint.from_payload(payload)
+
+    def test_non_mapping_payload_is_refused(self):
+        with pytest.raises(ProtocolError):
+            RoomCheckpoint.from_payload(["not", "a", "dict"])
+
+    @pytest.mark.parametrize("missing", ["name", "token", "m", "state",
+                                         "members"])
+    def test_missing_required_field_is_refused(self, missing):
+        payload = _active_checkpoint().to_payload()
+        del payload[missing]
+        with pytest.raises(ProtocolError, match=missing):
+            RoomCheckpoint.from_payload(payload)
+
+    def test_active_room_must_be_full(self):
+        payload = _active_checkpoint().to_payload()
+        payload["members"] = 2
+        with pytest.raises(ProtocolError, match="full"):
+            RoomCheckpoint.from_payload(payload)
+
+    def test_done_index_outside_roster_is_refused(self):
+        payload = _active_checkpoint().to_payload()
+        payload["done"] = [3]
+        with pytest.raises(ProtocolError, match="roster"):
+            RoomCheckpoint.from_payload(payload)
+
+    def test_pending_sender_outside_roster_is_refused(self):
+        payload = _active_checkpoint().to_payload()
+        payload["pending"] = [[7, "blob"]]
+        with pytest.raises(ProtocolError, match="sender"):
+            RoomCheckpoint.from_payload(payload)
+
+    def test_bad_state_is_refused(self):
+        payload = _active_checkpoint().to_payload()
+        payload["state"] = "closed"
+        with pytest.raises(ProtocolError, match="filling/active"):
+            RoomCheckpoint.from_payload(payload)

@@ -1,0 +1,161 @@
+"""End-to-end tests for the HTTP/JSON gateway.
+
+The gateway fronts a real rendezvous server over real sockets; the
+client here is a hand-rolled raw HTTP/1.1 requester (stdlib only, same
+as the gateway itself) so the wire format is tested, not mocked.
+"""
+
+import asyncio
+import json
+
+import pytest
+
+from repro import metrics
+from repro.core.scheme1 import scheme1_policy
+from repro.gate import GatewayConfig, HttpGateway
+from repro.service import RendezvousServer, ServerConfig
+
+TEST_CAP = 60.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+async def _request(port, method, path, body=None):
+    """One raw HTTP/1.1 exchange; returns (status_code, body_bytes)."""
+    reader, writer = await asyncio.open_connection("127.0.0.1", port)
+    payload = body if body is not None else b""
+    head = (f"{method} {path} HTTP/1.1\r\n"
+            f"Host: 127.0.0.1:{port}\r\n"
+            f"Content-Length: {len(payload)}\r\n"
+            f"Connection: close\r\n\r\n")
+    writer.write(head.encode() + payload)
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    header_blob, _, body_blob = raw.partition(b"\r\n\r\n")
+    status_line = header_blob.split(b"\r\n", 1)[0].decode()
+    code = int(status_line.split(" ")[1])
+    return code, body_blob
+
+
+class _World:
+    """One rendezvous server + gateway pair, torn down cleanly."""
+
+    def __init__(self, members, policy, **server_kw):
+        self.members = members
+        self.policy = policy
+        self.server_kw = server_kw
+
+    async def __aenter__(self):
+        self.server = await RendezvousServer(
+            ServerConfig(port=0, **self.server_kw)).start()
+        self.gateway = await HttpGateway(
+            GatewayConfig(target_port=self.server.port, deadline=20.0),
+            self.members, self.policy).start()
+        return self
+
+    async def __aexit__(self, *exc):
+        await self.gateway.shutdown()
+        await self.server.shutdown(drain=False)
+
+
+class TestRooms:
+    def test_post_room_runs_a_real_handshake(self, scheme1_world):
+        members = scheme1_world.lineup("alice", "bob")
+
+        async def scenario():
+            async with _World(members, scheme1_policy()) as world:
+                code, body = await _request(
+                    world.gateway.port, "POST", "/rooms",
+                    json.dumps({"room": "over-http", "m": 2}).encode())
+                assert code == 202
+                assert json.loads(body) == {
+                    "room": "over-http", "m": 2, "state": "running"}
+                while True:
+                    code, body = await _request(
+                        world.gateway.port, "GET", "/rooms/over-http")
+                    doc = json.loads(body)
+                    if doc["state"] != "running":
+                        return code, doc
+
+        with metrics.using(metrics.Recorder()) as recorder:
+            code, doc = _run(scenario())
+        assert code == 200
+        assert doc["state"] == "completed"
+        assert doc["result"]["successes"] == 2
+        assert doc["result"]["e2e_latency_s"] > 0
+        extra = recorder.total().extra
+        assert extra.get("gate:rooms-spawned") == 1
+        assert extra.get("gate:requests", 0) >= 2
+
+    def test_post_room_validates_input(self, scheme1_world):
+        members = scheme1_world.lineup("alice", "bob")
+
+        async def scenario():
+            async with _World(members, scheme1_policy()) as world:
+                results = {}
+                results["bad-json"] = await _request(
+                    world.gateway.port, "POST", "/rooms", b"{nope")
+                results["bad-m"] = await _request(
+                    world.gateway.port, "POST", "/rooms",
+                    json.dumps({"m": 99}).encode())
+                results["get-verb"] = await _request(
+                    world.gateway.port, "GET", "/rooms")
+                results["unknown"] = await _request(
+                    world.gateway.port, "GET", "/rooms/never-spawned")
+                results["no-route"] = await _request(
+                    world.gateway.port, "GET", "/nope")
+                return results
+
+        results = _run(scenario())
+        assert results["bad-json"][0] == 400
+        assert results["bad-m"][0] == 400
+        assert results["get-verb"][0] == 405
+        assert results["unknown"][0] == 404
+        assert results["no-route"][0] == 404
+        # Every error body is structured JSON, not a stack trace.
+        for code, body in results.values():
+            assert "error" in json.loads(body)
+
+
+class TestStatusAndMetrics:
+    def test_status_proxies_the_target_snapshot(self, scheme1_world):
+        members = scheme1_world.lineup("alice", "bob")
+
+        async def scenario():
+            async with _World(members, scheme1_policy()) as world:
+                return await _request(world.gateway.port, "GET", "/status")
+
+        code, body = _run(scenario())
+        assert code == 200
+        status = json.loads(body)
+        assert status["rooms"] == {"filling": 0, "active": 0,
+                                   "closed": 0, "restoring": 0}
+        assert "counters" in status
+
+    def test_metrics_is_parseable_prometheus(self, scheme1_world):
+        members = scheme1_world.lineup("alice", "bob")
+
+        async def scenario():
+            async with _World(members, scheme1_policy()) as world:
+                return await _request(world.gateway.port, "GET", "/metrics")
+
+        code, body = _run(scenario())
+        assert code == 200
+        text = body.decode()
+        samples = 0
+        for line in text.strip().split("\n"):
+            if line.startswith("#"):
+                continue
+            # Exposition format: `name{labels} value` or `name value`.
+            name_part, _, value = line.rpartition(" ")
+            assert name_part, line
+            float(value)  # must parse
+            samples += 1
+        assert samples >= 4
+        assert 'repro_rooms{state="restoring"} 0' in text
+        assert "repro_up 1" in text

@@ -1,0 +1,170 @@
+"""Regression tests for the shard-lifecycle timing fixes.
+
+Two races are pinned here:
+
+* **fill timer vs. room completion** — the m-th HELLO and the fill
+  deadline can land on the same event-loop tick.  Pre-fix, the timer
+  callback fired inside the WELCOME-send await window and aborted a
+  room that *did* fill in time.  The timer is now cancelled
+  synchronously before the first await (suppressing a same-tick queued
+  callback), and the timeout handler refuses to abort a room that is no
+  longer filling.
+
+* **client clocks** — admission wait (call entry → ROOM_READY,
+  including connect retries and backoff sleeps) and handshake latency
+  (admission → outcome) used to be measured from a mix of
+  ``time.monotonic()`` and ``loop.time()`` origins.  They are now two
+  separate histograms on one consistent clock, so waiting for peers can
+  never inflate ``hs:latency``.
+"""
+
+import asyncio
+import random
+
+from repro import metrics
+from repro.core.scheme1 import scheme1_policy
+from repro.service import ClientConfig, RendezvousServer, ServerConfig, join_room
+from repro.service.server import _Room
+
+TEST_CAP = 60.0
+
+
+def _run(coroutine):
+    async def capped():
+        return await asyncio.wait_for(coroutine, TEST_CAP)
+    return asyncio.run(capped())
+
+
+class TestFillTimerRace:
+    def test_room_that_fills_cancels_its_timer_before_welcome(
+            self, scheme1_world):
+        """After the m-th member lands, the fill timer is gone and a
+        stale timeout callback (the same-tick race, replayed directly)
+        must not abort the now-active room."""
+        members = scheme1_world.lineup("alice", "bob")
+        policy = scheme1_policy()
+
+        async def scenario():
+            async with RendezvousServer(
+                    ServerConfig(room_fill_timeout=30.0)) as server:
+                cfg = ClientConfig(port=server.port, room="same-tick", m=2)
+                tasks = [asyncio.ensure_future(join_room(
+                    member, cfg, policy, random.Random(i)))
+                    for i, member in enumerate(members)]
+                # Wait for activation, then catch the room mid-relay.
+                room = None
+                while room is None or room.state != _Room.ACTIVE:
+                    await asyncio.sleep(0.001)
+                    rooms = list(server._rooms.values())
+                    room = rooms[0] if rooms else None
+                assert room.fill_timer is None     # cancelled at fill
+                # Replay the pre-fix race: the deadline callback fires
+                # after the roster filled.  It must be a no-op.
+                server._fill_timeout(room)
+                state_after = room.state
+                outcomes = await asyncio.gather(*tasks)
+                # DONE frames settle just after the client outcomes.
+                await asyncio.wait_for(room.finished.wait(), 5.0)
+                return outcomes, state_after, room.outcome
+
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            outcomes, state_after, outcome = _run(scenario())
+        assert state_after == _Room.ACTIVE
+        assert all(o.success for o in outcomes)
+        assert outcome == "completed"
+        assert recorder.total().extra.get("svc:fill-timeouts", 0) == 0
+        assert recorder.total().extra.get("svc:abort:fill-timeout", 0) == 0
+
+    def test_fills_arriving_near_the_deadline_still_complete(
+            self, scheme1_world):
+        """A room completed by the second member just under the fill
+        deadline succeeds — the deadline window closes atomically with
+        the fill, never during the WELCOME send."""
+        members = scheme1_world.lineup("alice", "bob")
+        policy = scheme1_policy()
+
+        async def scenario():
+            async with RendezvousServer(
+                    ServerConfig(room_fill_timeout=0.6)) as server:
+                cfg = ClientConfig(port=server.port, room="deadline", m=2)
+                joined = asyncio.Event()
+                first = asyncio.ensure_future(join_room(
+                    members[0], cfg, policy, random.Random(1),
+                    joined=joined))
+                await joined.wait()
+                await asyncio.sleep(0.45)   # most of the fill window
+                second = asyncio.ensure_future(join_room(
+                    members[1], cfg, policy, random.Random(2)))
+                return await asyncio.gather(first, second)
+
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            outcomes = _run(scenario())
+        assert all(o.success for o in outcomes)
+        assert recorder.total().extra.get("svc:fill-timeouts", 0) == 0
+
+    def test_lonely_room_still_times_out(self, scheme1_world):
+        """The guard must not neuter the timeout itself: a room that
+        never fills aborts with the retryable fill-timeout reason."""
+        (member,) = scheme1_world.lineup("alice")
+
+        async def scenario():
+            async with RendezvousServer(
+                    ServerConfig(room_fill_timeout=0.2)) as server:
+                cfg = ClientConfig(port=server.port, room="lonely", m=2,
+                                   deadline=5.0, connect_retries=0,
+                                   backoff_base=5.0, backoff_max=5.0)
+                return await join_room(member, cfg, scheme1_policy(),
+                                       random.Random(1))
+
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            outcome = _run(scenario())
+        assert not outcome.success
+        assert recorder.total().extra.get("svc:fill-timeouts") == 1
+
+
+class TestClientClocks:
+    def test_admission_wait_and_handshake_latency_are_separate(
+            self, scheme1_world):
+        """The first member waits ~0.5s for a peer before the room
+        fills; that wait lands in ``svc-client:admission-wait`` and must
+        NOT inflate ``hs:latency`` (the crypto itself is milliseconds)."""
+        members = scheme1_world.lineup("alice", "bob")
+        policy = scheme1_policy()
+        peer_delay = 0.5
+
+        async def scenario():
+            async with RendezvousServer(ServerConfig()) as server:
+                cfg = ClientConfig(port=server.port, room="clocks", m=2)
+                joined = asyncio.Event()
+                first = asyncio.ensure_future(join_room(
+                    members[0], cfg, policy, random.Random(1),
+                    joined=joined))
+                await joined.wait()
+                await asyncio.sleep(peer_delay)
+                second = asyncio.ensure_future(join_room(
+                    members[1], cfg, policy, random.Random(2)))
+                return await asyncio.gather(first, second)
+
+        recorder = metrics.Recorder()
+        with metrics.using(recorder):
+            outcomes = _run(scenario())
+        assert all(o.success for o in outcomes)
+        histograms = recorder.histograms()
+        admission = histograms["svc-client:admission-wait"]
+        handshake = histograms["hs:latency"]
+        # One observation per member in each histogram.
+        assert admission.total == 2
+        assert handshake.total == 2
+        # The first member's admission wait contains the peer delay …
+        assert admission.max >= peer_delay * 0.9
+        # … and no handshake-latency sample does: the wait for peers is
+        # out of ``hs:latency`` entirely (the pre-fix clock mix let one
+        # leak into the other).
+        assert handshake.max < peer_delay * 0.9
+        # Both members' admission waits are >= 0 on the shared clock
+        # (a mixed-origin subtraction can go negative).
+        assert admission.min >= 0.0
+        assert handshake.min >= 0.0

@@ -46,7 +46,8 @@ class TestStatusQuery:
 
         outcomes, status = _run(scenario())
         assert all(o.success for o in outcomes)
-        assert status["rooms"] == {"filling": 0, "active": 0, "closed": 1}
+        assert status["rooms"] == {"filling": 0, "active": 0, "closed": 1,
+                                   "restoring": 0}
         assert status["outcomes"] == {"completed": 1}
         assert status["counters"]["svc:rooms-completed"] == 1
         assert status["counters"]["svc:status-queries"] == 1
